@@ -1,0 +1,349 @@
+//! Criterion microbenchmarks of each experiment's computational core,
+//! grouped per paper figure/table. These measure the *cost* side of the
+//! flows (the result side lives in the `src/bin/` harnesses):
+//!
+//! * fig03 — SVC training across kernels
+//! * fig05 — polynomial least squares at growing degree
+//! * fig07 — LSU simulation, spectrum-profile scoring, one-class solve
+//! * table1 — constrained-random generation + CN2-SD rule induction
+//! * fig09 — golden litho analysis vs HI-kernel model prediction per clip
+//! * fig10 — STA population timing + clustering
+//! * fig11 — device generation + Mahalanobis screening
+//! * fig12 — correlation analysis over a production window
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use edm_kernels::{
+    gram_matrix, HistogramIntersectionKernel, LinearKernel, PolyKernel, RbfKernel,
+    SpectrumKernel, SpectrumProfile,
+};
+use edm_svm::{solve_one_class, OneClassParams, SvcParams, SvcTrainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ring_disc(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n {
+        let r = 0.8 * rng.gen::<f64>();
+        let a = rng.gen::<f64>() * std::f64::consts::TAU;
+        x.push(vec![r * a.cos(), r * a.sin()]);
+        y.push(-1.0);
+        let r = 1.6 + 0.6 * rng.gen::<f64>();
+        x.push(vec![r * a.cos(), r * a.sin()]);
+        y.push(1.0);
+    }
+    (x, y)
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let (x, y) = ring_disc(40, 3);
+    let mut g = c.benchmark_group("fig03_kernel_trick");
+    g.bench_function("svc_linear", |b| {
+        b.iter(|| {
+            SvcTrainer::new(SvcParams::default())
+                .kernel(LinearKernel::new())
+                .fit(black_box(&x), black_box(&y))
+                .unwrap()
+        })
+    });
+    g.bench_function("svc_poly2", |b| {
+        b.iter(|| {
+            SvcTrainer::new(SvcParams::default())
+                .kernel(PolyKernel::homogeneous(2))
+                .fit(black_box(&x), black_box(&y))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    use edm_learn::linreg::{polynomial_features, LeastSquares};
+    let x: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 * 0.2 - 3.0]).collect();
+    let y: Vec<f64> = x.iter().map(|v| (1.8 * v[0]).sin()).collect();
+    let mut g = c.benchmark_group("fig05_overfitting");
+    for degree in [2u32, 8, 14] {
+        g.bench_function(format!("poly_fit_deg{degree}"), |b| {
+            b.iter(|| {
+                let xt = polynomial_features(black_box(&x), degree);
+                LeastSquares::fit(&xt, black_box(&y)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    use edm_verif::lsu::LsuSimulator;
+    use edm_verif::template::TestTemplate;
+    let template = TestTemplate::default();
+    let sim = LsuSimulator::default_config();
+    let mut rng = StdRng::seed_from_u64(7);
+    let tests: Vec<_> = (0..64).map(|_| template.generate(&mut rng)).collect();
+    let kernel = SpectrumKernel::weighted(3, 2.0);
+    let profiles: Vec<SpectrumProfile> =
+        tests.iter().map(|t| SpectrumProfile::build(&t.tokens(), &kernel)).collect();
+
+    let mut g = c.benchmark_group("fig07_novel_test_selection");
+    g.bench_function("generate_test", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| template.generate(black_box(&mut rng)))
+    });
+    g.bench_function("simulate_test", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % tests.len();
+            sim.simulate(black_box(&tests[i]))
+        })
+    });
+    g.bench_function("spectrum_profile_build", |b| {
+        let tokens = tests[0].tokens();
+        b.iter(|| SpectrumProfile::build(black_box(&tokens), &kernel))
+    });
+    g.bench_function("novelty_score_vs_64", |b| {
+        let cand = &profiles[0];
+        b.iter(|| {
+            profiles
+                .iter()
+                .map(|p| cand.cosine(black_box(p)))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("one_class_solve_64", |b| {
+        let gram = {
+            let n = profiles.len();
+            let mut m = edm_linalg::Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    m[(i, j)] = profiles[i].cosine(&profiles[j]);
+                }
+            }
+            m
+        };
+        let params = OneClassParams::default().with_nu(0.2);
+        b.iter(|| solve_one_class(black_box(&gram), &params).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    use edm_learn::rules::cn2sd::{learn_rules, Cn2SdParams};
+    use edm_verif::lsu::LsuSimulator;
+    use edm_verif::program::Program;
+    use edm_verif::template::TestTemplate;
+    let template = TestTemplate::default();
+    let sim = LsuSimulator::default_config();
+    let mut rng = StdRng::seed_from_u64(11);
+    let tests: Vec<_> = (0..120).map(|_| template.generate(&mut rng)).collect();
+    let features: Vec<Vec<f64>> = tests.iter().map(Program::features).collect();
+    let labels: Vec<i32> = tests
+        .iter()
+        .map(|t| i32::from(sim.simulate(t).coverage.n_covered() > 2))
+        .collect();
+    let mut g = c.benchmark_group("table1_template_refinement");
+    g.bench_function("cn2sd_learn_rules_120", |b| {
+        let params = Cn2SdParams { max_rules: 2, max_conditions: 2, ..Default::default() };
+        b.iter(|| learn_rules(black_box(&features), black_box(&labels), 1, params).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    use edm_litho::features::{density_histogram, HistogramSpec};
+    use edm_litho::layout::LayoutGenerator;
+    use edm_litho::variability::VariabilityAnalyzer;
+    let generator = LayoutGenerator::default();
+    let analyzer = VariabilityAnalyzer::default();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut clips: Vec<_> = (0..16).map(|_| generator.generate_random(&mut rng).1).collect();
+    // Guarantee both labels for SVC training: a stable fat line and an
+    // at-the-limit grating.
+    clips.push(edm_litho::layout::LayoutClip::new(
+        1024,
+        vec![edm_litho::geometry::Rect::new(256, 0, 768, 1024)],
+    ));
+    clips.push(edm_litho::layout::LayoutClip::new(
+        1024,
+        (0..11)
+            .map(|i| edm_litho::geometry::Rect::new(i * 96, 0, i * 96 + 48, 1024))
+            .collect(),
+    ));
+    let spec = HistogramSpec::default();
+    // A small trained model for the prediction benchmark.
+    let hists: Vec<Vec<f64>> = clips.iter().map(|cl| density_histogram(cl, &spec)).collect();
+    let labels: Vec<f64> = clips
+        .iter()
+        .map(|cl| {
+            if analyzer.analyze(cl).label == edm_litho::variability::VariabilityLabel::Bad {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect();
+    let model = SvcTrainer::new(SvcParams::default().with_c(10.0))
+        .kernel(HistogramIntersectionKernel::new())
+        .fit(&hists, &labels)
+        .expect("both labels present in the sample");
+
+    let mut g = c.benchmark_group("fig09_litho_variability");
+    g.bench_function("golden_process_window_per_clip", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % clips.len();
+            analyzer.analyze(black_box(&clips[i]))
+        })
+    });
+    g.bench_function("model_prediction_per_clip", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % clips.len();
+            let h = density_histogram(black_box(&clips[i]), &spec);
+            model.predict(&h)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    use edm_cluster::kmeans::kmeans;
+    use edm_timing::path::PathGenerator;
+    use edm_timing::silicon::SiliconModel;
+    use edm_timing::sta::Timer;
+    let generator = PathGenerator::default();
+    let mut rng = StdRng::seed_from_u64(10);
+    let paths = generator.generate_population(400, &mut rng);
+    let timer = Timer::default();
+    let silicon = SiliconModel::default();
+    let mut g = c.benchmark_group("fig10_dstc");
+    g.bench_function("sta_population_400", |b| {
+        b.iter(|| timer.analyze_population(black_box(&paths)))
+    });
+    g.bench_function("silicon_measure_400", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| silicon.measure_population(black_box(&paths), &mut rng))
+    });
+    g.bench_function("kmeans_mismatch_400", |b| {
+        let pred = timer.analyze_population(&paths);
+        let mut rng = StdRng::seed_from_u64(2);
+        let meas = silicon.measure_population(&paths, &mut rng);
+        let pts: Vec<Vec<f64>> = pred
+            .iter()
+            .zip(&meas)
+            .map(|(&p, &m)| vec![(m - p) / p.max(1.0)])
+            .collect();
+        let mut krng = StdRng::seed_from_u64(3);
+        b.iter_batched(
+            || pts.clone(),
+            |pts| kmeans(&pts, 2, 100, &mut krng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    use edm_mfgtest::product::ProductModel;
+    use edm_novelty::{MahalanobisDetector, NoveltyDetector};
+    let product = ProductModel::automotive();
+    let mut rng = StdRng::seed_from_u64(11);
+    let lot = product.generate_lot(0, 2_000, &mut rng);
+    let z: Vec<Vec<f64>> = lot.iter().map(|d| d.measurements[4..7].to_vec()).collect();
+    let detector = MahalanobisDetector::fit(&z, 0.999).expect("fit");
+    let mut g = c.benchmark_group("fig11_customer_returns");
+    g.bench_function("generate_device", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            product.generate_device(id, 0, &mut rng)
+        })
+    });
+    g.bench_function("screen_device", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % z.len();
+            detector.score(black_box(&z[i]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    use edm_linalg::stats;
+    use edm_mfgtest::product::ProductModel;
+    let product = ProductModel::automotive();
+    let mut rng = StdRng::seed_from_u64(12);
+    let lot = product.generate_lot(0, 5_000, &mut rng);
+    let a: Vec<f64> = lot.iter().map(|d| d.measurements[0]).collect();
+    let t1: Vec<f64> = lot.iter().map(|d| d.measurements[1]).collect();
+    let mut g = c.benchmark_group("fig12_difficult_case");
+    g.bench_function("pearson_5000", |b| {
+        b.iter(|| stats::pearson(black_box(&a), black_box(&t1)))
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pts: Vec<Vec<f64>> = (0..128)
+        .map(|_| (0..16).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let mut g = c.benchmark_group("kernel_gram");
+    g.bench_function("rbf_gram_128", |b| {
+        b.iter(|| gram_matrix(&RbfKernel::new(1.0), black_box(&pts)))
+    });
+    g.bench_function("hi_gram_128", |b| {
+        b.iter(|| gram_matrix(&HistogramIntersectionKernel::new(), black_box(&pts)))
+    });
+    g.finish();
+}
+
+fn bench_toolkit_extras(c: &mut Criterion) {
+    use edm_mfgtest::wafer::{SpatialSignature, WaferMap};
+    use edm_transform::{Cca, KernelPca, Pls};
+    let mut rng = StdRng::seed_from_u64(42);
+    let x: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..6).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let y: Vec<Vec<f64>> = x
+        .iter()
+        .map(|r| vec![r[0] + r[1], r[2] - r[3]])
+        .collect();
+    let mut g = c.benchmark_group("toolkit_extras");
+    g.bench_function("pls_fit_200x6", |b| {
+        b.iter(|| Pls::fit(black_box(&x), black_box(&y), 2).unwrap())
+    });
+    g.bench_function("cca_fit_200x6", |b| {
+        b.iter(|| Cca::fit(black_box(&x), black_box(&y), 2, 1e-6).unwrap())
+    });
+    g.bench_function("kpca_fit_100", |b| {
+        b.iter(|| KernelPca::fit(black_box(&x[..100]), RbfKernel::new(1.0), 4).unwrap())
+    });
+    g.bench_function("wafer_spatial_features", |b| {
+        let mut wrng = StdRng::seed_from_u64(1);
+        let w = WaferMap::new(25)
+            .with_random_defects(0.05, &mut wrng)
+            .with_signature(SpatialSignature::EdgeRing { inner: 0.85, fail_prob: 0.8 }, &mut wrng);
+        b.iter(|| w.spatial_features())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig03,
+    bench_fig05,
+    bench_fig07,
+    bench_table1,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_kernels,
+    bench_toolkit_extras
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Fig. 5 — overfitting in view of model complexity: training error
+//! falls monotonically as complexity grows, validation error turns back
+//! up past the sweet spot.
+//!
+//! Two sweeps: polynomial-degree regression (complexity = degree) and
+//! RBF-SVC bandwidth (complexity = Σα, the paper's measure).
+
+use edm_bench::{claim, finish, header};
+use edm_data::metrics::rmse;
+use edm_kernels::RbfKernel;
+use edm_learn::linreg::{polynomial_features, LeastSquares};
+use edm_svm::{SvcParams, SvcTrainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    header("Figure 5: overfitting vs model complexity");
+
+    // --- Sweep 1: polynomial regression on noisy data ---------------
+    let mut rng = StdRng::seed_from_u64(5);
+    let truth = |x: f64| (1.8 * x).sin() + 0.3 * x;
+    let noisy = |x: f64, rng: &mut StdRng| {
+        truth(x) + 0.25 * edm_linalg::sample::standard_normal(rng)
+    };
+    let train_x: Vec<Vec<f64>> = (0..24).map(|i| vec![i as f64 * 0.25 - 3.0]).collect();
+    let train_y: Vec<f64> = train_x.iter().map(|v| noisy(v[0], &mut rng)).collect();
+    let val_x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 0.06 - 3.0]).collect();
+    let val_y: Vec<f64> = val_x.iter().map(|v| noisy(v[0], &mut rng)).collect();
+
+    println!("\npolynomial regression (n_train = {}):", train_x.len());
+    println!("{:>7} {:>12} {:>12}", "degree", "train RMSE", "val RMSE");
+    let degrees: Vec<u32> = (1..=15).collect();
+    let mut train_errs = Vec::new();
+    let mut val_errs = Vec::new();
+    for &d in &degrees {
+        let xt = polynomial_features(&train_x, d);
+        let model = LeastSquares::fit(&xt, &train_y).expect("fit");
+        let tr = rmse(&train_y, &model.predict_batch(&xt));
+        let xv = polynomial_features(&val_x, d);
+        let vr = rmse(&val_y, &model.predict_batch(&xv));
+        println!("{d:>7} {tr:>12.4} {vr:>12.4}");
+        train_errs.push(tr);
+        val_errs.push(vr);
+    }
+    // Shape checks.
+    let train_decreases = train_errs.first().unwrap() > train_errs.last().unwrap();
+    let best = val_errs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap();
+    let val_u_shape = best > 0
+        && best < val_errs.len() - 1
+        && *val_errs.last().unwrap() > 1.5 * val_errs[best];
+
+    // --- Sweep 2: RBF-SVC bandwidth, complexity = sum of alphas -----
+    let mut rng = StdRng::seed_from_u64(55);
+    let mut cx = Vec::new();
+    let mut cy = Vec::new();
+    for _ in 0..80 {
+        // overlapping blobs
+        let c = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        cx.push(vec![
+            c * 0.7 + edm_linalg::sample::standard_normal(&mut rng),
+            edm_linalg::sample::standard_normal(&mut rng),
+        ]);
+        cy.push(c);
+    }
+    let mut vx = Vec::new();
+    let mut vy = Vec::new();
+    for _ in 0..400 {
+        let c = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        vx.push(vec![
+            c * 0.7 + edm_linalg::sample::standard_normal(&mut rng),
+            edm_linalg::sample::standard_normal(&mut rng),
+        ]);
+        vy.push(c);
+    }
+    println!("\nRBF-SVC bandwidth sweep (C = 50):");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "gamma", "complexity Σα", "train err", "val err"
+    );
+    let gammas = [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0];
+    let mut svc_train = Vec::new();
+    let mut svc_val = Vec::new();
+    for &g in &gammas {
+        let model = SvcTrainer::new(SvcParams::default().with_c(50.0))
+            .kernel(RbfKernel::new(g))
+            .fit(&cx, &cy)
+            .expect("fit");
+        let err = |xs: &[Vec<f64>], ys: &[f64]| {
+            xs.iter().zip(ys).filter(|(x, &y)| model.predict(x) != y).count() as f64
+                / xs.len() as f64
+        };
+        let (te, ve) = (err(&cx, &cy), err(&vx, &vy));
+        println!("{g:>8} {:>14.1} {te:>12.3} {ve:>12.3}", model.complexity());
+        svc_train.push(te);
+        svc_val.push(ve);
+    }
+    let svc_train_drops = svc_train.last().unwrap() < svc_train.first().unwrap();
+    let svc_best = svc_val
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .unwrap();
+    let svc_overfits = *svc_val.last().unwrap() > svc_val[svc_best] + 0.05;
+
+    let claims = [
+        claim("poly: training error decreases with degree", train_decreases),
+        claim("poly: validation error is U-shaped (interior minimum)", val_u_shape),
+        claim("svc: training error decreases with gamma", svc_train_drops),
+        claim("svc: validation error rises past the optimum", svc_overfits),
+    ];
+    finish(&claims);
+}

@@ -1,0 +1,67 @@
+//! Fig. 9 — fast prediction of layout variability: an SVM over the
+//! histogram-intersection kernel reproduces the golden lithography
+//! simulation's hotspot labels at a fraction of the cost ("most of the
+//! high variability areas identified by the simulation were correctly
+//! identified by the learning model").
+
+use edm_bench::{claim, finish, header, pct};
+use edm_core::variability::{self, VariabilityConfig};
+use edm_litho::layout::LayoutGenerator;
+use edm_litho::variability::VariabilityAnalyzer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    header("Figure 9: fast layout-variability prediction vs litho simulation");
+    let config = VariabilityConfig { n_train: 400, n_test: 200, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(9);
+    let (result, _predictor) = variability::run(
+        &LayoutGenerator::default(),
+        &VariabilityAnalyzer::default(),
+        &config,
+        &mut rng,
+    )
+    .expect("flow runs");
+
+    println!("training clips: {}   test clips: {}", config.n_train, config.n_test);
+    println!("golden-bad fraction in test set: {}", pct(result.bad_fraction));
+    println!();
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "model", "accuracy", "bad recall", "false alarm"
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "SVC (HI kernel)",
+        pct(result.svc.accuracy),
+        pct(result.svc.bad_recall),
+        pct(result.svc.false_alarm_rate)
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "one-class SVM (good-only)",
+        pct(result.one_class.accuracy),
+        pct(result.one_class.bad_recall),
+        pct(result.one_class.false_alarm_rate)
+    );
+    println!();
+    println!(
+        "golden simulation: {:.0} us/clip   model: {:.1} us/clip   speedup: {:.0}x",
+        result.golden_us_per_clip,
+        result.model_us_per_clip,
+        result.speedup()
+    );
+
+    let claims = [
+        claim(
+            "SVC tracks the golden labels (accuracy >= 80%)",
+            result.svc.accuracy >= 0.80,
+        ),
+        claim(
+            "most high-variability clips are identified (recall >= 75%)",
+            result.svc.bad_recall >= 0.75,
+        ),
+        claim("the model is much faster than the simulation (>= 10x)", result.speedup() >= 10.0),
+    ];
+    finish(&claims);
+}

@@ -1,0 +1,53 @@
+//! # edm-bench — experiment harnesses for every table and figure
+//!
+//! One binary per paper result (run with
+//! `cargo run --release -p edm-bench --bin <name>`):
+//!
+//! | Binary | Paper result |
+//! |---|---|
+//! | `fig03_kernel_trick` | Fig. 3 — kernel trick separability |
+//! | `fig05_overfitting` | Fig. 5 — training vs validation error |
+//! | `fig07_novel_test_selection` | Fig. 7 — simulation saving |
+//! | `table1_template_refinement` | Table 1 — coverage after learning |
+//! | `fig09_litho_variability` | Fig. 9 — fast variability prediction |
+//! | `fig10_dstc` | Fig. 10 — slow-path diagnosis |
+//! | `fig11_customer_returns` | Fig. 11 — return screening |
+//! | `fig12_difficult_case` | Fig. 12 — the escapes |
+//! | `tune_coverage` | (diagnostic) coverage profile of a template |
+//!
+//! `benches/experiments.rs` holds Criterion microbenchmarks of each
+//! experiment's computational core.
+//!
+//! Every binary is seeded and deterministic; all print plain-text tables
+//! mirroring the rows/series the paper reports, and exit non-zero if the
+//! paper's qualitative claim fails to hold (so CI catches regressions in
+//! the reproductions).
+
+/// Prints a section header in a uniform style.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Asserts a reproduction claim, printing PASS/FAIL and returning
+/// whether it held (binaries aggregate these into the exit code).
+pub fn claim(description: &str, holds: bool) -> bool {
+    println!("[{}] {description}", if holds { "PASS" } else { "FAIL" });
+    holds
+}
+
+/// Exits with status 1 if any claim failed.
+pub fn finish(claims: &[bool]) {
+    if claims.iter().all(|&c| c) {
+        println!("\nall {} reproduction claims hold", claims.len());
+    } else {
+        let failed = claims.iter().filter(|&&c| !c).count();
+        eprintln!("\n{failed} reproduction claim(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,80 @@
+//! # edm-cluster — the unsupervised clustering methods of paper §2.4
+//!
+//! "Clustering is among the most widely used unsupervised learning
+//! methods in data mining" — the paper names six algorithm families, all
+//! implemented here:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding
+//! * [`hierarchical`] — agglomerative clustering with selectable linkage
+//! * [`dbscan`] — density-based clustering with noise labeling
+//! * [`spectral`] — normalized-Laplacian spectral embedding + k-means
+//! * [`meanshift`] — flat-kernel mode seeking
+//! * [`affinity`] — affinity propagation message passing
+//!
+//! The paper's caveat applies verbatim: "the result may not be robust
+//! \[and\] largely depends on the definition of the learning space" — the
+//! Fig. 10 DSTC flow in `edm-core` demonstrates the point by clustering
+//! paths in a (predicted, measured) delay space where the structure is
+//! visible.
+//!
+//! [`metrics`] has silhouette scores and the Rand index for validating a
+//! clustering against ground truth in tests.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod dbscan;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod meanshift;
+pub mod metrics;
+pub mod spectral;
+
+use std::fmt;
+
+/// Errors from clustering.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The input was empty, ragged, or smaller than the requested k.
+    InvalidInput(String),
+    /// A parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// An internal numeric step failed (e.g. the spectral eigensolve).
+    Numeric(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidInput(m) => write!(f, "invalid clustering input: {m}"),
+            ClusterError::InvalidParameter { name, value, constraint } => {
+                write!(f, "parameter {name} = {value} {constraint}")
+            }
+            ClusterError::Numeric(m) => write!(f, "numeric failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+pub(crate) fn check_points(x: &[Vec<f64>]) -> Result<usize, ClusterError> {
+    if x.is_empty() {
+        return Err(ClusterError::InvalidInput("no points".into()));
+    }
+    let d = x[0].len();
+    if x.iter().any(|r| r.len() != d) {
+        return Err(ClusterError::InvalidInput("ragged point rows".into()));
+    }
+    Ok(d)
+}

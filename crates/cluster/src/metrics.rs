@@ -1,0 +1,187 @@
+//! Cluster-quality metrics: silhouette score (internal) and Rand index
+//! (against ground truth).
+
+/// Mean silhouette coefficient over all points, in `[−1, 1]`
+/// (higher = tighter, better-separated clusters).
+///
+/// Points in singleton clusters contribute 0 (the usual convention).
+/// Returns `0.0` if there are fewer than two clusters.
+///
+/// # Panics
+///
+/// Panics if `x` and `labels` have different lengths.
+pub fn silhouette(x: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(x.len(), labels.len(), "points and labels must pair up");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut classes: Vec<usize> = labels.to_vec();
+    classes.sort_unstable();
+    classes.dedup();
+    if classes.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        let own_size = labels.iter().filter(|&&l| l == own).count();
+        if own_size <= 1 {
+            continue; // contributes 0
+        }
+        // a(i): mean intra-cluster distance; b(i): min mean distance to
+        // another cluster.
+        let mut a = 0.0;
+        let mut b = f64::INFINITY;
+        for &c in &classes {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for j in 0..n {
+                if j != i && labels[j] == c {
+                    sum += edm_linalg::sq_dist(&x[i], &x[j]).sqrt();
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                continue;
+            }
+            let mean = sum / count as f64;
+            if c == own {
+                a = mean;
+            } else {
+                b = b.min(mean);
+            }
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+/// Rand index between two labelings, in `[0, 1]`
+/// (1 = identical partitions up to label renaming).
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths or fewer than two
+/// points.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must have equal length");
+    assert!(a.len() >= 2, "rand index needs at least two points");
+    let n = a.len();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silhouette_high_for_clean_blobs() {
+        let pts = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+        let good = silhouette(&pts, &[0, 0, 1, 1]);
+        let bad = silhouette(&pts, &[0, 1, 0, 1]);
+        assert!(good > 0.9);
+        assert!(bad < 0.0);
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        assert_eq!(silhouette(&[vec![0.0]], &[0]), 0.0);
+        assert_eq!(silhouette(&[vec![0.0], vec![1.0]], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn rand_index_invariant_to_renaming() {
+        let a = [0, 0, 1, 1, 2];
+        let b = [5, 5, 9, 9, 7];
+        assert_eq!(rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn rand_index_partial_agreement() {
+        let a = [0, 0, 1, 1];
+        let b = [0, 1, 1, 1];
+        // pairs: (01):s/d, (02):d/d, (03):d/d, (12):d/s, (13):d/s, (23):s/s
+        // agreements: (02),(03),(23) = 3 of 6
+        assert!((rand_index(&a, &b) - 0.5).abs() < 1e-12);
+    }
+}
+
+/// Picks the k in `2..=max_k` whose k-means clustering maximizes the
+/// silhouette score — the standard answer to "how many clusters does my
+/// EDA data have" when nothing domain-specific says otherwise.
+///
+/// Returns `(best_k, best_score, labels)`.
+///
+/// # Errors
+///
+/// Propagates k-means errors (e.g. fewer points than `max_k`).
+///
+/// # Panics
+///
+/// Panics if `max_k < 2`.
+pub fn select_k_by_silhouette<R: rand::Rng + ?Sized>(
+    x: &[Vec<f64>],
+    max_k: usize,
+    rng: &mut R,
+) -> Result<(usize, f64, Vec<usize>), crate::ClusterError> {
+    assert!(max_k >= 2, "need to consider at least k = 2");
+    let mut best: Option<(usize, f64, Vec<usize>)> = None;
+    for k in 2..=max_k {
+        let result = crate::kmeans::kmeans(x, k, 200, rng)?;
+        let score = silhouette(x, &result.labels);
+        if best.as_ref().is_none_or(|&(_, s, _)| score > s) {
+            best = Some((k, score, result.labels));
+        }
+    }
+    Ok(best.expect("max_k >= 2 guarantees at least one candidate"))
+}
+
+#[cfg(test)]
+mod k_selection_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_the_true_cluster_count() {
+        // Three well-separated blobs.
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            let o = i as f64 * 0.02;
+            pts.push(vec![0.0 + o, 0.0]);
+            pts.push(vec![10.0 + o, 0.0]);
+            pts.push(vec![5.0 + o, 9.0]);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let (k, score, labels) = select_k_by_silhouette(&pts, 6, &mut rng).unwrap();
+        assert_eq!(k, 3, "silhouette picked k = {k} (score {score})");
+        assert_eq!(labels.len(), pts.len());
+        assert!(score > 0.8);
+    }
+
+    #[test]
+    fn two_blobs_prefer_two() {
+        let pts: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![if i < 5 { 0.0 } else { 8.0 } + i as f64 * 0.01])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (k, _, _) = select_k_by_silhouette(&pts, 4, &mut rng).unwrap();
+        assert_eq!(k, 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Spectral clustering: RBF affinity graph → symmetric normalized
+//! Laplacian → bottom-k eigenvectors → row-normalized k-means
+//! (Ng–Jordan–Weiss).
+//!
+//! The "learning space" point of paper §2.4 made concrete: the same
+//! k-means that fails on ring-shaped input data succeeds in the
+//! eigenvector embedding.
+
+use rand::Rng;
+
+use crate::kmeans::kmeans;
+use crate::{check_points, ClusterError};
+
+/// Runs spectral clustering with an RBF affinity
+/// `exp(−γ‖xᵢ−xⱼ‖²)`.
+///
+/// # Errors
+///
+/// [`ClusterError::InvalidParameter`] on non-positive `gamma` or zero
+/// `k`; [`ClusterError::InvalidInput`] if there are fewer points than
+/// `k`; [`ClusterError::Numeric`] if the eigensolve fails.
+///
+/// # Example
+///
+/// ```
+/// use edm_cluster::spectral::spectral;
+/// use rand::SeedableRng;
+///
+/// let pts = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let labels = spectral(&pts, 2, 1.0, &mut rng)?;
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// # Ok::<(), edm_cluster::ClusterError>(())
+/// ```
+pub fn spectral<R: Rng + ?Sized>(
+    x: &[Vec<f64>],
+    k: usize,
+    gamma: f64,
+    rng: &mut R,
+) -> Result<Vec<usize>, ClusterError> {
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter {
+            name: "k",
+            value: 0.0,
+            constraint: "must be at least 1",
+        });
+    }
+    if !(gamma > 0.0) {
+        return Err(ClusterError::InvalidParameter {
+            name: "gamma",
+            value: gamma,
+            constraint: "must be positive",
+        });
+    }
+    check_points(x)?;
+    let n = x.len();
+    if n < k {
+        return Err(ClusterError::InvalidInput(format!("{n} points for k = {k}")));
+    }
+
+    // Affinity and degree.
+    let mut w = edm_linalg::Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = (-gamma * edm_linalg::sq_dist(&x[i], &x[j])).exp();
+            w[(i, j)] = a;
+            w[(j, i)] = a;
+        }
+    }
+    let deg: Vec<f64> = (0..n).map(|i| w.row(i).iter().sum::<f64>().max(1e-12)).collect();
+    // Normalized affinity D^{-1/2} W D^{-1/2}; its TOP-k eigenvectors
+    // equal the bottom-k of the normalized Laplacian.
+    let mut norm = edm_linalg::Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            norm[(i, j)] = w[(i, j)] / (deg[i] * deg[j]).sqrt();
+        }
+    }
+    let eig = norm
+        .symmetric_eigen()
+        .map_err(|e| ClusterError::Numeric(e.to_string()))?;
+    // Embedding: rows of the top-k eigenvector block, row-normalized.
+    let embedding: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let row: Vec<f64> = (0..k).map(|c| eig.eigenvectors()[(i, c)]).collect();
+            edm_linalg::normalize(&row)
+        })
+        .collect();
+    let result = kmeans(&embedding, k, 200, rng)?;
+    Ok(result.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn concentric_rings_separate_where_kmeans_fails() {
+        // Inner circle r = 1, outer ring r = 5 (the Fig. 3 geometry).
+        let mut pts = Vec::new();
+        for i in 0..24 {
+            let a = i as f64 * std::f64::consts::TAU / 24.0;
+            pts.push(vec![a.cos(), a.sin()]);
+        }
+        for i in 0..24 {
+            let a = i as f64 * std::f64::consts::TAU / 24.0;
+            pts.push(vec![5.0 * a.cos(), 5.0 * a.sin()]);
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let labels = spectral(&pts, 2, 1.0, &mut rng).unwrap();
+        // all inner points together, all outer together
+        assert!(labels[..24].iter().all(|&l| l == labels[0]));
+        assert!(labels[24..].iter().all(|&l| l == labels[24]));
+        assert_ne!(labels[0], labels[24]);
+        // sanity: plain k-means on the raw coordinates cannot do this
+        let km = kmeans(&pts, 2, 200, &mut StdRng::seed_from_u64(7)).unwrap();
+        let km_ok = km.labels[..24].iter().all(|&l| l == km.labels[0])
+            && km.labels[24..].iter().all(|&l| l == km.labels[24]);
+        assert!(!km_ok, "k-means should not separate concentric rings");
+    }
+
+    #[test]
+    fn blobs_still_work() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.3],
+            vec![6.0, 6.0],
+            vec![6.1, 5.9],
+            vec![5.9, 6.2],
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels = spectral(&pts, 2, 0.5, &mut rng).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(spectral(&[vec![0.0]], 0, 1.0, &mut rng).is_err());
+        assert!(spectral(&[vec![0.0]], 1, 0.0, &mut rng).is_err());
+    }
+}

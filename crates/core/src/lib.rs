@@ -1,0 +1,36 @@
+//! # edm-core — the paper's data-mining methodology flows
+//!
+//! The paper's actual contribution is not an algorithm but a set of
+//! *problem formulations*: ways of inserting learning into an EDA flow
+//! such that (1) no guaranteed result is required, (2) the data is
+//! already there, (3) the flow adds value to the existing tool, and
+//! (4) the engineer does less work, not more (§1's four principles).
+//! This crate implements those formulations, one module per application
+//! study:
+//!
+//! | Module | Paper result | Flow |
+//! |---|---|---|
+//! | [`noveltest`] | Fig. 7 | one-class-SVM novelty filter between randomizer and simulator |
+//! | [`template_refine`] | Table 1 | CN2-SD rules on covering tests → template knob updates |
+//! | [`variability`] | Fig. 9 | HI-kernel SVM trained against the golden litho simulation |
+//! | [`dstc`] | Fig. 10 | cluster (predicted, measured) delays, rule-learn the slow cluster |
+//! | [`returns`] | Fig. 11 | feature-selected 3-test outlier model for customer returns |
+//! | [`testcost`] | Fig. 12 | the *negative* case: correlation-driven test dropping and its escapes |
+//!
+//! Domain knowledge enters in exactly the two places the paper's §5
+//! allows: the kernel (spectrum kernel over instruction streams, HI
+//! kernel over density histograms) and the feature definitions (template
+//! knobs, path structure, robust test z-scores). Everything else is a
+//! stock learner from `edm-svm`/`edm-learn`.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod dstc;
+pub mod noveltest;
+pub mod returns;
+pub mod template_refine;
+pub mod testcost;
+pub mod variability;

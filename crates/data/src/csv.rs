@@ -1,0 +1,259 @@
+//! Minimal CSV import/export for datasets.
+//!
+//! Production mining data arrives as flat files of numbers (test logs,
+//! STA reports, coverage dumps). This module reads and writes the simple
+//! numeric dialect those tools emit: a header row of column names, then
+//! one comma-separated row of numbers per sample. Quoting and embedded
+//! commas are deliberately unsupported — the writers in EDA flows don't
+//! produce them, and rejecting them loudly beats misparsing silently.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::{Dataset, DatasetError, Target};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number.
+    BadNumber {
+        /// 1-based data row (excluding the header).
+        row: usize,
+        /// 0-based column.
+        col: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A row had the wrong number of cells.
+    RaggedRow {
+        /// 1-based data row.
+        row: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected (header width).
+        expected: usize,
+    },
+    /// The file had no header or no data rows.
+    Empty,
+    /// The requested target column does not exist.
+    NoSuchColumn(String),
+    /// Construction failed after parsing.
+    Dataset(DatasetError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::BadNumber { row, col, text } => {
+                write!(f, "row {row}, column {col}: cannot parse {text:?} as a number")
+            }
+            CsvError::RaggedRow { row, found, expected } => {
+                write!(f, "row {row} has {found} cells, expected {expected}")
+            }
+            CsvError::Empty => write!(f, "csv has no header or no data rows"),
+            CsvError::NoSuchColumn(name) => write!(f, "no column named {name:?}"),
+            CsvError::Dataset(e) => write!(f, "csv parsed but dataset invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses CSV text into an unlabeled dataset (all columns are features).
+///
+/// # Errors
+///
+/// See [`CsvError`].
+pub fn parse(text: &str) -> Result<Dataset, CsvError> {
+    parse_with_target(text, None)
+}
+
+/// Parses CSV text, pulling `target_column` (if given) out of the
+/// feature matrix as a continuous target.
+///
+/// # Errors
+///
+/// See [`CsvError`].
+pub fn parse_with_target(text: &str, target_column: Option<&str>) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header: Vec<String> = lines
+        .next()
+        .ok_or(CsvError::Empty)?
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .collect();
+    let target_idx = match target_column {
+        None => None,
+        Some(name) => Some(
+            header
+                .iter()
+                .position(|h| h == name)
+                .ok_or_else(|| CsvError::NoSuchColumn(name.to_string()))?,
+        ),
+    };
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut target: Vec<f64> = Vec::new();
+    for (ri, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != header.len() {
+            return Err(CsvError::RaggedRow {
+                row: ri + 1,
+                found: cells.len(),
+                expected: header.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(header.len());
+        for (ci, cell) in cells.iter().enumerate() {
+            let v: f64 = cell.parse().map_err(|_| CsvError::BadNumber {
+                row: ri + 1,
+                col: ci,
+                text: cell.to_string(),
+            })?;
+            if Some(ci) == target_idx {
+                target.push(v);
+            } else {
+                row.push(v);
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let names: Vec<String> = header
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| Some(i) != target_idx)
+        .map(|(_, n)| n.clone())
+        .collect();
+    let t = if target_idx.is_some() { Target::Values(target) } else { Target::None };
+    let ds = Dataset::from_rows(rows, t)
+        .with_feature_names(names)
+        .map_err(CsvError::Dataset)?;
+    Ok(ds)
+}
+
+/// Reads a dataset from a CSV file.
+///
+/// # Errors
+///
+/// See [`CsvError`].
+pub fn read_file<P: AsRef<Path>>(
+    path: P,
+    target_column: Option<&str>,
+) -> Result<Dataset, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_with_target(&text, target_column)
+}
+
+/// Renders a dataset as CSV text (features only, plus a `target` column
+/// when the dataset has continuous values or labels).
+pub fn to_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let mut header: Vec<String> = ds.feature_names().to_vec();
+    let target_kind = match ds.target() {
+        Target::Values(_) => Some("target"),
+        Target::Labels(_) => Some("label"),
+        _ => None,
+    };
+    if let Some(t) = target_kind {
+        header.push(t.to_string());
+    }
+    let _ = writeln!(out, "{}", header.join(","));
+    for i in 0..ds.n_samples() {
+        let mut cells: Vec<String> = ds.sample(i).iter().map(|v| format!("{v}")).collect();
+        match ds.target() {
+            Target::Values(v) => cells.push(format!("{}", v[i])),
+            Target::Labels(l) => cells.push(format!("{}", l[i])),
+            _ => {}
+        }
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Writes a dataset to a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_file<P: AsRef<Path>>(ds: &Dataset, path: P) -> Result<(), CsvError> {
+    std::fs::write(path, to_string(ds))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let ds = parse("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(ds.n_samples(), 2);
+        assert_eq!(ds.feature_names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(ds.sample(1), &[3.0, 4.0]);
+        assert_eq!(ds.target(), &Target::None);
+    }
+
+    #[test]
+    fn parse_with_target_column() {
+        let ds = parse_with_target("x,fmax,y\n1,10,2\n3,20,4\n", Some("fmax")).unwrap();
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.values().unwrap(), &[10.0, 20.0]);
+        assert_eq!(ds.feature_names(), &["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        match parse("a,b\n1,zap\n") {
+            Err(CsvError::BadNumber { row: 1, col: 1, text }) => assert_eq!(text, "zap"),
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+        assert!(matches!(
+            parse("a,b\n1,2,3\n"),
+            Err(CsvError::RaggedRow { row: 1, found: 3, expected: 2 })
+        ));
+        assert!(matches!(parse(""), Err(CsvError::Empty)));
+        assert!(matches!(
+            parse_with_target("a\n1\n", Some("zz")),
+            Err(CsvError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let ds = Dataset::from_rows(
+            vec![vec![1.5, -2.0], vec![0.0, 7.25]],
+            Target::Values(vec![10.0, 20.0]),
+        )
+        .with_feature_names(vec!["u", "v"])
+        .unwrap();
+        let text = to_string(&ds);
+        let back = parse_with_target(&text, Some("target")).unwrap();
+        assert_eq!(back.n_samples(), 2);
+        assert_eq!(back.sample(0), ds.sample(0));
+        assert_eq!(back.values().unwrap(), ds.values().unwrap());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("edm_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.csv");
+        let ds = Dataset::unlabeled(vec![vec![1.0], vec![2.0]]);
+        write_file(&ds, &path).unwrap();
+        let back = read_file(&path, None).unwrap();
+        assert_eq!(back.n_samples(), 2);
+        std::fs::remove_file(path).ok();
+    }
+}

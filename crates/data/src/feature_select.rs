@@ -1,0 +1,229 @@
+//! Feature selection.
+//!
+//! Under extreme imbalance the paper reframes classification as feature
+//! selection (§2.4, references \[17\]\[18\]): with only a handful of
+//! customer returns against millions of passing parts, the usable output
+//! is *which tests matter*, not a decision boundary. The rankers here
+//! feed the customer-return flow in `edm-core` (Fig. 11, which projects
+//! returns into a selected 3-test space).
+
+use crate::Dataset;
+
+/// A scored feature: column index plus ranking score (higher = better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredFeature {
+    /// Column index into the dataset.
+    pub index: usize,
+    /// Ranking score; semantics depend on the ranker.
+    pub score: f64,
+}
+
+fn rank(mut scored: Vec<ScoredFeature>) -> Vec<ScoredFeature> {
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite feature scores")
+            .then(a.index.cmp(&b.index))
+    });
+    scored
+}
+
+/// Ranks features by variance (descending). A cheap first-pass filter:
+/// constant features carry no information.
+pub fn by_variance(ds: &Dataset) -> Vec<ScoredFeature> {
+    let scored = (0..ds.n_features())
+        .map(|j| ScoredFeature { index: j, score: edm_linalg::variance(&ds.x().col(j)) })
+        .collect();
+    rank(scored)
+}
+
+/// Ranks features by `|Pearson correlation|` with a continuous target.
+///
+/// # Panics
+///
+/// Panics if the dataset target is not [`crate::Target::Values`].
+pub fn by_target_correlation(ds: &Dataset) -> Vec<ScoredFeature> {
+    let y = ds.values().expect("correlation ranking requires a continuous target");
+    let scored = (0..ds.n_features())
+        .map(|j| ScoredFeature {
+            index: j,
+            score: edm_linalg::stats::pearson(&ds.x().col(j), y).abs(),
+        })
+        .collect();
+    rank(scored)
+}
+
+/// Ranks features by the Fisher score
+/// `Σ_c n_c (μ_c - μ)² / Σ_c n_c σ_c²` — between-class separation over
+/// within-class spread. The workhorse for imbalanced screening problems.
+///
+/// Features with zero within-class variance but non-zero separation get
+/// `f64::INFINITY` (they separate perfectly); fully constant features get
+/// `0.0`.
+///
+/// # Panics
+///
+/// Panics if the dataset target is not [`crate::Target::Labels`].
+pub fn by_fisher_score(ds: &Dataset) -> Vec<ScoredFeature> {
+    let labels = ds.labels().expect("fisher score requires a labeled dataset");
+    let classes = ds.classes();
+    let scored = (0..ds.n_features())
+        .map(|j| {
+            let col = ds.x().col(j);
+            let overall_mean = edm_linalg::mean(&col);
+            let mut between = 0.0;
+            let mut within = 0.0;
+            for &c in &classes {
+                let vals: Vec<f64> = col
+                    .iter()
+                    .zip(labels)
+                    .filter(|&(_, &l)| l == c)
+                    .map(|(&v, _)| v)
+                    .collect();
+                let n_c = vals.len() as f64;
+                let mu_c = edm_linalg::mean(&vals);
+                between += n_c * (mu_c - overall_mean) * (mu_c - overall_mean);
+                within += n_c * edm_linalg::variance(&vals);
+            }
+            let score = if within < 1e-300 {
+                if between < 1e-300 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                between / within
+            };
+            ScoredFeature { index: j, score }
+        })
+        .collect();
+    rank(scored)
+}
+
+/// Keeps the `k` best-ranked features of `ranking`, returning their
+/// column indices in ranking order (truncated to the feature count).
+pub fn top_k(ranking: &[ScoredFeature], k: usize) -> Vec<usize> {
+    ranking.iter().take(k).map(|s| s.index).collect()
+}
+
+/// Drops near-duplicate features: walks the ranking best-first and
+/// discards any feature whose |correlation| with an already-kept feature
+/// exceeds `max_abs_corr`.
+///
+/// This is the mechanism behind the paper's Fig. 11 usage model: pick a
+/// *small, non-redundant* test subspace in which a return stands out.
+pub fn decorrelate(
+    ds: &Dataset,
+    ranking: &[ScoredFeature],
+    max_abs_corr: f64,
+) -> Vec<usize> {
+    let mut kept: Vec<usize> = Vec::new();
+    let mut kept_cols: Vec<Vec<f64>> = Vec::new();
+    for s in ranking {
+        let col = ds.x().col(s.index);
+        let redundant = kept_cols
+            .iter()
+            .any(|kc| edm_linalg::stats::pearson(kc, &col).abs() > max_abs_corr);
+        if !redundant {
+            kept.push(s.index);
+            kept_cols.push(col);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Target;
+
+    #[test]
+    fn variance_ranking_prefers_spread() {
+        let ds = Dataset::unlabeled(vec![
+            vec![0.0, 5.0, 1.0],
+            vec![0.0, -5.0, 2.0],
+            vec![0.0, 5.0, 3.0],
+            vec![0.0, -5.0, 4.0],
+        ]);
+        let r = by_variance(&ds);
+        assert_eq!(r[0].index, 1);
+        assert_eq!(r[2].index, 0);
+        assert_eq!(r[2].score, 0.0);
+    }
+
+    #[test]
+    fn correlation_ranking_finds_linear_feature() {
+        let ds = Dataset::from_rows(
+            vec![
+                vec![1.0, 0.3],
+                vec![2.0, -0.8],
+                vec![3.0, 0.1],
+                vec![4.0, 0.9],
+            ],
+            Target::Values(vec![2.0, 4.0, 6.0, 8.0]),
+        );
+        let r = by_target_correlation(&ds);
+        assert_eq!(r[0].index, 0);
+        assert!((r[0].score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fisher_score_separable_beats_noise() {
+        // Feature 0 separates classes perfectly; feature 1 is identical noise.
+        let ds = Dataset::from_rows(
+            vec![
+                vec![0.0, 1.0],
+                vec![0.1, 2.0],
+                vec![5.0, 1.0],
+                vec![5.1, 2.0],
+            ],
+            Target::Labels(vec![0, 0, 1, 1]),
+        );
+        let r = by_fisher_score(&ds);
+        assert_eq!(r[0].index, 0);
+        assert!(r[0].score > r[1].score);
+    }
+
+    #[test]
+    fn fisher_score_degenerate_cases() {
+        // Constant feature → 0; zero-within-variance separator → ∞.
+        let ds = Dataset::from_rows(
+            vec![vec![7.0, 0.0], vec![7.0, 0.0], vec![7.0, 1.0], vec![7.0, 1.0]],
+            Target::Labels(vec![0, 0, 1, 1]),
+        );
+        let r = by_fisher_score(&ds);
+        assert_eq!(r[0].index, 1);
+        assert!(r[0].score.is_infinite());
+        assert_eq!(r[1].score, 0.0);
+    }
+
+    #[test]
+    fn decorrelate_drops_duplicates() {
+        // f1 = 2*f0 (perfectly correlated); f2 independent.
+        let ds = Dataset::from_rows(
+            vec![
+                vec![1.0, 2.0, 5.0],
+                vec![2.0, 4.0, -3.0],
+                vec![3.0, 6.0, 4.0],
+                vec![4.0, 8.0, -1.0],
+            ],
+            Target::Values(vec![1.0, 2.0, 3.0, 4.0]),
+        );
+        let ranking = by_target_correlation(&ds);
+        let kept = decorrelate(&ds, &ranking, 0.95);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&2));
+        // exactly one of the correlated pair survives
+        assert!(kept.contains(&0) ^ kept.contains(&1));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let ranking = vec![
+            ScoredFeature { index: 2, score: 3.0 },
+            ScoredFeature { index: 0, score: 1.0 },
+        ];
+        assert_eq!(top_k(&ranking, 1), vec![2]);
+        assert_eq!(top_k(&ranking, 10), vec![2, 0]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # edm-data — datasets, preprocessing, and evaluation metrics
+//!
+//! Implements the "dataset seen by a learning algorithm" of the paper's
+//! Figure 1: a sample matrix `X` with an optional target that may be a
+//! class label vector, a continuous `y`, or a full matrix `Y`
+//! (multivariate regression / CCA-style setups).
+//!
+//! On top of the dataset type this crate provides the supporting cast a
+//! practical mining methodology needs (paper §2.4):
+//!
+//! * train/test and k-fold splitting ([`split`])
+//! * feature scaling ([`scale`])
+//! * imbalanced-data rebalancing, including SMOTE ([`rebalance`]) —
+//!   the paper's reference \[15\]
+//! * feature selection for extreme imbalance ([`feature_select`]) —
+//!   the paper's references \[17\]\[18\]
+//! * classification / regression / ranking metrics ([`metrics`])
+//! * cross-validation and grid search ([`model_select`]) — the paper's
+//!   "choosing the best model for the given data" made mechanical
+//! * flat-file import/export ([`csv`]) for the numeric logs EDA tools emit
+//!
+//! # Example
+//!
+//! ```
+//! use edm_data::{Dataset, Target};
+//!
+//! let ds = Dataset::from_rows(
+//!     vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+//!     Target::Labels(vec![0, 1]),
+//! );
+//! assert_eq!(ds.n_samples(), 2);
+//! assert_eq!(ds.n_features(), 2);
+//! assert_eq!(ds.labels().unwrap(), &[0, 1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+mod dataset;
+pub mod feature_select;
+pub mod model_select;
+pub mod metrics;
+pub mod rebalance;
+pub mod scale;
+pub mod split;
+
+pub use dataset::{Dataset, DatasetError, Target};
+pub use scale::{MinMaxScaler, StandardScaler};
+pub use split::{train_test_split, KFold, StratifiedSplit, TrainTest};

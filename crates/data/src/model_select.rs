@@ -1,0 +1,237 @@
+//! Model selection: cross-validated scoring and grid search.
+//!
+//! The paper frames practical learning as "choosing the best model for
+//! the given data" (§1, citing \[1\]); these helpers are the mechanical
+//! part of that choice. They are deliberately generic — a model is
+//! anything you can fit on index-selected training data and score on
+//! held-out data — so every learner in the workspace plugs in without
+//! adapter types.
+
+use rand::Rng;
+
+use crate::split::KFold;
+use crate::{Dataset, Target};
+
+/// Mean and standard deviation of per-fold scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvScore {
+    /// Mean fold score.
+    pub mean: f64,
+    /// Unbiased standard deviation across folds (0 for a single fold).
+    pub std: f64,
+    /// Number of folds evaluated.
+    pub folds: usize,
+}
+
+/// K-fold cross-validation of an arbitrary fit/score pair.
+///
+/// `fit_score(train, test)` fits on the training partition and returns a
+/// score on the held-out partition ("higher = better" by convention;
+/// negate a loss if needed). Folds that fail to fit may return `None`
+/// and are skipped (e.g. a fold missing one class).
+///
+/// # Panics
+///
+/// Panics if every fold returns `None`.
+///
+/// # Example
+///
+/// ```
+/// use edm_data::model_select::cross_validate;
+/// use edm_data::{Dataset, Target};
+/// use rand::SeedableRng;
+///
+/// let ds = Dataset::from_rows(
+///     (0..40).map(|i| vec![i as f64]).collect(),
+///     Target::Values((0..40).map(|i| 2.0 * i as f64).collect()),
+/// );
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let score = cross_validate(&ds, 5, &mut rng, |train, test| {
+///     // "model": predict the training mean; score: negative MSE
+///     let mean = edm_linalg::mean(train.values().unwrap());
+///     let mse = test
+///         .values()
+///         .unwrap()
+///         .iter()
+///         .map(|&y| (y - mean) * (y - mean))
+///         .sum::<f64>()
+///         / test.n_samples() as f64;
+///     Some(-mse)
+/// });
+/// assert_eq!(score.folds, 5);
+/// ```
+pub fn cross_validate<R, F>(ds: &Dataset, k: usize, rng: &mut R, mut fit_score: F) -> CvScore
+where
+    R: Rng + ?Sized,
+    F: FnMut(&Dataset, &Dataset) -> Option<f64>,
+{
+    let folds = KFold::new(k).split(ds, rng);
+    let scores: Vec<f64> = folds
+        .iter()
+        .filter_map(|f| fit_score(&f.train, &f.test))
+        .collect();
+    assert!(!scores.is_empty(), "every cross-validation fold failed to fit");
+    CvScore {
+        mean: edm_linalg::mean(&scores),
+        std: edm_linalg::variance(&scores).sqrt(),
+        folds: scores.len(),
+    }
+}
+
+/// Exhaustive grid search: evaluates `fit_score` under cross-validation
+/// for every candidate and returns `(best candidate, its score)` by
+/// highest mean.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or every fold of every candidate
+/// fails.
+///
+/// # Example
+///
+/// ```
+/// use edm_data::model_select::grid_search;
+/// use edm_data::{Dataset, Target};
+/// use rand::SeedableRng;
+///
+/// // Pick the ridge λ with the best CV score on noisy linear data.
+/// let ds = Dataset::from_rows(
+///     (0..30).map(|i| vec![i as f64 * 0.1]).collect(),
+///     Target::Values((0..30).map(|i| 0.5 * i as f64 * 0.1 + 1.0).collect()),
+/// );
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let (best, score) = grid_search(&ds, &[1e-6, 1.0, 1e6], 5, &mut rng, |&lam, tr, te| {
+///     let m = edm_learn::linreg::Ridge::fit(&tr.rows(), tr.values().unwrap(), lam).ok()?;
+///     let err: f64 = te
+///         .rows()
+///         .iter()
+///         .zip(te.values().unwrap())
+///         .map(|(x, &y)| (m.predict(x) - y).powi(2))
+///         .sum();
+///     Some(-err)
+/// });
+/// assert!(*best < 1e6, "huge λ should lose, got {best} (score {})", score.mean);
+/// ```
+pub fn grid_search<'c, C, R, F>(
+    ds: &Dataset,
+    candidates: &'c [C],
+    k: usize,
+    rng: &mut R,
+    mut fit_score: F,
+) -> (&'c C, CvScore)
+where
+    R: Rng + ?Sized,
+    F: FnMut(&C, &Dataset, &Dataset) -> Option<f64>,
+{
+    assert!(!candidates.is_empty(), "grid search needs at least one candidate");
+    let mut best: Option<(&C, CvScore)> = None;
+    for cand in candidates {
+        let score = cross_validate(ds, k, rng, |train, test| fit_score(cand, train, test));
+        if best
+            .as_ref()
+            .is_none_or(|(_, s)| score.mean > s.mean)
+        {
+            best = Some((cand, score));
+        }
+    }
+    best.expect("non-empty candidates")
+}
+
+/// Builds a labeled dataset view for classification grid search from raw
+/// parts (a common need when the data starts as `Vec<Vec<f64>>`).
+///
+/// # Panics
+///
+/// Panics on ragged rows or length mismatch.
+pub fn labeled_dataset(x: Vec<Vec<f64>>, y: Vec<i32>) -> Dataset {
+    Dataset::from_rows(x, Target::Labels(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_ds(n: usize) -> Dataset {
+        Dataset::from_rows(
+            (0..n).map(|i| vec![i as f64 * 0.2]).collect(),
+            Target::Values((0..n).map(|i| 3.0 * i as f64 * 0.2 - 1.0).collect()),
+        )
+    }
+
+    #[test]
+    fn cv_scores_a_good_model_above_a_bad_one() {
+        let ds = linear_ds(40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fit = |train: &Dataset, test: &Dataset| -> Option<f64> {
+            let m = edm_learn::linreg::LeastSquares::fit(&train.rows(), train.values()?).ok()?;
+            let err: f64 = test
+                .rows()
+                .iter()
+                .zip(test.values()?)
+                .map(|(x, &y)| (m.predict(x) - y).powi(2))
+                .sum();
+            Some(-err)
+        };
+        let good = cross_validate(&ds, 5, &mut rng, fit);
+        let constant = cross_validate(&ds, 5, &mut rng, |train, test| {
+            let mean = edm_linalg::mean(train.values().unwrap());
+            let err: f64 = test.values().unwrap().iter().map(|&y| (y - mean).powi(2)).sum();
+            Some(-err)
+        });
+        assert!(good.mean > constant.mean);
+        assert_eq!(good.folds, 5);
+    }
+
+    #[test]
+    fn grid_search_picks_matching_bandwidth() {
+        use edm_kernels::RbfKernel;
+        use edm_svm::{SvrParams, SvrTrainer};
+        // Smooth function: a sane γ should beat an absurd one.
+        let ds = Dataset::from_rows(
+            (0..40).map(|i| vec![i as f64 * 0.2]).collect(),
+            Target::Values((0..40).map(|i| (i as f64 * 0.2).sin()).collect()),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let gammas = [0.5, 5000.0];
+        let (best, _) = grid_search(&ds, &gammas, 4, &mut rng, |&g, train, test| {
+            let m = SvrTrainer::new(SvrParams::default().with_c(10.0).with_epsilon(0.01))
+                .kernel(RbfKernel::new(g))
+                .fit(&train.rows(), train.values()?)
+                .ok()?;
+            let err: f64 = test
+                .rows()
+                .iter()
+                .zip(test.values()?)
+                .map(|(x, &y)| (m.predict(x) - y).powi(2))
+                .sum();
+            Some(-err)
+        });
+        assert_eq!(*best, 0.5);
+    }
+
+    #[test]
+    fn failing_folds_are_skipped() {
+        let ds = linear_ds(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut calls = 0;
+        let score = cross_validate(&ds, 4, &mut rng, |_, _| {
+            calls += 1;
+            if calls == 1 {
+                None
+            } else {
+                Some(1.0)
+            }
+        });
+        assert_eq!(score.folds, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "every cross-validation fold failed")]
+    fn all_folds_failing_panics() {
+        let ds = linear_ds(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = cross_validate(&ds, 2, &mut rng, |_, _| None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Rebalancing for imbalanced classification datasets.
+//!
+//! Implements the techniques of the paper's reference \[15\] (Batista,
+//! *A Study of the Behavior of Several Methods for Balancing Machine
+//! Learning Training Data*): random oversampling, random undersampling,
+//! and SMOTE synthetic-minority oversampling.
+//!
+//! The paper's caveat (§2.4) applies: when the imbalance is extreme
+//! (customer returns vs. millions of passing parts) rebalancing does not
+//! help — use [`crate::feature_select`] + novelty formulations instead.
+//! [`Dataset::imbalance_ratio`] lets callers make that routing decision.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Dataset, Target};
+
+/// Randomly duplicates minority-class samples until every class has as
+/// many samples as the largest class.
+///
+/// # Panics
+///
+/// Panics if the dataset is not labeled or has no samples.
+pub fn oversample<R: Rng + ?Sized>(ds: &Dataset, rng: &mut R) -> Dataset {
+    let labels = ds.labels().expect("oversample requires a labeled dataset");
+    assert!(!labels.is_empty(), "cannot rebalance an empty dataset");
+    let max = ds.class_counts().iter().map(|&(_, c)| c).max().unwrap_or(0);
+    let mut idx: Vec<usize> = (0..labels.len()).collect();
+    for (class, count) in ds.class_counts() {
+        let members: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        for _ in count..max {
+            idx.push(*members.choose(rng).expect("non-empty class"));
+        }
+    }
+    ds.select(&idx)
+}
+
+/// Randomly drops majority-class samples until every class has as few
+/// samples as the smallest class.
+///
+/// # Panics
+///
+/// Panics if the dataset is not labeled or has no samples.
+pub fn undersample<R: Rng + ?Sized>(ds: &Dataset, rng: &mut R) -> Dataset {
+    let labels = ds.labels().expect("undersample requires a labeled dataset");
+    assert!(!labels.is_empty(), "cannot rebalance an empty dataset");
+    let min = ds.class_counts().iter().map(|&(_, c)| c).min().unwrap_or(0);
+    let mut idx = Vec::new();
+    for (class, _) in ds.class_counts() {
+        let mut members: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        members.shuffle(rng);
+        idx.extend_from_slice(&members[..min]);
+    }
+    idx.sort_unstable();
+    ds.select(&idx)
+}
+
+/// SMOTE: synthesizes minority samples by interpolating between a
+/// minority sample and one of its `k` nearest minority neighbors, until
+/// every class reaches the majority count.
+///
+/// Classes with a single sample fall back to duplication (no neighbor to
+/// interpolate toward).
+///
+/// # Panics
+///
+/// Panics if the dataset is not labeled, has no samples, or `k == 0`.
+pub fn smote<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Dataset {
+    assert!(k > 0, "smote needs k >= 1");
+    let labels = ds.labels().expect("smote requires a labeled dataset");
+    assert!(!labels.is_empty(), "cannot rebalance an empty dataset");
+    let max = ds.class_counts().iter().map(|&(_, c)| c).max().unwrap_or(0);
+
+    let mut rows = ds.rows();
+    let mut out_labels = labels.to_vec();
+    for (class, count) in ds.class_counts() {
+        if count == max {
+            continue;
+        }
+        let members: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        // Pre-compute each member's k nearest same-class neighbors.
+        let neighbors: Vec<Vec<usize>> = members
+            .iter()
+            .map(|&i| {
+                let mut others: Vec<(f64, usize)> = members
+                    .iter()
+                    .filter(|&&j| j != i)
+                    .map(|&j| (edm_linalg::sq_dist(ds.sample(i), ds.sample(j)), j))
+                    .collect();
+                others.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distance"));
+                others.into_iter().take(k).map(|(_, j)| j).collect()
+            })
+            .collect();
+        for _ in count..max {
+            let pick = rng.gen_range(0..members.len());
+            let base = members[pick];
+            let synthetic = if neighbors[pick].is_empty() {
+                ds.sample(base).to_vec()
+            } else {
+                let nb = *neighbors[pick].choose(rng).expect("non-empty neighbor list");
+                let gap: f64 = rng.gen();
+                ds.sample(base)
+                    .iter()
+                    .zip(ds.sample(nb))
+                    .map(|(&a, &b)| a + gap * (b - a))
+                    .collect()
+            };
+            rows.push(synthetic);
+            out_labels.push(class);
+        }
+    }
+    Dataset::from_rows(rows, Target::Labels(out_labels))
+        .with_feature_names(ds.feature_names().to_vec())
+        .expect("name count preserved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn imbalanced() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..12 {
+            rows.push(vec![i as f64, 0.0]);
+            labels.push(0);
+        }
+        for i in 0..3 {
+            rows.push(vec![100.0 + i as f64, 1.0]);
+            labels.push(1);
+        }
+        Dataset::from_rows(rows, Target::Labels(labels))
+    }
+
+    #[test]
+    fn oversample_equalizes_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = oversample(&imbalanced(), &mut rng);
+        assert_eq!(b.class_counts(), vec![(0, 12), (1, 12)]);
+        assert!((b.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undersample_equalizes_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = undersample(&imbalanced(), &mut rng);
+        assert_eq!(b.class_counts(), vec![(0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn smote_synthesizes_within_minority_hull() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = smote(&imbalanced(), 2, &mut rng);
+        assert_eq!(b.class_counts(), vec![(0, 12), (1, 12)]);
+        // All synthesized minority samples interpolate between minority
+        // points: first feature stays within [100, 102], second is 1.0.
+        let labels = b.labels().unwrap();
+        for i in 0..b.n_samples() {
+            if labels[i] == 1 {
+                let s = b.sample(i);
+                assert!((100.0..=102.0).contains(&s[0]), "escaped hull: {}", s[0]);
+                assert_eq!(s[1], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn smote_single_sample_class_duplicates() {
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![9.0]],
+            Target::Labels(vec![0, 0, 0, 1]),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = smote(&ds, 3, &mut rng);
+        assert_eq!(b.class_counts(), vec![(0, 3), (1, 3)]);
+        let labels = b.labels().unwrap();
+        for i in 0..b.n_samples() {
+            if labels[i] == 1 {
+                assert_eq!(b.sample(i), &[9.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn oversample_preserves_original_samples() {
+        let ds = imbalanced();
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = oversample(&ds, &mut rng);
+        // The first n rows are the originals in order.
+        for i in 0..ds.n_samples() {
+            assert_eq!(b.sample(i), ds.sample(i));
+        }
+    }
+}

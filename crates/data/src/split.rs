@@ -1,0 +1,242 @@
+//! Train/test and cross-validation splitting.
+//!
+//! All splits are seeded and deterministic: reproducibility is a hard
+//! requirement for the experiment harnesses in `edm-bench`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::Dataset;
+
+/// A train/test pair produced by a split.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Training partition.
+    pub train: Dataset,
+    /// Held-out partition.
+    pub test: Dataset,
+}
+
+/// Shuffles and splits a dataset, putting `test_fraction` of the samples
+/// in the test partition (at least one sample in each partition when
+/// `n >= 2`).
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is not within `(0, 1)` or the dataset has
+/// fewer than two samples.
+pub fn train_test_split<R: Rng + ?Sized>(
+    ds: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> TrainTest {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0,1), got {test_fraction}"
+    );
+    let n = ds.n_samples();
+    assert!(n >= 2, "need at least two samples to split, got {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    TrainTest { train: ds.select(train_idx), test: ds.select(test_idx) }
+}
+
+/// K-fold cross-validation splitter.
+///
+/// # Example
+///
+/// ```
+/// use edm_data::{Dataset, KFold, Target};
+/// use rand::SeedableRng;
+///
+/// let ds = Dataset::from_rows(
+///     (0..10).map(|i| vec![i as f64]).collect(),
+///     Target::Values((0..10).map(|i| i as f64).collect()),
+/// );
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let folds = KFold::new(5).split(&ds, &mut rng);
+/// assert_eq!(folds.len(), 5);
+/// for f in &folds {
+///     assert_eq!(f.test.n_samples(), 2);
+///     assert_eq!(f.train.n_samples(), 8);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KFold {
+    k: usize,
+}
+
+impl KFold {
+    /// Creates a splitter with `k` folds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "k-fold needs k >= 2, got {k}");
+        KFold { k }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Produces the `k` train/test pairs. Every sample appears in exactly
+    /// one test partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer samples than folds.
+    pub fn split<R: Rng + ?Sized>(&self, ds: &Dataset, rng: &mut R) -> Vec<TrainTest> {
+        let n = ds.n_samples();
+        assert!(n >= self.k, "cannot make {} folds from {n} samples", self.k);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(rng);
+        let mut folds = Vec::with_capacity(self.k);
+        for f in 0..self.k {
+            // Fold boundaries spread the remainder across the first folds.
+            let start = f * n / self.k;
+            let end = (f + 1) * n / self.k;
+            let test_idx = &idx[start..end];
+            let train_idx: Vec<usize> =
+                idx[..start].iter().chain(&idx[end..]).copied().collect();
+            folds.push(TrainTest { train: ds.select(&train_idx), test: ds.select(test_idx) });
+        }
+        folds
+    }
+}
+
+/// A label-stratified train/test splitter: each class contributes the
+/// same fraction to the test partition (up to rounding), so rare classes
+/// are not lost — important under the imbalance regimes of paper §2.4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StratifiedSplit {
+    test_fraction: f64,
+}
+
+impl StratifiedSplit {
+    /// Creates a splitter that holds out `test_fraction` of every class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is not within `(0, 1)`.
+    pub fn new(test_fraction: f64) -> Self {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1), got {test_fraction}"
+        );
+        StratifiedSplit { test_fraction }
+    }
+
+    /// Splits, preserving class proportions. Classes with a single sample
+    /// go entirely to the training partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset target is not [`crate::Target::Labels`].
+    pub fn split<R: Rng + ?Sized>(&self, ds: &Dataset, rng: &mut R) -> TrainTest {
+        let labels = ds.labels().expect("stratified split requires a labeled dataset");
+        let classes = ds.classes();
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for c in classes {
+            let mut members: Vec<usize> =
+                (0..labels.len()).filter(|&i| labels[i] == c).collect();
+            members.shuffle(rng);
+            if members.len() < 2 {
+                train_idx.extend(members);
+                continue;
+            }
+            let n_test =
+                ((members.len() as f64 * self.test_fraction).round() as usize)
+                    .clamp(1, members.len() - 1);
+            test_idx.extend_from_slice(&members[..n_test]);
+            train_idx.extend_from_slice(&members[n_test..]);
+        }
+        TrainTest { train: ds.select(&train_idx), test: ds.select(&test_idx) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Target;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled(n0: usize, n1: usize) -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n0 {
+            rows.push(vec![i as f64]);
+            labels.push(0);
+        }
+        for i in 0..n1 {
+            rows.push(vec![100.0 + i as f64]);
+            labels.push(1);
+        }
+        Dataset::from_rows(rows, Target::Labels(labels))
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = labeled(8, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tt = train_test_split(&ds, 0.3, &mut rng);
+        assert_eq!(tt.train.n_samples() + tt.test.n_samples(), 10);
+        assert_eq!(tt.test.n_samples(), 3);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = labeled(20, 5);
+        let a = train_test_split(&ds, 0.2, &mut StdRng::seed_from_u64(9));
+        let b = train_test_split(&ds, 0.2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.test.x(), b.test.x());
+    }
+
+    #[test]
+    fn kfold_covers_each_sample_once() {
+        let ds = labeled(7, 6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let folds = KFold::new(4).split(&ds, &mut rng);
+        let total_test: usize = folds.iter().map(|f| f.test.n_samples()).sum();
+        assert_eq!(total_test, 13);
+        for f in &folds {
+            assert_eq!(f.train.n_samples() + f.test.n_samples(), 13);
+        }
+    }
+
+    #[test]
+    fn stratified_keeps_minority_in_both_sides() {
+        let ds = labeled(90, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tt = StratifiedSplit::new(0.2).split(&ds, &mut rng);
+        let count = |d: &Dataset, c: i32| {
+            d.labels().unwrap().iter().filter(|&&l| l == c).count()
+        };
+        assert_eq!(count(&tt.test, 1), 2);
+        assert_eq!(count(&tt.train, 1), 8);
+        assert_eq!(count(&tt.test, 0), 18);
+    }
+
+    #[test]
+    fn stratified_single_sample_class_stays_in_train() {
+        let ds = labeled(5, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tt = StratifiedSplit::new(0.5).split(&ds, &mut rng);
+        assert!(tt.train.labels().unwrap().contains(&1));
+        assert!(!tt.test.labels().unwrap().contains(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn invalid_fraction_rejected() {
+        let ds = labeled(4, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = train_test_split(&ds, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,192 @@
+//! Gram-matrix construction and feature-space utilities.
+//!
+//! The Gram matrix `Kᵢⱼ = k(xᵢ, xⱼ)` is the only view of the data a
+//! kernel learner sees (paper Fig. 4). These helpers build it for any
+//! sample type, center it in feature space (needed by kernel PCA-style
+//! analyses), and empirically check positive semidefiniteness of custom
+//! kernels.
+
+use std::borrow::Borrow;
+
+use edm_linalg::Matrix;
+
+use crate::Kernel;
+
+/// Builds the symmetric Gram matrix `Kᵢⱼ = k(items[i], items[j])`.
+///
+/// `items` may hold any owned form of the kernel's sample type (e.g.
+/// `Vec<f64>` for a `Kernel<[f64]>`). Only the upper triangle is
+/// evaluated; symmetry is filled in, so a slightly asymmetric (buggy)
+/// kernel is symmetrized rather than propagated.
+pub fn gram_matrix<S, K, I>(kernel: &K, items: &[I]) -> Matrix
+where
+    S: ?Sized,
+    K: Kernel<S> + ?Sized,
+    I: Borrow<S>,
+{
+    let n = items.len();
+    let mut g = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = kernel.eval(items[i].borrow(), items[j].borrow());
+            g[(i, j)] = v;
+            g[(j, i)] = v;
+        }
+    }
+    g
+}
+
+/// Evaluates one row of kernel values `k(x, items[i])` — what a trained
+/// kernel model needs to score a new sample.
+pub fn gram_row<S, K, I>(kernel: &K, x: &S, items: &[I]) -> Vec<f64>
+where
+    S: ?Sized,
+    K: Kernel<S> + ?Sized,
+    I: Borrow<S>,
+{
+    items.iter().map(|item| kernel.eval(x, item.borrow())).collect()
+}
+
+/// Centers a Gram matrix in feature space:
+/// `K' = K − 1ₙK − K1ₙ + 1ₙK1ₙ` where `1ₙ` is the constant `1/n` matrix.
+///
+/// After centering, the implicit feature vectors have zero mean, which is
+/// the precondition for kernel PCA and for interpreting kernel values as
+/// covariances.
+///
+/// # Panics
+///
+/// Panics if `gram` is not square.
+pub fn center_gram(gram: &Matrix) -> Matrix {
+    assert!(gram.is_square(), "gram matrix must be square");
+    let n = gram.rows();
+    if n == 0 {
+        return gram.clone();
+    }
+    let nf = n as f64;
+    // Row means, column means, grand mean.
+    let row_means: Vec<f64> = (0..n)
+        .map(|i| gram.row(i).iter().sum::<f64>() / nf)
+        .collect();
+    let grand = row_means.iter().sum::<f64>() / nf;
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = gram[(i, j)] - row_means[i] - row_means[j] + grand;
+        }
+    }
+    out
+}
+
+/// Empirically checks positive semidefiniteness: all eigenvalues of the
+/// symmetrized matrix are `>= -tol * max(|λ|)`.
+///
+/// Intended for validating hand-written kernels in tests; it is O(n³).
+///
+/// # Panics
+///
+/// Panics if `gram` is not square.
+pub fn is_psd(gram: &Matrix, tol: f64) -> bool {
+    assert!(gram.is_square(), "gram matrix must be square");
+    if gram.rows() == 0 {
+        return true;
+    }
+    // Symmetrize to guard against roundoff before the eigen solve.
+    let sym = {
+        let t = gram.transpose();
+        (gram + &t).scaled(0.5)
+    };
+    match sym.symmetric_eigen() {
+        Ok(e) => {
+            let max_abs = e
+                .eigenvalues()
+                .iter()
+                .fold(0.0_f64, |m, &v| m.max(v.abs()))
+                .max(1e-300);
+            e.eigenvalues().iter().all(|&v| v >= -tol * max_abs)
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramIntersectionKernel, LinearKernel, RbfKernel, SpectrumKernel};
+
+    fn cloud() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.1],
+            vec![1.0, -0.5],
+            vec![0.3, 2.0],
+            vec![-1.0, 1.0],
+            vec![0.7, 0.7],
+        ]
+    }
+
+    #[test]
+    fn gram_is_symmetric_with_unit_diagonal_for_rbf() {
+        let g = gram_matrix(&RbfKernel::new(0.5), &cloud());
+        assert!(g.is_symmetric(0.0));
+        for i in 0..g.rows() {
+            assert_eq!(g[(i, i)], 1.0);
+        }
+    }
+
+    #[test]
+    fn standard_kernels_are_psd() {
+        let items = cloud();
+        assert!(is_psd(&gram_matrix(&LinearKernel::new(), &items), 1e-9));
+        assert!(is_psd(&gram_matrix(&RbfKernel::new(1.3), &items), 1e-9));
+        // HI kernel on non-negative inputs
+        let hists = vec![
+            vec![1.0, 2.0, 0.0],
+            vec![0.5, 0.5, 3.0],
+            vec![2.0, 0.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        assert!(is_psd(&gram_matrix(&HistogramIntersectionKernel::new(), &hists), 1e-9));
+    }
+
+    #[test]
+    fn spectrum_gram_over_programs_is_psd() {
+        let programs: Vec<Vec<u8>> = vec![
+            vec![1, 2, 3, 4],
+            vec![2, 3, 4, 1],
+            vec![1, 1, 1, 1],
+            vec![4, 3, 2, 1],
+        ];
+        let g = gram_matrix(&SpectrumKernel::new(3), &programs);
+        assert!(is_psd(&g, 1e-9));
+    }
+
+    #[test]
+    fn non_psd_matrix_detected() {
+        // [[0,1],[1,0]] has eigenvalues ±1.
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(!is_psd(&m, 1e-9));
+    }
+
+    #[test]
+    fn centering_zeroes_row_sums() {
+        let g = gram_matrix(&LinearKernel::new(), &cloud());
+        let c = center_gram(&g);
+        for i in 0..c.rows() {
+            let rs: f64 = c.row(i).iter().sum();
+            assert!(rs.abs() < 1e-10, "row {i} sum {rs}");
+        }
+        // centering preserves PSD
+        assert!(is_psd(&c, 1e-9));
+    }
+
+    #[test]
+    fn gram_row_matches_matrix_row() {
+        let items = cloud();
+        let k = RbfKernel::new(0.8);
+        let g = gram_matrix(&k, &items);
+        let row = gram_row(&k, &items[2], &items);
+        for (a, b) in row.iter().zip(g.row(2)) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors from learner training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LearnError {
+    /// The training inputs were inconsistent or empty.
+    InvalidInput(String),
+    /// A hyperparameter was out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// An internal linear-algebra step failed (e.g. a singular normal
+    /// matrix in least squares, a non-PSD kernel matrix in GP training).
+    Numeric(String),
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::InvalidInput(msg) => write!(f, "invalid training input: {msg}"),
+            LearnError::InvalidParameter { name, value, constraint } => {
+                write!(f, "parameter {name} = {value} {constraint}")
+            }
+            LearnError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+impl From<edm_linalg::LinalgError> for LearnError {
+    fn from(e: edm_linalg::LinalgError) -> Self {
+        LearnError::Numeric(e.to_string())
+    }
+}
+
+pub(crate) fn check_xy(x: &[Vec<f64>], n_targets: usize) -> Result<usize, LearnError> {
+    if x.is_empty() {
+        return Err(LearnError::InvalidInput("empty training set".into()));
+    }
+    if x.len() != n_targets {
+        return Err(LearnError::InvalidInput(format!(
+            "{} samples but {} targets",
+            x.len(),
+            n_targets
+        )));
+    }
+    let d = x[0].len();
+    if x.iter().any(|r| r.len() != d) {
+        return Err(LearnError::InvalidInput("ragged sample rows".into()));
+    }
+    if d == 0 {
+        return Err(LearnError::InvalidInput("samples have zero features".into()));
+    }
+    Ok(d)
+}

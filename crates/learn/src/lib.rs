@@ -1,0 +1,46 @@
+//! # edm-learn — the paper's §2 catalogue of learning algorithms
+//!
+//! One module per algorithm family the paper surveys, each illustrating
+//! one of the four "basic ideas" of §2.1:
+//!
+//! | Basic idea | Modules |
+//! |---|---|
+//! | Nearest neighbor | [`knn`] |
+//! | Model estimation | [`linreg`], [`logistic`], [`tree`], [`forest`], [`mlp`], [`rules`] |
+//! | Density estimation | [`discriminant`] (Eq. 1), [`nbayes`] |
+//! | Bayesian inference | [`nbayes`], [`gp`] |
+//!
+//! The five regression families compared by the paper's Fmax-prediction
+//! reference \[20\] are all here or in `edm-svm`: nearest neighbor
+//! ([`knn::KnnRegressor`]), least-squares fit ([`linreg::LeastSquares`]),
+//! regularized LSF ([`linreg::Ridge`]), SVR (`edm_svm::SvrTrainer`), and
+//! Gaussian processes ([`gp::GpRegressor`]).
+//!
+//! [`semi`] covers the semi-supervised case of the paper's Fig. 1
+//! (few labels, many unlabeled samples) via self-training.
+//!
+//! Rule learning ([`rules`]) is the knowledge-discovery backbone of the
+//! paper's applications: CN2-SD subgroup discovery drives the
+//! test-template refinement of Table 1 and the timing-path diagnosis of
+//! Fig. 10; Apriori covers the unsupervised association-rule mining the
+//! paper cites as \[26\].
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod discriminant;
+mod error;
+pub mod forest;
+pub mod gp;
+pub mod knn;
+pub mod linreg;
+pub mod logistic;
+pub mod mlp;
+pub mod nbayes;
+pub mod rules;
+pub mod semi;
+pub mod tree;
+
+pub use error::LearnError;

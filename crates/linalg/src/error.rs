@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced by decompositions and solvers in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// The matrix was not square where a square matrix was required.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Pivot index at which a non-positive diagonal was encountered.
+        pivot: usize,
+    },
+    /// LU factorization hit a (numerically) singular pivot.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+    },
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, but a square matrix is required")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} sweeps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

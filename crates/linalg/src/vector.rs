@@ -1,0 +1,145 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! These are deliberately plain functions rather than a wrapper type:
+//! every crate in the workspace stores samples as `Vec<f64>` rows, and the
+//! learners want to call straight into the arithmetic.
+
+/// Dot product `⟨a, b⟩`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sum of elements.
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        sum(a) / a.len() as f64
+    }
+}
+
+/// Unbiased sample variance (divides by `n - 1`); `0.0` when `n < 2`.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (a.len() - 1) as f64
+}
+
+/// Euclidean norm `‖a‖₂`.
+pub fn l2_norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Manhattan norm `‖a‖₁`.
+pub fn l1_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Max norm `‖a‖∞`.
+pub fn linf_norm(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector subtraction length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scales a vector by `s`.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Returns `a / ‖a‖₂`, or a copy of `a` when its norm is (near) zero.
+pub fn normalize(a: &[f64]) -> Vec<f64> {
+    let n = l2_norm(a);
+    if n < 1e-300 {
+        a.to_vec()
+    } else {
+        scale(a, 1.0 / n)
+    }
+}
+
+/// Squared Euclidean distance `‖a - b‖₂²`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l1_norm(&[3.0, -4.0]), 7.0);
+        assert_eq!(linf_norm(&[3.0, -4.0]), 4.0);
+    }
+
+    #[test]
+    fn mean_variance_basics() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), 5.0);
+        assert!((variance(&v) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_has_unit_norm() {
+        let n = normalize(&[3.0, 4.0]);
+        assert!((l2_norm(&n) - 1.0).abs() < 1e-15);
+        // zero vector passes through unchanged
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sq_dist_matches_norm_of_difference() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.0, -2.0, 5.0];
+        let d = sub(&a, &b);
+        assert!((sq_dist(&a, &b) - dot(&d, &d)).abs() < 1e-12);
+    }
+}

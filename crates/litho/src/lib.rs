@@ -1,0 +1,47 @@
+//! # edm-litho — a lithography-simulation substrate
+//!
+//! A synthetic stand-in for the golden lithography simulator of the
+//! paper's Fig. 8 setup (ref \[13\]): Manhattan layout clips
+//! ([`layout`]), a rasterizer ([`raster`]), a Gaussian-optics aerial-image
+//! model ([`optics`]), and a process-window variability analysis
+//! ([`variability`]) that labels clips *good* or *bad* the way the
+//! paper's flow used lithography simulation as the golden reference.
+//!
+//! The ML side of Fig. 9 then learns a fast predictor: density-histogram
+//! features ([`features`]) under the histogram-intersection kernel, so a
+//! trained SVM screens layouts orders of magnitude faster than the
+//! process-window simulation it imitates.
+//!
+//! Physics note: the real simulator is a Hopkins partially-coherent
+//! imaging model; we use an incoherent Gaussian point-spread
+//! approximation with dose/defocus corners. That preserves what the
+//! experiment needs — variability is a smooth optics-driven function of
+//! local pattern geometry with dense/iso interaction and corner
+//! sensitivity — at a cost of absolute accuracy nobody measures here.
+//!
+//! # Example
+//!
+//! ```
+//! use edm_litho::layout::{ClipStyle, LayoutGenerator};
+//! use edm_litho::variability::{VariabilityAnalyzer, VariabilityLabel};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let clip = LayoutGenerator::default().generate(ClipStyle::LinesAndSpaces, &mut rng);
+//! let analyzer = VariabilityAnalyzer::default();
+//! let report = analyzer.analyze(&clip);
+//! assert!(report.score >= 0.0);
+//! assert!(matches!(report.label, VariabilityLabel::Good | VariabilityLabel::Bad));
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod geometry;
+pub mod layout;
+pub mod optics;
+pub mod raster;
+pub mod variability;

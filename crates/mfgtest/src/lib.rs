@@ -1,0 +1,49 @@
+//! # edm-mfgtest — a manufacturing parametric-test substrate
+//!
+//! A synthetic production test floor standing in for the automotive
+//! product data of the paper's Fig. 11 (refs \[16\]\[32\]) and the
+//! test-cost-reduction case of Fig. 12 (ref \[33\]):
+//!
+//! * [`product`] — a factor-model generator of correlated parametric
+//!   test measurements per device, with lots, process drift, sister
+//!   products, a **latent-defect mechanism** (in-spec but
+//!   off-distribution devices that later fail in the field), and an
+//!   optional **rare tail mechanism** that only appears in later
+//!   production (the Fig. 12 trap);
+//! * [`testflow`] — spec limits, pass/fail evaluation, per-test fail
+//!   accounting;
+//! * [`returns`] — the field: which shipped devices come back;
+//! * [`wafer`] — die-grid wafer maps with spatial failure signatures
+//!   (edge rings, center spots, scratches), the structure behind the
+//!   paper's inter-wafer pattern-mining reference \[32\].
+//!
+//! The generative assumptions mirror what the paper's screening
+//! methodology relies on: customer returns are *multivariate outliers
+//! that pass every single-test limit*, the mechanism is stable over time
+//! and across sister products (Fig. 11), and no amount of data from
+//! phase-1 production reveals a mechanism that has not yet occurred
+//! (Fig. 12).
+//!
+//! # Example
+//!
+//! ```
+//! use edm_mfgtest::product::ProductModel;
+//! use edm_mfgtest::testflow::TestFlow;
+//! use rand::SeedableRng;
+//!
+//! let product = ProductModel::automotive();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let lot = product.generate_lot(0, 500, &mut rng);
+//! let flow = TestFlow::new(product.spec_limits().to_vec());
+//! let shipped: Vec<_> = lot.iter().filter(|d| flow.passes(d)).collect();
+//! assert!(shipped.len() > 400, "most devices pass production test");
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod product;
+pub mod returns;
+pub mod testflow;
+pub mod wafer;

@@ -1,0 +1,63 @@
+//! # edm-svm — support vector machines over arbitrary kernels
+//!
+//! The SVM family is the paper's workhorse (§2.3): a learned model of the
+//! form
+//!
+//! ```text
+//! M(x) = Σᵢ αᵢ k(x, xᵢ) + b          (paper Eq. 2)
+//! ```
+//!
+//! with model complexity `C = Σᵢ αᵢ` controlled by regularization. This
+//! crate provides the three members the paper's applications use:
+//!
+//! * [`SvcTrainer`] — binary C-SVC classification (layout good/bad,
+//!   Fig. 9);
+//! * [`SvrTrainer`] — ε-insensitive regression (one of the five Fmax
+//!   regressor families of paper ref \[20\]);
+//! * [`OneClassSvm`] — Schölkopf ν one-class novelty detection (novel
+//!   test selection Fig. 7, customer returns Fig. 11).
+//!
+//! All three are solved by one sequential-minimal-optimization core
+//! ([`solver`]) over the dual problem, in the LIBSVM formulation with
+//! maximal-violating-pair working-set selection.
+//!
+//! Following the paper's Figure 4, the solvers touch training data only
+//! through a Gram matrix: every trainer has a `fit_gram` entry point that
+//! takes a precomputed kernel matrix, which is how non-vector samples
+//! (assembly programs, layout clips) are trained on; the vector `fit`
+//! entry points are convenience wrappers that build the Gram from a
+//! [`Kernel<[f64]>`](edm_kernels::Kernel).
+//!
+//! # Example
+//!
+//! ```
+//! use edm_kernels::RbfKernel;
+//! use edm_svm::{SvcParams, SvcTrainer};
+//!
+//! let x = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.2], vec![0.9, 1.0], vec![1.0, 0.8],
+//! ];
+//! let y = vec![-1.0, -1.0, 1.0, 1.0];
+//! let model = SvcTrainer::new(SvcParams::default())
+//!     .kernel(RbfKernel::new(1.0))
+//!     .fit(&x, &y)?;
+//! assert_eq!(model.predict(&[0.05, 0.1]), -1.0);
+//! assert_eq!(model.predict(&[0.95, 0.9]), 1.0);
+//! # Ok::<(), edm_svm::SvmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+mod error;
+mod one_class;
+pub mod solver;
+mod svc;
+mod svr;
+
+pub use error::SvmError;
+pub use one_class::{solve_one_class, OneClassModel, OneClassParams, OneClassSvm};
+pub use svc::{solve_svc, SvcModel, SvcParams, SvcTrainer};
+pub use svr::{SvrModel, SvrParams, SvrTrainer};

@@ -1,0 +1,307 @@
+//! The shared SMO core.
+//!
+//! Solves the generic dual problem all three SVM variants reduce to
+//! (LIBSVM's formulation):
+//!
+//! ```text
+//! min_α  ½ αᵀQα + pᵀα
+//! s.t.   yᵀα = Δ (implied by the feasible starting point),
+//!        0 ≤ αᵢ ≤ Cᵢ
+//! ```
+//!
+//! with `y ∈ {−1, +1}ⁿ`, using maximal-violating-pair working-set
+//! selection and analytic two-variable updates. `Q` is supplied as a
+//! closure `q(i, j)` so the three variants can express their sign
+//! structure (`Q = yᵢyⱼKᵢⱼ` for SVC, the 2m×2m block form for SVR, plain
+//! `K` for one-class) over a single materialized Gram matrix.
+//!
+//! This module is public so that custom kernel learners (e.g. the
+//! incremental novelty filter in `edm-core`) can reuse the optimizer, but
+//! most users should go through the trainers in the crate root.
+
+use crate::SvmError;
+
+/// Tolerance floor for the quadratic coefficient of a two-variable
+/// subproblem (guards indefinite kernels).
+const TAU: f64 = 1e-12;
+
+/// Input to [`solve`].
+pub struct DualProblem<'a> {
+    /// `Q(i, j)` entry evaluator (must be symmetric).
+    pub q: &'a dyn Fn(usize, usize) -> f64,
+    /// Precomputed diagonal `Q(i, i)`.
+    pub q_diag: Vec<f64>,
+    /// Linear term `p`.
+    pub p: Vec<f64>,
+    /// Variable signs `y ∈ {−1, +1}`.
+    pub y: Vec<f64>,
+    /// Per-variable upper bounds `C`.
+    pub c: Vec<f64>,
+    /// Feasible starting point (determines the equality-constraint level).
+    pub alpha0: Vec<f64>,
+    /// KKT stopping tolerance (LIBSVM default is `1e-3`).
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+/// Output of [`solve`].
+#[derive(Debug, Clone)]
+pub struct DualSolution {
+    /// Optimal multipliers.
+    pub alpha: Vec<f64>,
+    /// Offset `ρ`; decision functions are `Σ coefᵢ k(xᵢ, ·) − ρ`.
+    pub rho: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final KKT violation gap.
+    pub gap: f64,
+}
+
+/// Runs SMO to convergence.
+///
+/// # Errors
+///
+/// [`SvmError::NoConvergence`] if the iteration cap is reached with the
+/// KKT gap still above `tol`; [`SvmError::InvalidInput`] on inconsistent
+/// dimensions.
+pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
+    let n = problem.p.len();
+    if problem.y.len() != n
+        || problem.c.len() != n
+        || problem.alpha0.len() != n
+        || problem.q_diag.len() != n
+    {
+        return Err(SvmError::InvalidInput(format!(
+            "dual problem arrays disagree on n = {n}"
+        )));
+    }
+    let mut alpha = problem.alpha0.clone();
+    let q = problem.q;
+    let y = &problem.y;
+    let c = &problem.c;
+
+    // G = Qα + p. O(n²) initialization, but only nonzero α contribute.
+    let mut g = problem.p.clone();
+    for (j, &aj) in alpha.iter().enumerate() {
+        if aj != 0.0 {
+            for (t, gt) in g.iter_mut().enumerate() {
+                *gt += q(t, j) * aj;
+            }
+        }
+    }
+
+    let mut iterations = 0;
+    let mut gap = f64::INFINITY;
+    while iterations < problem.max_iter {
+        // Working-set selection: maximal violating pair.
+        // i maximizes -y_t G_t over I_up; j minimizes it over I_low.
+        let mut i: Option<usize> = None;
+        let mut g_max = f64::NEG_INFINITY;
+        let mut j: Option<usize> = None;
+        let mut g_min = f64::INFINITY;
+        for t in 0..n {
+            let v = -y[t] * g[t];
+            let in_up = (y[t] > 0.0 && alpha[t] < c[t]) || (y[t] < 0.0 && alpha[t] > 0.0);
+            let in_low = (y[t] < 0.0 && alpha[t] < c[t]) || (y[t] > 0.0 && alpha[t] > 0.0);
+            if in_up && v > g_max {
+                g_max = v;
+                i = Some(t);
+            }
+            if in_low && v < g_min {
+                g_min = v;
+                j = Some(t);
+            }
+        }
+        gap = g_max - g_min;
+        if gap < problem.tol || i.is_none() || j.is_none() {
+            gap = gap.max(0.0);
+            break;
+        }
+        let (i, j) = (i.expect("checked"), j.expect("checked"));
+        iterations += 1;
+
+        let old_ai = alpha[i];
+        let old_aj = alpha[j];
+        let qij = q(i, j);
+        if (y[i] - y[j]).abs() > 0.5 {
+            // y_i != y_j
+            let mut quad = problem.q_diag[i] + problem.q_diag[j] + 2.0 * qij;
+            if quad <= 0.0 {
+                quad = TAU;
+            }
+            let delta = (-g[i] - g[j]) / quad;
+            let diff = alpha[i] - alpha[j];
+            alpha[i] += delta;
+            alpha[j] += delta;
+            if diff > 0.0 {
+                if alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = diff;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = -diff;
+            }
+            if diff > c[i] - c[j] {
+                if alpha[i] > c[i] {
+                    alpha[i] = c[i];
+                    alpha[j] = c[i] - diff;
+                }
+            } else if alpha[j] > c[j] {
+                alpha[j] = c[j];
+                alpha[i] = c[j] + diff;
+            }
+        } else {
+            // y_i == y_j
+            let mut quad = problem.q_diag[i] + problem.q_diag[j] - 2.0 * qij;
+            if quad <= 0.0 {
+                quad = TAU;
+            }
+            let delta = (g[i] - g[j]) / quad;
+            let sum = alpha[i] + alpha[j];
+            alpha[i] -= delta;
+            alpha[j] += delta;
+            if sum > c[i] {
+                if alpha[i] > c[i] {
+                    alpha[i] = c[i];
+                    alpha[j] = sum - c[i];
+                }
+            } else if alpha[j] < 0.0 {
+                alpha[j] = 0.0;
+                alpha[i] = sum;
+            }
+            if sum > c[j] {
+                if alpha[j] > c[j] {
+                    alpha[j] = c[j];
+                    alpha[i] = sum - c[j];
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = sum;
+            }
+        }
+
+        // Gradient update for the two changed variables.
+        let dai = alpha[i] - old_ai;
+        let daj = alpha[j] - old_aj;
+        if dai != 0.0 || daj != 0.0 {
+            for (t, gt) in g.iter_mut().enumerate() {
+                *gt += q(t, i) * dai + q(t, j) * daj;
+            }
+        }
+    }
+
+    if gap >= problem.tol && iterations >= problem.max_iter {
+        return Err(SvmError::NoConvergence { iterations, gap });
+    }
+
+    // rho: average y_t G_t over free variables; else midpoint of bounds.
+    let mut ub = f64::INFINITY;
+    let mut lb = f64::NEG_INFINITY;
+    let mut sum_free = 0.0;
+    let mut n_free = 0usize;
+    for t in 0..n {
+        let yg = y[t] * g[t];
+        if alpha[t] >= c[t] - 1e-12 {
+            if y[t] < 0.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else if alpha[t] <= 1e-12 {
+            if y[t] > 0.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else {
+            n_free += 1;
+            sum_free += yg;
+        }
+    }
+    let rho = if n_free > 0 { sum_free / n_free as f64 } else { (ub + lb) / 2.0 };
+
+    Ok(DualSolution { alpha, rho, iterations, gap })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal hand-check: two points, labels ±1, linear kernel in 1-D at
+    /// x = ±1. The SVC dual is max 2α − α²·... with α_1 = α_2 = α by
+    /// symmetry; K = [[1,-1],[-1,1]], Q = [[1,1],[1,1]]·... Solve and
+    /// check the solution classifies both points correctly via
+    /// f(x) = Σ y α k(x, xi) − ρ.
+    #[test]
+    fn two_point_svc_dual() {
+        let x = [-1.0, 1.0];
+        let y = vec![-1.0, 1.0];
+        let k = |i: usize, j: usize| x[i] * x[j];
+        let q = move |i: usize, j: usize| y_of(i) * y_of(j) * k(i, j);
+        fn y_of(i: usize) -> f64 {
+            if i == 0 {
+                -1.0
+            } else {
+                1.0
+            }
+        }
+        let problem = DualProblem {
+            q: &q,
+            q_diag: vec![1.0, 1.0],
+            p: vec![-1.0, -1.0],
+            y: y.clone(),
+            c: vec![10.0, 10.0],
+            alpha0: vec![0.0, 0.0],
+            tol: 1e-6,
+            max_iter: 1000,
+        };
+        let sol = solve(&problem).unwrap();
+        // Analytic optimum: α = 0.5 for both, ρ = 0 (margin hyperplane x = 0).
+        assert!((sol.alpha[0] - 0.5).abs() < 1e-6);
+        assert!((sol.alpha[1] - 0.5).abs() < 1e-6);
+        assert!(sol.rho.abs() < 1e-6);
+        // decision at x = 2: Σ y α k = (-1)(.5)(-2) + (1)(.5)(2) = 2 > 0
+        let f = |xq: f64| -> f64 {
+            (0..2).map(|i| y_of(i) * sol.alpha[i] * (x[i] * xq)).sum::<f64>() - sol.rho
+        };
+        assert!(f(2.0) > 0.0);
+        assert!(f(-2.0) < 0.0);
+    }
+
+    #[test]
+    fn inconsistent_dimensions_rejected() {
+        let q = |_: usize, _: usize| 0.0;
+        let problem = DualProblem {
+            q: &q,
+            q_diag: vec![1.0],
+            p: vec![-1.0, -1.0],
+            y: vec![1.0, -1.0],
+            c: vec![1.0, 1.0],
+            alpha0: vec![0.0, 0.0],
+            tol: 1e-3,
+            max_iter: 10,
+        };
+        assert!(matches!(solve(&problem), Err(SvmError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn iteration_cap_reported() {
+        // A 4-point problem with a 1-iteration budget cannot converge.
+        let x = [-2.0, -1.0, 1.0, 2.0];
+        let ys = [-1.0, -1.0, 1.0, 1.0];
+        let q = move |i: usize, j: usize| ys[i] * ys[j] * (x[i] * x[j] + 1.0);
+        let problem = DualProblem {
+            q: &q,
+            q_diag: (0..4).map(|i| q(i, i)).collect(),
+            p: vec![-1.0; 4],
+            y: ys.to_vec(),
+            c: vec![1.0; 4],
+            alpha0: vec![0.0; 4],
+            tol: 1e-9,
+            max_iter: 1,
+        };
+        assert!(matches!(solve(&problem), Err(SvmError::NoConvergence { iterations: 1, .. })));
+    }
+}

@@ -1,0 +1,381 @@
+use edm_kernels::{gram_matrix, Kernel, RbfKernel};
+use edm_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::solver::{solve, DualProblem};
+use crate::SvmError;
+
+/// Hyperparameters for C-SVC training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvcParams {
+    /// Box constraint `C` — the regularization knob trading training
+    /// error against model complexity (the paper's `E + λC` objective;
+    /// large `C` ≈ small λ).
+    pub c: f64,
+    /// KKT stopping tolerance.
+    pub tol: f64,
+    /// SMO iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for SvcParams {
+    fn default() -> Self {
+        SvcParams { c: 1.0, tol: 1e-3, max_iter: 100_000 }
+    }
+}
+
+impl SvcParams {
+    /// Sets the box constraint `C`.
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    fn validate(&self) -> Result<(), SvmError> {
+        if !(self.c > 0.0) {
+            return Err(SvmError::InvalidParameter {
+                name: "c",
+                value: self.c,
+                constraint: "must be positive",
+            });
+        }
+        if !(self.tol > 0.0) {
+            return Err(SvmError::InvalidParameter {
+                name: "tol",
+                value: self.tol,
+                constraint: "must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Binary C-SVC trainer, generic over the kernel.
+///
+/// Labels are `+1.0` / `−1.0`. See the [crate root](crate) for an
+/// end-to-end example.
+#[derive(Debug, Clone)]
+pub struct SvcTrainer<K = RbfKernel> {
+    params: SvcParams,
+    kernel: K,
+}
+
+impl SvcTrainer<RbfKernel> {
+    /// Creates a trainer with the default RBF kernel (γ = 1).
+    pub fn new(params: SvcParams) -> Self {
+        SvcTrainer { params, kernel: RbfKernel::new(1.0) }
+    }
+}
+
+impl<K> SvcTrainer<K> {
+    /// Replaces the kernel (builder-style).
+    pub fn kernel<K2: Kernel<[f64]>>(self, kernel: K2) -> SvcTrainer<K2> {
+        SvcTrainer { params: self.params, kernel }
+    }
+
+    /// The training hyperparameters.
+    pub fn params(&self) -> &SvcParams {
+        &self.params
+    }
+}
+
+impl<K: Kernel<[f64]> + Clone> SvcTrainer<K> {
+    /// Trains on vector samples with labels in `{−1, +1}`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SvmError::InvalidInput`] — empty data, ragged rows, length
+    ///   mismatch, or labels outside `{−1, +1}`.
+    /// * [`SvmError::SingleClass`] — all labels identical.
+    /// * [`SvmError::NoConvergence`] — SMO iteration cap reached.
+    pub fn fit(&self, x: &[Vec<f64>], y: &[f64]) -> Result<SvcModel<K>, SvmError> {
+        self.params.validate()?;
+        validate_labels(x, y)?;
+        let gram = gram_matrix(&self.kernel, x);
+        let (alpha, rho, iterations) = solve_svc(&gram, y, &self.params)?;
+        // Keep only support vectors.
+        let mut support = Vec::new();
+        let mut coef = Vec::new();
+        let mut complexity = 0.0;
+        for (i, &a) in alpha.iter().enumerate() {
+            if a > 1e-12 {
+                support.push(x[i].clone());
+                coef.push(y[i] * a);
+                complexity += a;
+            }
+        }
+        Ok(SvcModel { kernel: self.kernel.clone(), support, coef, rho, complexity, iterations })
+    }
+}
+
+/// Solves the C-SVC dual over a precomputed Gram matrix; returns
+/// `(alpha, rho, iterations)`.
+///
+/// This is the paper-Fig.-4 entry point: samples never appear, only
+/// their pairwise kernel values. Callers score new samples as
+/// `Σᵢ yᵢ αᵢ k(x, xᵢ) − ρ`.
+///
+/// # Errors
+///
+/// As for [`SvcTrainer::fit`].
+pub fn solve_svc(
+    gram: &Matrix,
+    y: &[f64],
+    params: &SvcParams,
+) -> Result<(Vec<f64>, f64, usize), SvmError> {
+    params.validate()?;
+    let n = y.len();
+    if gram.rows() != n || gram.cols() != n {
+        return Err(SvmError::InvalidInput(format!(
+            "gram is {}x{}, expected {n}x{n}",
+            gram.rows(),
+            gram.cols()
+        )));
+    }
+    if n == 0 {
+        return Err(SvmError::InvalidInput("empty training set".into()));
+    }
+    if !(y.contains(&1.0) && y.contains(&-1.0)) {
+        return Err(SvmError::SingleClass);
+    }
+    let q = |i: usize, j: usize| y[i] * y[j] * gram[(i, j)];
+    let problem = DualProblem {
+        q: &q,
+        q_diag: (0..n).map(|i| gram[(i, i)]).collect(),
+        p: vec![-1.0; n],
+        y: y.to_vec(),
+        c: vec![params.c; n],
+        alpha0: vec![0.0; n],
+        tol: params.tol,
+        max_iter: params.max_iter,
+    };
+    let sol = solve(&problem)?;
+    Ok((sol.alpha, sol.rho, sol.iterations))
+}
+
+/// A trained C-SVC model: `M(x) = Σᵢ yᵢαᵢ k(x, xᵢ) − ρ` (paper Eq. 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvcModel<K> {
+    kernel: K,
+    support: Vec<Vec<f64>>,
+    /// `yᵢ αᵢ` per support vector.
+    coef: Vec<f64>,
+    rho: f64,
+    complexity: f64,
+    iterations: usize,
+}
+
+impl<K: Kernel<[f64]>> SvcModel<K> {
+    /// The signed decision value `M(x)`; positive means class `+1`.
+    pub fn decision_function(&self, x: &[f64]) -> f64 {
+        let s: f64 = self
+            .support
+            .iter()
+            .zip(&self.coef)
+            .map(|(sv, &c)| c * self.kernel.eval(x, sv))
+            .sum();
+        s - self.rho
+    }
+
+    /// Predicted label: `+1.0` or `−1.0` (ties break positive).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision_function(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Predicts a batch of samples.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+impl<K> SvcModel<K> {
+    /// Number of support vectors retained.
+    pub fn n_support(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The support vectors.
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support
+    }
+
+    /// The model complexity `Σᵢ αᵢ` — the measure the paper's §2.3 uses
+    /// to explain regularization and overfitting (Fig. 5).
+    pub fn complexity(&self) -> f64 {
+        self.complexity
+    }
+
+    /// The offset `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// SMO iterations used in training.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+pub(crate) fn validate_labels(x: &[Vec<f64>], y: &[f64]) -> Result<(), SvmError> {
+    if x.is_empty() {
+        return Err(SvmError::InvalidInput("empty training set".into()));
+    }
+    if x.len() != y.len() {
+        return Err(SvmError::InvalidInput(format!(
+            "{} samples but {} labels",
+            x.len(),
+            y.len()
+        )));
+    }
+    let d = x[0].len();
+    if x.iter().any(|r| r.len() != d) {
+        return Err(SvmError::InvalidInput("ragged sample rows".into()));
+    }
+    if y.iter().any(|&l| l != 1.0 && l != -1.0) {
+        return Err(SvmError::InvalidInput("labels must be +1.0 or -1.0".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_kernels::{LinearKernel, PolyKernel};
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let t = i as f64 * 0.1;
+            x.push(vec![t, t + 0.1]);
+            y.push(-1.0);
+            x.push(vec![t + 3.0, t + 3.1]);
+            y.push(1.0);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn linearly_separable_blobs_classified() {
+        let (x, y) = blobs();
+        let m = SvcTrainer::new(SvcParams::default())
+            .kernel(LinearKernel::new())
+            .fit(&x, &y)
+            .unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(m.predict(xi), yi);
+        }
+        // well away from the boundary
+        assert_eq!(m.predict(&[-1.0, -1.0]), -1.0);
+        assert_eq!(m.predict(&[5.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn xor_needs_nonlinear_kernel() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ];
+        let y = vec![-1.0, -1.0, 1.0, 1.0];
+        // RBF separates XOR perfectly.
+        let rbf = SvcTrainer::new(SvcParams::default().with_c(100.0))
+            .kernel(RbfKernel::new(2.0))
+            .fit(&x, &y)
+            .unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(rbf.predict(xi), yi, "rbf failed at {xi:?}");
+        }
+        // Linear cannot: at least one training point is misclassified.
+        let lin = SvcTrainer::new(SvcParams::default().with_c(100.0))
+            .kernel(LinearKernel::new())
+            .fit(&x, &y)
+            .unwrap();
+        let errors = x.iter().zip(&y).filter(|(xi, &yi)| lin.predict(xi) != yi).count();
+        assert!(errors > 0, "linear model cannot shatter XOR");
+    }
+
+    #[test]
+    fn figure3_ring_vs_disc_poly2() {
+        // Inner disc (class -1) vs outer ring (class +1): not linearly
+        // separable in input space, separable under <x,x'>^2 (Fig. 3).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..16 {
+            let a = i as f64 * std::f64::consts::TAU / 16.0;
+            x.push(vec![0.5 * a.cos(), 0.5 * a.sin()]);
+            y.push(-1.0);
+            x.push(vec![2.0 * a.cos(), 2.0 * a.sin()]);
+            y.push(1.0);
+        }
+        let m = SvcTrainer::new(SvcParams::default().with_c(10.0))
+            .kernel(PolyKernel::homogeneous(2))
+            .fit(&x, &y)
+            .unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(m.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    fn complexity_grows_with_c() {
+        // Overlapping classes: a looser box (larger C) buys a more complex
+        // model (larger Σα) — the regularization story of Fig. 5.
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 10) as f64 * 0.2 + if i < 10 { 0.0 } else { 0.9 }])
+            .collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { -1.0 } else { 1.0 }).collect();
+        let small = SvcTrainer::new(SvcParams::default().with_c(0.01))
+            .kernel(RbfKernel::new(1.0))
+            .fit(&x, &y)
+            .unwrap();
+        let large = SvcTrainer::new(SvcParams::default().with_c(10.0))
+            .kernel(RbfKernel::new(1.0))
+            .fit(&x, &y)
+            .unwrap();
+        assert!(large.complexity() > small.complexity());
+    }
+
+    #[test]
+    fn input_validation() {
+        let t = SvcTrainer::new(SvcParams::default());
+        assert!(matches!(t.fit(&[], &[]), Err(SvmError::InvalidInput(_))));
+        assert!(matches!(
+            t.fit(&[vec![0.0]], &[2.0]),
+            Err(SvmError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            t.fit(&[vec![0.0], vec![1.0]], &[1.0, 1.0]),
+            Err(SvmError::SingleClass)
+        ));
+        let bad = SvcTrainer::new(SvcParams { c: -1.0, ..SvcParams::default() });
+        assert!(matches!(
+            bad.fit(&[vec![0.0], vec![1.0]], &[1.0, -1.0]),
+            Err(SvmError::InvalidParameter { name: "c", .. })
+        ));
+    }
+
+    #[test]
+    fn gram_path_matches_vector_path() {
+        let (x, y) = blobs();
+        let k = RbfKernel::new(0.5);
+        let params = SvcParams::default();
+        let model = SvcTrainer::new(params).kernel(k).fit(&x, &y).unwrap();
+        let gram = gram_matrix(&k, &x);
+        let (alpha, rho, _) = solve_svc(&gram, &y, &params).unwrap();
+        // Decision values agree on a probe point.
+        let probe = vec![1.5, 1.5];
+        let from_gram: f64 = x
+            .iter()
+            .zip(y.iter().zip(&alpha))
+            .map(|(xi, (&yi, &ai))| yi * ai * k.eval(&probe, xi))
+            .sum::<f64>()
+            - rho;
+        assert!((model.decision_function(&probe) - from_gram).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! # edm-timing — a design-silicon timing-correlation substrate
+//!
+//! A synthetic stand-in for the DSTC environment of the paper's Fig. 10
+//! (refs \[29\]\[31\]): a small standard-cell [`library`], randomly
+//! generated timing [`path`]s with per-layer wires and stacked vias, a
+//! signoff [`sta`] timer, and a [`silicon`] delay model into which
+//! *systematic effects* can be injected — e.g. the resistive
+//! layer-4-5/5-6 vias that turned out to be the paper's confirmed root
+//! cause.
+//!
+//! The DSTC flow in `edm-core` then does what the paper's methodology
+//! did: cluster paths in (predicted, measured) space, and rule-learn on
+//! named path features to explain the slow cluster — with the injected
+//! effect serving as recoverable ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use edm_timing::path::PathGenerator;
+//! use edm_timing::silicon::{SiliconModel, SystematicEffect};
+//! use edm_timing::sta::Timer;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let path = PathGenerator::default().generate(&mut rng);
+//! let predicted = Timer::default().path_delay(&path);
+//! let silicon = SiliconModel::default()
+//!     .with_effect(SystematicEffect::ViaResistance { lower_layer: 4, extra_ps: 6.0 });
+//! let measured = silicon.measure(&path, &mut rng);
+//! assert!(predicted > 0.0 && measured > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod library;
+pub mod path;
+pub mod silicon;
+pub mod sta;

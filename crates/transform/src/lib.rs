@@ -1,0 +1,71 @@
+//! # edm-transform — PCA, whitening, and FastICA
+//!
+//! The data-transformation methods of the paper's §2.4: principal
+//! component analysis (ref \[22\]) extracts *uncorrelated* components for
+//! dimensionality reduction; independent component analysis (ref \[23\])
+//! goes further and extracts *statistically independent* components.
+//! Both "have found applications in test data analysis" (refs
+//! \[24\]\[25\]: multivariate outlier detection on principal components,
+//! IDDQ defect screening on independent components) — exactly the roles
+//! they play in `edm-novelty` and the customer-return flow.
+//!
+//! The two-block methods the paper names for matrix targets are here
+//! too: [`Pls`] (partial least squares, "regression between two
+//! matrices") and [`Cca`] (canonical correlation analysis), plus
+//! [`KernelPca`] bridging the kernel trick of §2.2 with PCA.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+mod crosscov;
+mod ica;
+mod kpca;
+mod pca;
+
+pub use crosscov::{Cca, Pls};
+pub use ica::{FastIca, IcaParams};
+pub use kpca::KernelPca;
+pub use pca::{Pca, Whitener};
+
+use std::fmt;
+
+/// Errors from fitting transforms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TransformError {
+    /// The input was empty, ragged, or had too few samples.
+    InvalidInput(String),
+    /// A parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// The underlying eigen/Cholesky step failed.
+    Numeric(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::InvalidInput(m) => write!(f, "invalid transform input: {m}"),
+            TransformError::InvalidParameter { name, value, constraint } => {
+                write!(f, "parameter {name} = {value} {constraint}")
+            }
+            TransformError::Numeric(m) => write!(f, "numeric failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<edm_linalg::LinalgError> for TransformError {
+    fn from(e: edm_linalg::LinalgError) -> Self {
+        TransformError::Numeric(e.to_string())
+    }
+}

@@ -1,0 +1,61 @@
+//! Scenario: quality engineering for an automotive product. Build an
+//! outlier screen from the customer returns seen so far, then apply it
+//! to incoming production as a "do not ship" flag (the paper's Fig. 11
+//! usage model, including the negative lesson of Fig. 12 about
+//! guaranteed results).
+//!
+//! Run with `cargo run --release --example burn_in_screening`.
+
+use edm::core::returns::{self, ReturnScreeningConfig};
+use edm::core::testcost::{self, TestCostConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Build and validate the return screen.
+    let config = ReturnScreeningConfig {
+        lot_size: 4_000,
+        n_lots: 8,
+        defect_rate: 1e-3,
+        ..Default::default()
+    };
+    let result = returns::run(&config, &mut rng)?;
+    println!(
+        "screen built on {} returns in tests {:?}",
+        result.n_baseline_returns, result.screen.selected_names
+    );
+    println!(
+        "catches {}/{} later returns, {}/{} sister-product returns, {:.2}% overkill",
+        result.later_caught,
+        result.later_total,
+        result.sister_caught,
+        result.sister_total,
+        100.0 * result.overkill_rate
+    );
+
+    // The cautionary tale: what NOT to promise from mined data.
+    let cost = testcost::run(
+        &TestCostConfig {
+            phase1_chips: 50_000,
+            phase2_chips: 50_000,
+            tail_rate: 2e-4,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    println!(
+        "\ntest-drop analysis: {} correlated {:.3}/{:.3} with its covers, {} unique catches",
+        cost.analysis.test_name,
+        cost.analysis.correlations[0].1,
+        cost.analysis.correlations[1].1,
+        cost.analysis.unique_catches,
+    );
+    println!(
+        "dropping it anyway produced {} field escapes in the next {} chips — \
+         the paper's point: don't mine guarantees from data that can't contain them",
+        cost.escapes, cost.phase2_chips
+    );
+    Ok(())
+}

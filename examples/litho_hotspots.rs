@@ -1,0 +1,45 @@
+//! Scenario: train the fast layout-variability predictor against the
+//! golden lithography simulation, then use it to screen a batch of new
+//! layout clips at a tiny fraction of the simulation cost (the paper's
+//! Fig. 8/9 usage model).
+//!
+//! Run with `cargo run --release --example litho_hotspots`.
+
+use edm::core::variability::{self, VariabilityConfig};
+use edm::litho::layout::{ClipStyle, LayoutGenerator};
+use edm::litho::variability::{VariabilityAnalyzer, VariabilityLabel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generator = LayoutGenerator::default();
+    let analyzer = VariabilityAnalyzer::default();
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Train against the golden simulator.
+    let config = VariabilityConfig { n_train: 150, n_test: 60, ..Default::default() };
+    let (result, predictor) = variability::run(&generator, &analyzer, &config, &mut rng)?;
+    println!(
+        "trained on {} clips: accuracy {:.0}%, hotspot recall {:.0}%, {:.0}x faster than sim",
+        config.n_train,
+        100.0 * result.svc.accuracy,
+        100.0 * result.svc.bad_recall,
+        result.speedup()
+    );
+
+    // Screen a fresh batch, style by style.
+    println!("\nscreening new clips (model vs golden):");
+    for style in ClipStyle::ALL {
+        let clip = generator.generate(style, &mut rng);
+        let fast = predictor.predict_bad(&clip);
+        let golden = analyzer.analyze(&clip).label == VariabilityLabel::Bad;
+        println!(
+            "  {:?}: model says {}, golden says {} {}",
+            style,
+            if fast { "HOTSPOT" } else { "ok     " },
+            if golden { "HOTSPOT" } else { "ok" },
+            if fast == golden { "(agree)" } else { "(DISAGREE)" }
+        );
+    }
+    Ok(())
+}

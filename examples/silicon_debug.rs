@@ -1,0 +1,53 @@
+//! Scenario: silicon debug after first silicon comes back slower than
+//! signoff predicted on some paths. Cluster the correlation data, learn
+//! rules over path structure, and compare against the injected ground
+//! truth (the paper's Fig. 10 flow).
+//!
+//! Run with `cargo run --release --example silicon_debug`.
+
+use edm::core::dstc::{self, DstcConfig};
+use edm::timing::path::PathGenerator;
+use edm::timing::silicon::{SiliconModel, SystematicEffect};
+use edm::timing::sta::Timer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground truth the diagnosis must rediscover: M5 vias are resistive.
+    let silicon = SiliconModel::default()
+        .with_effect(SystematicEffect::ViaResistance { lower_layer: 4, extra_ps: 6.0 })
+        .with_effect(SystematicEffect::ViaResistance { lower_layer: 5, extra_ps: 6.0 });
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let config = DstcConfig { n_paths: 500, ..Default::default() };
+    let result = dstc::run(
+        &PathGenerator::default(),
+        &Timer::default(),
+        &silicon,
+        &config,
+        &mut rng,
+    )?;
+
+    let slow = result.points.iter().filter(|p| p.cluster == 1).count();
+    println!(
+        "{} paths: {} slow-cluster (mismatch {:+.1} ps) vs {} fast (mismatch {:+.1} ps)",
+        result.points.len(),
+        slow,
+        result.slow_cluster_mismatch,
+        result.points.len() - slow,
+        result.fast_cluster_mismatch,
+    );
+    println!("\ndiagnosis:");
+    for r in &result.rules {
+        println!("  {r}");
+    }
+    println!(
+        "\nroot cause recovered: {}",
+        if result.implicates("via45") || result.implicates("via56") {
+            "YES — the rules point at the layer-4-5/5-6 vias"
+        } else {
+            "no — investigate further"
+        }
+    );
+    Ok(())
+}

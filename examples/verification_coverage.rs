@@ -1,0 +1,65 @@
+//! Scenario: a verification engineer wires the novelty filter between
+//! the constrained-random generator and the LSU simulator, then uses
+//! rule learning to understand what the hard-to-hit coverage points
+//! need (the paper's Fig. 6 insertion points, at small scale).
+//!
+//! Run with `cargo run --release --example verification_coverage`.
+
+use edm::core::noveltest::NoveltyFilter;
+use edm::core::template_refine::{self, RefinementConfig};
+use edm::verif::coverage::CoveragePoint;
+use edm::verif::lsu::LsuSimulator;
+use edm::verif::template::TestTemplate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let template = TestTemplate::default();
+    let simulator = LsuSimulator::default_config();
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // Insertion point 1: filter the randomizer's stream before paying
+    // for simulation.
+    let mut filter = NoveltyFilter::weighted(3, 2.0, 0.2, 8);
+    let mut simulated = 0usize;
+    let mut skipped = 0usize;
+    let mut coverage = edm::verif::coverage::CoverageMap::new();
+    for _ in 0..400 {
+        let test = template.generate(&mut rng);
+        let tokens = test.tokens();
+        if filter.n_accepted() >= 12 && filter.decision(&tokens) >= 0.0 {
+            skipped += 1; // looks like something we already simulated
+            continue;
+        }
+        filter.accept(tokens)?;
+        coverage.merge(&simulator.simulate(&test).coverage);
+        simulated += 1;
+    }
+    println!("novelty filter: simulated {simulated}, skipped {skipped}");
+    println!("coverage after filtering: {coverage}");
+
+    // Insertion point 2: learn rules from covering tests and refine the
+    // template (one short Table-1-style pass).
+    let config = RefinementConfig {
+        tests_per_stage: vec![150, 60],
+        ..Default::default()
+    };
+    let stages = template_refine::run(&simulator, &config, &mut rng)?;
+    for s in &stages {
+        let covered: Vec<String> = CoveragePoint::ALL
+            .iter()
+            .filter(|p| s.counts[p.index()] > 0)
+            .map(|p| p.short_name())
+            .collect();
+        println!(
+            "{:<14} {:>4} tests -> covered {}",
+            s.name,
+            s.n_tests,
+            covered.join(",")
+        );
+        for r in &s.rules {
+            println!("    learned: {r}");
+        }
+    }
+    Ok(())
+}

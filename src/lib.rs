@@ -1,0 +1,57 @@
+//! # edm — Data Mining in EDA
+//!
+//! A facade over the `edm` workspace, a Rust reproduction of
+//! *“Data Mining In EDA — Basic Principles, Promises, and Constraints”*
+//! (Li-C. Wang and Magdy S. Abadir, DAC 2014).
+//!
+//! The workspace has three layers:
+//!
+//! 1. **Learning toolkit** — [`linalg`], [`data`], [`kernels`], [`svm`],
+//!    [`learn`], [`cluster`], [`transform`], [`novelty`]: every algorithm
+//!    family the paper's Section 2 surveys.
+//! 2. **EDA substrates** — [`verif`], [`litho`], [`timing`], [`mfgtest`]:
+//!    synthetic stand-ins for the industrial environments the paper
+//!    evaluated on.
+//! 3. **Methodology flows** — [`core`]: the paper's contribution, six
+//!    application flows tying learners + kernels + domain knowledge into
+//!    engineer-facing usage models.
+//!
+//! # Quickstart
+//!
+//! Train a kernel SVM on a small dataset and inspect its complexity
+//! (the paper's Eq. 2):
+//!
+//! ```
+//! use edm::kernels::RbfKernel;
+//! use edm::svm::{SvcParams, SvcTrainer};
+//!
+//! let x = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.2], vec![0.9, 1.0], vec![1.0, 0.8],
+//! ];
+//! let y = vec![-1.0, -1.0, 1.0, 1.0];
+//! let model = SvcTrainer::new(SvcParams::default())
+//!     .kernel(RbfKernel::new(1.0))
+//!     .fit(&x, &y)?;
+//! assert_eq!(model.predict(&[0.05, 0.1]), -1.0);
+//! assert!(model.complexity() > 0.0); // Σ αᵢ, the paper's model-complexity measure
+//! # Ok::<(), edm::svm::SvmError>(())
+//! ```
+//!
+//! See `examples/` for the domain scenarios (verification coverage,
+//! litho hotspot screening, customer-return screening) and
+//! `crates/bench/src/bin/` for the harnesses that regenerate every table
+//! and figure of the paper.
+
+pub use edm_cluster as cluster;
+pub use edm_core as core;
+pub use edm_data as data;
+pub use edm_kernels as kernels;
+pub use edm_learn as learn;
+pub use edm_linalg as linalg;
+pub use edm_litho as litho;
+pub use edm_mfgtest as mfgtest;
+pub use edm_novelty as novelty;
+pub use edm_svm as svm;
+pub use edm_timing as timing;
+pub use edm_transform as transform;
+pub use edm_verif as verif;

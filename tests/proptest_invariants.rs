@@ -1,0 +1,316 @@
+//! Property-based tests of cross-crate invariants.
+
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, len)
+}
+
+fn point_cloud(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(small_vec(d), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // --- linalg ------------------------------------------------------
+
+    #[test]
+    fn cholesky_round_trips_gram_matrices(rows in point_cloud(6, 3)) {
+        use edm::linalg::Matrix;
+        let a = Matrix::from_rows(&rows);
+        let mut g = a.gram();
+        for i in 0..g.rows() {
+            g[(i, i)] += 1e-6; // PSD -> PD
+        }
+        let chol = g.cholesky().unwrap();
+        let recon = chol.l().mat_mul(&chol.l().transpose());
+        prop_assert!((&recon - &g).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrices(rows in point_cloud(5, 5)) {
+        use edm::linalg::Matrix;
+        let a = Matrix::from_rows(&rows);
+        let sym = (&a + &a.transpose()).scaled(0.5);
+        let e = sym.symmetric_eigen().unwrap();
+        prop_assert!((&e.reconstruct() - &sym).max_abs() < 1e-8);
+        // trace = eigenvalue sum
+        let tr: f64 = e.eigenvalues().iter().sum();
+        prop_assert!((tr - sym.trace()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lu_solve_is_consistent(rows in point_cloud(4, 4), b in small_vec(4)) {
+        use edm::linalg::Matrix;
+        let mut a = Matrix::from_rows(&rows);
+        for i in 0..4 {
+            a[(i, i)] += 20.0; // diagonal dominance -> invertible
+        }
+        let x = a.solve(&b).unwrap();
+        let back = a.mat_vec(&x);
+        for (bi, bb) in back.iter().zip(&b) {
+            prop_assert!((bi - bb).abs() < 1e-7);
+        }
+    }
+
+    // --- kernels -----------------------------------------------------
+
+    #[test]
+    fn rbf_gram_is_psd(pts in point_cloud(8, 3), gamma in 0.05..5.0f64) {
+        use edm::kernels::{gram_matrix, is_psd, RbfKernel};
+        let g = gram_matrix(&RbfKernel::new(gamma), &pts);
+        prop_assert!(is_psd(&g, 1e-8));
+    }
+
+    #[test]
+    fn hi_kernel_is_psd_on_nonneg(
+        pts in proptest::collection::vec(proptest::collection::vec(0.0..5.0f64, 4), 8)
+    ) {
+        use edm::kernels::{gram_matrix, is_psd, HistogramIntersectionKernel};
+        let g = gram_matrix(&HistogramIntersectionKernel::new(), &pts);
+        prop_assert!(is_psd(&g, 1e-8));
+    }
+
+    #[test]
+    fn spectrum_profile_matches_kernel(
+        a in proptest::collection::vec(0u8..6, 0..24),
+        b in proptest::collection::vec(0u8..6, 0..24),
+    ) {
+        use edm::kernels::{Kernel, SpectrumKernel, SpectrumProfile};
+        let k = SpectrumKernel::weighted(3, 2.0);
+        let pa = SpectrumProfile::build(&a, &k);
+        let pb = SpectrumProfile::build(&b, &k);
+        prop_assert!((pa.dot(&pb) - k.eval(&a[..], &b[..])).abs() < 1e-9);
+        // cosine is symmetric and bounded
+        let c = pa.cosine(&pb);
+        prop_assert!((pb.cosine(&pa) - c).abs() < 1e-12);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&c));
+    }
+
+    // --- data --------------------------------------------------------
+
+    #[test]
+    fn scaler_round_trip(pts in point_cloud(6, 3)) {
+        use edm::data::{Dataset, StandardScaler};
+        let ds = Dataset::unlabeled(pts.clone());
+        let sc = StandardScaler::fit(&ds);
+        for p in &pts {
+            let back = sc.inverse_sample(&sc.transform_sample(p));
+            for (a, b) in back.iter().zip(p) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly(n in 4usize..40, frac in 0.1..0.9f64, seed in 0u64..100) {
+        use edm::data::{train_test_split, Dataset, Target};
+        use rand::SeedableRng;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ds = Dataset::from_rows(rows, Target::Values((0..n).map(|i| i as f64).collect()));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tt = train_test_split(&ds, frac, &mut rng);
+        prop_assert_eq!(tt.train.n_samples() + tt.test.n_samples(), n);
+        // every original value appears exactly once across the split
+        let mut vals: Vec<f64> = tt
+            .train
+            .values()
+            .unwrap()
+            .iter()
+            .chain(tt.test.values().unwrap())
+            .copied()
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(*v, i as f64);
+        }
+    }
+
+    // --- verif -------------------------------------------------------
+
+    #[test]
+    fn coverage_merge_is_monotone(seed in 0u64..200) {
+        use edm::verif::lsu::LsuSimulator;
+        use edm::verif::template::TestTemplate;
+        use rand::SeedableRng;
+        let t = TestTemplate::default();
+        let sim = LsuSimulator::default_config();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut total = edm::verif::coverage::CoverageMap::new();
+        let mut last = 0;
+        for _ in 0..5 {
+            let out = sim.simulate(&t.generate(&mut rng));
+            total.merge(&out.coverage);
+            prop_assert!(total.n_covered() >= last);
+            last = total.n_covered();
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..200) {
+        use edm::verif::lsu::LsuSimulator;
+        use edm::verif::template::TestTemplate;
+        use rand::SeedableRng;
+        let t = TestTemplate::default();
+        let sim = LsuSimulator::default_config();
+        let p = t.generate(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert_eq!(sim.simulate(&p), sim.simulate(&p));
+    }
+
+    // --- litho -------------------------------------------------------
+
+    #[test]
+    fn rasterizer_conserves_area(
+        x0 in 0i32..900, y0 in 0i32..900, w in 1i32..120, h in 1i32..120
+    ) {
+        use edm::litho::geometry::Rect;
+        use edm::litho::layout::LayoutClip;
+        use edm::litho::raster::rasterize;
+        let clip = LayoutClip::new(1024, vec![Rect::new(x0, y0, x0 + w, y0 + h)]);
+        let g = rasterize(&clip, 64);
+        let mass: f64 = g.as_slice().iter().sum::<f64>() * (16.0 * 16.0);
+        let drawn: i64 = clip.rects().iter().map(Rect::area).sum();
+        prop_assert!((mass - drawn as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn density_histogram_is_a_distribution(seed in 0u64..100) {
+        use edm::litho::features::{density_histogram, HistogramSpec};
+        use edm::litho::layout::LayoutGenerator;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let clip = LayoutGenerator::default().generate_random(&mut rng).1;
+        let h = density_histogram(&clip, &HistogramSpec::default());
+        prop_assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(h.iter().all(|&v| v >= 0.0));
+    }
+
+    // --- timing ------------------------------------------------------
+
+    #[test]
+    fn sta_delay_is_additive_and_positive(seed in 0u64..200) {
+        use edm::timing::path::PathGenerator;
+        use edm::timing::sta::Timer;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut path = PathGenerator::default().generate(&mut rng);
+        let t = Timer::default();
+        let full = t.path_delay(&path);
+        prop_assert!(full > 0.0);
+        // removing the last stage can only reduce the delay
+        path.stages.pop();
+        if !path.stages.is_empty() {
+            prop_assert!(t.path_delay(&path) < full);
+        }
+    }
+
+    // --- mfgtest -----------------------------------------------------
+
+    #[test]
+    fn healthy_yield_is_high(seed in 0u64..50) {
+        use edm::mfgtest::product::ProductModel;
+        use edm::mfgtest::testflow::TestFlow;
+        use rand::SeedableRng;
+        let p = ProductModel::automotive().with_defect_rate(0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let lot = p.generate_lot(0, 400, &mut rng);
+        let flow = TestFlow::new(p.spec_limits().to_vec());
+        let (shipped, _) = flow.screen(&lot);
+        prop_assert!(shipped.len() >= 390, "yield {}", shipped.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // --- svm: KKT feasibility of the SMO solutions ---------------------
+
+    #[test]
+    fn svc_dual_solution_is_feasible(seed in 0u64..500, c in 0.1..20.0f64) {
+        use edm::kernels::{gram_matrix, RbfKernel};
+        use edm::svm::{solve_svc, SvcParams};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..12 {
+            x.push(vec![
+                edm::linalg::sample::standard_normal(&mut rng),
+                edm::linalg::sample::standard_normal(&mut rng),
+            ]);
+            y.push(-1.0);
+            x.push(vec![
+                1.5 + edm::linalg::sample::standard_normal(&mut rng),
+                1.5 + edm::linalg::sample::standard_normal(&mut rng),
+            ]);
+            y.push(1.0);
+        }
+        let gram = gram_matrix(&RbfKernel::new(0.7), &x);
+        let params = SvcParams { c, ..Default::default() };
+        let (alpha, _, _) = solve_svc(&gram, &y, &params).unwrap();
+        // Box constraints: 0 <= alpha_i <= C.
+        for &a in &alpha {
+            prop_assert!((-1e-9..=c + 1e-9).contains(&a), "alpha {a} outside [0, {c}]");
+        }
+        // Equality constraint: sum y_i alpha_i = 0.
+        let balance: f64 = alpha.iter().zip(&y).map(|(&a, &yi)| a * yi).sum();
+        prop_assert!(balance.abs() < 1e-6, "sum y*alpha = {balance}");
+    }
+
+    #[test]
+    fn one_class_dual_solution_is_feasible(seed in 0u64..500, nu in 0.05..0.9f64) {
+        use edm::kernels::{gram_matrix, RbfKernel};
+        use edm::svm::{solve_one_class, OneClassParams};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|_| vec![
+                edm::linalg::sample::standard_normal(&mut rng),
+                edm::linalg::sample::standard_normal(&mut rng),
+            ])
+            .collect();
+        let gram = gram_matrix(&RbfKernel::new(0.5), &x);
+        let params = OneClassParams { nu, ..Default::default() };
+        let (alpha, _, _) = solve_one_class(&gram, &params).unwrap();
+        for &a in &alpha {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&a), "alpha {a} outside [0, 1]");
+        }
+        // Equality constraint: sum alpha = nu * n.
+        let total: f64 = alpha.iter().sum();
+        prop_assert!((total - nu * x.len() as f64).abs() < 1e-6, "sum alpha = {total}");
+    }
+
+    #[test]
+    fn pls_beats_mean_predictor_on_linear_targets(seed in 0u64..100) {
+        use edm::transform::Pls;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![rng.gen::<f64>() * 3.0, rng.gen::<f64>() * 3.0])
+            .collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] - r[1]]).collect();
+        let pls = Pls::fit(&x, &y, 2).unwrap();
+        let mean_y = edm::linalg::mean(&y.iter().map(|r| r[0]).collect::<Vec<_>>());
+        let mut err_model = 0.0;
+        let mut err_mean = 0.0;
+        for (xi, yi) in x.iter().zip(&y) {
+            err_model += (pls.predict(xi)[0] - yi[0]).powi(2);
+            err_mean += (mean_y - yi[0]).powi(2);
+        }
+        prop_assert!(err_model < err_mean * 0.05, "model {err_model} vs mean {err_mean}");
+    }
+
+    #[test]
+    fn wafer_yield_bounded_and_features_finite(seed in 0u64..100, rate in 0.0..0.5f64) {
+        use edm::mfgtest::wafer::WaferMap;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = WaferMap::new(15).with_random_defects(rate, &mut rng);
+        let y = w.yield_fraction();
+        prop_assert!((0.0..=1.0).contains(&y));
+        for f in w.spatial_features() {
+            prop_assert!(f.is_finite());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Serde round-trips of deployable artifacts (C-SERDE).
+//!
+//! A mining methodology that "adds value to the existing flow" must let
+//! a trained model be saved by one job and loaded by another; every
+//! model a flow deploys must survive JSON serialization bit-for-bit in
+//! its predictions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n {
+        x.push(vec![rng.gen::<f64>(), rng.gen::<f64>()]);
+        y.push(-1.0);
+        x.push(vec![2.0 + rng.gen::<f64>(), 2.0 + rng.gen::<f64>()]);
+        y.push(1.0);
+    }
+    (x, y)
+}
+
+fn probe_points() -> Vec<Vec<f64>> {
+    vec![vec![0.3, 0.4], vec![2.5, 2.2], vec![1.4, 1.4]]
+}
+
+#[test]
+fn svc_model_round_trips() {
+    use edm::kernels::RbfKernel;
+    use edm::svm::{SvcModel, SvcParams, SvcTrainer};
+    let (x, y) = blobs(30, 1);
+    let model = SvcTrainer::new(SvcParams::default())
+        .kernel(RbfKernel::new(1.0))
+        .fit(&x, &y)
+        .unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: SvcModel<RbfKernel> = serde_json::from_str(&json).unwrap();
+    for p in probe_points() {
+        assert_eq!(model.decision_function(&p), restored.decision_function(&p));
+    }
+}
+
+#[test]
+fn one_class_model_round_trips() {
+    use edm::kernels::RbfKernel;
+    use edm::svm::{OneClassModel, OneClassParams, OneClassSvm};
+    let (x, _) = blobs(30, 2);
+    let model = OneClassSvm::new(OneClassParams::default())
+        .kernel(RbfKernel::new(1.0))
+        .fit(&x)
+        .unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: OneClassModel<RbfKernel> = serde_json::from_str(&json).unwrap();
+    for p in probe_points() {
+        assert_eq!(model.decision_function(&p), restored.decision_function(&p));
+    }
+}
+
+#[test]
+fn tree_and_forest_round_trip() {
+    use edm::learn::forest::{ForestParams, RandomForestClassifier};
+    use edm::learn::tree::{DecisionTreeClassifier, TreeParams};
+    let (x, yf) = blobs(30, 3);
+    let y: Vec<i32> = yf.iter().map(|&v| i32::from(v > 0.0)).collect();
+    let tree = DecisionTreeClassifier::fit(&x, &y, TreeParams::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let forest = RandomForestClassifier::fit(&x, &y, ForestParams::default(), &mut rng).unwrap();
+    let t2: DecisionTreeClassifier =
+        serde_json::from_str(&serde_json::to_string(&tree).unwrap()).unwrap();
+    let f2: RandomForestClassifier =
+        serde_json::from_str(&serde_json::to_string(&forest).unwrap()).unwrap();
+    for p in probe_points() {
+        assert_eq!(tree.predict(&p), t2.predict(&p));
+        assert_eq!(forest.predict(&p), f2.predict(&p));
+    }
+}
+
+#[test]
+fn gp_and_rules_round_trip() {
+    use edm::kernels::RbfKernel;
+    use edm::learn::gp::GpRegressor;
+    use edm::learn::rules::cn2sd::{learn_rules, Cn2SdParams};
+    use edm::learn::rules::Rule;
+    let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.3]).collect();
+    let y: Vec<f64> = x.iter().map(|v| v[0].sin()).collect();
+    let gp = GpRegressor::fit(&x, &y, RbfKernel::new(1.0), 1e-4).unwrap();
+    let gp2: GpRegressor<RbfKernel> =
+        serde_json::from_str(&serde_json::to_string(&gp).unwrap()).unwrap();
+    assert_eq!(gp.predict(&[1.7]), gp2.predict(&[1.7]));
+
+    let labels: Vec<i32> = x.iter().map(|v| i32::from(v[0] > 3.0)).collect();
+    let rules = learn_rules(&x, &labels, 1, Cn2SdParams::default()).unwrap();
+    let rules2: Vec<Rule> =
+        serde_json::from_str(&serde_json::to_string(&rules).unwrap()).unwrap();
+    assert_eq!(rules, rules2);
+}
+
+#[test]
+fn detectors_round_trip() {
+    use edm::novelty::{
+        KnnDistanceDetector, LofDetector, MahalanobisDetector, NoveltyDetector,
+    };
+    let (x, _) = blobs(40, 5);
+    let maha = MahalanobisDetector::fit(&x, 0.99).unwrap();
+    let knn = KnnDistanceDetector::fit(x.clone(), 5, 0.99).unwrap();
+    let lof = LofDetector::fit(x, 5, 0.99).unwrap();
+    let maha2: MahalanobisDetector =
+        serde_json::from_str(&serde_json::to_string(&maha).unwrap()).unwrap();
+    let knn2: KnnDistanceDetector =
+        serde_json::from_str(&serde_json::to_string(&knn).unwrap()).unwrap();
+    let lof2: LofDetector =
+        serde_json::from_str(&serde_json::to_string(&lof).unwrap()).unwrap();
+    let p = [5.0, -3.0];
+    assert_eq!(maha.score(&p), maha2.score(&p));
+    assert_eq!(knn.score(&p), knn2.score(&p));
+    assert_eq!(lof.score(&p), lof2.score(&p));
+}
+
+#[test]
+fn substrate_artifacts_round_trip() {
+    use edm::timing::path::PathGenerator;
+    use edm::timing::path::TimingPath;
+    use edm::verif::program::Program;
+    use edm::verif::template::TestTemplate;
+    let mut rng = StdRng::seed_from_u64(6);
+    // Verification test program.
+    let program = TestTemplate::default().generate(&mut rng);
+    let p2: Program =
+        serde_json::from_str(&serde_json::to_string(&program).unwrap()).unwrap();
+    assert_eq!(program, p2);
+    // Timing path.
+    let path = PathGenerator::default().generate(&mut rng);
+    let path2: TimingPath =
+        serde_json::from_str(&serde_json::to_string(&path).unwrap()).unwrap();
+    assert_eq!(path, path2);
+    // Template itself (so a refined template can be checked in).
+    let t = TestTemplate::default();
+    let t2: TestTemplate = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(t, t2);
+}
+
+#[test]
+fn transforms_round_trip() {
+    use edm::transform::{Pca, Pls};
+    let mut rng = StdRng::seed_from_u64(7);
+    let x: Vec<Vec<f64>> = (0..30)
+        .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+    let pca = Pca::fit(&x, 2).unwrap();
+    let pca2: Pca = serde_json::from_str(&serde_json::to_string(&pca).unwrap()).unwrap();
+    assert_eq!(pca.transform(&x[3]), pca2.transform(&x[3]));
+
+    let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] + r[2]]).collect();
+    let pls = Pls::fit(&x, &y, 2).unwrap();
+    let pls2: Pls = serde_json::from_str(&serde_json::to_string(&pls).unwrap()).unwrap();
+    assert_eq!(pls.predict(&x[5]), pls2.predict(&x[5]));
+}
