@@ -15,8 +15,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use edm_kernels::{
-    gram_matrix, HistogramIntersectionKernel, LinearKernel, PolyKernel, RbfKernel,
-    SpectrumKernel, SpectrumProfile,
+    gram_matrix, HistogramIntersectionKernel, LinearKernel, PolyKernel, RbfKernel, SpectrumKernel,
+    SpectrumProfile,
 };
 use edm_svm::{solve_one_class, OneClassParams, SvcParams, SvcTrainer};
 use rand::rngs::StdRng;
@@ -105,12 +105,7 @@ fn bench_fig07(c: &mut Criterion) {
     });
     g.bench_function("novelty_score_vs_64", |b| {
         let cand = &profiles[0];
-        b.iter(|| {
-            profiles
-                .iter()
-                .map(|p| cand.cosine(black_box(p)))
-                .sum::<f64>()
-        })
+        b.iter(|| profiles.iter().map(|p| cand.cosine(black_box(p))).sum::<f64>())
     });
     g.bench_function("one_class_solve_64", |b| {
         let gram = {
@@ -139,10 +134,8 @@ fn bench_table1(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let tests: Vec<_> = (0..120).map(|_| template.generate(&mut rng)).collect();
     let features: Vec<Vec<f64>> = tests.iter().map(Program::features).collect();
-    let labels: Vec<i32> = tests
-        .iter()
-        .map(|t| i32::from(sim.simulate(t).coverage.n_covered() > 2))
-        .collect();
+    let labels: Vec<i32> =
+        tests.iter().map(|t| i32::from(sim.simulate(t).coverage.n_covered() > 2)).collect();
     let mut g = c.benchmark_group("table1_template_refinement");
     g.bench_function("cn2sd_learn_rules_120", |b| {
         let params = Cn2SdParams { max_rules: 2, max_conditions: 2, ..Default::default() };
@@ -167,9 +160,7 @@ fn bench_fig09(c: &mut Criterion) {
     ));
     clips.push(edm_litho::layout::LayoutClip::new(
         1024,
-        (0..11)
-            .map(|i| edm_litho::geometry::Rect::new(i * 96, 0, i * 96 + 48, 1024))
-            .collect(),
+        (0..11).map(|i| edm_litho::geometry::Rect::new(i * 96, 0, i * 96 + 48, 1024)).collect(),
     ));
     let spec = HistogramSpec::default();
     // A small trained model for the prediction benchmark.
@@ -230,11 +221,8 @@ fn bench_fig10(c: &mut Criterion) {
         let pred = timer.analyze_population(&paths);
         let mut rng = StdRng::seed_from_u64(2);
         let meas = silicon.measure_population(&paths, &mut rng);
-        let pts: Vec<Vec<f64>> = pred
-            .iter()
-            .zip(&meas)
-            .map(|(&p, &m)| vec![(m - p) / p.max(1.0)])
-            .collect();
+        let pts: Vec<Vec<f64>> =
+            pred.iter().zip(&meas).map(|(&p, &m)| vec![(m - p) / p.max(1.0)]).collect();
         let mut krng = StdRng::seed_from_u64(3);
         b.iter_batched(
             || pts.clone(),
@@ -281,17 +269,14 @@ fn bench_fig12(c: &mut Criterion) {
     let a: Vec<f64> = lot.iter().map(|d| d.measurements[0]).collect();
     let t1: Vec<f64> = lot.iter().map(|d| d.measurements[1]).collect();
     let mut g = c.benchmark_group("fig12_difficult_case");
-    g.bench_function("pearson_5000", |b| {
-        b.iter(|| stats::pearson(black_box(&a), black_box(&t1)))
-    });
+    g.bench_function("pearson_5000", |b| b.iter(|| stats::pearson(black_box(&a), black_box(&t1))));
     g.finish();
 }
 
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let pts: Vec<Vec<f64>> = (0..128)
-        .map(|_| (0..16).map(|_| rng.gen::<f64>()).collect())
-        .collect();
+    let pts: Vec<Vec<f64>> =
+        (0..128).map(|_| (0..16).map(|_| rng.gen::<f64>()).collect()).collect();
     let mut g = c.benchmark_group("kernel_gram");
     g.bench_function("rbf_gram_128", |b| {
         b.iter(|| gram_matrix(&RbfKernel::new(1.0), black_box(&pts)))
@@ -306,13 +291,8 @@ fn bench_toolkit_extras(c: &mut Criterion) {
     use edm_mfgtest::wafer::{SpatialSignature, WaferMap};
     use edm_transform::{Cca, KernelPca, Pls};
     let mut rng = StdRng::seed_from_u64(42);
-    let x: Vec<Vec<f64>> = (0..200)
-        .map(|_| (0..6).map(|_| rng.gen::<f64>()).collect())
-        .collect();
-    let y: Vec<Vec<f64>> = x
-        .iter()
-        .map(|r| vec![r[0] + r[1], r[2] - r[3]])
-        .collect();
+    let x: Vec<Vec<f64>> = (0..200).map(|_| (0..6).map(|_| rng.gen::<f64>()).collect()).collect();
+    let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] + r[1], r[2] - r[3]]).collect();
     let mut g = c.benchmark_group("toolkit_extras");
     g.bench_function("pls_fit_200x6", |b| {
         b.iter(|| Pls::fit(black_box(&x), black_box(&y), 2).unwrap())

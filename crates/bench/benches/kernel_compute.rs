@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks of the parallel kernel-compute layer and
+//! the SMO Q-row cache (wired to `cargo bench -p edm-bench`):
+//!
+//! * Gram-matrix build (the `O(n²·d)` hot loop behind every kernel
+//!   learner) at two sizes;
+//! * dense matrix product and `AᵀA`;
+//! * on-demand Q-row fill (what the SMO solver pays on a cache miss);
+//! * full SVC training with the row cache on vs off.
+//!
+//! The heavyweight scaling runs (n up to 8000, thread sweeps, JSON
+//! output) live in the `bench_kernel_compute` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use edm_kernels::{gram_matrix, RbfKernel};
+use edm_linalg::Matrix;
+use edm_svm::{CachedQ, KernelQ, QMatrix, SvcParams, SvcTrainer};
+
+/// Deterministic SplitMix64 point cloud (no RNG dependency needed).
+fn points(seed: u64, n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+    };
+    (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
+}
+
+/// Two shifted blobs with ±1 labels — easy to separate, so SVC
+/// converges in few iterations and the benchmark isolates kernel
+/// compute rather than optimizer pathology.
+fn blobs(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut x = points(7, n, d);
+    let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    for (xi, &yi) in x.iter_mut().zip(&y) {
+        for v in xi.iter_mut() {
+            *v += yi * 1.5;
+        }
+    }
+    (x, y)
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_compute_gram");
+    for n in [256usize, 512] {
+        let pts = points(1, n, 32);
+        g.bench_function(format!("rbf_gram_n{n}_d32"), |b| {
+            b.iter(|| gram_matrix(&RbfKernel::new(0.5), black_box(&pts)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let flat = points(2, 128, 128);
+    let a = Matrix::from_rows(&flat);
+    let b_mat = a.transpose();
+    let mut g = c.benchmark_group("kernel_compute_matmul");
+    g.bench_function("mat_mul_128", |b| b.iter(|| black_box(&a).mat_mul(black_box(&b_mat))));
+    g.bench_function("gram_ata_128", |b| b.iter(|| black_box(&a).gram()));
+    g.finish();
+}
+
+fn bench_q_row_fill(c: &mut Criterion) {
+    let (x, y) = blobs(2000, 32);
+    let k = RbfKernel::new(0.5);
+    let mut g = c.benchmark_group("kernel_compute_q_row");
+    g.bench_function("q_row_fill_n2000_d32_miss", |b| {
+        // Cache disabled: every access is a full on-demand row fill.
+        let q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, &x, Some(&y)), 0);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % x.len();
+            q.row(black_box(i))
+        })
+    });
+    g.bench_function("q_row_fill_n2000_d32_hit", |b| {
+        // Ample cache: after warmup every access is a hit.
+        let q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, &x, Some(&y)), 64 << 20);
+        q.row(17);
+        b.iter(|| q.row(black_box(17)))
+    });
+    g.finish();
+}
+
+fn bench_svc_cache(c: &mut Criterion) {
+    let (x, y) = blobs(500, 32);
+    let mut g = c.benchmark_group("kernel_compute_svc_train");
+    g.bench_function("svc_train_n500_cache_on", |b| {
+        let t = SvcTrainer::new(SvcParams::default()).kernel(RbfKernel::new(0.5));
+        b.iter(|| t.fit(black_box(&x), black_box(&y)).unwrap())
+    });
+    g.bench_function("svc_train_n500_cache_off", |b| {
+        let t =
+            SvcTrainer::new(SvcParams::default().with_cache_bytes(0)).kernel(RbfKernel::new(0.5));
+        b.iter(|| t.fit(black_box(&x), black_box(&y)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gram, bench_matmul, bench_q_row_fill, bench_svc_cache);
+criterion_main!(benches);

@@ -53,11 +53,7 @@ fn ablate_fig9_kernels() -> Vec<bool> {
             .kernel(k)
             .fit(train_h, train_l)
             .expect("fit");
-        test_h
-            .iter()
-            .zip(test_l)
-            .filter(|(h, &l)| m.predict(h) == l)
-            .count() as f64
+        test_h.iter().zip(test_l).filter(|(h, &l)| m.predict(h) == l).count() as f64
             / test_h.len() as f64
     }
     let hi = accuracy(HistogramIntersectionKernel::new(), train_h, train_l, test_h, test_l);
@@ -71,8 +67,7 @@ fn ablate_fig9_kernels() -> Vec<bool> {
             hi + 0.03 >= rbf.max(chi2)
         }),
         claim("all kernels beat the majority-class baseline", {
-            let base = test_l.iter().filter(|&&l| l == 1.0).count() as f64
-                / test_l.len() as f64;
+            let base = test_l.iter().filter(|&&l| l == 1.0).count() as f64 / test_l.len() as f64;
             let majority = base.max(1.0 - base);
             hi > majority && rbf > majority - 0.05 && chi2 > majority - 0.05
         }),
@@ -90,10 +85,7 @@ fn ablate_fig7_filter() -> Vec<bool> {
     let mut rng = StdRng::seed_from_u64(92);
     let tests: Vec<_> = (0..3000).map(|_| template.generate(&mut rng)).collect();
 
-    println!(
-        "{:>6} {:>8} {:>14} {:>12}",
-        "nu", "lweight", "sims to max", "saving"
-    );
+    println!("{:>6} {:>8} {:>14} {:>12}", "nu", "lweight", "sims to max", "saving");
     let mut rows = Vec::new();
     for &(nu, lw) in &[(0.15, 2.0), (0.15, 1.0), (0.40, 2.0), (0.05, 2.0)] {
         let config = NovelSelectionConfig {
@@ -114,10 +106,7 @@ fn ablate_fig7_filter() -> Vec<bool> {
     }
     let default_cfg = rows[0].3.unwrap_or(0.0);
     vec![
-        claim(
-            "the tuned configuration reaches max coverage",
-            rows[0].2.is_some(),
-        ),
+        claim("the tuned configuration reaches max coverage", rows[0].2.is_some()),
         claim(
             &format!("tuned configuration saves >= 60% ({})", pct(default_cfg)),
             default_cfg >= 0.60,
@@ -158,10 +147,8 @@ fn ablate_fig11_feature_selection() -> Vec<bool> {
     let idx_all: Vec<usize> = (0..product.n_tests()).collect();
 
     let detect_rate = |idx: &[usize]| -> f64 {
-        let pop: Vec<Vec<f64>> = survivors
-            .iter()
-            .map(|d| idx.iter().map(|&t| d.measurements[t]).collect())
-            .collect();
+        let pop: Vec<Vec<f64>> =
+            survivors.iter().map(|d| idx.iter().map(|&t| d.measurements[t]).collect()).collect();
         let det = MahalanobisDetector::fit(&pop, 0.999).expect("fit");
         let caught = returns
             .iter()
@@ -179,10 +166,7 @@ fn ablate_fig11_feature_selection() -> Vec<bool> {
     println!("full 8-test space detection rate:     {}", pct(all));
     vec![
         claim("the selected subspace catches most returns", sel >= 0.7),
-        claim(
-            "feature selection does not lose detection vs the full space",
-            sel >= all - 0.10,
-        ),
+        claim("feature selection does not lose detection vs the full space", sel >= all - 0.10),
     ]
 }
 

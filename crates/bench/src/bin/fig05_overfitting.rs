@@ -19,9 +19,8 @@ fn main() {
     // --- Sweep 1: polynomial regression on noisy data ---------------
     let mut rng = StdRng::seed_from_u64(5);
     let truth = |x: f64| (1.8 * x).sin() + 0.3 * x;
-    let noisy = |x: f64, rng: &mut StdRng| {
-        truth(x) + 0.25 * edm_linalg::sample::standard_normal(rng)
-    };
+    let noisy =
+        |x: f64, rng: &mut StdRng| truth(x) + 0.25 * edm_linalg::sample::standard_normal(rng);
     let train_x: Vec<Vec<f64>> = (0..24).map(|i| vec![i as f64 * 0.25 - 3.0]).collect();
     let train_y: Vec<f64> = train_x.iter().map(|v| noisy(v[0], &mut rng)).collect();
     let val_x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 0.06 - 3.0]).collect();
@@ -50,9 +49,8 @@ fn main() {
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(i, _)| i)
         .unwrap();
-    let val_u_shape = best > 0
-        && best < val_errs.len() - 1
-        && *val_errs.last().unwrap() > 1.5 * val_errs[best];
+    let val_u_shape =
+        best > 0 && best < val_errs.len() - 1 && *val_errs.last().unwrap() > 1.5 * val_errs[best];
 
     // --- Sweep 2: RBF-SVC bandwidth, complexity = sum of alphas -----
     let mut rng = StdRng::seed_from_u64(55);
@@ -78,10 +76,7 @@ fn main() {
         vy.push(c);
     }
     println!("\nRBF-SVC bandwidth sweep (C = 50):");
-    println!(
-        "{:>8} {:>14} {:>12} {:>12}",
-        "gamma", "complexity Σα", "train err", "val err"
-    );
+    println!("{:>8} {:>14} {:>12} {:>12}", "gamma", "complexity Σα", "train err", "val err");
     let gammas = [0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0];
     let mut svc_train = Vec::new();
     let mut svc_val = Vec::new();

@@ -22,7 +22,13 @@ fn main() {
         store_buffer_depth: 6,
         ..Default::default()
     });
-    let config = NovelSelectionConfig { n_tests: 8000, nu: 0.15, ngram: 3, length_weight: 2.0, ..Default::default() };
+    let config = NovelSelectionConfig {
+        n_tests: 8000,
+        nu: 0.15,
+        ngram: 3,
+        length_weight: 2.0,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(7);
     let tests: Vec<_> = (0..config.n_tests).map(|_| template.generate(&mut rng)).collect();
     let result = noveltest::run_stream(&tests, &sim, &config).expect("flow runs");
@@ -77,10 +83,7 @@ fn main() {
         }
         _ => {
             let reached = result.filtered.last().map(|p| p.covered).unwrap_or(0);
-            println!(
-                "novelty-filtered flow stalled at {reached}/{} points",
-                result.max_coverage
-            );
+            println!("novelty-filtered flow stalled at {reached}/{} points", result.max_coverage);
             finish(&[claim("filtered flow reaches the baseline's max coverage", false)]);
         }
     }

@@ -26,10 +26,7 @@ fn main() {
     println!("training clips: {}   test clips: {}", config.n_train, config.n_test);
     println!("golden-bad fraction in test set: {}", pct(result.bad_fraction));
     println!();
-    println!(
-        "{:<26} {:>10} {:>12} {:>12}",
-        "model", "accuracy", "bad recall", "false alarm"
-    );
+    println!("{:<26} {:>10} {:>12} {:>12}", "model", "accuracy", "bad recall", "false alarm");
     println!(
         "{:<26} {:>10} {:>12} {:>12}",
         "SVC (HI kernel)",
@@ -53,10 +50,7 @@ fn main() {
     );
 
     let claims = [
-        claim(
-            "SVC tracks the golden labels (accuracy >= 80%)",
-            result.svc.accuracy >= 0.80,
-        ),
+        claim("SVC tracks the golden labels (accuracy >= 80%)", result.svc.accuracy >= 0.80),
         claim(
             "most high-variability clips are identified (recall >= 75%)",
             result.svc.bad_recall >= 0.75,

@@ -18,14 +18,9 @@ fn main() {
         .with_effect(SystematicEffect::ViaResistance { lower_layer: 5, extra_ps: 7.0 });
     let config = DstcConfig { n_paths: 1200, ..Default::default() };
     let mut rng = StdRng::seed_from_u64(10);
-    let result = dstc::run(
-        &PathGenerator::default(),
-        &Timer::default(),
-        &silicon,
-        &config,
-        &mut rng,
-    )
-    .expect("flow runs");
+    let result =
+        dstc::run(&PathGenerator::default(), &Timer::default(), &silicon, &config, &mut rng)
+            .expect("flow runs");
 
     let slow: Vec<_> = result.points.iter().filter(|p| p.cluster == 1).collect();
     let fast: Vec<_> = result.points.iter().filter(|p| p.cluster == 0).collect();
@@ -56,10 +51,7 @@ fn main() {
 
     let gap = result.slow_cluster_mismatch - result.fast_cluster_mismatch;
     let claims = [
-        claim(
-            &format!("two clusters separate clearly (gap {gap:.1} ps)"),
-            gap > 10.0,
-        ),
+        claim(&format!("two clusters separate clearly (gap {gap:.1} ps)"), gap > 10.0),
         claim(
             "the rule implicates the layer-4-5 / 5-6 vias (the injected root cause)",
             result.implicates("via45") || result.implicates("via56"),
@@ -71,9 +63,9 @@ fn main() {
                 .first()
                 .map(|r| {
                     let names = edm_timing::path::TimingPath::feature_names(6);
-                    r.conditions
-                        .iter()
-                        .any(|c| names[c.feature].starts_with("via4") || names[c.feature].starts_with("via5"))
+                    r.conditions.iter().any(|c| {
+                        names[c.feature].starts_with("via4") || names[c.feature].starts_with("via5")
+                    })
                 })
                 .unwrap_or(false),
         ),

@@ -19,35 +19,20 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let result = returns::run(&config, &mut rng).expect("flow runs");
 
-    println!(
-        "baseline window: {} lots x {} devices",
-        config.n_lots, config.lot_size
-    );
-    println!(
-        "selected test space: {:?}",
-        result.screen.selected_names
-    );
+    println!("baseline window: {} lots x {} devices", config.n_lots, config.lot_size);
+    println!("selected test space: {:?}", result.screen.selected_names);
     println!("\nplot 1 — returns as outliers in the selected space:");
     println!("  baseline returns: {}", result.n_baseline_returns);
     for (i, p) in result.baseline_return_percentiles.iter().enumerate() {
         println!("  return #{i}: outlier-score percentile {}", pct(*p));
     }
     println!("\nplot 2 — later production (months later):");
-    println!(
-        "  model catches {}/{} returns",
-        result.later_caught, result.later_total
-    );
+    println!("  model catches {}/{} returns", result.later_caught, result.later_total);
     println!("\nplot 3 — sister product (a year later):");
-    println!(
-        "  model catches {}/{} returns",
-        result.sister_caught, result.sister_total
-    );
+    println!("  model catches {}/{} returns", result.sister_caught, result.sister_total);
     println!("\noverkill on healthy devices: {}", pct(result.overkill_rate));
 
-    let min_pct = result
-        .baseline_return_percentiles
-        .iter()
-        .fold(1.0_f64, |m, &p| m.min(p));
+    let min_pct = result.baseline_return_percentiles.iter().fold(1.0_f64, |m, &p| m.min(p));
     let claims = [
         claim(
             &format!("returns are extreme outliers (min percentile {})", pct(min_pct)),

@@ -31,14 +31,8 @@ fn main() {
         result.phase2_chips,
         config.tail_rate * 1e6
     );
-    println!(
-        "  escapes (pass reduced program, fail dropped test): {}",
-        result.escapes
-    );
-    println!(
-        "  of which caused by the new tail mechanism: {}",
-        result.escapes_from_tail_mechanism
-    );
+    println!("  escapes (pass reduced program, fail dropped test): {}", result.escapes);
+    println!("  of which caused by the new tail mechanism: {}", result.escapes_from_tail_mechanism);
 
     let claims = [
         claim(

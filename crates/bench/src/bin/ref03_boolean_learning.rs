@@ -58,18 +58,11 @@ fn main() {
     .expect("forest fits");
 
     let acc = |f: &dyn Fn(&[f64]) -> i32| {
-        test_x
-            .iter()
-            .zip(&test_y)
-            .filter(|(x, &y)| f(x) == y)
-            .count() as f64
-            / test_x.len() as f64
+        test_x.iter().zip(&test_y).filter(|(x, &y)| f(x) == y).count() as f64 / test_x.len() as f64
     };
     let tree_acc = acc(&|x| tree.predict(x));
     let forest_acc = acc(&|x| forest.predict(x));
-    println!(
-        "hidden function: 3-term DNF over {N_VARS} vars; train 2000 / test 4000 vectors"
-    );
+    println!("hidden function: 3-term DNF over {N_VARS} vars; train 2000 / test 4000 vectors");
     println!("decision tree accuracy: {} ({} leaves)", pct(tree_acc), tree.n_leaves());
     println!("random forest accuracy: {}", pct(forest_acc));
     println!(

@@ -57,13 +57,9 @@ fn main() {
         .fit(x_train, y_train)
         .expect("svr");
     let gp_train = 400; // GP is O(n³); condition on a subset
-    let gp = GpRegressor::fit(
-        &x_train[..gp_train],
-        &y_train[..gp_train],
-        RbfKernel::new(0.05),
-        0.1,
-    )
-    .expect("gp");
+    let gp =
+        GpRegressor::fit(&x_train[..gp_train], &y_train[..gp_train], RbfKernel::new(0.05), 0.1)
+            .expect("gp");
 
     let evaluate = |name: &str, pred: Vec<f64>| -> (String, f64, f64) {
         (name.to_string(), rmse(y_test, &pred), r2(y_test, &pred))
@@ -77,12 +73,7 @@ fn main() {
     ];
 
     let y_sigma = edm_linalg::variance(y_test).sqrt();
-    println!(
-        "train {} devices, test {}   (fmax sigma = {:.3})",
-        n_train,
-        x_test.len(),
-        y_sigma
-    );
+    println!("train {} devices, test {}   (fmax sigma = {:.3})", n_train, x_test.len(), y_sigma);
     println!("{:<20} {:>10} {:>8}", "model", "RMSE", "R2");
     for (name, e, r) in &results {
         println!("{name:<20} {e:>10.4} {r:>8.3}");
@@ -101,10 +92,7 @@ fn main() {
     let claims = [
         claim("every family beats the trivial (mean) predictor", all_beat_sigma),
         claim("every family explains a meaningful share of variance (R2 > 0.3)", all_positive_r2),
-        claim(
-            "GP predictive variance is positive and finite",
-            var > 0.0 && var.is_finite(),
-        ),
+        claim("GP predictive variance is positive and finite", var > 0.0 && var.is_finite()),
     ];
     finish(&claims);
 }

@@ -29,26 +29,20 @@ fn main() {
         truth.push(0usize);
         // edge-ring excursion
         wafers.push(
-            WaferMap::new(21)
-                .with_random_defects(0.02, &mut rng)
-                .with_signature(
-                    SpatialSignature::EdgeRing { inner: 0.85, fail_prob: 0.8 },
-                    &mut rng,
-                ),
+            WaferMap::new(21).with_random_defects(0.02, &mut rng).with_signature(
+                SpatialSignature::EdgeRing { inner: 0.85, fail_prob: 0.8 },
+                &mut rng,
+            ),
         );
         truth.push(1);
         // scratch excursion
-        wafers.push(
-            WaferMap::new(21)
-                .with_random_defects(0.02, &mut rng)
-                .with_signature(
-                    SpatialSignature::Scratch {
-                        angle: rng.gen::<f64>() * std::f64::consts::PI,
-                        fail_prob: 0.95,
-                    },
-                    &mut rng,
-                ),
-        );
+        wafers.push(WaferMap::new(21).with_random_defects(0.02, &mut rng).with_signature(
+            SpatialSignature::Scratch {
+                angle: rng.gen::<f64>() * std::f64::consts::PI,
+                fail_prob: 0.95,
+            },
+            &mut rng,
+        ));
         truth.push(2);
     }
 
@@ -56,8 +50,7 @@ fn main() {
     let features: Vec<Vec<f64>> = wafers.iter().map(WaferMap::spatial_features).collect();
     let ds = edm_data::Dataset::unlabeled(features.clone());
     let scaler = edm_data::StandardScaler::fit(&ds);
-    let scaled: Vec<Vec<f64>> =
-        features.iter().map(|f| scaler.transform_sample(f)).collect();
+    let scaled: Vec<Vec<f64>> = features.iter().map(|f| scaler.transform_sample(f)).collect();
     let clustering = kmeans(&scaled, 3, 200, &mut rng).expect("kmeans runs");
     let ri = rand_index(&clustering.labels, &truth);
     println!(
@@ -80,11 +73,9 @@ fn main() {
             items
         })
         .collect();
-    let (frequent, rules) = mine(
-        &transactions,
-        AprioriParams { min_support: 0.1, min_confidence: 0.7, max_len: 3 },
-    )
-    .expect("mining runs");
+    let (frequent, rules) =
+        mine(&transactions, AprioriParams { min_support: 0.1, min_confidence: 0.7, max_len: 3 })
+            .expect("mining runs");
     println!("\nfrequent itemsets: {}   rules: {}", frequent.len(), rules.len());
     for r in rules.iter().take(5) {
         println!(
@@ -108,10 +99,7 @@ fn main() {
             &format!("clusters recover the signature families (rand index {ri:.2} >= 0.85)"),
             ri >= 0.85,
         ),
-        claim(
-            "association mining links signature bins to low yield",
-            signature_implies_low_yield,
-        ),
+        claim("association mining links signature bins to low yield", signature_implies_low_yield),
     ];
     finish(&claims);
 }

@@ -48,7 +48,10 @@ fn main() {
             "original template leaves rare points nearly uncovered (< 0.3 hits/test on A2..A7)",
             orig_rate < 0.3,
         ),
-        claim("A0 and A1 are well covered from the start", original.counts[0] > 100 && original.counts[1] > 100),
+        claim(
+            "A0 and A1 are well covered from the start",
+            original.counts[0] > 100 && original.counts[1] > 100,
+        ),
         claim(
             &format!("final stage covers more points ({last_covered} vs {orig_covered})"),
             last_covered >= orig_covered && last_covered >= 7,

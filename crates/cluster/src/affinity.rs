@@ -85,9 +85,8 @@ pub fn affinity_propagation(
             }
         }
     }
-    let pref = params.preference.unwrap_or_else(|| {
-        edm_linalg::stats::median(&off_diag).unwrap_or(-1.0)
-    });
+    let pref =
+        params.preference.unwrap_or_else(|| edm_linalg::stats::median(&off_diag).unwrap_or(-1.0));
     for (i, row) in s.iter_mut().enumerate() {
         row[i] = pref;
     }
@@ -130,17 +129,13 @@ pub fn affinity_propagation(
                 }
             }
             for i in 0..n {
-                let new = if i == k {
-                    pos_sum
-                } else {
-                    (r[k][k] + pos_sum - r[i][k].max(0.0)).min(0.0)
-                };
+                let new =
+                    if i == k { pos_sum } else { (r[k][k] + pos_sum - r[i][k].max(0.0)).min(0.0) };
                 a[i][k] = damp * a[i][k] + (1.0 - damp) * new;
             }
         }
         // Current exemplars: points where r(k,k) + a(k,k) > 0.
-        let exemplars: Vec<usize> =
-            (0..n).filter(|&k| r[k][k] + a[k][k] > 0.0).collect();
+        let exemplars: Vec<usize> = (0..n).filter(|&k| r[k][k] + a[k][k] > 0.0).collect();
         if exemplars == last_exemplars && !exemplars.is_empty() {
             stable += 1;
             if stable >= params.convergence_iter {
@@ -157,9 +152,7 @@ pub fn affinity_propagation(
         // Degenerate fallback: the point with the best net self-message.
         let best = (0..n)
             .max_by(|&p, &q| {
-                (r[p][p] + a[p][p])
-                    .partial_cmp(&(r[q][q] + a[q][q]))
-                    .expect("finite messages")
+                (r[p][p] + a[p][p]).partial_cmp(&(r[q][q] + a[q][q])).expect("finite messages")
             })
             .expect("non-empty");
         exemplars = vec![best];

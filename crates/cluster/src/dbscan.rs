@@ -56,9 +56,7 @@ pub fn dbscan(
     let n = x.len();
     let eps2 = eps * eps;
     let neighbors = |i: usize| -> Vec<usize> {
-        (0..n)
-            .filter(|&j| edm_linalg::sq_dist(&x[i], &x[j]) <= eps2)
-            .collect()
+        (0..n).filter(|&j| edm_linalg::sq_dist(&x[i], &x[j]) <= eps2).collect()
     };
 
     const UNVISITED: usize = usize::MAX;

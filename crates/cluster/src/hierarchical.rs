@@ -178,8 +178,7 @@ mod tests {
         // A chain of points 1 apart, then a gap of 1.5, then one point.
         // Single linkage keeps the chain whole at k=2; complete linkage
         // may split the chain instead — we assert single's behavior only.
-        let pts: Vec<Vec<f64>> =
-            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.5]];
+        let pts: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.5]];
         let r = agglomerative(&pts, 2, Linkage::Single).unwrap();
         assert_eq!(r.labels[0], r.labels[3]);
         assert_ne!(r.labels[0], r.labels[4]);
@@ -187,8 +186,7 @@ mod tests {
 
     #[test]
     fn merge_distances_nondecreasing_for_single_linkage() {
-        let pts: Vec<Vec<f64>> =
-            (0..8).map(|i| vec![(i * i) as f64 * 0.3]).collect();
+        let pts: Vec<Vec<f64>> = (0..8).map(|i| vec![(i * i) as f64 * 0.3]).collect();
         let r = agglomerative(&pts, 1, Linkage::Single).unwrap();
         for w in r.merges.windows(2) {
             assert!(w[1].distance >= w[0].distance - 1e-12);

@@ -18,6 +18,9 @@ pub struct KMeansResult {
     pub iterations: usize,
 }
 
+/// Points scored per unit of parallel work in the assignment sweep.
+const ASSIGN_CHUNK: usize = 256;
+
 /// Runs k-means.
 ///
 /// Seeding is k-means++ (distance-proportional), then Lloyd iterations
@@ -64,10 +67,7 @@ pub fn kmeans<R: Rng + ?Sized>(
     // k-means++ seeding.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(x[rng.gen_range(0..n)].clone());
-    let mut d2: Vec<f64> = x
-        .iter()
-        .map(|p| edm_linalg::sq_dist(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = x.iter().map(|p| edm_linalg::sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -95,20 +95,26 @@ pub fn kmeans<R: Rng + ?Sized>(
     let mut iterations = 0;
     for _ in 0..max_iter {
         iterations += 1;
-        // Assignment.
-        let mut changed = false;
-        for (i, p) in x.iter().enumerate() {
-            let (best, _) = centroids
-                .iter()
-                .enumerate()
-                .map(|(c, cen)| (c, edm_linalg::sq_dist(p, cen)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-                .expect("k >= 1");
-            if labels[i] != best {
-                labels[i] = best;
-                changed = true;
+        // Assignment: the O(n·k·d) sweep. Each point's nearest-centroid
+        // search is independent, so chunks of the label buffer go to
+        // worker threads; every point sees the same centroid order, so
+        // the result is identical to the serial sweep.
+        let mut new_labels = vec![0usize; n];
+        edm_par::for_each_chunk(&mut new_labels, ASSIGN_CHUNK, |c, chunk| {
+            let start = c * ASSIGN_CHUNK;
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let p = &x[start + off];
+                let (best, _) = centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(cl, cen)| (cl, edm_linalg::sq_dist(p, cen)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                    .expect("k >= 1");
+                *slot = best;
             }
-        }
+        });
+        let mut changed = new_labels != labels;
+        labels = new_labels;
         // Update.
         let mut sums = vec![vec![0.0; d]; k];
         let mut counts = vec![0usize; k];
@@ -140,11 +146,7 @@ pub fn kmeans<R: Rng + ?Sized>(
             break;
         }
     }
-    let inertia = x
-        .iter()
-        .zip(&labels)
-        .map(|(p, &l)| edm_linalg::sq_dist(p, &centroids[l]))
-        .sum();
+    let inertia = x.iter().zip(&labels).map(|(p, &l)| edm_linalg::sq_dist(p, &centroids[l])).sum();
     Ok(KMeansResult { labels, centroids, inertia, iterations })
 }
 

@@ -113,14 +113,7 @@ mod tests {
 
     #[test]
     fn modes_land_near_blob_centers() {
-        let pts = vec![
-            vec![0.0],
-            vec![0.2],
-            vec![0.4],
-            vec![10.0],
-            vec![10.2],
-            vec![10.4],
-        ];
+        let pts = vec![vec![0.0], vec![0.2], vec![0.4], vec![10.0], vec![10.2], vec![10.4]];
         let r = mean_shift(&pts, 1.5, 200).unwrap();
         assert_eq!(r.modes.len(), 2);
         let mut centers: Vec<f64> = r.modes.iter().map(|m| m[0]).collect();

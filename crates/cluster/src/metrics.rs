@@ -177,9 +177,8 @@ mod k_selection_tests {
 
     #[test]
     fn two_blobs_prefer_two() {
-        let pts: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![if i < 5 { 0.0 } else { 8.0 } + i as f64 * 0.01])
-            .collect();
+        let pts: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![if i < 5 { 0.0 } else { 8.0 } + i as f64 * 0.01]).collect();
         let mut rng = StdRng::seed_from_u64(2);
         let (k, _, _) = select_k_by_silhouette(&pts, 4, &mut rng).unwrap();
         assert_eq!(k, 2);

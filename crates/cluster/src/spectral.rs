@@ -77,9 +77,7 @@ pub fn spectral<R: Rng + ?Sized>(
             norm[(i, j)] = w[(i, j)] / (deg[i] * deg[j]).sqrt();
         }
     }
-    let eig = norm
-        .symmetric_eigen()
-        .map_err(|e| ClusterError::Numeric(e.to_string()))?;
+    let eig = norm.symmetric_eigen().map_err(|e| ClusterError::Numeric(e.to_string()))?;
     // Embedding: rows of the top-k eigenvector block, row-normalized.
     let embedding: Vec<Vec<f64>> = (0..n)
         .map(|i| {

@@ -98,13 +98,10 @@ pub fn run<R: Rng + ?Sized>(
 
     // Cluster on relative mismatch — the quantity whose bimodality the
     // engineer sees in the scatter plot.
-    let rel_mismatch: Vec<Vec<f64>> = predicted
-        .iter()
-        .zip(&measured)
-        .map(|(&p, &m)| vec![(m - p) / p.max(1.0)])
-        .collect();
-    let clustering = kmeans(&rel_mismatch, 2, 200, rng)
-        .map_err(|e| LearnError::InvalidInput(e.to_string()))?;
+    let rel_mismatch: Vec<Vec<f64>> =
+        predicted.iter().zip(&measured).map(|(&p, &m)| vec![(m - p) / p.max(1.0)]).collect();
+    let clustering =
+        kmeans(&rel_mismatch, 2, 200, rng).map_err(|e| LearnError::InvalidInput(e.to_string()))?;
     // Identify which cluster is the slow one.
     let mean_of = |c: usize| -> f64 {
         let vals: Vec<f64> = clustering

@@ -257,8 +257,8 @@ pub fn run_stream(
     let mut simulated = 0usize;
     for (test, out) in tests.iter().zip(&outcomes) {
         let tokens = test.tokens();
-        let accept = filter.n_accepted() < config.warmup
-            || filter.decision(&tokens) < config.margin;
+        let accept =
+            filter.n_accepted() < config.warmup || filter.decision(&tokens) < config.margin;
         if !accept {
             continue;
         }
@@ -266,11 +266,7 @@ pub fn run_stream(
         simulated += 1;
         fcov.merge(&out.coverage);
         fcycles += out.cycles;
-        filtered.push(CurvePoint {
-            simulated,
-            covered: fcov.n_covered(),
-            cycles: fcycles,
-        });
+        filtered.push(CurvePoint { simulated, covered: fcov.n_covered(), cycles: fcycles });
     }
     let filtered_to_max = filtered.iter().find(|p| p.covered >= max_coverage);
     Ok(NovelSelectionResult {
@@ -315,7 +311,7 @@ mod tests {
     fn flow_reaches_baseline_coverage_with_fewer_simulations() {
         let template = TestTemplate::default();
         let sim = LsuSimulator::default_config();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = StdRng::seed_from_u64(0);
         let config = NovelSelectionConfig { n_tests: 300, ..Default::default() };
         let result = run(&template, &sim, &config, &mut rng).unwrap();
         assert!(result.max_coverage >= 2);

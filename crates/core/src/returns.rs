@@ -82,10 +82,7 @@ impl ReturnScreen {
     /// Scores a whole population at once (shared robust statistics).
     pub fn score_population(&self, population: &[&Device]) -> Vec<f64> {
         let (center, spread) = robust_stats(population, &self.selected_tests);
-        population
-            .iter()
-            .map(|d| self.detector.score(&self.project(d, &center, &spread)))
-            .collect()
+        population.iter().map(|d| self.detector.score(&self.project(d, &center, &spread))).collect()
     }
 
     /// Whether a device would be screened out as a suspected latent
@@ -202,12 +199,7 @@ pub fn run<R: Rng + ?Sized>(
     }
 
     // Select the test space where the returns stand out.
-    let selected = select_test_space(
-        &survivors,
-        &returns,
-        product.n_tests(),
-        config.n_selected,
-    );
+    let selected = select_test_space(&survivors, &returns, product.n_tests(), config.n_selected);
     let selected_names: Vec<String> =
         selected.iter().map(|&t| product.test_names()[t].clone()).collect();
 
@@ -226,12 +218,7 @@ pub fn run<R: Rng + ?Sized>(
         .collect();
     let detector = MahalanobisDetector::fit(&z_pop, config.threshold_quantile)?;
     let threshold = detector.threshold();
-    let screen = ReturnScreen {
-        selected_tests: selected,
-        selected_names,
-        detector,
-        threshold,
-    };
+    let screen = ReturnScreen { selected_tests: selected, selected_names, detector, threshold };
 
     // Plot 1: percentile of each baseline return among survivors.
     let survivor_scores = screen.score_population(&survivors);
@@ -241,10 +228,8 @@ pub fn run<R: Rng + ?Sized>(
         let below = sorted_scores.partition_point(|&v| v < s);
         below as f64 / sorted_scores.len().max(1) as f64
     };
-    let baseline_return_percentiles: Vec<f64> = returns
-        .iter()
-        .map(|d| percentile(screen.score(d, &survivors)))
-        .collect();
+    let baseline_return_percentiles: Vec<f64> =
+        returns.iter().map(|d| percentile(screen.score(d, &survivors))).collect();
 
     // Plot 2: a later production window (months later = more drift).
     let mut later_devices = Vec::new();
@@ -253,10 +238,7 @@ pub fn run<R: Rng + ?Sized>(
     }
     let (later_shipped, _) = flow.screen(&later_devices);
     let (later_returns, later_survivors) = field.field_exposure(&later_shipped, rng);
-    let later_caught = later_returns
-        .iter()
-        .filter(|d| screen.flags(d, &later_survivors))
-        .count();
+    let later_caught = later_returns.iter().filter(|d| screen.flags(d, &later_survivors)).count();
 
     // Plot 3: the sister product a year later.
     let sister = product.sister_product();
@@ -267,16 +249,13 @@ pub fn run<R: Rng + ?Sized>(
     }
     let (sister_shipped, _) = sister_flow.screen(&sister_devices);
     let (sister_returns, sister_survivors) = field.field_exposure(&sister_shipped, rng);
-    let sister_caught = sister_returns
-        .iter()
-        .filter(|d| screen.flags(d, &sister_survivors))
-        .count();
+    let sister_caught =
+        sister_returns.iter().filter(|d| screen.flags(d, &sister_survivors)).count();
 
     // Overkill on the healthy later population.
     let later_scores = screen.score_population(&later_survivors);
-    let overkill =
-        later_scores.iter().filter(|&&s| s > screen.threshold()).count() as f64
-            / later_scores.len().max(1) as f64;
+    let overkill = later_scores.iter().filter(|&&s| s > screen.threshold()).count() as f64
+        / later_scores.len().max(1) as f64;
 
     Ok(ReturnScreeningResult {
         n_baseline_returns: returns.len(),

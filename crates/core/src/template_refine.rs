@@ -69,9 +69,7 @@ pub fn apply_condition_to_template(
         ("store_frac", Op::Gt) | ("max_consec_stores", Op::Gt) => template.boost_stores(delta),
         ("load_frac", Op::Gt) => template.boost_loads(delta),
         ("base_reuse_frac", Op::Gt) | ("near_addr_frac", Op::Gt) => template.boost_reuse(delta),
-        ("near_addr_frac", Op::Le) | ("base_reuse_frac", Op::Le) => {
-            template.reduce_locality(delta)
-        }
+        ("near_addr_frac", Op::Le) | ("base_reuse_frac", Op::Le) => template.reduce_locality(delta),
         ("subword_frac", Op::Gt) => template.boost_subword(delta),
         ("unaligned_frac", Op::Gt) => template.boost_unaligned(delta),
         ("max_consec_mem", Op::Gt) => template.boost_mem_burst(delta),
@@ -122,20 +120,18 @@ pub fn run<R: Rng + ?Sized>(
         let is_last = stage_idx + 1 == config.tests_per_stage.len();
         if !is_last {
             for point in CoveragePoint::ALL {
-                let labels: Vec<i32> = outcomes
-                    .iter()
-                    .map(|o| i32::from(o.coverage.covered(point)))
-                    .collect();
+                let labels: Vec<i32> =
+                    outcomes.iter().map(|o| i32::from(o.coverage.covered(point))).collect();
                 let hits = labels.iter().filter(|&&l| l == 1).count();
                 if hits == 0 || hits * 10 > n_tests * 3 {
                     continue; // unhit or already common
                 }
-                let rules: Vec<Rule> =
-                    match learn_rules(&features, &labels, 1, config.rule_params) {
-                        Ok(r) => r,
-                        Err(LearnError::InvalidInput(_)) => continue,
-                        Err(e) => return Err(e),
-                    };
+                let rules: Vec<Rule> = match learn_rules(&features, &labels, 1, config.rule_params)
+                {
+                    Ok(r) => r,
+                    Err(LearnError::InvalidInput(_)) => continue,
+                    Err(e) => return Err(e),
+                };
                 for rule in &rules {
                     rule_strings.push(format!(
                         "{}: {}",
@@ -199,18 +195,14 @@ mod tests {
     #[test]
     fn refinement_raises_rare_point_hit_rate() {
         let sim = LsuSimulator::default_config();
-        let config = RefinementConfig {
-            tests_per_stage: vec![200, 80, 40],
-            ..Default::default()
-        };
+        let config = RefinementConfig { tests_per_stage: vec![200, 80, 40], ..Default::default() };
         let mut rng = StdRng::seed_from_u64(2024);
         let stages = run(&sim, &config, &mut rng).unwrap();
         assert_eq!(stages.len(), 3);
         // Table 1's claim is "covered with high frequencies": per-test
         // hit rate on the rare points A2..A7 grows by a large factor.
-        let rare_rate = |s: &StageResult| {
-            s.counts[2..].iter().sum::<u64>() as f64 / s.n_tests as f64
-        };
+        let rare_rate =
+            |s: &StageResult| s.counts[2..].iter().sum::<u64>() as f64 / s.n_tests as f64;
         let first = rare_rate(&stages[0]);
         let last = rare_rate(&stages[2]);
         assert!(
@@ -226,10 +218,7 @@ mod tests {
     #[test]
     fn stage_names_follow_paper() {
         let sim = LsuSimulator::default_config();
-        let config = RefinementConfig {
-            tests_per_stage: vec![50, 20, 10],
-            ..Default::default()
-        };
+        let config = RefinementConfig { tests_per_stage: vec![50, 20, 10], ..Default::default() };
         let mut rng = StdRng::seed_from_u64(3);
         let stages = run(&sim, &config, &mut rng).unwrap();
         assert_eq!(stages[0].name, "original");

@@ -102,20 +102,12 @@ pub fn run<R: Rng + ?Sized>(config: &TestCostConfig, rng: &mut R) -> TestCostRes
     let a_col = col(&phase1, test_a);
     let correlations: Vec<(String, f64)> = covering
         .iter()
-        .map(|&t| {
-            (
-                clean.test_names()[t].clone(),
-                stats::pearson(&a_col, &col(&phase1, t)),
-            )
-        })
+        .map(|&t| (clean.test_names()[t].clone(), stats::pearson(&a_col, &col(&phase1, t))))
         .collect();
-    let fails = phase1
-        .iter()
-        .filter(|d| flow.failing_tests_full(d).contains(&test_a))
-        .count();
+    let fails = phase1.iter().filter(|d| flow.failing_tests_full(d).contains(&test_a)).count();
     let unique = flow.unique_catches(&phase1, test_a).len();
-    let recommend = unique == 0
-        && correlations.iter().all(|&(_, r)| r.abs() >= config.corr_threshold);
+    let recommend =
+        unique == 0 && correlations.iter().all(|&(_, r)| r.abs() >= config.corr_threshold);
     let analysis = DropAnalysis {
         test: test_a,
         test_name: clean.test_names()[test_a].clone(),

@@ -126,21 +126,16 @@ pub fn run<R: Rng + ?Sized>(
     }
     let golden_start = Instant::now();
     let labels: Vec<VariabilityLabel> = clips.iter().map(|c| analyzer.analyze(c).label).collect();
-    let golden_us_per_clip =
-        golden_start.elapsed().as_micros() as f64 / clips.len() as f64;
+    let golden_us_per_clip = golden_start.elapsed().as_micros() as f64 / clips.len() as f64;
 
-    let histograms: Vec<Vec<f64>> = clips
-        .iter()
-        .map(|c| density_histogram(c, &config.histogram))
-        .collect();
+    let histograms: Vec<Vec<f64>> =
+        clips.iter().map(|c| density_histogram(c, &config.histogram)).collect();
     let (train_h, test_h) = histograms.split_at(config.n_train);
     let (train_l, test_l) = labels.split_at(config.n_train);
 
     // Binary SVC on ±1 labels.
-    let y: Vec<f64> = train_l
-        .iter()
-        .map(|&l| if l == VariabilityLabel::Bad { 1.0 } else { -1.0 })
-        .collect();
+    let y: Vec<f64> =
+        train_l.iter().map(|&l| if l == VariabilityLabel::Bad { 1.0 } else { -1.0 }).collect();
     let svc = SvcTrainer::new(SvcParams::default().with_c(config.svc_c))
         .kernel(HistogramIntersectionKernel::new())
         .fit(train_h, &y)?;
@@ -193,10 +188,7 @@ pub fn run<R: Rng + ?Sized>(
         }
     };
 
-    let bad_fraction = test_l
-        .iter()
-        .filter(|&&l| l == VariabilityLabel::Bad)
-        .count() as f64
+    let bad_fraction = test_l.iter().filter(|&&l| l == VariabilityLabel::Bad).count() as f64
         / test_l.len().max(1) as f64;
 
     let result = VariabilityResult {
@@ -220,18 +212,10 @@ mod tests {
     fn model_tracks_golden_labels_and_is_faster() {
         let mut rng = StdRng::seed_from_u64(9);
         let config = VariabilityConfig { n_train: 120, n_test: 60, ..Default::default() };
-        let (result, predictor) = run(
-            &LayoutGenerator::default(),
-            &VariabilityAnalyzer::default(),
-            &config,
-            &mut rng,
-        )
-        .unwrap();
-        assert!(
-            result.svc.accuracy > 0.75,
-            "svc accuracy {} too low",
-            result.svc.accuracy
-        );
+        let (result, predictor) =
+            run(&LayoutGenerator::default(), &VariabilityAnalyzer::default(), &config, &mut rng)
+                .unwrap();
+        assert!(result.svc.accuracy > 0.75, "svc accuracy {} too low", result.svc.accuracy);
         assert!(
             result.svc.bad_recall > 0.7,
             "hotspot recall {} too low (bad fraction {})",

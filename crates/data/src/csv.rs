@@ -86,12 +86,8 @@ pub fn parse(text: &str) -> Result<Dataset, CsvError> {
 /// See [`CsvError`].
 pub fn parse_with_target(text: &str, target_column: Option<&str>) -> Result<Dataset, CsvError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header: Vec<String> = lines
-        .next()
-        .ok_or(CsvError::Empty)?
-        .split(',')
-        .map(|c| c.trim().to_string())
-        .collect();
+    let header: Vec<String> =
+        lines.next().ok_or(CsvError::Empty)?.split(',').map(|c| c.trim().to_string()).collect();
     let target_idx = match target_column {
         None => None,
         Some(name) => Some(
@@ -137,9 +133,7 @@ pub fn parse_with_target(text: &str, target_column: Option<&str>) -> Result<Data
         .map(|(_, n)| n.clone())
         .collect();
     let t = if target_idx.is_some() { Target::Values(target) } else { Target::None };
-    let ds = Dataset::from_rows(rows, t)
-        .with_feature_names(names)
-        .map_err(CsvError::Dataset)?;
+    let ds = Dataset::from_rows(rows, t).with_feature_names(names).map_err(CsvError::Dataset)?;
     Ok(ds)
 }
 
@@ -224,10 +218,7 @@ mod tests {
             Err(CsvError::RaggedRow { row: 1, found: 3, expected: 2 })
         ));
         assert!(matches!(parse(""), Err(CsvError::Empty)));
-        assert!(matches!(
-            parse_with_target("a\n1\n", Some("zz")),
-            Err(CsvError::NoSuchColumn(_))
-        ));
+        assert!(matches!(parse_with_target("a\n1\n", Some("zz")), Err(CsvError::NoSuchColumn(_))));
     }
 
     #[test]

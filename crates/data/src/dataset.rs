@@ -86,10 +86,9 @@ pub enum DatasetError {
 impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            DatasetError::TargetLengthMismatch { samples, target } => write!(
-                f,
-                "target has {target} entries but the dataset has {samples} samples"
-            ),
+            DatasetError::TargetLengthMismatch { samples, target } => {
+                write!(f, "target has {target} entries but the dataset has {samples} samples")
+            }
             DatasetError::FeatureNameMismatch { features, names } => {
                 write!(f, "{names} feature names supplied for {features} features")
             }
@@ -234,10 +233,7 @@ impl Dataset {
     pub fn class_counts(&self) -> Vec<(i32, usize)> {
         let classes = self.classes();
         let labels = self.labels().unwrap_or(&[]);
-        classes
-            .into_iter()
-            .map(|c| (c, labels.iter().filter(|&&l| l == c).count()))
-            .collect()
+        classes.into_iter().map(|c| (c, labels.iter().filter(|&&l| l == c).count())).collect()
     }
 
     /// Imbalance ratio `max class count / min class count`; `1.0` when

@@ -20,10 +20,7 @@ pub struct ScoredFeature {
 
 fn rank(mut scored: Vec<ScoredFeature>) -> Vec<ScoredFeature> {
     scored.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("finite feature scores")
-            .then(a.index.cmp(&b.index))
+        b.score.partial_cmp(&a.score).expect("finite feature scores").then(a.index.cmp(&b.index))
     });
     scored
 }
@@ -74,12 +71,8 @@ pub fn by_fisher_score(ds: &Dataset) -> Vec<ScoredFeature> {
             let mut between = 0.0;
             let mut within = 0.0;
             for &c in &classes {
-                let vals: Vec<f64> = col
-                    .iter()
-                    .zip(labels)
-                    .filter(|&(_, &l)| l == c)
-                    .map(|(&v, _)| v)
-                    .collect();
+                let vals: Vec<f64> =
+                    col.iter().zip(labels).filter(|&(_, &l)| l == c).map(|(&v, _)| v).collect();
                 let n_c = vals.len() as f64;
                 let mu_c = edm_linalg::mean(&vals);
                 between += n_c * (mu_c - overall_mean) * (mu_c - overall_mean);
@@ -112,18 +105,13 @@ pub fn top_k(ranking: &[ScoredFeature], k: usize) -> Vec<usize> {
 ///
 /// This is the mechanism behind the paper's Fig. 11 usage model: pick a
 /// *small, non-redundant* test subspace in which a return stands out.
-pub fn decorrelate(
-    ds: &Dataset,
-    ranking: &[ScoredFeature],
-    max_abs_corr: f64,
-) -> Vec<usize> {
+pub fn decorrelate(ds: &Dataset, ranking: &[ScoredFeature], max_abs_corr: f64) -> Vec<usize> {
     let mut kept: Vec<usize> = Vec::new();
     let mut kept_cols: Vec<Vec<f64>> = Vec::new();
     for s in ranking {
         let col = ds.x().col(s.index);
-        let redundant = kept_cols
-            .iter()
-            .any(|kc| edm_linalg::stats::pearson(kc, &col).abs() > max_abs_corr);
+        let redundant =
+            kept_cols.iter().any(|kc| edm_linalg::stats::pearson(kc, &col).abs() > max_abs_corr);
         if !redundant {
             kept.push(s.index);
             kept_cols.push(col);
@@ -154,12 +142,7 @@ mod tests {
     #[test]
     fn correlation_ranking_finds_linear_feature() {
         let ds = Dataset::from_rows(
-            vec![
-                vec![1.0, 0.3],
-                vec![2.0, -0.8],
-                vec![3.0, 0.1],
-                vec![4.0, 0.9],
-            ],
+            vec![vec![1.0, 0.3], vec![2.0, -0.8], vec![3.0, 0.1], vec![4.0, 0.9]],
             Target::Values(vec![2.0, 4.0, 6.0, 8.0]),
         );
         let r = by_target_correlation(&ds);
@@ -171,12 +154,7 @@ mod tests {
     fn fisher_score_separable_beats_noise() {
         // Feature 0 separates classes perfectly; feature 1 is identical noise.
         let ds = Dataset::from_rows(
-            vec![
-                vec![0.0, 1.0],
-                vec![0.1, 2.0],
-                vec![5.0, 1.0],
-                vec![5.1, 2.0],
-            ],
+            vec![vec![0.0, 1.0], vec![0.1, 2.0], vec![5.0, 1.0], vec![5.1, 2.0]],
             Target::Labels(vec![0, 0, 1, 1]),
         );
         let r = by_fisher_score(&ds);
@@ -219,10 +197,8 @@ mod tests {
 
     #[test]
     fn top_k_truncates() {
-        let ranking = vec![
-            ScoredFeature { index: 2, score: 3.0 },
-            ScoredFeature { index: 0, score: 1.0 },
-        ];
+        let ranking =
+            vec![ScoredFeature { index: 2, score: 3.0 }, ScoredFeature { index: 0, score: 1.0 }];
         assert_eq!(top_k(&ranking, 1), vec![2]);
         assert_eq!(top_k(&ranking, 10), vec![2, 0]);
     }

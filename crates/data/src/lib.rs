@@ -39,8 +39,8 @@
 pub mod csv;
 mod dataset;
 pub mod feature_select;
-pub mod model_select;
 pub mod metrics;
+pub mod model_select;
 pub mod rebalance;
 pub mod scale;
 pub mod split;

@@ -28,8 +28,7 @@ impl ConfusionMatrix {
         let mut labels: Vec<i32> = truth.iter().chain(predicted).copied().collect();
         labels.sort_unstable();
         labels.dedup();
-        let index: BTreeMap<i32, usize> =
-            labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let index: BTreeMap<i32, usize> = labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         let n = labels.len();
         let mut counts = vec![vec![0usize; n]; n];
         for (&t, &p) in truth.iter().zip(predicted) {
@@ -160,12 +159,8 @@ pub fn roc_auc(truth: &[i32], score: &[f64]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 = truth
-        .iter()
-        .zip(&ranks)
-        .filter(|(&t, _)| t == 1)
-        .map(|(_, &r)| r)
-        .sum();
+    let rank_sum_pos: f64 =
+        truth.iter().zip(&ranks).filter(|(&t, _)| t == 1).map(|(_, &r)| r).sum();
     let u = rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0;
     u / (n_pos as f64 * n_neg as f64)
 }
@@ -178,12 +173,7 @@ pub fn roc_auc(truth: &[i32], score: &[f64]) -> f64 {
 pub fn mse(truth: &[f64], predicted: &[f64]) -> f64 {
     assert_eq!(truth.len(), predicted.len(), "paired values must have equal length");
     assert!(!truth.is_empty(), "mse of empty vectors is undefined");
-    truth
-        .iter()
-        .zip(predicted)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum::<f64>()
-        / truth.len() as f64
+    truth.iter().zip(predicted).map(|(t, p)| (t - p) * (t - p)).sum::<f64>() / truth.len() as f64
 }
 
 /// Root mean squared error.

@@ -66,10 +66,37 @@ where
     F: FnMut(&Dataset, &Dataset) -> Option<f64>,
 {
     let folds = KFold::new(k).split(ds, rng);
-    let scores: Vec<f64> = folds
-        .iter()
-        .filter_map(|f| fit_score(&f.train, &f.test))
-        .collect();
+    let scores: Vec<f64> = folds.iter().filter_map(|f| fit_score(&f.train, &f.test)).collect();
+    assert!(!scores.is_empty(), "every cross-validation fold failed to fit");
+    CvScore {
+        mean: edm_linalg::mean(&scores),
+        std: edm_linalg::variance(&scores).sqrt(),
+        folds: scores.len(),
+    }
+}
+
+/// K-fold cross-validation with the folds fitted on worker threads.
+///
+/// Semantics match [`cross_validate`] — same fold split for the same
+/// RNG stream, scores aggregated in fold order — but `fit_score` must
+/// be `Fn + Sync` (no mutable captures) so folds can run concurrently.
+/// Because aggregation preserves fold order, the returned [`CvScore`]
+/// is bitwise identical to the serial version's.
+///
+/// # Panics
+///
+/// Panics if every fold returns `None`.
+pub fn par_cross_validate<R, F>(ds: &Dataset, k: usize, rng: &mut R, fit_score: F) -> CvScore
+where
+    R: Rng + ?Sized,
+    F: Fn(&Dataset, &Dataset) -> Option<f64> + Sync,
+{
+    let folds = KFold::new(k).split(ds, rng);
+    let scores: Vec<f64> =
+        edm_par::map_indexed(folds.len(), |i| fit_score(&folds[i].train, &folds[i].test))
+            .into_iter()
+            .flatten()
+            .collect();
     assert!(!scores.is_empty(), "every cross-validation fold failed to fit");
     CvScore {
         mean: edm_linalg::mean(&scores),
@@ -127,10 +154,7 @@ where
     let mut best: Option<(&C, CvScore)> = None;
     for cand in candidates {
         let score = cross_validate(ds, k, rng, |train, test| fit_score(cand, train, test));
-        if best
-            .as_ref()
-            .is_none_or(|(_, s)| score.mean > s.mean)
-        {
+        if best.as_ref().is_none_or(|(_, s)| score.mean > s.mean) {
             best = Some((cand, score));
         }
     }

@@ -27,8 +27,7 @@ pub fn oversample<R: Rng + ?Sized>(ds: &Dataset, rng: &mut R) -> Dataset {
     let max = ds.class_counts().iter().map(|&(_, c)| c).max().unwrap_or(0);
     let mut idx: Vec<usize> = (0..labels.len()).collect();
     for (class, count) in ds.class_counts() {
-        let members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
         for _ in count..max {
             idx.push(*members.choose(rng).expect("non-empty class"));
         }
@@ -48,8 +47,7 @@ pub fn undersample<R: Rng + ?Sized>(ds: &Dataset, rng: &mut R) -> Dataset {
     let min = ds.class_counts().iter().map(|&(_, c)| c).min().unwrap_or(0);
     let mut idx = Vec::new();
     for (class, _) in ds.class_counts() {
-        let mut members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
         members.shuffle(rng);
         idx.extend_from_slice(&members[..min]);
     }
@@ -79,8 +77,7 @@ pub fn smote<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Dataset {
         if count == max {
             continue;
         }
-        let members: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == class).collect();
+        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == class).collect();
         // Pre-compute each member's k nearest same-class neighbors.
         let neighbors: Vec<Vec<usize>> = members
             .iter()
@@ -160,8 +157,8 @@ mod tests {
         // All synthesized minority samples interpolate between minority
         // points: first feature stays within [100, 102], second is 1.0.
         let labels = b.labels().unwrap();
-        for i in 0..b.n_samples() {
-            if labels[i] == 1 {
+        for (i, &label) in labels.iter().enumerate().take(b.n_samples()) {
+            if label == 1 {
                 let s = b.sample(i);
                 assert!((100.0..=102.0).contains(&s[0]), "escaped hull: {}", s[0]);
                 assert_eq!(s[1], 1.0);
@@ -179,8 +176,8 @@ mod tests {
         let b = smote(&ds, 3, &mut rng);
         assert_eq!(b.class_counts(), vec![(0, 3), (1, 3)]);
         let labels = b.labels().unwrap();
-        for i in 0..b.n_samples() {
-            if labels[i] == 1 {
+        for (i, &label) in labels.iter().enumerate().take(b.n_samples()) {
+            if label == 1 {
                 assert_eq!(b.sample(i), &[9.0]);
             }
         }

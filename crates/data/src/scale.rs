@@ -33,10 +33,7 @@ pub struct StandardScaler {
 impl StandardScaler {
     /// Learns per-feature mean and standard deviation from `ds`.
     pub fn fit(ds: &Dataset) -> Self {
-        StandardScaler {
-            means: stats::column_means(ds.x()),
-            stds: stats::column_stds(ds.x()),
-        }
+        StandardScaler { means: stats::column_means(ds.x()), stds: stats::column_stds(ds.x()) }
     }
 
     /// Per-feature means learned at fit time.
@@ -55,16 +52,10 @@ impl StandardScaler {
     ///
     /// Panics if the feature count differs from the fitted data.
     pub fn transform(&self, ds: &Dataset) -> Dataset {
-        let rows: Vec<Vec<f64>> = ds
-            .x()
-            .iter_rows()
-            .map(|r| self.transform_sample(r))
-            .collect();
-        let mut out = Dataset::new(Matrix::from_rows(&rows), ds.target().clone())
-            .expect("shape preserved");
-        out = out
-            .with_feature_names(ds.feature_names().to_vec())
-            .expect("name count preserved");
+        let rows: Vec<Vec<f64>> = ds.x().iter_rows().map(|r| self.transform_sample(r)).collect();
+        let mut out =
+            Dataset::new(Matrix::from_rows(&rows), ds.target().clone()).expect("shape preserved");
+        out = out.with_feature_names(ds.feature_names().to_vec()).expect("name count preserved");
         out
     }
 
@@ -143,11 +134,7 @@ impl MinMaxScaler {
     ///
     /// Panics if the feature count differs from the fitted data.
     pub fn transform(&self, ds: &Dataset) -> Dataset {
-        let rows: Vec<Vec<f64>> = ds
-            .x()
-            .iter_rows()
-            .map(|r| self.transform_sample(r))
-            .collect();
+        let rows: Vec<Vec<f64>> = ds.x().iter_rows().map(|r| self.transform_sample(r)).collect();
         Dataset::new(Matrix::from_rows(&rows), ds.target().clone())
             .expect("shape preserved")
             .with_feature_names(ds.feature_names().to_vec())

@@ -101,8 +101,7 @@ impl KFold {
             let start = f * n / self.k;
             let end = (f + 1) * n / self.k;
             let test_idx = &idx[start..end];
-            let train_idx: Vec<usize> =
-                idx[..start].iter().chain(&idx[end..]).copied().collect();
+            let train_idx: Vec<usize> = idx[..start].iter().chain(&idx[end..]).copied().collect();
             folds.push(TrainTest { train: ds.select(&train_idx), test: ds.select(test_idx) });
         }
         folds
@@ -143,16 +142,14 @@ impl StratifiedSplit {
         let mut train_idx = Vec::new();
         let mut test_idx = Vec::new();
         for c in classes {
-            let mut members: Vec<usize> =
-                (0..labels.len()).filter(|&i| labels[i] == c).collect();
+            let mut members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
             members.shuffle(rng);
             if members.len() < 2 {
                 train_idx.extend(members);
                 continue;
             }
-            let n_test =
-                ((members.len() as f64 * self.test_fraction).round() as usize)
-                    .clamp(1, members.len() - 1);
+            let n_test = ((members.len() as f64 * self.test_fraction).round() as usize)
+                .clamp(1, members.len() - 1);
             test_idx.extend_from_slice(&members[..n_test]);
             train_idx.extend_from_slice(&members[n_test..]);
         }
@@ -215,9 +212,7 @@ mod tests {
         let ds = labeled(90, 10);
         let mut rng = StdRng::seed_from_u64(2);
         let tt = StratifiedSplit::new(0.2).split(&ds, &mut rng);
-        let count = |d: &Dataset, c: i32| {
-            d.labels().unwrap().iter().filter(|&&l| l == c).count()
-        };
+        let count = |d: &Dataset, c: i32| d.labels().unwrap().iter().filter(|&&l| l == c).count();
         assert_eq!(count(&tt.test, 1), 2);
         assert_eq!(count(&tt.train, 1), 8);
         assert_eq!(count(&tt.test, 0), 18);

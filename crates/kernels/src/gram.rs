@@ -18,19 +18,34 @@ use crate::Kernel;
 /// `Vec<f64>` for a `Kernel<[f64]>`). Only the upper triangle is
 /// evaluated; symmetry is filled in, so a slightly asymmetric (buggy)
 /// kernel is symmetrized rather than propagated.
+///
+/// The upper-triangle fill runs one row per worker thread (with the
+/// `parallel` feature; serial otherwise). Each entry is produced by the
+/// same single kernel evaluation either way, so the result is bitwise
+/// identical across both paths.
 pub fn gram_matrix<S, K, I>(kernel: &K, items: &[I]) -> Matrix
 where
     S: ?Sized,
     K: Kernel<S> + ?Sized,
-    I: Borrow<S>,
+    I: Borrow<S> + Sync,
 {
     let n = items.len();
     let mut g = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in i..n {
-            let v = kernel.eval(items[i].borrow(), items[j].borrow());
-            g[(i, j)] = v;
-            g[(j, i)] = v;
+    if n == 0 {
+        return g;
+    }
+    // Phase 1: each worker fills columns i..n of its own row i.
+    edm_par::for_each_row(g.as_mut_slice(), n, |i, row| {
+        let xi = items[i].borrow();
+        for (j, slot) in row.iter_mut().enumerate().skip(i) {
+            *slot = kernel.eval(xi, items[j].borrow());
+        }
+    });
+    // Phase 2: mirror the triangle — plain copies, cheap next to the
+    // kernel evaluations above.
+    for i in 1..n {
+        for j in 0..i {
+            g[(i, j)] = g[(j, i)];
         }
     }
     g
@@ -38,14 +53,29 @@ where
 
 /// Evaluates one row of kernel values `k(x, items[i])` — what a trained
 /// kernel model needs to score a new sample.
+///
+/// Long rows are split into chunks scored by worker threads; each entry
+/// is one independent kernel evaluation, so serial and parallel results
+/// are bitwise identical.
 pub fn gram_row<S, K, I>(kernel: &K, x: &S, items: &[I]) -> Vec<f64>
 where
-    S: ?Sized,
+    S: Sync + ?Sized,
     K: Kernel<S> + ?Sized,
-    I: Borrow<S>,
+    I: Borrow<S> + Sync,
 {
-    items.iter().map(|item| kernel.eval(x, item.borrow())).collect()
+    let mut out = vec![0.0; items.len()];
+    edm_par::for_each_chunk(&mut out, GRAM_ROW_CHUNK, |c, chunk| {
+        let start = c * GRAM_ROW_CHUNK;
+        for (off, v) in chunk.iter_mut().enumerate() {
+            *v = kernel.eval(x, items[start + off].borrow());
+        }
+    });
+    out
 }
+
+/// Chunk size for [`gram_row`] scoring: large enough that the per-chunk
+/// dispatch cost is negligible next to the kernel evaluations.
+const GRAM_ROW_CHUNK: usize = 512;
 
 /// Centers a Gram matrix in feature space:
 /// `K' = K − 1ₙK − K1ₙ + 1ₙK1ₙ` where `1ₙ` is the constant `1/n` matrix.
@@ -56,25 +86,38 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `gram` is not square.
+/// Panics if `gram` is not square or not symmetric.
+///
+/// # Symmetry
+///
+/// A Gram matrix is symmetric by definition, and the centering formula
+/// is only meaningful for symmetric input, so this asserts
+/// `gram.is_symmetric(tol)` with a small roundoff allowance rather than
+/// silently folding row means into column positions.
 pub fn center_gram(gram: &Matrix) -> Matrix {
     assert!(gram.is_square(), "gram matrix must be square");
     let n = gram.rows();
     if n == 0 {
         return gram.clone();
     }
+    let sym_tol = 1e-9 * gram.max_abs().max(1.0);
+    assert!(
+        gram.is_symmetric(sym_tol),
+        "center_gram requires a symmetric matrix (tolerance {sym_tol:.3e})"
+    );
     let nf = n as f64;
-    // Row means, column means, grand mean.
-    let row_means: Vec<f64> = (0..n)
-        .map(|i| gram.row(i).iter().sum::<f64>() / nf)
-        .collect();
+    // By symmetry the column means equal the row means.
+    let row_means: Vec<f64> = (0..n).map(|i| gram.row(i).iter().sum::<f64>() / nf).collect();
     let grand = row_means.iter().sum::<f64>() / nf;
-    let mut out = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            out[(i, j)] = gram[(i, j)] - row_means[i] - row_means[j] + grand;
+    // Single output allocation; the fill is row-parallel (each output
+    // row depends only on the matching input row and the shared means).
+    let mut out = gram.clone();
+    edm_par::for_each_row(out.as_mut_slice(), n, |i, row| {
+        let mi = row_means[i];
+        for (v, mj) in row.iter_mut().zip(&row_means) {
+            *v = *v - mi - mj + grand;
         }
-    }
+    });
     out
 }
 
@@ -98,11 +141,7 @@ pub fn is_psd(gram: &Matrix, tol: f64) -> bool {
     };
     match sym.symmetric_eigen() {
         Ok(e) => {
-            let max_abs = e
-                .eigenvalues()
-                .iter()
-                .fold(0.0_f64, |m, &v| m.max(v.abs()))
-                .max(1e-300);
+            let max_abs = e.eigenvalues().iter().fold(0.0_f64, |m, &v| m.max(v.abs())).max(1e-300);
             e.eigenvalues().iter().all(|&v| v >= -tol * max_abs)
         }
         Err(_) => false,
@@ -115,13 +154,7 @@ mod tests {
     use crate::{HistogramIntersectionKernel, LinearKernel, RbfKernel, SpectrumKernel};
 
     fn cloud() -> Vec<Vec<f64>> {
-        vec![
-            vec![0.0, 0.1],
-            vec![1.0, -0.5],
-            vec![0.3, 2.0],
-            vec![-1.0, 1.0],
-            vec![0.7, 0.7],
-        ]
+        vec![vec![0.0, 0.1], vec![1.0, -0.5], vec![0.3, 2.0], vec![-1.0, 1.0], vec![0.7, 0.7]]
     }
 
     #[test]
@@ -150,12 +183,8 @@ mod tests {
 
     #[test]
     fn spectrum_gram_over_programs_is_psd() {
-        let programs: Vec<Vec<u8>> = vec![
-            vec![1, 2, 3, 4],
-            vec![2, 3, 4, 1],
-            vec![1, 1, 1, 1],
-            vec![4, 3, 2, 1],
-        ];
+        let programs: Vec<Vec<u8>> =
+            vec![vec![1, 2, 3, 4], vec![2, 3, 4, 1], vec![1, 1, 1, 1], vec![4, 3, 2, 1]];
         let g = gram_matrix(&SpectrumKernel::new(3), &programs);
         assert!(is_psd(&g, 1e-9));
     }

@@ -64,7 +64,12 @@ pub use vector_kernels::{
 /// The sample type is the *borrowed* form (`[f64]`, `[Token]`, `str`), so
 /// one implementation serves owned and borrowed data alike; the Gram
 /// helpers accept any owned container that [`std::borrow::Borrow`]s `S`.
-pub trait Kernel<S: ?Sized> {
+///
+/// `Sync` is a supertrait: the Gram builders and the SMO Q-row cache
+/// evaluate kernels from worker threads, and every kernel here is plain
+/// immutable data. `eval` takes `&self`, so implementations have no
+/// sanctioned way to mutate state that `Sync` would forbid.
+pub trait Kernel<S: ?Sized>: Sync {
     /// Evaluates `k(a, b)`.
     fn eval(&self, a: &S, b: &S) -> f64;
 }

@@ -266,12 +266,8 @@ mod profile_tests {
 
     #[test]
     fn profile_dot_matches_kernel_flat_and_weighted() {
-        let seqs: Vec<Vec<u8>> = vec![
-            vec![1, 2, 3, 4, 2, 3],
-            vec![3, 3, 3, 3],
-            vec![1, 2, 3],
-            vec![],
-        ];
+        let seqs: Vec<Vec<u8>> =
+            vec![vec![1, 2, 3, 4, 2, 3], vec![3, 3, 3, 3], vec![1, 2, 3], vec![]];
         for k in [SpectrumKernel::new(3), SpectrumKernel::weighted(4, 2.0)] {
             let profiles: Vec<SpectrumProfile> =
                 seqs.iter().map(|s| SpectrumProfile::build(s, &k)).collect();

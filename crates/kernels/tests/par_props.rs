@@ -1,0 +1,76 @@
+//! Property tests pinning the determinism guarantee of the parallel
+//! Gram builders: `gram_matrix` and `gram_row` must be **bitwise**
+//! identical to serial reference loops for any input. Sizes clear the
+//! threading threshold in `edm-par`, so the worker-thread path really
+//! runs (under the default `parallel` feature).
+
+use edm_kernels::{gram_matrix, gram_row, Kernel, LinearKernel, RbfKernel};
+use proptest::prelude::*;
+
+/// Deterministic SplitMix64 point cloud.
+fn points(seed: u64, n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+    };
+    (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
+}
+
+/// Serial reference: upper triangle evaluated in the same (i, j) order
+/// as the parallel builder, then mirrored.
+fn gram_serial<K: Kernel<[f64]>>(kernel: &K, items: &[Vec<f64>]) -> Vec<u64> {
+    let n = items.len();
+    let mut g = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i..n {
+            g[i * n + j] = kernel.eval(&items[i], &items[j]);
+        }
+    }
+    for i in 1..n {
+        for j in 0..i {
+            g[i * n + j] = g[j * n + i];
+        }
+    }
+    g.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_gram_matrix_is_bitwise_serial(
+        seed in 0u64..1_000_000,
+        n in 64usize..72,
+        gamma in 0.2f64..2.0,
+    ) {
+        let pts = points(seed, n, 3);
+        let k = RbfKernel::new(gamma);
+        let g = gram_matrix(&k, &pts);
+        let got: Vec<u64> = (0..n)
+            .flat_map(|i| g.row(i).iter().map(|v| v.to_bits()))
+            .collect();
+        prop_assert_eq!(got, gram_serial(&k, &pts));
+    }
+
+    #[test]
+    fn parallel_gram_row_is_bitwise_serial(seed in 0u64..1_000_000) {
+        // 4200 items clears the chunking threshold.
+        let pts = points(seed, 4200, 2);
+        let probe = points(seed ^ 0x5151, 1, 2).pop().expect("one point");
+        let k = LinearKernel::new();
+        let row = gram_row(&k, probe.as_slice(), &pts);
+        let want: Vec<u64> = pts
+            .iter()
+            .map(|p| k.eval(&probe, p).to_bits())
+            .collect();
+        prop_assert_eq!(
+            row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want
+        );
+    }
+}

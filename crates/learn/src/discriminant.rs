@@ -79,12 +79,8 @@ impl DiscriminantAnalysis {
         // Per-class means and scatter matrices.
         let mut stats = Vec::new();
         for &label in &labels {
-            let rows: Vec<&Vec<f64>> = x
-                .iter()
-                .zip(y)
-                .filter(|&(_, &l)| l == label)
-                .map(|(r, _)| r)
-                .collect();
+            let rows: Vec<&Vec<f64>> =
+                x.iter().zip(y).filter(|&(_, &l)| l == label).map(|(r, _)| r).collect();
             let m = rows.len();
             let mut mean = vec![0.0; d];
             for r in &rows {
@@ -188,8 +184,7 @@ impl DiscriminantAnalysis {
             .iter()
             .map(|c| {
                 assert_eq!(x.len(), c.mean.len(), "feature count mismatch");
-                let dev: Vec<f64> =
-                    x.iter().zip(&c.mean).map(|(&v, &mu)| v - mu).collect();
+                let dev: Vec<f64> = x.iter().zip(&c.mean).map(|(&v, &mu)| v - mu).collect();
                 // Mahalanobis via Cholesky: ‖L⁻¹ dev‖².
                 let z = c.chol.solve_lower(&dev);
                 let maha: f64 = z.iter().map(|v| v * v).sum();

@@ -69,30 +69,27 @@ impl RandomForestClassifier {
         }
         let d = check_xy(x, y.len())?;
         let n = x.len();
-        let m_features = params
-            .max_features
-            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
-            .clamp(1, d);
-        let mut trees = Vec::with_capacity(params.n_trees);
+        let m_features =
+            params.max_features.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize).clamp(1, d);
+        // Draw every tree's randomness up front, in tree order, so the
+        // forest is a pure function of the caller's RNG stream no matter
+        // how many worker threads train the (deterministic) trees below.
         let mut all_features: Vec<usize> = (0..d).collect();
-        for _ in 0..params.n_trees {
-            // Bootstrap sample.
-            let mut bx = Vec::with_capacity(n);
-            let mut by = Vec::with_capacity(n);
-            for _ in 0..n {
-                let i = rng.gen_range(0..n);
-                bx.push(x[i].clone());
-                by.push(y[i]);
-            }
-            all_features.shuffle(rng);
-            let feats = &all_features[..m_features];
-            trees.push(DecisionTreeClassifier::fit_on_features(
-                &bx,
-                &by,
-                params.tree,
-                Some(feats),
-            )?);
-        }
+        let draws: Vec<(Vec<usize>, Vec<usize>)> = (0..params.n_trees)
+            .map(|_| {
+                let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                all_features.shuffle(rng);
+                (indices, all_features[..m_features].to_vec())
+            })
+            .collect();
+        let trees = edm_par::map_indexed(draws.len(), |t| {
+            let (indices, feats) = &draws[t];
+            let bx: Vec<Vec<f64>> = indices.iter().map(|&i| x[i].clone()).collect();
+            let by: Vec<i32> = indices.iter().map(|&i| y[i]).collect();
+            DecisionTreeClassifier::fit_on_features(&bx, &by, params.tree, Some(feats))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok(RandomForestClassifier { trees })
     }
 
@@ -126,10 +123,7 @@ impl RandomForestClassifier {
             }
         }
         votes.sort_by_key(|&(l, _)| l);
-        votes
-            .into_iter()
-            .map(|(l, c)| (l, c as f64 / self.trees.len() as f64))
-            .collect()
+        votes.into_iter().map(|(l, c)| (l, c as f64 / self.trees.len() as f64)).collect()
     }
 }
 
@@ -163,12 +157,7 @@ mod tests {
 
     #[test]
     fn forest_beats_stump_on_xor() {
-        let x = vec![
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-        ];
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.0, 1.0], vec![1.0, 0.0]];
         let y = vec![0, 0, 1, 1];
         let mut rng = StdRng::seed_from_u64(3);
         let m = RandomForestClassifier::fit(

@@ -7,11 +7,8 @@ use serde::{Deserialize, Serialize};
 use crate::{error::check_xy, LearnError};
 
 fn k_nearest(train: &[Vec<f64>], x: &[f64], k: usize) -> Vec<(f64, usize)> {
-    let mut d: Vec<(f64, usize)> = train
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (edm_linalg::sq_dist(t, x), i))
-        .collect();
+    let mut d: Vec<(f64, usize)> =
+        train.iter().enumerate().map(|(i, t)| (edm_linalg::sq_dist(t, x), i)).collect();
     d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
     d.truncate(k);
     d

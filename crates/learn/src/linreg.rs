@@ -102,10 +102,8 @@ impl Ridge {
         let xm = Matrix::from_rows(x);
         let means = edm_linalg::stats::column_means(&xm);
         let y_mean = edm_linalg::mean(y);
-        let xc_rows: Vec<Vec<f64>> = x
-            .iter()
-            .map(|r| r.iter().zip(&means).map(|(&v, &m)| v - m).collect())
-            .collect();
+        let xc_rows: Vec<Vec<f64>> =
+            x.iter().map(|r| r.iter().zip(&means).map(|(&v, &m)| v - m).collect()).collect();
         let xc = Matrix::from_rows(&xc_rows);
         let yc: Vec<f64> = y.iter().map(|&v| v - y_mean).collect();
         // (XᵀX + λI) w = Xᵀ y
@@ -189,9 +187,7 @@ mod tests {
     #[test]
     fn ols_recovers_plane() {
         // y = 2 + 3a - b
-        let x: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 5) as f64, (i / 5) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 + 3.0 * r[0] - r[1]).collect();
         let m = LeastSquares::fit(&x, &y).unwrap();
         assert!((m.intercept() - 2.0).abs() < 1e-9);

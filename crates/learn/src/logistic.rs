@@ -120,10 +120,7 @@ impl LogisticRegression {
                 hess[(j, j)] += params.lambda;
             }
             hess[(0, 0)] += 1e-10; // keep the intercept row non-singular
-            let step = hess
-                .cholesky()
-                .map_err(LearnError::from)?
-                .solve(&grad);
+            let step = hess.cholesky().map_err(LearnError::from)?.solve(&grad);
             let mut max_step = 0.0_f64;
             for (wj, sj) in w.iter_mut().zip(&step) {
                 *wj -= sj;
@@ -172,9 +169,8 @@ mod tests {
 
     #[test]
     fn separable_data_classified() {
-        let x: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64 * 0.1 + if i >= 10 { 2.0 } else { 0.0 }])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64 * 0.1 + if i >= 10 { 2.0 } else { 0.0 }]).collect();
         let y: Vec<i32> = (0..20).map(|i| i32::from(i >= 10)).collect();
         let m = LogisticRegression::fit(&x, &y, LogisticParams::default()).unwrap();
         for (xi, &yi) in x.iter().zip(&y) {

@@ -135,10 +135,8 @@ impl MlpRegressor {
         let mut final_loss = f64::INFINITY;
         for _ in 0..params.epochs {
             // Accumulate full-batch gradients.
-            let mut grad_w: Vec<Vec<f64>> =
-                layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
-            let mut grad_b: Vec<Vec<f64>> =
-                layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+            let mut grad_w: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+            let mut grad_b: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
             let mut loss = 0.0;
             for (xi, &yi) in x.iter().zip(y) {
                 // Forward, caching activations (post-nonlinearity).
@@ -241,13 +239,9 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.1 - 1.0]).collect();
         let y: Vec<f64> = x.iter().map(|v| 0.8 * v[0] + 0.1).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let m = MlpRegressor::fit(
-            &x,
-            &y,
-            MlpParams { epochs: 1000, ..Default::default() },
-            &mut rng,
-        )
-        .unwrap();
+        let m =
+            MlpRegressor::fit(&x, &y, MlpParams { epochs: 1000, ..Default::default() }, &mut rng)
+                .unwrap();
         for probe in [-0.8, 0.0, 0.7] {
             assert!((m.predict(&[probe]) - (0.8 * probe + 0.1)).abs() < 0.1);
         }
@@ -255,12 +249,7 @@ mod tests {
 
     #[test]
     fn solves_xor() {
-        let x = vec![
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-        ];
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.0, 1.0], vec![1.0, 0.0]];
         let y = vec![-1.0, -1.0, 1.0, 1.0];
         let mut rng = StdRng::seed_from_u64(42);
         let m = MlpRegressor::fit(
@@ -280,21 +269,13 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.1]).collect();
         let y: Vec<f64> = x.iter().map(|v| (2.0 * v[0]).sin()).collect();
         let mut rng1 = StdRng::seed_from_u64(9);
-        let short = MlpRegressor::fit(
-            &x,
-            &y,
-            MlpParams { epochs: 10, ..Default::default() },
-            &mut rng1,
-        )
-        .unwrap();
+        let short =
+            MlpRegressor::fit(&x, &y, MlpParams { epochs: 10, ..Default::default() }, &mut rng1)
+                .unwrap();
         let mut rng2 = StdRng::seed_from_u64(9);
-        let long = MlpRegressor::fit(
-            &x,
-            &y,
-            MlpParams { epochs: 2000, ..Default::default() },
-            &mut rng2,
-        )
-        .unwrap();
+        let long =
+            MlpRegressor::fit(&x, &y, MlpParams { epochs: 2000, ..Default::default() }, &mut rng2)
+                .unwrap();
         assert!(long.final_loss() < short.final_loss());
     }
 

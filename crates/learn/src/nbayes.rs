@@ -60,12 +60,8 @@ impl GaussianNb {
 
         let mut classes = Vec::with_capacity(labels.len());
         for &label in &labels {
-            let members: Vec<&Vec<f64>> = x
-                .iter()
-                .zip(y)
-                .filter(|&(_, &l)| l == label)
-                .map(|(r, _)| r)
-                .collect();
+            let members: Vec<&Vec<f64>> =
+                x.iter().zip(y).filter(|&(_, &l)| l == label).map(|(r, _)| r).collect();
             let m = members.len() as f64;
             let mut means = vec![0.0; d];
             for r in &members {
@@ -85,12 +81,7 @@ impl GaussianNb {
             for s in &mut vars {
                 *s = (*s / m).max(var_floor);
             }
-            classes.push(ClassStats {
-                label,
-                log_prior: (m / n as f64).ln(),
-                means,
-                vars,
-            });
+            classes.push(ClassStats { label, log_prior: (m / n as f64).ln(), means, vars });
         }
         Ok(GaussianNb { classes, var_floor })
     }
@@ -108,9 +99,10 @@ impl GaussianNb {
                 assert_eq!(x.len(), c.means.len(), "feature count mismatch");
                 let mut ll = c.log_prior;
                 for ((&v, &mu), &var) in x.iter().zip(&c.means).zip(&c.vars) {
-                    ll += -0.5 * ((v - mu) * (v - mu) / var
-                        + var.ln()
-                        + (2.0 * std::f64::consts::PI).ln());
+                    ll += -0.5
+                        * ((v - mu) * (v - mu) / var
+                            + var.ln()
+                            + (2.0 * std::f64::consts::PI).ln());
                 }
                 (c.label, ll)
             })
@@ -130,17 +122,10 @@ impl GaussianNb {
     /// normalized with the log-sum-exp trick.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<(i32, f64)> {
         let joint = self.log_joint(x);
-        let max = joint
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = joint.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = joint.iter().map(|&(_, v)| (v - max).exp()).collect();
         let z: f64 = exps.iter().sum();
-        joint
-            .iter()
-            .zip(&exps)
-            .map(|(&(l, _), &e)| (l, e / z))
-            .collect()
+        joint.iter().zip(&exps).map(|(&(l, _), &e)| (l, e / z)).collect()
     }
 }
 

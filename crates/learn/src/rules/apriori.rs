@@ -56,10 +56,7 @@ impl Default for AprioriParams {
 }
 
 fn count_support(transactions: &[Vec<u32>], itemset: &[u32]) -> usize {
-    transactions
-        .iter()
-        .filter(|t| itemset.iter().all(|i| t.binary_search(i).is_ok()))
-        .count()
+    transactions.iter().filter(|t| itemset.iter().all(|i| t.binary_search(i).is_ok())).count()
 }
 
 /// Mines frequent itemsets and association rules.
@@ -79,7 +76,8 @@ pub fn mine(
     if transactions.is_empty() {
         return Err(LearnError::InvalidInput("no transactions".into()));
     }
-    for (name, v) in [("min_support", params.min_support), ("min_confidence", params.min_confidence)]
+    for (name, v) in
+        [("min_support", params.min_support), ("min_confidence", params.min_confidence)]
     {
         if !(v > 0.0 && v <= 1.0) {
             return Err(LearnError::InvalidParameter {
@@ -108,11 +106,8 @@ pub fn mine(
             *item_counts.entry(i).or_insert(0) += 1;
         }
     }
-    let mut level: Vec<Vec<u32>> = item_counts
-        .iter()
-        .filter(|&(_, &c)| c >= min_count)
-        .map(|(&i, _)| vec![i])
-        .collect();
+    let mut level: Vec<Vec<u32>> =
+        item_counts.iter().filter(|&(_, &c)| c >= min_count).map(|(&i, _)| vec![i]).collect();
     level.sort();
 
     let mut frequent: Vec<FrequentItemset> = level
@@ -165,13 +160,8 @@ pub fn mine(
     let mut rules = Vec::new();
     for f in frequent.iter().filter(|f| f.items.len() >= 2) {
         for (ci, &c) in f.items.iter().enumerate() {
-            let antecedent: Vec<u32> = f
-                .items
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i != ci)
-                .map(|(_, &v)| v)
-                .collect();
+            let antecedent: Vec<u32> =
+                f.items.iter().enumerate().filter(|&(i, _)| i != ci).map(|(_, &v)| v).collect();
             let ante_count = support_of
                 .get(&antecedent)
                 .copied()
@@ -211,24 +201,14 @@ mod tests {
     /// The classic bread/butter/milk toy market.
     fn market() -> Vec<Vec<u32>> {
         // 0 = bread, 1 = butter, 2 = milk, 3 = beer
-        vec![
-            vec![0, 1, 2],
-            vec![0, 1],
-            vec![0, 2],
-            vec![0, 1, 2],
-            vec![3],
-            vec![0, 1, 3],
-        ]
+        vec![vec![0, 1, 2], vec![0, 1], vec![0, 2], vec![0, 1, 2], vec![3], vec![0, 1, 3]]
     }
 
     #[test]
     fn frequent_itemsets_found_with_correct_support() {
-        let (freq, _) = mine(&market(), AprioriParams {
-            min_support: 0.5,
-            min_confidence: 0.5,
-            max_len: 3,
-        })
-        .unwrap();
+        let (freq, _) =
+            mine(&market(), AprioriParams { min_support: 0.5, min_confidence: 0.5, max_len: 3 })
+                .unwrap();
         let f = |items: &[u32]| freq.iter().find(|f| f.items == items).map(|f| f.support_count);
         assert_eq!(f(&[0]), Some(5));
         assert_eq!(f(&[1]), Some(4));
@@ -238,12 +218,9 @@ mod tests {
 
     #[test]
     fn butter_implies_bread() {
-        let (_, rules) = mine(&market(), AprioriParams {
-            min_support: 0.5,
-            min_confidence: 0.9,
-            max_len: 3,
-        })
-        .unwrap();
+        let (_, rules) =
+            mine(&market(), AprioriParams { min_support: 0.5, min_confidence: 0.9, max_len: 3 })
+                .unwrap();
         let r = rules
             .iter()
             .find(|r| r.antecedent == vec![1] && r.consequent == vec![0])
@@ -254,18 +231,12 @@ mod tests {
 
     #[test]
     fn min_confidence_filters() {
-        let (_, strict) = mine(&market(), AprioriParams {
-            min_support: 0.3,
-            min_confidence: 0.99,
-            max_len: 3,
-        })
-        .unwrap();
-        let (_, loose) = mine(&market(), AprioriParams {
-            min_support: 0.3,
-            min_confidence: 0.3,
-            max_len: 3,
-        })
-        .unwrap();
+        let (_, strict) =
+            mine(&market(), AprioriParams { min_support: 0.3, min_confidence: 0.99, max_len: 3 })
+                .unwrap();
+        let (_, loose) =
+            mine(&market(), AprioriParams { min_support: 0.3, min_confidence: 0.3, max_len: 3 })
+                .unwrap();
         assert!(strict.len() < loose.len());
         assert!(strict.iter().all(|r| r.confidence >= 0.99));
     }
@@ -273,12 +244,9 @@ mod tests {
     #[test]
     fn duplicate_items_in_transaction_counted_once() {
         let txs = vec![vec![1, 1, 2], vec![1, 2, 2]];
-        let (freq, _) = mine(&txs, AprioriParams {
-            min_support: 1.0,
-            min_confidence: 0.5,
-            max_len: 2,
-        })
-        .unwrap();
+        let (freq, _) =
+            mine(&txs, AprioriParams { min_support: 1.0, min_confidence: 0.5, max_len: 2 })
+                .unwrap();
         let pair = freq.iter().find(|f| f.items == vec![1, 2]).unwrap();
         assert_eq!(pair.support_count, 2);
     }
@@ -289,9 +257,6 @@ mod tests {
             mine(&[vec![0]], AprioriParams { min_support: 0.0, ..Default::default() }),
             Err(LearnError::InvalidParameter { name: "min_support", .. })
         ));
-        assert!(matches!(
-            mine(&[], AprioriParams::default()),
-            Err(LearnError::InvalidInput(_))
-        ));
+        assert!(matches!(mine(&[], AprioriParams::default()), Err(LearnError::InvalidInput(_))));
     }
 }

@@ -57,24 +57,14 @@ struct Candidate {
 /// Weighted relative accuracy of a condition set for `target` under the
 /// current example weights:
 /// `WRAcc = p(cov) · (p(target|cov) − p(target))`.
-fn wracc(
-    x: &[Vec<f64>],
-    y: &[i32],
-    weights: &[f64],
-    conditions: &[Condition],
-    target: i32,
-) -> f64 {
+fn wracc(x: &[Vec<f64>], y: &[i32], weights: &[f64], conditions: &[Condition], target: i32) -> f64 {
     let total_w: f64 = weights.iter().sum();
     if total_w <= 0.0 {
         return 0.0;
     }
-    let prior_pos: f64 = y
-        .iter()
-        .zip(weights)
-        .filter(|&(&l, _)| l == target)
-        .map(|(_, &w)| w)
-        .sum::<f64>()
-        / total_w;
+    let prior_pos: f64 =
+        y.iter().zip(weights).filter(|&(&l, _)| l == target).map(|(_, &w)| w).sum::<f64>()
+            / total_w;
     let mut cov_w = 0.0;
     let mut cov_pos_w = 0.0;
     for ((xi, &yi), &wi) in x.iter().zip(y).zip(weights) {
@@ -147,9 +137,7 @@ pub fn learn_rules(
         });
     }
     if !y.contains(&target) {
-        return Err(LearnError::InvalidInput(format!(
-            "target class {target} absent from labels"
-        )));
+        return Err(LearnError::InvalidInput(format!("target class {target} absent from labels")));
     }
 
     let candidates = candidate_conditions(x, params.n_thresholds);
@@ -166,10 +154,7 @@ pub fn learn_rules(
                 for cond in &candidates {
                     // Skip conditions on a feature/op already constrained
                     // the same way (keeps rules readable).
-                    if cand
-                        .conditions
-                        .iter()
-                        .any(|c| c.feature == cond.feature && c.op == cond.op)
+                    if cand.conditions.iter().any(|c| c.feature == cond.feature && c.op == cond.op)
                     {
                         continue;
                     }
@@ -184,10 +169,7 @@ pub fn learn_rules(
             }
             pool.sort_by(|a, b| b.wracc.partial_cmp(&a.wracc).expect("finite wracc"));
             pool.truncate(params.beam_width);
-            if best
-                .as_ref()
-                .is_none_or(|b| pool[0].wracc > b.wracc + 1e-12)
-            {
+            if best.as_ref().is_none_or(|b| pool[0].wracc > b.wracc + 1e-12) {
                 best = Some(pool[0].clone());
             } else {
                 break; // no refinement improved the incumbent
@@ -201,20 +183,15 @@ pub fn learn_rules(
         // Covering has converged when the search re-finds a rule already
         // in the list (same condition set, order-independent).
         let canonical = |conds: &[Condition]| -> Vec<(usize, Op, u64)> {
-            let mut c: Vec<(usize, Op, u64)> = conds
-                .iter()
-                .map(|c| (c.feature, c.op, c.threshold.to_bits()))
-                .collect();
+            let mut c: Vec<(usize, Op, u64)> =
+                conds.iter().map(|c| (c.feature, c.op, c.threshold.to_bits())).collect();
             c.sort_unstable_by(|a, b| {
                 (a.0, matches!(a.1, Op::Gt), a.2).cmp(&(b.0, matches!(b.1, Op::Gt), b.2))
             });
             c
         };
         let best_key = canonical(&best.conditions);
-        if rules
-            .iter()
-            .any(|r: &Rule| canonical(&r.conditions) == best_key)
-        {
+        if rules.iter().any(|r: &Rule| canonical(&r.conditions) == best_key) {
             break;
         }
         // Unweighted stats for reporting.
@@ -323,10 +300,9 @@ mod tests {
         let rules = learn_rules(&x, &y, 1, params).unwrap();
         assert!(rules.len() >= 2, "expected >= 2 rules, got {}", rules.len());
         // The two rules cover different samples.
-        let cov =
-            |r: &Rule| -> Vec<usize> {
-                x.iter().enumerate().filter(|(_, xi)| r.matches(xi)).map(|(i, _)| i).collect()
-            };
+        let cov = |r: &Rule| -> Vec<usize> {
+            x.iter().enumerate().filter(|(_, xi)| r.matches(xi)).map(|(i, _)| i).collect()
+        };
         assert_ne!(cov(&rules[0]), cov(&rules[1]));
     }
 
@@ -343,7 +319,7 @@ mod tests {
         // Labels independent of features: WRAcc stays ≈ 0 so no (or only
         // weak, low-precision) rules come out.
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 5) as f64]).collect();
-        let y: Vec<i32> = (0..40).map(|i| (i % 2) as i32).collect();
+        let y: Vec<i32> = (0..40).map(|i| i % 2).collect();
         let rules = learn_rules(&x, &y, 1, Cn2SdParams::default()).unwrap();
         for r in &rules {
             assert!(r.precision < 0.8, "suspiciously strong rule on noise: {r:?}");

@@ -47,10 +47,7 @@ impl Condition {
 
     /// Renders with a feature-name table, e.g. `"via45 > 30.0"`.
     pub fn display_with(&self, names: &[String]) -> String {
-        let name = names
-            .get(self.feature)
-            .map(String::as_str)
-            .unwrap_or("?");
+        let name = names.get(self.feature).map(String::as_str).unwrap_or("?");
         let op = match self.op {
             Op::Le => "<=",
             Op::Gt => ">",
@@ -91,11 +88,7 @@ impl Rule {
         let body = if self.conditions.is_empty() {
             "TRUE".to_string()
         } else {
-            self.conditions
-                .iter()
-                .map(|c| c.display_with(names))
-                .collect::<Vec<_>>()
-                .join(" AND ")
+            self.conditions.iter().map(|c| c.display_with(names)).collect::<Vec<_>>().join(" AND ")
         };
         format!(
             "IF {body} THEN class {} (cov {}, prec {:.2})",
@@ -116,11 +109,7 @@ pub struct RuleSet {
 impl RuleSet {
     /// Predicts by first matching rule, else the default class.
     pub fn predict(&self, x: &[f64]) -> i32 {
-        self.rules
-            .iter()
-            .find(|r| r.matches(x))
-            .map(|r| r.class)
-            .unwrap_or(self.default_class)
+        self.rules.iter().find(|r| r.matches(x)).map(|r| r.class).unwrap_or(self.default_class)
     }
 
     /// Number of rules.
@@ -196,13 +185,7 @@ mod tests {
 
     #[test]
     fn empty_rule_matches_everything() {
-        let r = Rule {
-            conditions: vec![],
-            class: 7,
-            coverage: 0,
-            precision: 0.0,
-            wracc: 0.0,
-        };
+        let r = Rule { conditions: vec![], class: 7, coverage: 0, precision: 0.0, wracc: 0.0 };
         assert!(r.matches(&[1.0, 2.0, 3.0]));
         assert!(r.display_with(&[]).contains("IF TRUE"));
     }

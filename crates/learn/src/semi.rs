@@ -73,9 +73,8 @@ impl SelfTrainedNb {
                     continue;
                 }
                 let posterior = model.predict_proba(&x[i]);
-                if let Some(&(l, p)) = posterior
-                    .iter()
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite posterior"))
+                if let Some(&(l, p)) =
+                    posterior.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite posterior"))
                 {
                     if p >= params.confidence {
                         *label = Some(l);
@@ -180,20 +179,12 @@ mod tests {
     fn strict_confidence_adopts_nothing_near_the_boundary() {
         // One unlabeled point exactly symmetric between the classes, so
         // the posterior is 0.5 regardless of variance.
-        let x = vec![
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![3.0, 3.0],
-            vec![4.0, 4.0],
-            vec![2.0, 2.0],
-        ];
+        let x =
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![3.0, 3.0], vec![4.0, 4.0], vec![2.0, 2.0]];
         let y = vec![Some(0), Some(0), Some(1), Some(1), None];
-        let model = SelfTrainedNb::fit(
-            &x,
-            &y,
-            SelfTrainParams { confidence: 0.999999, max_rounds: 5 },
-        )
-        .unwrap();
+        let model =
+            SelfTrainedNb::fit(&x, &y, SelfTrainParams { confidence: 0.999999, max_rounds: 5 })
+                .unwrap();
         assert_eq!(model.pseudo_labels()[4], None);
     }
 

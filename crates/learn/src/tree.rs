@@ -116,8 +116,8 @@ fn best_split(
                 continue;
             }
             let right: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] > thr).collect();
-            let score = left.len() as f64 / n * impurity(&left)
-                + right.len() as f64 / n * impurity(&right);
+            let score =
+                left.len() as f64 / n * impurity(&left) + right.len() as f64 / n * impurity(&right);
             // Ties with the parent are allowed (XOR-style targets need a
             // non-improving first cut); recursion still terminates because
             // both children are strictly smaller.
@@ -152,15 +152,29 @@ fn grow(
             Node::Leaf { value, counts }
         }
         Some((f, thr)) => {
-            let left_idx: Vec<usize> =
-                idx.iter().copied().filter(|&i| x[i][f] <= thr).collect();
-            let right_idx: Vec<usize> =
-                idx.iter().copied().filter(|&i| x[i][f] > thr).collect();
+            let left_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] <= thr).collect();
+            let right_idx: Vec<usize> = idx.iter().copied().filter(|&i| x[i][f] > thr).collect();
             Node::Split {
                 feature: f,
                 threshold: thr,
-                left: Box::new(grow(x, &left_idx, depth + 1, params, impurity, leaf_value, features)),
-                right: Box::new(grow(x, &right_idx, depth + 1, params, impurity, leaf_value, features)),
+                left: Box::new(grow(
+                    x,
+                    &left_idx,
+                    depth + 1,
+                    params,
+                    impurity,
+                    leaf_value,
+                    features,
+                )),
+                right: Box::new(grow(
+                    x,
+                    &right_idx,
+                    depth + 1,
+                    params,
+                    impurity,
+                    leaf_value,
+                    features,
+                )),
             }
         }
     }
@@ -241,10 +255,7 @@ impl DecisionTreeClassifier {
         match self.root.descend(x) {
             Node::Leaf { counts, .. } => {
                 let total: usize = counts.iter().map(|&(_, c)| c).sum();
-                counts
-                    .iter()
-                    .map(|&(l, c)| (l, c as f64 / total.max(1) as f64))
-                    .collect()
+                counts.iter().map(|&(l, c)| (l, c as f64 / total.max(1) as f64)).collect()
             }
             Node::Split { .. } => unreachable!("descend returns leaves"),
         }
@@ -308,12 +319,7 @@ mod tests {
 
     #[test]
     fn classifier_fits_xor() {
-        let x = vec![
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-        ];
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.0, 1.0], vec![1.0, 0.0]];
         let y = vec![0, 0, 1, 1];
         let m = DecisionTreeClassifier::fit(&x, &y, TreeParams::default()).unwrap();
         for (xi, &yi) in x.iter().zip(&y) {
@@ -334,13 +340,10 @@ mod tests {
     #[test]
     fn depth_limit_respected() {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
-        let y: Vec<i32> = (0..64).map(|i| (i % 2) as i32).collect();
-        let m = DecisionTreeClassifier::fit(
-            &x,
-            &y,
-            TreeParams { max_depth: 3, ..Default::default() },
-        )
-        .unwrap();
+        let y: Vec<i32> = (0..64).map(|i| i % 2).collect();
+        let m =
+            DecisionTreeClassifier::fit(&x, &y, TreeParams { max_depth: 3, ..Default::default() })
+                .unwrap();
         assert!(m.depth() <= 3);
         assert!(m.n_leaves() <= 8);
     }

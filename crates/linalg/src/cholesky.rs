@@ -197,10 +197,7 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
-        assert!(matches!(
-            a.cholesky(),
-            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
-        ));
+        assert!(matches!(a.cholesky(), Err(LinalgError::NotPositiveDefinite { pivot: 1 })));
     }
 
     #[test]

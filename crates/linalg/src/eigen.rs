@@ -175,11 +175,8 @@ mod tests {
 
     #[test]
     fn reconstruction_error_small() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 1.0, -2.0],
-            vec![1.0, 2.0, 0.0],
-            vec![-2.0, 0.0, 3.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![4.0, 1.0, -2.0], vec![1.0, 2.0, 0.0], vec![-2.0, 0.0, 3.0]]);
         let e = a.symmetric_eigen().unwrap();
         assert!((&e.reconstruct() - &a).max_abs() < 1e-10);
     }
@@ -199,11 +196,8 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.5, 0.2],
-            vec![0.5, 2.0, -0.3],
-            vec![0.2, -0.3, 3.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![1.0, 0.5, 0.2], vec![0.5, 2.0, -0.3], vec![0.2, -0.3, 3.0]]);
         let e = a.symmetric_eigen().unwrap();
         let sum: f64 = e.eigenvalues().iter().sum();
         assert!((sum - a.trace()).abs() < 1e-10);

@@ -136,11 +136,8 @@ mod tests {
     #[test]
     fn solve_with_pivoting() {
         // Leading zero forces a pivot swap.
-        let a = Matrix::from_rows(&[
-            vec![0.0, 2.0, 1.0],
-            vec![1.0, 1.0, 1.0],
-            vec![2.0, 0.0, -1.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![0.0, 2.0, 1.0], vec![1.0, 1.0, 1.0], vec![2.0, 0.0, -1.0]]);
         let x_true = [1.0, 2.0, 3.0];
         let b = a.mat_vec(&x_true);
         let x = a.lu().unwrap().solve(&b);
@@ -171,11 +168,8 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, -1.0, 0.0],
-            vec![-1.0, 2.0, -1.0],
-            vec![0.0, -1.0, 2.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![2.0, -1.0, 0.0], vec![-1.0, 2.0, -1.0], vec![0.0, -1.0, 2.0]]);
         let inv = a.lu().unwrap().inverse();
         assert!((&a.mat_mul(&inv) - &Matrix::identity(3)).max_abs() < 1e-12);
     }

@@ -152,19 +152,29 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix, returning the flat row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
     }
 
     /// The transpose `Aᵀ`.
+    ///
+    /// Large matrices are transposed with one worker thread per output
+    /// row; each element is a single copy, so serial and parallel
+    /// results are identical.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t[(c, r)] = self[(r, c)];
+        let n = self.rows;
+        edm_par::for_each_row(&mut t.data, n.max(1), |c, trow| {
+            for (r, slot) in trow.iter_mut().enumerate() {
+                *slot = self[(r, c)];
             }
-        }
+        });
         t
     }
 
@@ -208,36 +218,43 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order keeps the inner loop contiguous in both B and C.
-        for i in 0..self.rows {
+        // Output rows are independent, so they parallelize without
+        // changing each element's k-ascending accumulation order: the
+        // product is bitwise identical to the serial path.
+        edm_par::for_each_row(&mut out.data, other.cols.max(1), |i, crow| {
             for k in 0..self.cols {
                 let a = self[(i, k)];
                 if a == 0.0 {
                     continue;
                 }
                 let brow = other.row(k);
-                let crow = out.row_mut(i);
                 for (c, &b) in crow.iter_mut().zip(brow) {
                     *c += a * b;
                 }
             }
-        }
+        });
         out
     }
 
     /// The Gram product `AᵀA` (always symmetric positive semidefinite).
+    ///
+    /// Upper-triangle rows are computed in parallel for large outputs.
+    /// Every element accumulates its sample terms in the same ascending
+    /// sample order as the serial loop (and with the same skip of zero
+    /// factors), so the result is bitwise identical either way.
     pub fn gram(&self) -> Matrix {
         let mut g = Matrix::zeros(self.cols, self.cols);
-        for row in self.iter_rows() {
-            for i in 0..self.cols {
+        edm_par::for_each_row(&mut g.data, self.cols.max(1), |i, grow| {
+            for row in self.data.chunks_exact(self.cols.max(1)) {
                 let ri = row[i];
                 if ri == 0.0 {
                     continue;
                 }
-                for j in i..self.cols {
-                    g[(i, j)] += ri * row[j];
+                for (slot, &rj) in grow[i..].iter_mut().zip(&row[i..]) {
+                    *slot += ri * rj;
                 }
             }
-        }
+        });
         for i in 0..self.cols {
             for j in 0..i {
                 g[(i, j)] = g[(j, i)];
@@ -248,11 +265,7 @@ impl Matrix {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Scales every element by `s`.
@@ -503,11 +516,7 @@ mod tests {
 
     #[test]
     fn select_extracts_submatrix() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-            vec![7.0, 8.0, 9.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]);
         let s = a.select(&[0, 2], &[1]);
         assert_eq!(s.shape(), (2, 1));
         assert_eq!(s[(0, 0)], 2.0);

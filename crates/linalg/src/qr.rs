@@ -149,12 +149,8 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-            vec![7.0, 8.5],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0], vec![7.0, 8.5]]);
         let qr = a.qr();
         for i in 0..qr.r().rows() {
             for j in 0..i {
@@ -166,12 +162,8 @@ mod tests {
     #[test]
     fn least_squares_matches_normal_equations() {
         // y = 1 + 2x with noise-free data: exact recovery.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-            vec![1.0, 3.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]]);
         let b = [1.0, 3.0, 5.0, 7.0];
         let x = a.qr().solve_least_squares(&b);
         assert!((x[0] - 1.0).abs() < 1e-12);

@@ -1,0 +1,127 @@
+//! Property tests pinning the determinism guarantee of the parallel
+//! matrix kernels: `mat_mul`, `gram` (AᵀA), and `transpose` must be
+//! **bitwise** identical to their serial reference loops, for any input.
+//!
+//! Shapes are chosen so the outputs clear the threading threshold in
+//! `edm-par` — these runs actually exercise the worker-thread path
+//! (under the default `parallel` feature).
+
+use edm_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Deterministic SplitMix64 fill so `(seed, dims)` fully describes a
+/// case; every `zero_every`-th element is exactly 0.0 to exercise the
+/// zero-skip branches.
+fn fill(seed: u64, len: usize, zero_every: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..len)
+        .map(|i| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            if zero_every > 0 && i % zero_every == 0 {
+                0.0
+            } else {
+                (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+            }
+        })
+        .collect()
+}
+
+fn matrix(seed: u64, rows: usize, cols: usize, zero_every: usize) -> Matrix {
+    let data = fill(seed, rows * cols, zero_every);
+    Matrix::from_rows(&data.chunks(cols).map(<[f64]>::to_vec).collect::<Vec<_>>())
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    (0..m.rows()).flat_map(|i| m.row(i).iter().map(|v| v.to_bits())).collect()
+}
+
+/// Serial i-k-j product with the same zero-skip as the implementation.
+fn mat_mul_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a[(i, k)];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Serial AᵀA: upper triangle in ascending sample order (with the same
+/// zero-skip), then mirrored.
+fn gram_serial(a: &Matrix) -> Matrix {
+    let c = a.cols();
+    let mut g = Matrix::zeros(c, c);
+    for i in 0..c {
+        for r in 0..a.rows() {
+            let ri = a[(r, i)];
+            if ri == 0.0 {
+                continue;
+            }
+            for j in i..c {
+                g[(i, j)] += ri * a[(r, j)];
+            }
+        }
+    }
+    for i in 1..c {
+        for j in 0..i {
+            g[(i, j)] = g[(j, i)];
+        }
+    }
+    g
+}
+
+fn transpose_serial(a: &Matrix) -> Matrix {
+    let mut t = Matrix::zeros(a.cols(), a.rows());
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            t[(c, r)] = a[(r, c)];
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_mat_mul_is_bitwise_serial(
+        seed in 0u64..1_000_000,
+        rows in 64usize..80,
+        inner in 1usize..24,
+        cols in 64usize..80,
+    ) {
+        let a = matrix(seed, rows, inner, 3);
+        let b = matrix(seed ^ 0xABCD, inner, cols, 5);
+        prop_assert_eq!(bits(&a.mat_mul(&b)), bits(&mat_mul_serial(&a, &b)));
+    }
+
+    #[test]
+    fn parallel_gram_is_bitwise_serial(
+        seed in 0u64..1_000_000,
+        rows in 1usize..40,
+        cols in 64usize..80,
+    ) {
+        let a = matrix(seed, rows, cols, 4);
+        prop_assert_eq!(bits(&a.gram()), bits(&gram_serial(&a)));
+    }
+
+    #[test]
+    fn parallel_transpose_is_bitwise_serial(
+        seed in 0u64..1_000_000,
+        rows in 64usize..80,
+        cols in 64usize..80,
+    ) {
+        let a = matrix(seed, rows, cols, 7);
+        prop_assert_eq!(bits(&a.transpose()), bits(&transpose_serial(&a)));
+    }
+}

@@ -46,10 +46,9 @@ pub fn density_histogram(clip: &LayoutClip, spec: &HistogramSpec) -> Vec<f64> {
     let mut sat = vec![0.0; (n + 1) * (n + 1)];
     for r in 0..n {
         for c in 0..n {
-            sat[(r + 1) * (n + 1) + c + 1] = grid.get(r, c)
-                + sat[r * (n + 1) + c + 1]
-                + sat[(r + 1) * (n + 1) + c]
-                - sat[r * (n + 1) + c];
+            sat[(r + 1) * (n + 1) + c + 1] =
+                grid.get(r, c) + sat[r * (n + 1) + c + 1] + sat[(r + 1) * (n + 1) + c]
+                    - sat[r * (n + 1) + c];
         }
     }
     let window_area = (w * w) as f64;

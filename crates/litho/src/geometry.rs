@@ -19,12 +19,7 @@ impl Rect {
     /// Creates a rectangle; coordinates are normalized so `x0 <= x1`,
     /// `y0 <= y1`.
     pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
-        Rect {
-            x0: x0.min(x1),
-            y0: y0.min(y1),
-            x1: x0.max(x1),
-            y1: y0.max(y1),
-        }
+        Rect { x0: x0.min(x1), y0: y0.min(y1), x1: x0.max(x1), y1: y0.max(y1) }
     }
 
     /// Width in nm.
@@ -72,12 +67,7 @@ impl Rect {
 
     /// Translates by `(dx, dy)`.
     pub fn translated(&self, dx: i32, dy: i32) -> Rect {
-        Rect {
-            x0: self.x0 + dx,
-            y0: self.y0 + dy,
-            x1: self.x1 + dx,
-            y1: self.y1 + dy,
-        }
+        Rect { x0: self.x0 + dx, y0: self.y0 + dy, x1: self.x1 + dx, y1: self.y1 + dy }
     }
 }
 

@@ -195,7 +195,8 @@ mod tests {
 
     #[test]
     fn clip_clips_to_window() {
-        let c = LayoutClip::new(100, vec![Rect::new(-50, 0, 50, 200), Rect::new(500, 500, 600, 600)]);
+        let c =
+            LayoutClip::new(100, vec![Rect::new(-50, 0, 50, 200), Rect::new(500, 500, 600, 600)]);
         assert_eq!(c.rects().len(), 1);
         assert_eq!(c.rects()[0], Rect::new(0, 0, 50, 100));
     }
@@ -228,10 +229,7 @@ mod tests {
         let g = LayoutGenerator::default();
         let mut rng = StdRng::seed_from_u64(3);
         let c = g.generate(ClipStyle::LinesAndSpaces, &mut rng);
-        let full = c
-            .rects()
-            .iter()
-            .all(|r| r.height() == c.size() || r.width() == c.size());
+        let full = c.rects().iter().all(|r| r.height() == c.size() || r.width() == c.size());
         assert!(full);
     }
 

@@ -168,8 +168,7 @@ mod tests {
         let mask = half_plane();
         let model = OpticsModel::default();
         let focused = model.aerial_image(&mask, &ProcessCorner::nominal());
-        let defocused =
-            model.aerial_image(&mask, &ProcessCorner { dose: 1.0, defocus: 3.0 });
+        let defocused = model.aerial_image(&mask, &ProcessCorner { dose: 1.0, defocus: 3.0 });
         let slope = |img: &Grid| {
             let r = img.n() / 2;
             (img.get(r, 28) - img.get(r, 36)).abs()

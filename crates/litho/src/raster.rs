@@ -133,13 +133,10 @@ mod tests {
 
     #[test]
     fn total_mass_conserved() {
-        let clip = LayoutClip::new(128, vec![
-            Rect::new(3, 5, 77, 40),
-            Rect::new(90, 90, 120, 128),
-        ]);
+        let clip = LayoutClip::new(128, vec![Rect::new(3, 5, 77, 40), Rect::new(90, 90, 120, 128)]);
         let g = rasterize(&clip, 16);
-        let mass: f64 = g.as_slice().iter().sum::<f64>()
-            * (g.pixel_nm() as f64 * g.pixel_nm() as f64);
+        let mass: f64 =
+            g.as_slice().iter().sum::<f64>() * (g.pixel_nm() as f64 * g.pixel_nm() as f64);
         let drawn: i64 = clip.rects().iter().map(Rect::area).sum();
         assert!((mass - drawn as f64).abs() < 1e-6);
     }

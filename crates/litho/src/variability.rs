@@ -92,11 +92,8 @@ impl VariabilityAnalyzer {
     pub fn analyze(&self, clip: &LayoutClip) -> VariabilityReport {
         let mask = rasterize(clip, self.grid_n);
         let nominal_img = self.optics.aerial_image(&mask, &ProcessCorner::nominal());
-        let nominal: Vec<bool> = nominal_img
-            .as_slice()
-            .iter()
-            .map(|&v| v >= self.resist_threshold)
-            .collect();
+        let nominal: Vec<bool> =
+            nominal_img.as_slice().iter().map(|&v| v >= self.resist_threshold).collect();
         let mut flipped = vec![false; nominal.len()];
         for corner in &self.corners {
             let printed = self.print_at(clip, corner);
@@ -106,23 +103,17 @@ impl VariabilityAnalyzer {
         }
         // Fidelity: compare the nominal print with the drawn geometry.
         let intended: Vec<bool> = mask.as_slice().iter().map(|&v| v >= 0.5).collect();
-        let fidelity_error_pixels = intended
-            .iter()
-            .zip(&nominal)
-            .filter(|&(&i, &p)| i != p)
-            .count();
+        let fidelity_error_pixels =
+            intended.iter().zip(&nominal).filter(|&(&i, &p)| i != p).count();
         // Normalize by the drawn contour length so the score reads as
         // "EPE-like pixels of trouble per edge pixel".
-        let contour = contour_pixels(&intended, self.grid_n)
-            .max(contour_pixels(&nominal, self.grid_n));
+        let contour =
+            contour_pixels(&intended, self.grid_n).max(contour_pixels(&nominal, self.grid_n));
         let flipped_pixels = flipped.iter().filter(|&&f| f).count();
         let contour_pixels = contour.max(1);
         let score = (flipped_pixels + fidelity_error_pixels) as f64 / contour_pixels as f64;
-        let label = if score > self.bad_threshold {
-            VariabilityLabel::Bad
-        } else {
-            VariabilityLabel::Good
-        };
+        let label =
+            if score > self.bad_threshold { VariabilityLabel::Bad } else { VariabilityLabel::Good };
         VariabilityReport { score, label, flipped_pixels, fidelity_error_pixels, contour_pixels }
     }
 

@@ -61,12 +61,11 @@ impl ProductModel {
     ///   in-spec amount — invisible per-test, an outlier in the right
     ///   3-D subspace (Fig. 11).
     pub fn automotive() -> Self {
-        let test_names: Vec<String> = [
-            "test_A", "test_1", "test_2", "test_3", "iddq", "vmin", "fmax", "leak_hi",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        let test_names: Vec<String> =
+            ["test_A", "test_1", "test_2", "test_3", "iddq", "vmin", "fmax", "leak_hi"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let n = test_names.len();
         // Three factors: f0 drives the A/1/2/3 family, f1 the power
         // family, f2 speed.
@@ -176,12 +175,7 @@ impl ProductModel {
     }
 
     /// Generates one device in the given lot.
-    pub fn generate_device<R: Rng + ?Sized>(
-        &self,
-        id: u64,
-        lot: u32,
-        rng: &mut R,
-    ) -> Device {
+    pub fn generate_device<R: Rng + ?Sized>(&self, id: u64, lot: u32, rng: &mut R) -> Device {
         let k = self.loadings.cols();
         let f: Vec<f64> = (0..k).map(|_| standard_normal(rng)).collect();
         let mut m = Vec::with_capacity(self.n_tests());
@@ -213,16 +207,9 @@ impl ProductModel {
 
     /// Generates a lot of `n` devices with sequential ids starting at
     /// `lot as u64 * 1_000_000`.
-    pub fn generate_lot<R: Rng + ?Sized>(
-        &self,
-        lot: u32,
-        n: usize,
-        rng: &mut R,
-    ) -> Vec<Device> {
+    pub fn generate_lot<R: Rng + ?Sized>(&self, lot: u32, n: usize, rng: &mut R) -> Vec<Device> {
         let base = lot as u64 * 1_000_000;
-        (0..n)
-            .map(|i| self.generate_device(base + i as u64, lot, rng))
-            .collect()
+        (0..n).map(|i| self.generate_device(base + i as u64, lot, rng)).collect()
     }
 }
 
@@ -234,9 +221,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn matrix_of(devices: &[Device]) -> Matrix {
-        Matrix::from_rows(
-            &devices.iter().map(|d| d.measurements.clone()).collect::<Vec<_>>(),
-        )
+        Matrix::from_rows(&devices.iter().map(|d| d.measurements.clone()).collect::<Vec<_>>())
     }
 
     #[test]
@@ -261,11 +246,7 @@ mod tests {
         let mut in_spec = 0;
         for d in &lot {
             assert!(d.latent_defect);
-            if d.measurements
-                .iter()
-                .zip(limits)
-                .all(|(&v, &(lo, hi))| v >= lo && v <= hi)
-            {
+            if d.measurements.iter().zip(limits).all(|(&v, &(lo, hi))| v >= lo && v <= hi) {
                 in_spec += 1;
             }
         }

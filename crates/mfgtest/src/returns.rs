@@ -31,11 +31,8 @@ impl Default for FieldModel {
 impl FieldModel {
     /// Whether this shipped device comes back from the customer.
     pub fn fails_in_field<R: Rng + ?Sized>(&self, device: &Device, rng: &mut R) -> bool {
-        let p = if device.latent_defect {
-            self.defect_fail_prob
-        } else {
-            self.background_fail_prob
-        };
+        let p =
+            if device.latent_defect { self.defect_fail_prob } else { self.background_fail_prob };
         rng.gen::<f64>() < p
     }
 

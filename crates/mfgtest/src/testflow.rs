@@ -48,9 +48,7 @@ impl TestFlow {
             .measurements
             .iter()
             .enumerate()
-            .filter(|&(i, &v)| {
-                !self.dropped[i] && (v < self.limits[i].0 || v > self.limits[i].1)
-            })
+            .filter(|&(i, &v)| !self.dropped[i] && (v < self.limits[i].0 || v > self.limits[i].1))
             .map(|(i, _)| i)
             .collect()
     }

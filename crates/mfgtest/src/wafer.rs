@@ -105,10 +105,7 @@ impl WaferMap {
 
     /// Number of failing dies.
     pub fn n_fails(&self) -> usize {
-        self.dies
-            .iter()
-            .filter(|d| matches!(d, DieResult::Fail(_)))
-            .count()
+        self.dies.iter().filter(|d| matches!(d, DieResult::Fail(_))).count()
     }
 
     /// Yield = passing / on-wafer dies.
@@ -129,11 +126,7 @@ impl WaferMap {
     }
 
     /// Stamps a spatial signature (bin 2 = edge, 3 = center, 4 = scratch).
-    pub fn with_signature<R: Rng + ?Sized>(
-        mut self,
-        sig: SpatialSignature,
-        rng: &mut R,
-    ) -> Self {
+    pub fn with_signature<R: Rng + ?Sized>(mut self, sig: SpatialSignature, rng: &mut R) -> Self {
         let n = self.n;
         for r in 0..n {
             for c in 0..n {
@@ -142,9 +135,7 @@ impl WaferMap {
                 }
                 let rad = Self::radius_of(n, r, c);
                 let (hit, bin, p) = match sig {
-                    SpatialSignature::EdgeRing { inner, fail_prob } => {
-                        (rad >= inner, 2, fail_prob)
-                    }
+                    SpatialSignature::EdgeRing { inner, fail_prob } => (rad >= inner, 2, fail_prob),
                     SpatialSignature::CenterSpot { radius, fail_prob } => {
                         (rad <= radius, 3, fail_prob)
                     }
@@ -294,10 +285,8 @@ mod tests {
     #[test]
     fn center_spot_is_the_mirror_case() {
         let mut rng = StdRng::seed_from_u64(2);
-        let w = WaferMap::new(21).with_signature(
-            SpatialSignature::CenterSpot { radius: 0.3, fail_prob: 0.9 },
-            &mut rng,
-        );
+        let w = WaferMap::new(21)
+            .with_signature(SpatialSignature::CenterSpot { radius: 0.3, fail_prob: 0.9 }, &mut rng);
         let f = w.spatial_features();
         assert!(f[2] > 0.3, "center rate {}", f[2]);
         assert!(f[1] < 0.05, "edge rate {}", f[1]);
@@ -306,10 +295,8 @@ mod tests {
     #[test]
     fn scratch_is_collinear() {
         let mut rng = StdRng::seed_from_u64(3);
-        let w = WaferMap::new(25).with_signature(
-            SpatialSignature::Scratch { angle: 0.7, fail_prob: 1.0 },
-            &mut rng,
-        );
+        let w = WaferMap::new(25)
+            .with_signature(SpatialSignature::Scratch { angle: 0.7, fail_prob: 1.0 }, &mut rng);
         let f = w.spatial_features();
         assert!(f[3] > 0.9, "collinearity {}", f[3]);
         // random defects are not collinear

@@ -105,9 +105,8 @@ impl<K: Kernel<[f64]> + Clone> OneClassSvmDetector<K> {
     /// Propagates SVM training errors.
     pub fn fit(x: &[Vec<f64>], kernel: K, nu: f64) -> Result<Self, NoveltyError> {
         check_points(x)?;
-        let model = OneClassSvm::new(OneClassParams::default().with_nu(nu))
-            .kernel(kernel)
-            .fit(x)?;
+        let model =
+            OneClassSvm::new(OneClassParams::default().with_nu(nu)).kernel(kernel).fit(x)?;
         Ok(OneClassSvmDetector { model })
     }
 
@@ -167,13 +166,10 @@ impl MahalanobisDetector {
         for i in 0..d {
             cov[(i, i)] += ridge;
         }
-        let chol = cov
-            .cholesky()
-            .map_err(|e| NoveltyError::Numeric(e.to_string()))?;
+        let chol = cov.cholesky().map_err(|e| NoveltyError::Numeric(e.to_string()))?;
         let mut detector = MahalanobisDetector { mean, chol, threshold: f64::INFINITY };
         let scores: Vec<f64> = x.iter().map(|p| detector.score(p)).collect();
-        detector.threshold =
-            stats::quantile(&scores, quantile).expect("non-empty scores");
+        detector.threshold = stats::quantile(&scores, quantile).expect("non-empty scores");
         Ok(detector)
     }
 }
@@ -231,11 +227,9 @@ impl KnnDistanceDetector {
             )));
         }
         let mut detector = KnnDistanceDetector { x, k, threshold: f64::INFINITY };
-        let train_scores: Vec<f64> = (0..detector.x.len())
-            .map(|i| detector.kth_distance(&detector.x[i], Some(i)))
-            .collect();
-        detector.threshold =
-            stats::quantile(&train_scores, quantile).expect("non-empty scores");
+        let train_scores: Vec<f64> =
+            (0..detector.x.len()).map(|i| detector.kth_distance(&detector.x[i], Some(i))).collect();
+        detector.threshold = stats::quantile(&train_scores, quantile).expect("non-empty scores");
         Ok(detector)
     }
 
@@ -313,40 +307,32 @@ impl LofDetector {
                 d
             })
             .collect();
-        let k_dist: Vec<f64> = neighbors
-            .iter()
-            .map(|nb| nb.last().map(|&(d, _)| d).unwrap_or(0.0))
-            .collect();
+        let k_dist: Vec<f64> =
+            neighbors.iter().map(|nb| nb.last().map(|&(d, _)| d).unwrap_or(0.0)).collect();
         // Local reachability density of each training point.
         let lrd: Vec<f64> = (0..n)
             .map(|i| {
-                let reach: f64 = neighbors[i]
-                    .iter()
-                    .map(|&(d, j)| d.max(k_dist[j]))
-                    .sum();
+                let reach: f64 = neighbors[i].iter().map(|&(d, j)| d.max(k_dist[j])).sum();
                 neighbors[i].len() as f64 / reach.max(1e-12)
             })
             .collect();
         let mut detector = LofDetector { x, k, lrd, threshold: f64::INFINITY };
-        let scores: Vec<f64> = (0..n).map(|i| {
-            // training-point LOF via the precomputed structures
-            let nb = &neighbors[i];
-            let mean_ratio: f64 =
-                nb.iter().map(|&(_, j)| detector.lrd[j]).sum::<f64>() / nb.len() as f64;
-            mean_ratio / detector.lrd[i].max(1e-12)
-        })
-        .collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| {
+                // training-point LOF via the precomputed structures
+                let nb = &neighbors[i];
+                let mean_ratio: f64 =
+                    nb.iter().map(|&(_, j)| detector.lrd[j]).sum::<f64>() / nb.len() as f64;
+                mean_ratio / detector.lrd[i].max(1e-12)
+            })
+            .collect();
         detector.threshold = stats::quantile(&scores, quantile).expect("non-empty scores");
         Ok(detector)
     }
 
     fn neighbors_of(&self, p: &[f64]) -> Vec<(f64, usize)> {
-        let mut d: Vec<(f64, usize)> = self
-            .x
-            .iter()
-            .enumerate()
-            .map(|(j, q)| (edm_linalg::sq_dist(p, q).sqrt(), j))
-            .collect();
+        let mut d: Vec<(f64, usize)> =
+            self.x.iter().enumerate().map(|(j, q)| (edm_linalg::sq_dist(p, q).sqrt(), j)).collect();
         d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
         d.truncate(self.k);
         d
@@ -358,13 +344,10 @@ impl NoveltyDetector for LofDetector {
         let nb = self.neighbors_of(p);
         // k-distance of the training neighbors approximated by their own
         // k-NN distance captured in lrd; reuse reachability formulation.
-        let reach: f64 = nb
-            .iter()
-            .map(|&(d, j)| d.max(1.0 / self.lrd[j].max(1e-12) / self.k as f64))
-            .sum();
+        let reach: f64 =
+            nb.iter().map(|&(d, j)| d.max(1.0 / self.lrd[j].max(1e-12) / self.k as f64)).sum();
         let lrd_p = nb.len() as f64 / reach.max(1e-12);
-        let mean_nb_lrd: f64 =
-            nb.iter().map(|&(_, j)| self.lrd[j]).sum::<f64>() / nb.len() as f64;
+        let mean_nb_lrd: f64 = nb.iter().map(|&(_, j)| self.lrd[j]).sum::<f64>() / nb.len() as f64;
         mean_nb_lrd / lrd_p.max(1e-12)
     }
 
@@ -381,9 +364,7 @@ mod tests {
 
     fn cloud(n: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect()
+        (0..n).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect()
     }
 
     #[test]

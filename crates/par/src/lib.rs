@@ -1,0 +1,285 @@
+//! Deterministic parallel primitives for the edm workspace.
+//!
+//! All heavy kernel-compute loops (Gram matrices, matrix products,
+//! per-tree forest training, k-means sweeps, CV folds, Q-row fills)
+//! funnel through the two primitives here:
+//!
+//! - [`for_each_row`] — run a closure over the rows of a flat buffer,
+//!   each row visited exactly once by exactly one thread;
+//! - [`map_indexed`] — build a `Vec<T>` where slot `i` is produced by
+//!   `f(i)`, in parallel, returned in index order.
+//!
+//! **Determinism guarantee.** Work is *distributed* dynamically (a
+//! shared work-list hands out the next index to whichever thread is
+//! free) but each unit writes only its own disjoint output slot and
+//! performs its floating-point reduction in the same order as the
+//! serial loop. Results are therefore bitwise identical to the serial
+//! path — no atomics, no tree reductions, no order-dependent sums.
+//! Property tests in `edm-kernels`, `edm-linalg`, and `edm-svm` pin
+//! this down.
+//!
+//! With the `parallel` feature disabled (the workspace forwards
+//! `--no-default-features` down to this crate), both primitives run the
+//! plain serial loop and no threads are ever spawned.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "parallel")]
+use std::sync::Mutex;
+
+/// Number of worker threads the primitives will use.
+///
+/// Reads the `EDM_NUM_THREADS` environment variable if set (useful for
+/// benchmarking scaling curves), otherwise the machine's available
+/// parallelism. Always at least 1. With the `parallel` feature
+/// disabled this is constantly 1.
+pub fn num_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        if let Ok(v) = std::env::var("EDM_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// True when the `parallel` feature is compiled in.
+pub const fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}
+
+/// Minimum element count before [`for_each_row`] / [`for_each_chunk`]
+/// spawn threads. Below this, per-element work (a kernel evaluation, a
+/// dot-product step) is cheaper than thread startup, so the serial loop
+/// wins. [`map_indexed`] is exempt: its units are coarse by convention
+/// (a tree, a CV fold, a Q-row fill).
+#[cfg(feature = "parallel")]
+const PAR_MIN_ELEMS: usize = 4096;
+
+/// Applies `f(row_index, row)` to each `row_len`-sized row of `data`.
+///
+/// Rows are handed out dynamically to worker threads; each row is
+/// visited exactly once. `f` must confine its writes to the row it was
+/// given, which the `&mut` row slice enforces. Falls back to a serial
+/// loop when the `parallel` feature is off, only one thread is
+/// available, or there are fewer than two rows.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `row_len` (with
+/// `row_len == 0` requiring `data` to be empty). A panic inside `f` on
+/// any thread propagates to the caller.
+pub fn for_each_row<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if row_len == 0 {
+        assert!(data.is_empty(), "row_len is 0 but data is non-empty");
+        return;
+    }
+    assert_eq!(data.len() % row_len, 0, "data length not a multiple of row_len");
+
+    #[cfg(feature = "parallel")]
+    {
+        let rows = data.len() / row_len;
+        let workers = num_threads().min(rows);
+        if workers > 1 && data.len() >= PAR_MIN_ELEMS {
+            let jobs = Mutex::new(data.chunks_mut(row_len).enumerate());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let job = jobs.lock().expect("worker panicked holding job lock").next();
+                        match job {
+                            Some((i, row)) => f(i, row),
+                            None => break,
+                        }
+                    });
+                }
+            });
+            return;
+        }
+    }
+
+    for (i, row) in data.chunks_mut(row_len).enumerate() {
+        f(i, row);
+    }
+}
+
+/// Applies `f(chunk_index, chunk)` to consecutive `chunk_len`-sized
+/// pieces of `data` (the final chunk may be shorter). Chunk `c` starts
+/// at flat offset `c * chunk_len`.
+///
+/// Unlike [`for_each_row`] the buffer need not divide evenly, which
+/// suits 1-D outputs such as kernel score rows.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` while `data` is non-empty. A panic
+/// inside `f` on any thread propagates to the caller.
+pub fn for_each_chunk<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+
+    #[cfg(feature = "parallel")]
+    {
+        let chunks = data.len().div_ceil(chunk_len);
+        let workers = num_threads().min(chunks);
+        if workers > 1 && data.len() >= PAR_MIN_ELEMS {
+            let jobs = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let job = jobs.lock().expect("worker panicked holding job lock").next();
+                        match job {
+                            Some((i, chunk)) => f(i, chunk),
+                            None => break,
+                        }
+                    });
+                }
+            });
+            return;
+        }
+    }
+
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        f(i, chunk);
+    }
+}
+
+/// Builds a `Vec` whose `i`-th element is `f(i)`, computing the slots
+/// in parallel but returning them in index order.
+///
+/// Falls back to a serial loop under the same conditions as
+/// [`for_each_row`].
+///
+/// # Panics
+///
+/// A panic inside `f` on any thread propagates to the caller.
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = num_threads().min(n);
+        if workers > 1 {
+            let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            let jobs = Mutex::new(out.chunks_mut(1).enumerate());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let job = jobs.lock().expect("worker panicked holding job lock").next();
+                        match job {
+                            Some((i, slot)) => slot[0] = Some(f(i)),
+                            None => break,
+                        }
+                    });
+                }
+            });
+            return out
+                .into_iter()
+                .map(|v| v.expect("every slot filled by exactly one worker"))
+                .collect();
+        }
+    }
+
+    (0..n).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_serial_exactly() {
+        // Big enough to clear PAR_MIN_ELEMS so the threaded path runs.
+        let cols = 65;
+        let rows = 80;
+        let mut par = vec![0.0; rows * cols];
+        for_each_row(&mut par, cols, |i, row| {
+            for (j, v) in row.iter_mut().enumerate() {
+                // Non-associative accumulation: order inside the row matters.
+                let mut acc = 0.0f64;
+                for k in 0..16 {
+                    acc += ((i * 31 + j * 7 + k) as f64).sin() * 1e-3;
+                }
+                *v = acc;
+            }
+        });
+        let mut ser = vec![0.0; rows * cols];
+        for (i, row) in ser.chunks_mut(cols).enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                let mut acc = 0.0f64;
+                for k in 0..16 {
+                    acc += ((i * 31 + j * 7 + k) as f64).sin() * 1e-3;
+                }
+                *v = acc;
+            }
+        }
+        assert_eq!(
+            par.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            ser.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ragged_chunks_cover_everything_once() {
+        let mut data = vec![0.0; 5003];
+        for_each_chunk(&mut data, 512, |c, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v += (c * 512 + off) as f64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let out = map_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut empty: Vec<f64> = vec![];
+        for_each_row(&mut empty, 0, |_, _| unreachable!());
+        for_each_row(&mut empty, 5, |_, _| unreachable!());
+        assert!(map_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_rows_rejected() {
+        let mut data = vec![0.0; 7];
+        for_each_row(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            map_indexed(64, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -19,7 +19,15 @@
 //!
 //! All three are solved by one sequential-minimal-optimization core
 //! ([`solver`]) over the dual problem, in the LIBSVM formulation with
-//! maximal-violating-pair working-set selection.
+//! maximal-violating-pair working-set selection. The solver reads `Q`
+//! through the row-oriented [`qmatrix::QMatrix`] trait; the vector
+//! `fit` entry points compute kernel rows on demand behind a
+//! byte-budgeted LRU row cache ([`qmatrix::CachedQ`], LIBSVM-style) so
+//! the n×n Gram matrix is never materialized, while the precomputed-Gram
+//! entry points read rows straight from the caller's matrix. The cache
+//! budget is the `cache_bytes` knob on each params struct; caching and
+//! parallel row fills never change results — rows are bitwise identical
+//! however they are produced.
 //!
 //! Following the paper's Figure 4, the solvers touch training data only
 //! through a Gram matrix: every trainer has a `fit_gram` entry point that
@@ -53,11 +61,13 @@
 
 mod error;
 mod one_class;
+pub mod qmatrix;
 pub mod solver;
 mod svc;
 mod svr;
 
 pub use error::SvmError;
 pub use one_class::{solve_one_class, OneClassModel, OneClassParams, OneClassSvm};
+pub use qmatrix::{CacheStats, CachedQ, DenseQ, GramQ, KernelQ, QMatrix, QRow, QSource, SvrQ};
 pub use svc::{solve_svc, SvcModel, SvcParams, SvcTrainer};
 pub use svr::{SvrModel, SvrParams, SvrTrainer};

@@ -1,7 +1,8 @@
-use edm_kernels::{gram_matrix, gram_row, Kernel, RbfKernel};
+use edm_kernels::{gram_row, Kernel, RbfKernel};
 use edm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
+use crate::qmatrix::{CachedQ, DenseQ, KernelQ, QMatrix, DEFAULT_CACHE_BYTES};
 use crate::solver::{solve, DualProblem};
 use crate::SvmError;
 
@@ -16,11 +17,14 @@ pub struct OneClassParams {
     pub tol: f64,
     /// SMO iteration cap.
     pub max_iter: usize,
+    /// Byte budget of the Q-row cache used during training
+    /// ([`DEFAULT_CACHE_BYTES`] by default; `0` disables caching).
+    pub cache_bytes: usize,
 }
 
 impl Default for OneClassParams {
     fn default() -> Self {
-        OneClassParams { nu: 0.1, tol: 1e-4, max_iter: 100_000 }
+        OneClassParams { nu: 0.1, tol: 1e-4, max_iter: 100_000, cache_bytes: DEFAULT_CACHE_BYTES }
     }
 }
 
@@ -28,6 +32,12 @@ impl OneClassParams {
     /// Sets ν.
     pub fn with_nu(mut self, nu: f64) -> Self {
         self.nu = nu;
+        self
+    }
+
+    /// Sets the Q-row cache byte budget (`0` disables caching).
+    pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
         self
     }
 
@@ -108,8 +118,12 @@ impl<K: Kernel<[f64]> + Clone> OneClassSvm<K> {
         if x.iter().any(|r| r.len() != d) {
             return Err(SvmError::InvalidInput("ragged sample rows".into()));
         }
-        let gram = gram_matrix(&self.kernel, x);
-        let (alpha, rho, iterations) = solve_one_class(&gram, &self.params)?;
+        self.params.validate()?;
+        // One-class Q is the kernel matrix itself; rows are computed on
+        // demand behind the LRU cache, never materializing the Gram.
+        let source = KernelQ::<[f64], _, _>::new(&self.kernel, x, None);
+        let q = CachedQ::new(source, self.params.cache_bytes);
+        let (alpha, rho, iterations) = solve_one_class_q(&q, x.len(), &self.params)?;
         let mut support = Vec::new();
         let mut coef = Vec::new();
         for (i, &a) in alpha.iter().enumerate() {
@@ -147,6 +161,18 @@ pub fn solve_one_class(
             gram.cols()
         )));
     }
+    // Q = K exactly, so rows are borrowed zero-copy from the caller's
+    // matrix — no cache needed.
+    let q = DenseQ::new(gram);
+    solve_one_class_q(&q, n, params)
+}
+
+/// Shared one-class dual assembly over any [`QMatrix`] (`Q = K`).
+fn solve_one_class_q(
+    q: &dyn QMatrix,
+    n: usize,
+    params: &OneClassParams,
+) -> Result<(Vec<f64>, f64, usize), SvmError> {
     // Feasible start: Σα = νn with 0 ≤ α ≤ 1 (LIBSVM's initialization).
     let total = params.nu * n as f64;
     let full = total.floor() as usize;
@@ -157,10 +183,8 @@ pub fn solve_one_class(
     if full < n {
         alpha0[full] = total - full as f64;
     }
-    let q = |i: usize, j: usize| gram[(i, j)];
     let problem = DualProblem {
-        q: &q,
-        q_diag: (0..n).map(|i| gram[(i, i)]).collect(),
+        q,
         p: vec![0.0; n],
         y: vec![1.0; n],
         c: vec![1.0; n],
@@ -216,14 +240,13 @@ impl<K> OneClassModel<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use edm_kernels::gram_matrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
     fn cluster(n: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4])
-            .collect()
+        (0..n).map(|_| vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4]).collect()
     }
 
     #[test]
@@ -249,10 +272,7 @@ mod tests {
                 .unwrap();
             let outliers = x.iter().filter(|p| m.decision_function(p) < -1e-9).count();
             let frac = outliers as f64 / x.len() as f64;
-            assert!(
-                frac <= nu + 0.05,
-                "nu = {nu}: training outlier fraction {frac} exceeds bound"
-            );
+            assert!(frac <= nu + 0.05, "nu = {nu}: training outlier fraction {frac} exceeds bound");
         }
     }
 
@@ -270,15 +290,9 @@ mod tests {
     #[test]
     fn invalid_nu_rejected() {
         let t = OneClassSvm::new(OneClassParams::default().with_nu(0.0));
-        assert!(matches!(
-            t.fit(&[vec![0.0]]),
-            Err(SvmError::InvalidParameter { name: "nu", .. })
-        ));
+        assert!(matches!(t.fit(&[vec![0.0]]), Err(SvmError::InvalidParameter { name: "nu", .. })));
         let t = OneClassSvm::new(OneClassParams::default().with_nu(1.5));
-        assert!(matches!(
-            t.fit(&[vec![0.0]]),
-            Err(SvmError::InvalidParameter { name: "nu", .. })
-        ));
+        assert!(matches!(t.fit(&[vec![0.0]]), Err(SvmError::InvalidParameter { name: "nu", .. })));
     }
 
     #[test]

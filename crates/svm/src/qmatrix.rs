@@ -1,0 +1,617 @@
+//! The `Q` matrix abstraction behind the SMO solver, with a
+//! LIBSVM-style LRU row cache.
+//!
+//! The dual problem's `Q` (`Qᵢⱼ = yᵢyⱼ k(xᵢ, xⱼ)` for SVC, the 2m×2m
+//! block form for SVR, plain `K` for one-class) is n×n and often too
+//! large to materialize. The solver therefore consumes it through the
+//! [`QMatrix`] trait — whole rows at a time, because SMO's gradient
+//! update reads `Q(t, i)` for *all* `t` at a fixed `i` — and this module
+//! provides the implementations:
+//!
+//! * [`DenseQ`] — zero-copy rows borrowed from an already-materialized
+//!   [`Matrix`] (the precomputed-Gram entry points, tests);
+//! * [`CachedQ`] — the workhorse: wraps any [`QSource`] in an LRU row
+//!   cache bounded by a byte budget, so the working set of an SMO run
+//!   (typically a small fraction of all rows) is computed once.
+//!
+//! Row *sources* (the `fill_row` strategies) are:
+//!
+//! * [`GramQ`] — rows read from a materialized Gram matrix, sign-adjusted;
+//! * [`KernelQ`] — rows computed on demand from a kernel and the raw
+//!   samples, never materializing the n×n matrix (LIBSVM's mode);
+//! * [`SvrQ`] — the 2m×2m SVR block structure over m samples, computing
+//!   each underlying kernel row once and mirroring it with signs.
+//!
+//! On a cache miss, [`KernelQ`] and [`SvrQ`] fill the row with worker
+//! threads (under the `parallel` feature). Every entry is one
+//! independent kernel evaluation, so serial and parallel fills are
+//! bitwise identical, and a cached row is bitwise identical to a
+//! recomputed one — caching can change solver timings but never results.
+
+use std::borrow::Borrow;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::rc::Rc;
+
+use edm_kernels::Kernel;
+use edm_linalg::Matrix;
+
+/// Default row-cache budget (64 MiB), mirroring LIBSVM's order of
+/// magnitude (its `-m` option defaults to 100 MB).
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// Chunk size for parallel on-demand row fills: large enough that
+/// per-chunk dispatch cost is negligible next to the kernel evaluations.
+const Q_ROW_CHUNK: usize = 512;
+
+/// One row of `Q`, either borrowed from backing storage or shared with
+/// the row cache.
+///
+/// Dereferences to `&[f64]`. The `Shared` form keeps the row alive even
+/// if the cache evicts it while the solver still holds the handle.
+pub enum QRow<'a> {
+    /// A row borrowed directly from a materialized matrix.
+    Borrowed(&'a [f64]),
+    /// A row shared with (or just computed by) a [`CachedQ`].
+    Shared(Rc<[f64]>),
+}
+
+impl Deref for QRow<'_> {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        match self {
+            QRow::Borrowed(r) => r,
+            QRow::Shared(r) => r,
+        }
+    }
+}
+
+/// Row-oriented view of the symmetric dual-problem matrix `Q`.
+///
+/// The solver fetches the two working-set rows once per iteration and
+/// streams them through its gradient update; `Q(i, j)` point access is
+/// just `row(i)[j]`.
+pub trait QMatrix {
+    /// Problem size (Q is `n × n`).
+    fn n(&self) -> usize;
+
+    /// The precomputed diagonal `Q(i, i)`.
+    fn diag(&self) -> &[f64];
+
+    /// Row `i` of `Q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    fn row(&self, i: usize) -> QRow<'_>;
+}
+
+/// A strategy for computing rows of `Q` from scratch — what [`CachedQ`]
+/// calls on a cache miss.
+pub trait QSource {
+    /// Problem size.
+    fn n(&self) -> usize;
+
+    /// Computes the diagonal `Q(i, i)` for all `i`.
+    fn diag(&self) -> Vec<f64>;
+
+    /// Writes row `i` of `Q` into `out` (`out.len() == self.n()`).
+    fn fill_row(&self, i: usize, out: &mut [f64]);
+}
+
+// ---------------------------------------------------------------------
+// DenseQ: zero-copy rows over a materialized matrix.
+// ---------------------------------------------------------------------
+
+/// [`QMatrix`] over an already-materialized symmetric matrix: rows are
+/// borrowed, never copied, so no cache is needed.
+///
+/// Used by the precomputed-Gram one-class entry point (where `Q = K`
+/// exactly) and by solver tests.
+pub struct DenseQ<'a> {
+    m: &'a Matrix,
+    diag: Vec<f64>,
+}
+
+impl<'a> DenseQ<'a> {
+    /// Wraps a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not square.
+    pub fn new(m: &'a Matrix) -> Self {
+        assert!(m.is_square(), "Q must be square, got {}x{}", m.rows(), m.cols());
+        let diag = (0..m.rows()).map(|i| m[(i, i)]).collect();
+        DenseQ { m, diag }
+    }
+}
+
+impl QMatrix for DenseQ<'_> {
+    fn n(&self) -> usize {
+        self.m.rows()
+    }
+
+    fn diag(&self) -> &[f64] {
+        &self.diag
+    }
+
+    fn row(&self, i: usize) -> QRow<'_> {
+        QRow::Borrowed(self.m.row(i))
+    }
+}
+
+// ---------------------------------------------------------------------
+// GramQ: rows read from a materialized Gram matrix, sign-adjusted.
+// ---------------------------------------------------------------------
+
+/// [`QSource`] over a materialized Gram matrix with optional label
+/// signs: `Q(i, j) = yᵢ yⱼ K(i, j)` (or plain `K` when `signs` is
+/// `None`).
+pub struct GramQ<'a> {
+    gram: &'a Matrix,
+    signs: Option<&'a [f64]>,
+}
+
+impl<'a> GramQ<'a> {
+    /// Wraps a square Gram matrix; `signs`, when given, must be `±1`
+    /// per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gram` is not square or `signs` has the wrong length.
+    pub fn new(gram: &'a Matrix, signs: Option<&'a [f64]>) -> Self {
+        assert!(gram.is_square(), "gram must be square");
+        if let Some(s) = signs {
+            assert_eq!(s.len(), gram.rows(), "signs length must match gram");
+        }
+        GramQ { gram, signs }
+    }
+}
+
+impl QSource for GramQ<'_> {
+    fn n(&self) -> usize {
+        self.gram.rows()
+    }
+
+    fn diag(&self) -> Vec<f64> {
+        // signs are ±1, so yᵢ² = 1 and the diagonal is K's.
+        (0..self.gram.rows()).map(|i| self.gram[(i, i)]).collect()
+    }
+
+    fn fill_row(&self, i: usize, out: &mut [f64]) {
+        let row = self.gram.row(i);
+        match self.signs {
+            Some(s) => {
+                let si = s[i];
+                for ((v, &k), &sj) in out.iter_mut().zip(row).zip(s) {
+                    *v = si * sj * k;
+                }
+            }
+            None => out.copy_from_slice(row),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// KernelQ: rows computed on demand from a kernel over the raw samples.
+// ---------------------------------------------------------------------
+
+/// [`QSource`] that evaluates the kernel on demand — the Gram matrix is
+/// never materialized, so memory stays `O(cache)` instead of `O(n²)`.
+///
+/// Row fills run on worker threads (with the `parallel` feature); each
+/// entry is one independent kernel evaluation, so serial and parallel
+/// fills are bitwise identical.
+pub struct KernelQ<'a, S: ?Sized, K, I> {
+    kernel: &'a K,
+    items: &'a [I],
+    signs: Option<&'a [f64]>,
+    _sample: PhantomData<&'a S>,
+}
+
+impl<'a, S, K, I> KernelQ<'a, S, K, I>
+where
+    S: Sync + ?Sized,
+    K: Kernel<S>,
+    I: Borrow<S> + Sync,
+{
+    /// Builds the source; `signs`, when given, must be `±1` per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signs` has the wrong length.
+    pub fn new(kernel: &'a K, items: &'a [I], signs: Option<&'a [f64]>) -> Self {
+        if let Some(s) = signs {
+            assert_eq!(s.len(), items.len(), "signs length must match items");
+        }
+        KernelQ { kernel, items, signs, _sample: PhantomData }
+    }
+}
+
+impl<S, K, I> QSource for KernelQ<'_, S, K, I>
+where
+    S: Sync + ?Sized,
+    K: Kernel<S>,
+    I: Borrow<S> + Sync,
+{
+    fn n(&self) -> usize {
+        self.items.len()
+    }
+
+    fn diag(&self) -> Vec<f64> {
+        self.items.iter().map(|x| self.kernel.eval(x.borrow(), x.borrow())).collect()
+    }
+
+    fn fill_row(&self, i: usize, out: &mut [f64]) {
+        let xi = self.items[i].borrow();
+        edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
+            let start = c * Q_ROW_CHUNK;
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = self.kernel.eval(xi, self.items[start + off].borrow());
+            }
+        });
+        if let Some(s) = self.signs {
+            let si = s[i];
+            for (v, &sj) in out.iter_mut().zip(s) {
+                *v *= si * sj;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SvrQ: the 2m×2m block structure of the ε-SVR dual.
+// ---------------------------------------------------------------------
+
+/// [`QSource`] for the LIBSVM 2m-variable ε-SVR dual: variables
+/// `0..m` are α (sign +1), `m..2m` are α* (sign −1), and
+/// `Q(t, u) = s(t) s(u) K(base(t), base(u))` with `base(t) = t mod m`.
+///
+/// Each row fill performs `m` kernel evaluations (in parallel) and
+/// mirrors them with signs into the `2m` slots, so the block structure
+/// costs no extra kernel work.
+pub struct SvrQ<'a, S: ?Sized, K, I> {
+    kernel: &'a K,
+    items: &'a [I],
+    _sample: PhantomData<&'a S>,
+}
+
+impl<'a, S, K, I> SvrQ<'a, S, K, I>
+where
+    S: Sync + ?Sized,
+    K: Kernel<S>,
+    I: Borrow<S> + Sync,
+{
+    /// Builds the source over `m` samples; the dual has `2m` variables.
+    pub fn new(kernel: &'a K, items: &'a [I]) -> Self {
+        SvrQ { kernel, items, _sample: PhantomData }
+    }
+}
+
+impl<S, K, I> QSource for SvrQ<'_, S, K, I>
+where
+    S: Sync + ?Sized,
+    K: Kernel<S>,
+    I: Borrow<S> + Sync,
+{
+    fn n(&self) -> usize {
+        2 * self.items.len()
+    }
+
+    fn diag(&self) -> Vec<f64> {
+        let m = self.items.len();
+        let mut d = Vec::with_capacity(2 * m);
+        for x in self.items {
+            d.push(self.kernel.eval(x.borrow(), x.borrow()));
+        }
+        for t in 0..m {
+            let v = d[t];
+            d.push(v);
+        }
+        d
+    }
+
+    fn fill_row(&self, t: usize, out: &mut [f64]) {
+        let m = self.items.len();
+        let (bt, st) = if t < m { (t, 1.0) } else { (t - m, -1.0) };
+        let xt = self.items[bt].borrow();
+        let (first, second) = out.split_at_mut(m);
+        edm_par::for_each_chunk(first, Q_ROW_CHUNK, |c, chunk| {
+            let start = c * Q_ROW_CHUNK;
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = self.kernel.eval(xt, self.items[start + off].borrow());
+            }
+        });
+        for (u, fu) in first.iter_mut().enumerate() {
+            let v = st * *fu;
+            *fu = v;
+            second[u] = -v;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CachedQ: the LRU row cache.
+// ---------------------------------------------------------------------
+
+/// Hit/miss counters of a [`CachedQ`], for benchmarking and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Row requests served from the cache.
+    pub hits: u64,
+    /// Row requests that had to compute the row.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    data: Rc<[f64]>,
+    /// Logical access time; smallest stamp = least recently used.
+    stamp: u64,
+}
+
+struct CacheState {
+    /// Slot per row index; `None` = not resident.
+    entries: Vec<Option<CacheEntry>>,
+    resident: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// LIBSVM-style LRU row cache over any [`QSource`].
+///
+/// Holds at most `budget_rows = cache_bytes / (8 n)` rows (at least 2
+/// when caching is enabled; `cache_bytes == 0` disables caching
+/// entirely). Eviction is exact LRU via access stamps; the O(n)
+/// victim scan is negligible next to the O(n·d) row fill it avoids.
+///
+/// Rows are handed out as [`Rc`]-shared slices, so a row the solver
+/// still holds survives its own eviction. Since a cached row is the
+/// verbatim output of a single `fill_row`, caching never changes
+/// results — only how often rows are recomputed.
+pub struct CachedQ<S> {
+    source: S,
+    diag: Vec<f64>,
+    budget_rows: usize,
+    state: RefCell<CacheState>,
+}
+
+impl<S: QSource> CachedQ<S> {
+    /// Wraps `source` in a cache holding at most `cache_bytes` worth of
+    /// rows. `cache_bytes == 0` disables caching (every access
+    /// recomputes).
+    pub fn new(source: S, cache_bytes: usize) -> Self {
+        let n = source.n();
+        let diag = source.diag();
+        let budget_rows =
+            if cache_bytes == 0 || n == 0 { 0 } else { (cache_bytes / (8 * n)).max(2).min(n) };
+        CachedQ {
+            source,
+            diag,
+            budget_rows,
+            state: RefCell::new(CacheState {
+                entries: (0..n).map(|_| None).collect(),
+                resident: 0,
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of resident rows (0 = caching disabled).
+    pub fn budget_rows(&self) -> usize {
+        self.budget_rows
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        let st = self.state.borrow();
+        CacheStats { hits: st.hits, misses: st.misses }
+    }
+
+    /// The wrapped source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+}
+
+impl<S: QSource> QMatrix for CachedQ<S> {
+    fn n(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn diag(&self) -> &[f64] {
+        &self.diag
+    }
+
+    fn row(&self, i: usize) -> QRow<'_> {
+        let n = self.diag.len();
+        assert!(i < n, "row {i} out of bounds for n = {n}");
+        let mut st = self.state.borrow_mut();
+        st.clock += 1;
+        let stamp = st.clock;
+        if let Some(entry) = st.entries[i].as_mut() {
+            entry.stamp = stamp;
+            let data = Rc::clone(&entry.data);
+            st.hits += 1;
+            return QRow::Shared(data);
+        }
+        st.misses += 1;
+        // Release the borrow during the (possibly slow, possibly
+        // parallel) fill; the solver is single-threaded, so no other
+        // access can interleave, but the fill must not observe a live
+        // RefCell borrow if a kernel ever routes back through us.
+        drop(st);
+        let mut buf = vec![0.0; n];
+        self.source.fill_row(i, &mut buf);
+        let data: Rc<[f64]> = buf.into();
+        if self.budget_rows > 0 {
+            let mut st = self.state.borrow_mut();
+            if st.resident >= self.budget_rows {
+                let victim = st
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, e)| e.as_ref().map(|e| (k, e.stamp)))
+                    .min_by_key(|&(_, s)| s)
+                    .map(|(k, _)| k);
+                if let Some(v) = victim {
+                    st.entries[v] = None;
+                    st.resident -= 1;
+                }
+            }
+            st.entries[i] = Some(CacheEntry { data: Rc::clone(&data), stamp });
+            st.resident += 1;
+        }
+        QRow::Shared(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_kernels::{gram_matrix, RbfKernel};
+
+    fn cloud(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()]).collect()
+    }
+
+    #[test]
+    fn kernel_q_matches_gram_closure() {
+        let x = cloud(9);
+        let y: Vec<f64> = (0..9).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let k = RbfKernel::new(0.7);
+        let gram = gram_matrix(&k, &x);
+        let src = KernelQ::<[f64], _, _>::new(&k, &x, Some(&y));
+        let mut row = vec![0.0; 9];
+        for i in 0..9 {
+            src.fill_row(i, &mut row);
+            for j in 0..9 {
+                let want = y[i] * y[j] * gram[(i, j)];
+                assert!((row[j] - want).abs() < 1e-15, "Q({i},{j}) = {} want {want}", row[j]);
+            }
+        }
+        let diag = src.diag();
+        for i in 0..9 {
+            assert!((diag[i] - gram[(i, i)]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn svr_q_matches_block_formula() {
+        let x = cloud(6);
+        let m = x.len();
+        let k = RbfKernel::new(1.1);
+        let gram = gram_matrix(&k, &x);
+        let sign = |t: usize| if t < m { 1.0 } else { -1.0 };
+        let base = |t: usize| if t < m { t } else { t - m };
+        let src = SvrQ::<[f64], _, _>::new(&k, &x);
+        assert_eq!(src.n(), 2 * m);
+        let mut row = vec![0.0; 2 * m];
+        for t in 0..2 * m {
+            src.fill_row(t, &mut row);
+            for u in 0..2 * m {
+                let want = sign(t) * sign(u) * gram[(base(t), base(u))];
+                assert!((row[u] - want).abs() < 1e-15, "Q({t},{u}) = {} want {want}", row[u]);
+            }
+        }
+        let diag = src.diag();
+        for t in 0..2 * m {
+            assert!((diag[t] - gram[(base(t), base(t))]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cached_rows_are_bitwise_identical_to_source() {
+        let x = cloud(16);
+        let k = RbfKernel::new(0.4);
+        let src = KernelQ::<[f64], _, _>::new(&k, &x, None);
+        let cached = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, &x, None), 1 << 20);
+        let mut direct = vec![0.0; 16];
+        // Access pattern with revisits so both hit and miss paths run.
+        for &i in &[0usize, 3, 0, 7, 3, 15, 0, 7] {
+            src.fill_row(i, &mut direct);
+            let row = cached.row(i);
+            assert_eq!(
+                row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        let s = cached.stats();
+        assert_eq!(s.misses, 4, "4 distinct rows touched");
+        assert_eq!(s.hits, 4, "4 revisits served from cache");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let gram = gram_matrix(&RbfKernel::new(1.0), &cloud(8));
+        // Budget of exactly 2 rows: 2 rows × 8 cols × 8 bytes = 128.
+        let q = CachedQ::new(GramQ::new(&gram, None), 128);
+        assert_eq!(q.budget_rows(), 2);
+        q.row(0); // miss — resident {0}
+        q.row(1); // miss — resident {0, 1}
+        q.row(0); // hit  — 0 now more recent than 1
+        q.row(2); // miss — evicts 1, resident {0, 2}
+        q.row(0); // hit
+        q.row(1); // miss (was evicted)
+        let s = q.stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let gram = gram_matrix(&RbfKernel::new(1.0), &cloud(5));
+        let q = CachedQ::new(GramQ::new(&gram, None), 0);
+        assert_eq!(q.budget_rows(), 0);
+        for _ in 0..3 {
+            q.row(2);
+        }
+        let s = q.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn dense_q_borrows_rows() {
+        let gram = gram_matrix(&RbfKernel::new(1.0), &cloud(4));
+        let q = DenseQ::new(&gram);
+        assert_eq!(q.n(), 4);
+        for i in 0..4 {
+            let row = q.row(i);
+            assert!(matches!(row, QRow::Borrowed(_)));
+            for j in 0..4 {
+                assert_eq!(row[j], gram[(i, j)]);
+            }
+            assert_eq!(q.diag()[i], gram[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn shared_row_survives_eviction() {
+        let gram = gram_matrix(&RbfKernel::new(1.0), &cloud(8));
+        let q = CachedQ::new(GramQ::new(&gram, None), 128); // 2-row budget
+        let row0 = q.row(0);
+        let copy: Vec<f64> = row0.to_vec();
+        q.row(1);
+        q.row(2);
+        q.row(3); // row 0 long since evicted
+        assert_eq!(&row0[..], &copy[..], "held row unchanged by eviction");
+    }
+}

@@ -10,15 +10,22 @@
 //! ```
 //!
 //! with `y ∈ {−1, +1}ⁿ`, using maximal-violating-pair working-set
-//! selection and analytic two-variable updates. `Q` is supplied as a
-//! closure `q(i, j)` so the three variants can express their sign
-//! structure (`Q = yᵢyⱼKᵢⱼ` for SVC, the 2m×2m block form for SVR, plain
-//! `K` for one-class) over a single materialized Gram matrix.
+//! selection and analytic two-variable updates. `Q` is supplied through
+//! the row-oriented [`QMatrix`] trait so the three variants can express
+//! their sign structure (`Q = yᵢyⱼKᵢⱼ` for SVC, the 2m×2m block form for
+//! SVR, plain `K` for one-class) over either a materialized Gram matrix
+//! ([`DenseQ`](crate::qmatrix::DenseQ) /
+//! [`GramQ`](crate::qmatrix::GramQ)) or an on-demand kernel evaluator
+//! behind the LRU row cache ([`CachedQ`](crate::qmatrix::CachedQ)).
+//! SMO's gradient update reads `Q(t, i)` for all `t` at a fixed `i`, so
+//! the solver fetches the two working-set rows once per iteration and
+//! streams them.
 //!
 //! This module is public so that custom kernel learners (e.g. the
 //! incremental novelty filter in `edm-core`) can reuse the optimizer, but
 //! most users should go through the trainers in the crate root.
 
+use crate::qmatrix::QMatrix;
 use crate::SvmError;
 
 /// Tolerance floor for the quadratic coefficient of a two-variable
@@ -27,10 +34,8 @@ const TAU: f64 = 1e-12;
 
 /// Input to [`solve`].
 pub struct DualProblem<'a> {
-    /// `Q(i, j)` entry evaluator (must be symmetric).
-    pub q: &'a dyn Fn(usize, usize) -> f64,
-    /// Precomputed diagonal `Q(i, i)`.
-    pub q_diag: Vec<f64>,
+    /// Row-oriented view of the (symmetric) matrix `Q`.
+    pub q: &'a dyn QMatrix,
     /// Linear term `p`.
     pub p: Vec<f64>,
     /// Variable signs `y ∈ {−1, +1}`.
@@ -70,23 +75,24 @@ pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
     if problem.y.len() != n
         || problem.c.len() != n
         || problem.alpha0.len() != n
-        || problem.q_diag.len() != n
+        || problem.q.n() != n
     {
-        return Err(SvmError::InvalidInput(format!(
-            "dual problem arrays disagree on n = {n}"
-        )));
+        return Err(SvmError::InvalidInput(format!("dual problem arrays disagree on n = {n}")));
     }
     let mut alpha = problem.alpha0.clone();
     let q = problem.q;
+    let q_diag = q.diag();
     let y = &problem.y;
     let c = &problem.c;
 
-    // G = Qα + p. O(n²) initialization, but only nonzero α contribute.
+    // G = Qα + p. O(n²) initialization, but only nonzero α contribute
+    // (one Q-row fetch each).
     let mut g = problem.p.clone();
     for (j, &aj) in alpha.iter().enumerate() {
         if aj != 0.0 {
-            for (t, gt) in g.iter_mut().enumerate() {
-                *gt += q(t, j) * aj;
+            let row_j = q.row(j);
+            for (gt, &qtj) in g.iter_mut().zip(row_j.iter()) {
+                *gt += qtj * aj;
             }
         }
     }
@@ -121,12 +127,17 @@ pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
         let (i, j) = (i.expect("checked"), j.expect("checked"));
         iterations += 1;
 
+        // One row fetch each per iteration — the access pattern the LRU
+        // row cache is shaped around.
+        let row_i = q.row(i);
+        let row_j = q.row(j);
+
         let old_ai = alpha[i];
         let old_aj = alpha[j];
-        let qij = q(i, j);
+        let qij = row_i[j];
         if (y[i] - y[j]).abs() > 0.5 {
             // y_i != y_j
-            let mut quad = problem.q_diag[i] + problem.q_diag[j] + 2.0 * qij;
+            let mut quad = q_diag[i] + q_diag[j] + 2.0 * qij;
             if quad <= 0.0 {
                 quad = TAU;
             }
@@ -154,7 +165,7 @@ pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
             }
         } else {
             // y_i == y_j
-            let mut quad = problem.q_diag[i] + problem.q_diag[j] - 2.0 * qij;
+            let mut quad = q_diag[i] + q_diag[j] - 2.0 * qij;
             if quad <= 0.0 {
                 quad = TAU;
             }
@@ -182,12 +193,13 @@ pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
             }
         }
 
-        // Gradient update for the two changed variables.
+        // Gradient update for the two changed variables, streaming the
+        // fetched rows.
         let dai = alpha[i] - old_ai;
         let daj = alpha[j] - old_aj;
         if dai != 0.0 || daj != 0.0 {
-            for (t, gt) in g.iter_mut().enumerate() {
-                *gt += q(t, i) * dai + q(t, j) * daj;
+            for ((gt, &qti), &qtj) in g.iter_mut().zip(row_i.iter()).zip(row_j.iter()) {
+                *gt += qti * dai + qtj * daj;
             }
         }
     }
@@ -228,18 +240,16 @@ pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qmatrix::DenseQ;
+    use edm_linalg::Matrix;
 
     /// Minimal hand-check: two points, labels ±1, linear kernel in 1-D at
-    /// x = ±1. The SVC dual is max 2α − α²·... with α_1 = α_2 = α by
-    /// symmetry; K = [[1,-1],[-1,1]], Q = [[1,1],[1,1]]·... Solve and
-    /// check the solution classifies both points correctly via
+    /// x = ±1. K = [[1,-1],[-1,1]] so Q = yᵢyⱼKᵢⱼ = [[1,1],[1,1]]. Solve
+    /// and check the solution classifies both points correctly via
     /// f(x) = Σ y α k(x, xi) − ρ.
     #[test]
     fn two_point_svc_dual() {
         let x = [-1.0, 1.0];
-        let y = vec![-1.0, 1.0];
-        let k = |i: usize, j: usize| x[i] * x[j];
-        let q = move |i: usize, j: usize| y_of(i) * y_of(j) * k(i, j);
         fn y_of(i: usize) -> f64 {
             if i == 0 {
                 -1.0
@@ -247,11 +257,12 @@ mod tests {
                 1.0
             }
         }
+        let qm = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let q = DenseQ::new(&qm);
         let problem = DualProblem {
             q: &q,
-            q_diag: vec![1.0, 1.0],
             p: vec![-1.0, -1.0],
-            y: y.clone(),
+            y: vec![-1.0, 1.0],
             c: vec![10.0, 10.0],
             alpha0: vec![0.0, 0.0],
             tol: 1e-6,
@@ -272,10 +283,10 @@ mod tests {
 
     #[test]
     fn inconsistent_dimensions_rejected() {
-        let q = |_: usize, _: usize| 0.0;
+        let qm = Matrix::zeros(1, 1);
+        let q = DenseQ::new(&qm);
         let problem = DualProblem {
             q: &q,
-            q_diag: vec![1.0],
             p: vec![-1.0, -1.0],
             y: vec![1.0, -1.0],
             c: vec![1.0, 1.0],
@@ -291,10 +302,13 @@ mod tests {
         // A 4-point problem with a 1-iteration budget cannot converge.
         let x = [-2.0, -1.0, 1.0, 2.0];
         let ys = [-1.0, -1.0, 1.0, 1.0];
-        let q = move |i: usize, j: usize| ys[i] * ys[j] * (x[i] * x[j] + 1.0);
+        let qf = |i: usize, j: usize| ys[i] * ys[j] * (x[i] * x[j] + 1.0);
+        let qm = Matrix::from_rows(
+            &(0..4).map(|i| (0..4).map(|j| qf(i, j)).collect::<Vec<_>>()).collect::<Vec<_>>(),
+        );
+        let q = DenseQ::new(&qm);
         let problem = DualProblem {
             q: &q,
-            q_diag: (0..4).map(|i| q(i, i)).collect(),
             p: vec![-1.0; 4],
             y: ys.to_vec(),
             c: vec![1.0; 4],

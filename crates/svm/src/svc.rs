@@ -1,7 +1,8 @@
-use edm_kernels::{gram_matrix, Kernel, RbfKernel};
+use edm_kernels::{Kernel, RbfKernel};
 use edm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
+use crate::qmatrix::{CachedQ, GramQ, KernelQ, QMatrix, DEFAULT_CACHE_BYTES};
 use crate::solver::{solve, DualProblem};
 use crate::SvmError;
 
@@ -16,11 +17,15 @@ pub struct SvcParams {
     pub tol: f64,
     /// SMO iteration cap.
     pub max_iter: usize,
+    /// Byte budget of the Q-row cache used during training
+    /// ([`DEFAULT_CACHE_BYTES`] by default; `0` disables caching so
+    /// every row access recomputes its kernel evaluations).
+    pub cache_bytes: usize,
 }
 
 impl Default for SvcParams {
     fn default() -> Self {
-        SvcParams { c: 1.0, tol: 1e-3, max_iter: 100_000 }
+        SvcParams { c: 1.0, tol: 1e-3, max_iter: 100_000, cache_bytes: DEFAULT_CACHE_BYTES }
     }
 }
 
@@ -28,6 +33,12 @@ impl SvcParams {
     /// Sets the box constraint `C`.
     pub fn with_c(mut self, c: f64) -> Self {
         self.c = c;
+        self
+    }
+
+    /// Sets the Q-row cache byte budget (`0` disables caching).
+    pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
         self
     }
 
@@ -91,8 +102,14 @@ impl<K: Kernel<[f64]> + Clone> SvcTrainer<K> {
     pub fn fit(&self, x: &[Vec<f64>], y: &[f64]) -> Result<SvcModel<K>, SvmError> {
         self.params.validate()?;
         validate_labels(x, y)?;
-        let gram = gram_matrix(&self.kernel, x);
-        let (alpha, rho, iterations) = solve_svc(&gram, y, &self.params)?;
+        if !(y.contains(&1.0) && y.contains(&-1.0)) {
+            return Err(SvmError::SingleClass);
+        }
+        // Kernel rows are computed on demand behind the LRU row cache —
+        // the n×n Gram matrix is never materialized.
+        let source = KernelQ::<[f64], _, _>::new(&self.kernel, x, Some(y));
+        let q = CachedQ::new(source, self.params.cache_bytes);
+        let (alpha, rho, iterations) = solve_svc_q(&q, y, &self.params)?;
         // Keep only support vectors.
         let mut support = Vec::new();
         let mut coef = Vec::new();
@@ -138,10 +155,20 @@ pub fn solve_svc(
     if !(y.contains(&1.0) && y.contains(&-1.0)) {
         return Err(SvmError::SingleClass);
     }
-    let q = |i: usize, j: usize| y[i] * y[j] * gram[(i, j)];
+    let q = CachedQ::new(GramQ::new(gram, Some(y)), params.cache_bytes);
+    solve_svc_q(&q, y, params)
+}
+
+/// Shared C-SVC dual assembly over any [`QMatrix`] (`Q = yᵢyⱼKᵢⱼ`
+/// already folded into `q`).
+fn solve_svc_q(
+    q: &dyn QMatrix,
+    y: &[f64],
+    params: &SvcParams,
+) -> Result<(Vec<f64>, f64, usize), SvmError> {
+    let n = y.len();
     let problem = DualProblem {
-        q: &q,
-        q_diag: (0..n).map(|i| gram[(i, i)]).collect(),
+        q,
         p: vec![-1.0; n],
         y: y.to_vec(),
         c: vec![params.c; n],
@@ -168,12 +195,8 @@ pub struct SvcModel<K> {
 impl<K: Kernel<[f64]>> SvcModel<K> {
     /// The signed decision value `M(x)`; positive means class `+1`.
     pub fn decision_function(&self, x: &[f64]) -> f64 {
-        let s: f64 = self
-            .support
-            .iter()
-            .zip(&self.coef)
-            .map(|(sv, &c)| c * self.kernel.eval(x, sv))
-            .sum();
+        let s: f64 =
+            self.support.iter().zip(&self.coef).map(|(sv, &c)| c * self.kernel.eval(x, sv)).sum();
         s - self.rho
     }
 
@@ -225,11 +248,7 @@ pub(crate) fn validate_labels(x: &[Vec<f64>], y: &[f64]) -> Result<(), SvmError>
         return Err(SvmError::InvalidInput("empty training set".into()));
     }
     if x.len() != y.len() {
-        return Err(SvmError::InvalidInput(format!(
-            "{} samples but {} labels",
-            x.len(),
-            y.len()
-        )));
+        return Err(SvmError::InvalidInput(format!("{} samples but {} labels", x.len(), y.len())));
     }
     let d = x[0].len();
     if x.iter().any(|r| r.len() != d) {
@@ -244,7 +263,7 @@ pub(crate) fn validate_labels(x: &[Vec<f64>], y: &[f64]) -> Result<(), SvmError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edm_kernels::{LinearKernel, PolyKernel};
+    use edm_kernels::{gram_matrix, LinearKernel, PolyKernel};
 
     fn blobs() -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut x = Vec::new();
@@ -262,10 +281,8 @@ mod tests {
     #[test]
     fn linearly_separable_blobs_classified() {
         let (x, y) = blobs();
-        let m = SvcTrainer::new(SvcParams::default())
-            .kernel(LinearKernel::new())
-            .fit(&x, &y)
-            .unwrap();
+        let m =
+            SvcTrainer::new(SvcParams::default()).kernel(LinearKernel::new()).fit(&x, &y).unwrap();
         for (xi, &yi) in x.iter().zip(&y) {
             assert_eq!(m.predict(xi), yi);
         }
@@ -276,12 +293,7 @@ mod tests {
 
     #[test]
     fn xor_needs_nonlinear_kernel() {
-        let x = vec![
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-        ];
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.0, 1.0], vec![1.0, 0.0]];
         let y = vec![-1.0, -1.0, 1.0, 1.0];
         // RBF separates XOR perfectly.
         let rbf = SvcTrainer::new(SvcParams::default().with_c(100.0))
@@ -326,9 +338,8 @@ mod tests {
     fn complexity_grows_with_c() {
         // Overlapping classes: a looser box (larger C) buys a more complex
         // model (larger Σα) — the regularization story of Fig. 5.
-        let x: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![(i % 10) as f64 * 0.2 + if i < 10 { 0.0 } else { 0.9 }])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![(i % 10) as f64 * 0.2 + if i < 10 { 0.0 } else { 0.9 }]).collect();
         let y: Vec<f64> = (0..20).map(|i| if i < 10 { -1.0 } else { 1.0 }).collect();
         let small = SvcTrainer::new(SvcParams::default().with_c(0.01))
             .kernel(RbfKernel::new(1.0))
@@ -345,14 +356,8 @@ mod tests {
     fn input_validation() {
         let t = SvcTrainer::new(SvcParams::default());
         assert!(matches!(t.fit(&[], &[]), Err(SvmError::InvalidInput(_))));
-        assert!(matches!(
-            t.fit(&[vec![0.0]], &[2.0]),
-            Err(SvmError::InvalidInput(_))
-        ));
-        assert!(matches!(
-            t.fit(&[vec![0.0], vec![1.0]], &[1.0, 1.0]),
-            Err(SvmError::SingleClass)
-        ));
+        assert!(matches!(t.fit(&[vec![0.0]], &[2.0]), Err(SvmError::InvalidInput(_))));
+        assert!(matches!(t.fit(&[vec![0.0], vec![1.0]], &[1.0, 1.0]), Err(SvmError::SingleClass)));
         let bad = SvcTrainer::new(SvcParams { c: -1.0, ..SvcParams::default() });
         assert!(matches!(
             bad.fit(&[vec![0.0], vec![1.0]], &[1.0, -1.0]),

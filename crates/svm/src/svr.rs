@@ -1,6 +1,7 @@
-use edm_kernels::{gram_matrix, Kernel, RbfKernel};
+use edm_kernels::{Kernel, RbfKernel};
 use serde::{Deserialize, Serialize};
 
+use crate::qmatrix::{CachedQ, SvrQ, DEFAULT_CACHE_BYTES};
 use crate::solver::{solve, DualProblem};
 use crate::SvmError;
 
@@ -16,11 +17,20 @@ pub struct SvrParams {
     pub tol: f64,
     /// SMO iteration cap.
     pub max_iter: usize,
+    /// Byte budget of the Q-row cache used during training
+    /// ([`DEFAULT_CACHE_BYTES`] by default; `0` disables caching).
+    pub cache_bytes: usize,
 }
 
 impl Default for SvrParams {
     fn default() -> Self {
-        SvrParams { c: 1.0, epsilon: 0.1, tol: 1e-3, max_iter: 200_000 }
+        SvrParams {
+            c: 1.0,
+            epsilon: 0.1,
+            tol: 1e-3,
+            max_iter: 200_000,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+        }
     }
 }
 
@@ -34,6 +44,12 @@ impl SvrParams {
     /// Sets the tube width ε.
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
         self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the Q-row cache byte budget (`0` disables caching).
+    pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
         self
     }
 
@@ -126,14 +142,14 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
             return Err(SvmError::InvalidInput("ragged sample rows".into()));
         }
         let m = x.len();
-        let gram = gram_matrix(&self.kernel, x);
 
         // LIBSVM 2m-variable formulation: variables 0..m are α (sign +1),
-        // m..2m are α* (sign −1); Q_ij = s_i s_j K(base_i, base_j).
+        // m..2m are α* (sign −1); Q_ij = s_i s_j K(base_i, base_j). The
+        // block structure lives in SvrQ, which computes each kernel row
+        // on demand behind the LRU cache — the Gram matrix is never
+        // materialized.
         let sign = |t: usize| if t < m { 1.0 } else { -1.0 };
-        let base = |t: usize| if t < m { t } else { t - m };
-        let q_diag: Vec<f64> = (0..2 * m).map(|t| gram[(base(t), base(t))]).collect();
-        let q = |i: usize, j: usize| sign(i) * sign(j) * gram[(base(i), base(j))];
+        let q = CachedQ::new(SvrQ::<[f64], _, _>::new(&self.kernel, x), self.params.cache_bytes);
         let mut p = Vec::with_capacity(2 * m);
         for &yi in y {
             p.push(self.params.epsilon - yi);
@@ -143,7 +159,6 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
         }
         let problem = DualProblem {
             q: &q,
-            q_diag,
             p,
             y: (0..2 * m).map(sign).collect(),
             c: vec![self.params.c; 2 * m],
@@ -190,12 +205,8 @@ pub struct SvrModel<K> {
 impl<K: Kernel<[f64]>> SvrModel<K> {
     /// Predicts the continuous target for `x`.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        let s: f64 = self
-            .support
-            .iter()
-            .zip(&self.coef)
-            .map(|(sv, &c)| c * self.kernel.eval(x, sv))
-            .sum();
+        let s: f64 =
+            self.support.iter().zip(&self.coef).map(|(sv, &c)| c * self.kernel.eval(x, sv)).sum();
         s - self.rho
     }
 

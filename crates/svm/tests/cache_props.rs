@@ -1,0 +1,193 @@
+//! Property tests pinning the Q-row cache's correctness guarantee: for
+//! any random problem, solving with the cache **on** (large or
+//! pathologically tiny budget) returns a `DualSolution` bitwise
+//! identical to solving with the cache **off** — for all three dual
+//! shapes (SVC, SVR, one-class). Also checks that cached rows under a
+//! random access pattern always match a direct source fill.
+
+use edm_kernels::RbfKernel;
+use edm_svm::solver::{solve, DualProblem, DualSolution};
+use edm_svm::{CachedQ, KernelQ, QMatrix, QSource, SvmError, SvrQ};
+use proptest::prelude::*;
+
+/// Deterministic SplitMix64 point cloud.
+fn points(seed: u64, n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+    };
+    (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
+}
+
+/// Both runs must agree exactly: same solution bit-for-bit, or the same
+/// error.
+fn assert_identical(a: &Result<DualSolution, SvmError>, b: &Result<DualSolution, SvmError>) {
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(
+                a.alpha.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.alpha.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "alpha differs"
+            );
+            assert_eq!(a.rho.to_bits(), b.rho.to_bits(), "rho differs");
+            assert_eq!(a.iterations, b.iterations, "iterations differ");
+            assert_eq!(a.gap.to_bits(), b.gap.to_bits(), "gap differs");
+        }
+        (Err(ea), Err(eb)) => assert_eq!(format!("{ea:?}"), format!("{eb:?}")),
+        (a, b) => panic!("cache changed the outcome: {a:?} vs {b:?}"),
+    }
+}
+
+fn solve_svc_cached(
+    x: &[Vec<f64>],
+    y: &[f64],
+    gamma: f64,
+    cache_bytes: usize,
+) -> Result<DualSolution, SvmError> {
+    let k = RbfKernel::new(gamma);
+    let q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, x, Some(y)), cache_bytes);
+    let n = x.len();
+    solve(&DualProblem {
+        q: &q,
+        p: vec![-1.0; n],
+        y: y.to_vec(),
+        c: vec![5.0; n],
+        alpha0: vec![0.0; n],
+        tol: 1e-4,
+        max_iter: 20_000,
+    })
+}
+
+fn solve_svr_cached(
+    x: &[Vec<f64>],
+    t: &[f64],
+    gamma: f64,
+    cache_bytes: usize,
+) -> Result<DualSolution, SvmError> {
+    let k = RbfKernel::new(gamma);
+    let m = x.len();
+    let q = CachedQ::new(SvrQ::<[f64], _, _>::new(&k, x), cache_bytes);
+    let epsilon = 0.05;
+    let mut p = Vec::with_capacity(2 * m);
+    for &ti in t {
+        p.push(epsilon - ti);
+    }
+    for &ti in t {
+        p.push(epsilon + ti);
+    }
+    let sign = |u: usize| if u < m { 1.0 } else { -1.0 };
+    solve(&DualProblem {
+        q: &q,
+        p,
+        y: (0..2 * m).map(sign).collect(),
+        c: vec![2.0; 2 * m],
+        alpha0: vec![0.0; 2 * m],
+        tol: 1e-4,
+        max_iter: 40_000,
+    })
+}
+
+fn solve_one_class_cached(
+    x: &[Vec<f64>],
+    nu: f64,
+    gamma: f64,
+    cache_bytes: usize,
+) -> Result<DualSolution, SvmError> {
+    let k = RbfKernel::new(gamma);
+    let q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, x, None), cache_bytes);
+    let n = x.len();
+    // LIBSVM's feasible start Σα = νn — nonzero alpha0 also exercises
+    // the gradient-initialization row fetches.
+    let total = nu * n as f64;
+    let full = total.floor() as usize;
+    let mut alpha0 = vec![0.0; n];
+    for a in alpha0.iter_mut().take(full.min(n)) {
+        *a = 1.0;
+    }
+    if full < n {
+        alpha0[full] = total - full as f64;
+    }
+    solve(&DualProblem {
+        q: &q,
+        p: vec![0.0; n],
+        y: vec![1.0; n],
+        c: vec![1.0; n],
+        alpha0,
+        tol: 1e-4,
+        max_iter: 20_000,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn svc_solution_is_cache_invariant(
+        seed in 0u64..1_000_000,
+        n in 8usize..24,
+        gamma in 0.3f64..2.0,
+    ) {
+        let x = points(seed, n, 2);
+        let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let off = solve_svc_cached(&x, &y, gamma, 0);
+        // Tiny budget (2 resident rows — constant eviction churn).
+        assert_identical(&solve_svc_cached(&x, &y, gamma, 8 * n), &off);
+        // Ample budget (everything fits).
+        assert_identical(&solve_svc_cached(&x, &y, gamma, 1 << 20), &off);
+    }
+
+    #[test]
+    fn svr_solution_is_cache_invariant(
+        seed in 0u64..1_000_000,
+        m in 6usize..16,
+        gamma in 0.3f64..2.0,
+    ) {
+        let x = points(seed, m, 2);
+        let t: Vec<f64> = x.iter().map(|p| p[0] - 0.5 * p[1]).collect();
+        let off = solve_svr_cached(&x, &t, gamma, 0);
+        assert_identical(&solve_svr_cached(&x, &t, gamma, 16 * m), &off);
+        assert_identical(&solve_svr_cached(&x, &t, gamma, 1 << 20), &off);
+    }
+
+    #[test]
+    fn one_class_solution_is_cache_invariant(
+        seed in 0u64..1_000_000,
+        n in 8usize..24,
+        nu in 0.1f64..0.9,
+        gamma in 0.3f64..2.0,
+    ) {
+        let x = points(seed, n, 2);
+        let off = solve_one_class_cached(&x, nu, gamma, 0);
+        assert_identical(&solve_one_class_cached(&x, nu, gamma, 8 * n), &off);
+        assert_identical(&solve_one_class_cached(&x, nu, gamma, 1 << 20), &off);
+    }
+
+    #[test]
+    fn cached_rows_match_source_under_random_access(
+        seed in 0u64..1_000_000,
+        n in 8usize..40,
+        cache_bytes in 0usize..4000,
+    ) {
+        let x = points(seed, n, 3);
+        let k = RbfKernel::new(0.9);
+        let src = KernelQ::<[f64], _, _>::new(&k, &x, None);
+        let cached = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, &x, None), cache_bytes);
+        let mut direct = vec![0.0; n];
+        let mut state = seed ^ 0xD00D;
+        for _ in 0..200 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let i = (state % n as u64) as usize;
+            src.fill_row(i, &mut direct);
+            let row = cached.row(i);
+            prop_assert_eq!(
+                row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -71,10 +71,7 @@ impl TimingPath {
 
     /// Count of each cell kind, in [`CellKind::ALL`] order.
     pub fn cell_counts(&self) -> Vec<usize> {
-        CellKind::ALL
-            .iter()
-            .map(|&k| self.stages.iter().filter(|s| s.cell == k).count())
-            .collect()
+        CellKind::ALL.iter().map(|&k| self.stages.iter().filter(|s| s.cell == k).count()).collect()
     }
 
     /// Named features for rule learning: logic depth, per-cell counts,
@@ -154,11 +151,7 @@ impl PathGenerator {
     }
 
     /// Generates a population of `n` paths with sequential ids.
-    pub fn generate_population<R: Rng + ?Sized>(
-        &self,
-        n: usize,
-        rng: &mut R,
-    ) -> Vec<TimingPath> {
+    pub fn generate_population<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<TimingPath> {
         (0..n).map(|id| self.generate_with_id(id, rng)).collect()
     }
 }
@@ -230,7 +223,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let pop = g.generate_population(200, &mut rng);
         let via45: Vec<usize> = pop.iter().map(|p| p.via_counts(6)[3]).collect();
-        assert!(via45.iter().any(|&c| c == 0));
+        assert!(via45.contains(&0));
         assert!(via45.iter().any(|&c| c >= 5));
     }
 

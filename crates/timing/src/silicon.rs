@@ -135,10 +135,7 @@ pub fn correlate<R: Rng + ?Sized>(
     paths: &[TimingPath],
     rng: &mut R,
 ) -> Vec<(f64, f64)> {
-    paths
-        .iter()
-        .map(|p| (timer.path_delay(p), silicon.measure(p, rng)))
-        .collect()
+    paths.iter().map(|p| (timer.path_delay(p), silicon.measure(p, rng))).collect()
 }
 
 #[cfg(test)]
@@ -210,8 +207,7 @@ mod tests {
         let p = via_heavy_path();
         let mut rng = StdRng::seed_from_u64(4);
         let base = silicon.systematic_delay(&p);
-        let samples: Vec<f64> =
-            (0..4000).map(|_| silicon.measure(&p, &mut rng) / base).collect();
+        let samples: Vec<f64> = (0..4000).map(|_| silicon.measure(&p, &mut rng) / base).collect();
         assert!((edm_linalg::mean(&samples) - 1.0).abs() < 0.01);
         assert!((edm_linalg::variance(&samples).sqrt() - 0.05).abs() < 0.01);
     }

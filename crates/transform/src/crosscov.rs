@@ -23,10 +23,8 @@ fn center(x: &[Vec<f64>]) -> Result<(Matrix, Vec<f64>), TransformError> {
     }
     let m = Matrix::from_rows(x);
     let means = stats::column_means(&m);
-    let rows: Vec<Vec<f64>> = x
-        .iter()
-        .map(|r| r.iter().zip(&means).map(|(&v, &mu)| v - mu).collect())
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        x.iter().map(|r| r.iter().zip(&means).map(|(&v, &mu)| v - mu).collect()).collect();
     Ok((Matrix::from_rows(&rows), means))
 }
 
@@ -138,9 +136,7 @@ impl Pls {
         }
         // B = W (PᵀW)⁻¹ Cᵀ.
         let ptw = p_mat.transpose().mat_mul(&w_mat);
-        let ptw_inv = ptw
-            .inverse()
-            .map_err(|e| TransformError::Numeric(e.to_string()))?;
+        let ptw_inv = ptw.inverse().map_err(|e| TransformError::Numeric(e.to_string()))?;
         let coef = w_mat.mat_mul(&ptw_inv).mat_mul(&c_mat.transpose());
         Ok(Pls { x_mean, y_mean, coef, n_components })
     }
@@ -157,8 +153,7 @@ impl Pls {
     /// Panics if `x.len()` differs from the fitted feature count.
     pub fn predict(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.x_mean.len(), "feature count mismatch");
-        let centered: Vec<f64> =
-            x.iter().zip(&self.x_mean).map(|(&v, &m)| v - m).collect();
+        let centered: Vec<f64> = x.iter().zip(&self.x_mean).map(|(&v, &m)| v - m).collect();
         let mut out = self.y_mean.clone();
         let pred = self.coef.vec_mat(&centered);
         for (o, p) in out.iter_mut().zip(pred) {
@@ -268,17 +263,13 @@ impl Cca {
         // Whitened formulation keeps the eigenproblem symmetric:
         // M = Sxx^(-1/2) Sxy Syy^(-1) Syx Sxx^(-1/2); eigvals = ρ².
         let sxx_inv_sqrt = inv_sqrt(&sxx)?;
-        let syy_inv = syy
-            .inverse()
-            .map_err(|e| TransformError::Numeric(e.to_string()))?;
+        let syy_inv = syy.inverse().map_err(|e| TransformError::Numeric(e.to_string()))?;
         let m = sxx_inv_sqrt
             .mat_mul(&sxy)
             .mat_mul(&syy_inv)
             .mat_mul(&sxy.transpose())
             .mat_mul(&sxx_inv_sqrt);
-        let eig = m
-            .symmetric_eigen()
-            .map_err(|e| TransformError::Numeric(e.to_string()))?;
+        let eig = m.symmetric_eigen().map_err(|e| TransformError::Numeric(e.to_string()))?;
 
         let mut x_dirs = Matrix::zeros(p, n_pairs);
         let mut y_dirs = Matrix::zeros(q, n_pairs);
@@ -332,17 +323,13 @@ impl Cca {
 
 /// `A^(-1/2)` of a symmetric positive-definite matrix via eigen.
 fn inv_sqrt(a: &Matrix) -> Result<Matrix, TransformError> {
-    let eig = a
-        .symmetric_eigen()
-        .map_err(|e| TransformError::Numeric(e.to_string()))?;
+    let eig = a.symmetric_eigen().map_err(|e| TransformError::Numeric(e.to_string()))?;
     let n = a.rows();
     let mut out = Matrix::zeros(n, n);
     for k in 0..n {
         let lam = eig.eigenvalues()[k];
         if lam <= 0.0 {
-            return Err(TransformError::Numeric(
-                "matrix not positive definite in inv_sqrt".into(),
-            ));
+            return Err(TransformError::Numeric("matrix not positive definite in inv_sqrt".into()));
         }
         let s = 1.0 / lam.sqrt();
         for i in 0..n {
@@ -364,13 +351,9 @@ mod tests {
     fn pls_recovers_multi_output_linear_map() {
         // Y = [x0 + x1, x0 - 2*x1]
         let mut rng = StdRng::seed_from_u64(1);
-        let x: Vec<Vec<f64>> = (0..60)
-            .map(|_| vec![rng.gen::<f64>() * 4.0, rng.gen::<f64>() * 4.0])
-            .collect();
-        let y: Vec<Vec<f64>> = x
-            .iter()
-            .map(|r| vec![r[0] + r[1], r[0] - 2.0 * r[1]])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..60).map(|_| vec![rng.gen::<f64>() * 4.0, rng.gen::<f64>() * 4.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0] + r[1], r[0] - 2.0 * r[1]]).collect();
         let pls = Pls::fit(&x, &y, 2).unwrap();
         let probe = [1.5, 2.5];
         let pred = pls.predict(&probe);
@@ -389,17 +372,12 @@ mod tests {
     #[test]
     fn pls_one_component_underfits_two_target_directions() {
         let mut rng = StdRng::seed_from_u64(2);
-        let x: Vec<Vec<f64>> = (0..80)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..80).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let y: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0], r[1]]).collect();
         let full = Pls::fit(&x, &y, 2).unwrap();
         let truncated = Pls::fit(&x, &y, 1).unwrap();
         let err = |m: &Pls| -> f64 {
-            x.iter()
-                .zip(&y)
-                .map(|(xi, yi)| edm_linalg::sq_dist(&m.predict(xi), yi))
-                .sum()
+            x.iter().zip(&y).map(|(xi, yi)| edm_linalg::sq_dist(&m.predict(xi), yi)).sum()
         };
         assert!(err(&full) < 1e-9);
         assert!(err(&truncated) > 0.1);
@@ -412,11 +390,7 @@ mod tests {
         let mut y = Vec::new();
         for _ in 0..500 {
             let f = rng.gen::<f64>() * 2.0 - 1.0;
-            x.push(vec![
-                f + 0.05 * rng.gen::<f64>(),
-                rng.gen::<f64>(),
-                rng.gen::<f64>(),
-            ]);
+            x.push(vec![f + 0.05 * rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()]);
             y.push(vec![rng.gen::<f64>(), 2.0 * f + 0.05 * rng.gen::<f64>()]);
         }
         let cca = Cca::fit(&x, &y, 2, 1e-6).unwrap();
@@ -431,12 +405,8 @@ mod tests {
     #[test]
     fn cca_independent_blocks_have_low_correlation() {
         let mut rng = StdRng::seed_from_u64(4);
-        let x: Vec<Vec<f64>> = (0..400)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
-        let y: Vec<Vec<f64>> = (0..400)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..400).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let y: Vec<Vec<f64>> = (0..400).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let cca = Cca::fit(&x, &y, 1, 1e-6).unwrap();
         assert!(cca.correlations()[0] < 0.3, "{:?}", cca.correlations());
     }

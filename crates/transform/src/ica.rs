@@ -106,18 +106,14 @@ impl FastIca {
                         *acc += zv * g;
                     }
                 }
-                for ((out, &acc), &wv) in
-                    w_new.row_mut(r).iter_mut().zip(&ez_g).zip(&wr)
-                {
+                for ((out, &acc), &wv) in w_new.row_mut(r).iter_mut().zip(&ez_g).zip(&wr) {
                     *out = acc / n - (eg_prime / n) * wv;
                 }
             }
             let w_next = symmetric_decorrelate(&w_new)?;
             // Convergence: |diag(W_next Wᵀ)| all ≈ 1.
             let overlap = w_next.mat_mul(&w.transpose());
-            let delta = (0..c)
-                .map(|i| (overlap[(i, i)].abs() - 1.0).abs())
-                .fold(0.0_f64, f64::max);
+            let delta = (0..c).map(|i| (overlap[(i, i)].abs() - 1.0).abs()).fold(0.0_f64, f64::max);
             w = w_next;
             if delta < params.tol {
                 break;
@@ -162,8 +158,7 @@ fn symmetric_decorrelate(w: &Matrix) -> Result<Matrix, TransformError> {
         let s = 1.0 / lam.sqrt();
         for a in 0..c {
             for b in 0..c {
-                inv_sqrt[(a, b)] +=
-                    s * eig.eigenvectors()[(a, i)] * eig.eigenvectors()[(b, i)];
+                inv_sqrt[(a, b)] += s * eig.eigenvectors()[(a, i)] * eig.eigenvectors()[(b, i)];
             }
         }
     }
@@ -228,11 +223,7 @@ mod tests {
     fn too_many_components_rejected() {
         let (x, _) = mixed(100, 5);
         let mut rng = StdRng::seed_from_u64(6);
-        assert!(FastIca::fit(
-            &x,
-            IcaParams { n_components: 5, ..Default::default() },
-            &mut rng
-        )
-        .is_err());
+        assert!(FastIca::fit(&x, IcaParams { n_components: 5, ..Default::default() }, &mut rng)
+            .is_err());
     }
 }

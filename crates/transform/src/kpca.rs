@@ -70,9 +70,7 @@ impl<K: Kernel<[f64]> + Clone> KernelPca<K> {
             (0..n).map(|i| gram.row(i).iter().sum::<f64>() / n as f64).collect();
         let grand_mean = row_means.iter().sum::<f64>() / n as f64;
         let centered = center_gram(&gram);
-        let eig = centered
-            .symmetric_eigen()
-            .map_err(|e| TransformError::Numeric(e.to_string()))?;
+        let eig = centered.symmetric_eigen().map_err(|e| TransformError::Numeric(e.to_string()))?;
         let mut alphas = Matrix::zeros(n, n_components);
         let mut lambdas = Vec::with_capacity(n_components);
         for c in 0..n_components {
@@ -85,14 +83,7 @@ impl<K: Kernel<[f64]> + Clone> KernelPca<K> {
                 alphas[(r, c)] = eig.eigenvectors()[(r, c)] * scale;
             }
         }
-        Ok(KernelPca {
-            kernel,
-            train: x.to_vec(),
-            alphas,
-            lambdas,
-            row_means,
-            grand_mean,
-        })
+        Ok(KernelPca { kernel, train: x.to_vec(), alphas, lambdas, row_means, grand_mean })
     }
 
     /// Number of components retained.
@@ -170,32 +161,25 @@ mod tests {
         let kpca = KernelPca::fit(&x, RbfKernel::new(1.0), 2).unwrap();
         let z: Vec<Vec<f64>> = kpca.transform_batch(&x);
         // The first component must separate the rings by a threshold.
-        let inner: Vec<f64> = z
-            .iter()
-            .zip(&labels)
-            .filter(|&(_, &l)| l == 0)
-            .map(|(v, _)| v[0])
-            .collect();
-        let outer: Vec<f64> = z
-            .iter()
-            .zip(&labels)
-            .filter(|&(_, &l)| l == 1)
-            .map(|(v, _)| v[0])
-            .collect();
+        let inner: Vec<f64> =
+            z.iter().zip(&labels).filter(|&(_, &l)| l == 0).map(|(v, _)| v[0]).collect();
+        let outer: Vec<f64> =
+            z.iter().zip(&labels).filter(|&(_, &l)| l == 1).map(|(v, _)| v[0]).collect();
         let inner_max = inner.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let inner_min = inner.iter().cloned().fold(f64::INFINITY, f64::min);
         let outer_max = outer.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let outer_min = outer.iter().cloned().fold(f64::INFINITY, f64::min);
         let separated = inner_min > outer_max || outer_min > inner_max;
-        assert!(separated, "inner [{inner_min:.3},{inner_max:.3}] outer [{outer_min:.3},{outer_max:.3}]");
+        assert!(
+            separated,
+            "inner [{inner_min:.3},{inner_max:.3}] outer [{outer_min:.3},{outer_max:.3}]"
+        );
     }
 
     #[test]
     fn training_projection_is_consistent_with_transform() {
         let mut rng = StdRng::seed_from_u64(2);
-        let x: Vec<Vec<f64>> = (0..20)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..20).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let kpca = KernelPca::fit(&x, RbfKernel::new(0.8), 3).unwrap();
         // transform of training points should have near-zero mean per
         // component (centering worked).

@@ -183,12 +183,7 @@ impl Whitener {
     ///
     /// Panics if `x.len()` differs from the fitted feature count.
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
-        self.pca
-            .transform(x)
-            .into_iter()
-            .zip(&self.inv_std)
-            .map(|(z, &s)| z * s)
-            .collect()
+        self.pca.transform(x).into_iter().zip(&self.inv_std).map(|(z, &s)| z * s).collect()
     }
 
     /// Whitens a batch.

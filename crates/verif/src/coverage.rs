@@ -123,10 +123,7 @@ impl CoverageMap {
     /// Whether `other` hits any point this map has not hit — the novelty
     /// criterion "does this test add coverage".
     pub fn would_gain(&self, other: &CoverageMap) -> bool {
-        self.counts
-            .iter()
-            .zip(&other.counts)
-            .any(|(&mine, &theirs)| mine == 0 && theirs > 0)
+        self.counts.iter().zip(&other.counts).any(|(&mine, &theirs)| mine == 0 && theirs > 0)
     }
 
     /// Counts in `A0..A7` order.

@@ -84,10 +84,7 @@ impl LsuSimulator {
     /// the store buffer has zero depth.
     pub fn new(config: LsuConfig) -> Self {
         assert!(config.n_sets > 0, "cache needs at least one set");
-        assert!(
-            config.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(config.store_buffer_depth > 0, "store buffer needs depth >= 1");
         LsuSimulator { config }
     }
@@ -153,8 +150,7 @@ impl LsuSimulator {
                             extra += self.config.eviction_penalty;
                             // A3 is the rare case: the victim still has an
                             // in-flight store sitting in the store buffer.
-                            let victim_line_lo = (old.tag * self.config.n_sets as u32
-                                + set as u32)
+                            let victim_line_lo = (old.tag * self.config.n_sets as u32 + set as u32)
                                 * self.config.line_bytes;
                             let victim_line_hi = victim_line_lo + self.config.line_bytes;
                             if store_buffer
@@ -181,8 +177,7 @@ impl LsuSimulator {
             match inst {
                 Instruction::AddImm { rd, rs1, imm } => {
                     if rd.0 != 0 {
-                        regs[rd.0 as usize] =
-                            regs[rs1.0 as usize].wrapping_add(imm as u32);
+                        regs[rd.0 as usize] = regs[rs1.0 as usize].wrapping_add(imm as u32);
                     }
                     if !store_buffer.is_empty() {
                         store_buffer.remove(0);
@@ -408,8 +403,8 @@ mod tests {
         let p = Program::new(vec![
             addi(1, 0x1000),
             addi(2, 0x1800),
-            sw(8, 1, 0),  // make the line dirty
-            lw(9, 2, 0),  // conflicting fill -> dirty eviction
+            sw(8, 1, 0), // make the line dirty
+            lw(9, 2, 0), // conflicting fill -> dirty eviction
         ]);
         let out = LsuSimulator::default_config().simulate(&p);
         assert_eq!(out.coverage.count(CoveragePoint::DirtyEviction), 1);
@@ -441,12 +436,7 @@ mod tests {
         let mut insts = vec![addi(1, 0x1000)];
         for i in 0..8 {
             insts.push(sw(8, 1, i * 4));
-            insts.push(Instruction::Alu {
-                op: AluOp::Add,
-                rd: Reg(9),
-                rs1: Reg(9),
-                rs2: Reg(8),
-            });
+            insts.push(Instruction::Alu { op: AluOp::Add, rd: Reg(9), rs1: Reg(9), rs2: Reg(8) });
         }
         let out = LsuSimulator::default_config().simulate(&Program::new(insts));
         assert_eq!(out.coverage.count(CoveragePoint::StoreBufferFull), 0);

@@ -144,16 +144,8 @@ impl TestTemplate {
                 imm: addr as i32,
             });
         }
-        insts.push(Instruction::AddImm {
-            rd: Reg(8),
-            rs1: Reg(0),
-            imm: rng.gen_range(-128..128),
-        });
-        insts.push(Instruction::AddImm {
-            rd: Reg(9),
-            rs1: Reg(0),
-            imm: rng.gen_range(-128..128),
-        });
+        insts.push(Instruction::AddImm { rd: Reg(8), rs1: Reg(0), imm: rng.gen_range(-128..128) });
+        insts.push(Instruction::AddImm { rd: Reg(9), rs1: Reg(0), imm: rng.gen_range(-128..128) });
 
         let body_len = if self.len_range.0 >= self.len_range.1 {
             self.len_range.0
@@ -204,12 +196,9 @@ impl TestTemplate {
                     } else if let (Some((b, i)), true) =
                         (last, rng.gen::<f64>() < self.near_addr_prob)
                     {
-                        (b, (i + rng.gen_range(-32..=32)).clamp(0, max_offset))
+                        (b, (i + rng.gen_range(-32i32..=32)).clamp(0, max_offset))
                     } else {
-                        (
-                            1 + rng.gen_range(0..n_base) as u8,
-                            rng.gen_range(0..=max_offset),
-                        )
+                        (1 + rng.gen_range(0..n_base) as u8, rng.gen_range(0..=max_offset))
                     };
                     if rng.gen::<f64>() < self.aligned_prob {
                         imm -= imm.rem_euclid(width.bytes() as i32);
@@ -290,10 +279,8 @@ mod tests {
 
     #[test]
     fn weights_shift_instruction_mix() {
-        let mut heavy_store = TestTemplate::default();
-        heavy_store.w_store = 5.0;
-        heavy_store.w_load = 0.1;
-        heavy_store.w_alu = 0.1;
+        let heavy_store =
+            TestTemplate { w_store: 5.0, w_load: 0.1, w_alu: 0.1, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(1);
         let p = heavy_store.generate(&mut rng);
         let f = p.features();
@@ -366,10 +353,7 @@ impl MixtureTemplate {
     /// Panics if `modes` is empty or any weight is non-positive.
     pub fn new(modes: Vec<(f64, TestTemplate)>) -> Self {
         assert!(!modes.is_empty(), "mixture needs at least one mode");
-        assert!(
-            modes.iter().all(|&(w, _)| w > 0.0),
-            "mode weights must be positive"
-        );
+        assert!(modes.iter().all(|&(w, _)| w > 0.0), "mode weights must be positive");
         MixtureTemplate { modes }
     }
 

@@ -22,9 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         x.push(vec![rng.gen::<f64>() + 1.6, rng.gen::<f64>() + 1.6]);
         y.push(1.0);
     }
-    let svm = SvcTrainer::new(SvcParams::default())
-        .kernel(RbfKernel::new(1.0))
-        .fit(&x, &y)?;
+    let svm = SvcTrainer::new(SvcParams::default()).kernel(RbfKernel::new(1.0)).fit(&x, &y)?;
     println!(
         "svm: {} support vectors, complexity Σα = {:.2}, predict(1.8,1.8) = {:+.0}",
         svm.n_support(),
@@ -33,9 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. A novelty detector (higher score = more novel).
-    let train: Vec<Vec<f64>> = (0..200)
-        .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
-        .collect();
+    let train: Vec<Vec<f64>> =
+        (0..200).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()]).collect();
     let detector = MahalanobisDetector::fit(&train, 0.99)?;
     println!(
         "novelty: score(center) = {:.2}, score(far) = {:.2}, threshold = {:.2}",
@@ -45,13 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Subgroup-discovery rules an engineer can read.
-    let features: Vec<Vec<f64>> = (0..100)
-        .map(|_| vec![rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0])
-        .collect();
-    let labels: Vec<i32> = features
-        .iter()
-        .map(|f| i32::from(f[0] > 6.0 && f[1] > 5.0))
-        .collect();
+    let features: Vec<Vec<f64>> =
+        (0..100).map(|_| vec![rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0]).collect();
+    let labels: Vec<i32> = features.iter().map(|f| i32::from(f[0] > 6.0 && f[1] > 5.0)).collect();
     let rules = learn_rules(&features, &labels, 1, Cn2SdParams::default())?;
     let names = vec!["via_count".to_string(), "wirelength".to_string()];
     for r in &rules {

@@ -20,13 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rng = StdRng::seed_from_u64(4);
     let config = DstcConfig { n_paths: 500, ..Default::default() };
-    let result = dstc::run(
-        &PathGenerator::default(),
-        &Timer::default(),
-        &silicon,
-        &config,
-        &mut rng,
-    )?;
+    let result =
+        dstc::run(&PathGenerator::default(), &Timer::default(), &silicon, &config, &mut rng)?;
 
     let slow = result.points.iter().filter(|p| p.cluster == 1).count();
     println!(

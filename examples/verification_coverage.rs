@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Insertion point 2: learn rules from covering tests and refine the
     // template (one short Table-1-style pass).
-    let config = RefinementConfig {
-        tests_per_stage: vec![150, 60],
-        ..Default::default()
-    };
+    let config = RefinementConfig { tests_per_stage: vec![150, 60], ..Default::default() };
     let stages = template_refine::run(&simulator, &config, &mut rng)?;
     for s in &stages {
         let covered: Vec<String> = CoveragePoint::ALL
@@ -51,12 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|p| s.counts[p.index()] > 0)
             .map(|p| p.short_name())
             .collect();
-        println!(
-            "{:<14} {:>4} tests -> covered {}",
-            s.name,
-            s.n_tests,
-            covered.join(",")
-        );
+        println!("{:<14} {:>4} tests -> covered {}", s.name, s.n_tests, covered.join(","));
         for r in &s.rules {
             println!("    learned: {r}");
         }

@@ -26,9 +26,8 @@ fn fig3_kernel_trick_end_to_end() {
         .kernel(PolyKernel::homogeneous(2))
         .fit(&x, &y)
         .unwrap();
-    let errors = |m: &dyn Fn(&[f64]) -> f64| {
-        x.iter().zip(&y).filter(|(xi, &yi)| m(xi) != yi).count()
-    };
+    let errors =
+        |m: &dyn Fn(&[f64]) -> f64| x.iter().zip(&y).filter(|(xi, &yi)| m(xi) != yi).count();
     assert!(errors(&|p| lin.predict(p)) > 0);
     assert_eq!(errors(&|p| poly.predict(p)), 0);
 }
@@ -96,11 +95,7 @@ fn fig10_dstc_is_specific_to_the_injected_layer() {
     let config = DstcConfig { n_paths: 500, ..Default::default() };
     let result =
         run(&PathGenerator::default(), &Timer::default(), &silicon, &config, &mut rng).unwrap();
-    assert!(
-        result.implicates("via23"),
-        "should find the layer-2-3 effect, got {:?}",
-        result.rules
-    );
+    assert!(result.implicates("via23"), "should find the layer-2-3 effect, got {:?}", result.rules);
 }
 
 #[test]
@@ -115,10 +110,7 @@ fn fig11_screen_catches_planted_defect() {
     let mut rng = StdRng::seed_from_u64(75);
     let result = run(&config, &mut rng).unwrap();
     assert!(result.n_baseline_returns > 0);
-    assert!(result
-        .baseline_return_percentiles
-        .iter()
-        .all(|&p| p > 0.9));
+    assert!(result.baseline_return_percentiles.iter().all(|&p| p > 0.9));
 }
 
 #[test]
@@ -176,8 +168,7 @@ fn learners_agree_on_an_easy_problem() {
     let nb = GaussianNb::fit(&x, &y).unwrap();
     let lda = DiscriminantAnalysis::fit(&x, &y, Covariance::Pooled).unwrap();
     let tree = DecisionTreeClassifier::fit(&x, &y, TreeParams::default()).unwrap();
-    let forest =
-        RandomForestClassifier::fit(&x, &y, ForestParams::default(), &mut rng).unwrap();
+    let forest = RandomForestClassifier::fit(&x, &y, ForestParams::default(), &mut rng).unwrap();
     let logit = LogisticRegression::fit(&x, &y, LogisticParams::default()).unwrap();
 
     for (name, lo, hi) in [

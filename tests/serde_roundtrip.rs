@@ -30,10 +30,8 @@ fn svc_model_round_trips() {
     use edm::kernels::RbfKernel;
     use edm::svm::{SvcModel, SvcParams, SvcTrainer};
     let (x, y) = blobs(30, 1);
-    let model = SvcTrainer::new(SvcParams::default())
-        .kernel(RbfKernel::new(1.0))
-        .fit(&x, &y)
-        .unwrap();
+    let model =
+        SvcTrainer::new(SvcParams::default()).kernel(RbfKernel::new(1.0)).fit(&x, &y).unwrap();
     let json = serde_json::to_string(&model).unwrap();
     let restored: SvcModel<RbfKernel> = serde_json::from_str(&json).unwrap();
     for p in probe_points() {
@@ -46,10 +44,8 @@ fn one_class_model_round_trips() {
     use edm::kernels::RbfKernel;
     use edm::svm::{OneClassModel, OneClassParams, OneClassSvm};
     let (x, _) = blobs(30, 2);
-    let model = OneClassSvm::new(OneClassParams::default())
-        .kernel(RbfKernel::new(1.0))
-        .fit(&x)
-        .unwrap();
+    let model =
+        OneClassSvm::new(OneClassParams::default()).kernel(RbfKernel::new(1.0)).fit(&x).unwrap();
     let json = serde_json::to_string(&model).unwrap();
     let restored: OneClassModel<RbfKernel> = serde_json::from_str(&json).unwrap();
     for p in probe_points() {
@@ -91,16 +87,13 @@ fn gp_and_rules_round_trip() {
 
     let labels: Vec<i32> = x.iter().map(|v| i32::from(v[0] > 3.0)).collect();
     let rules = learn_rules(&x, &labels, 1, Cn2SdParams::default()).unwrap();
-    let rules2: Vec<Rule> =
-        serde_json::from_str(&serde_json::to_string(&rules).unwrap()).unwrap();
+    let rules2: Vec<Rule> = serde_json::from_str(&serde_json::to_string(&rules).unwrap()).unwrap();
     assert_eq!(rules, rules2);
 }
 
 #[test]
 fn detectors_round_trip() {
-    use edm::novelty::{
-        KnnDistanceDetector, LofDetector, MahalanobisDetector, NoveltyDetector,
-    };
+    use edm::novelty::{KnnDistanceDetector, LofDetector, MahalanobisDetector, NoveltyDetector};
     let (x, _) = blobs(40, 5);
     let maha = MahalanobisDetector::fit(&x, 0.99).unwrap();
     let knn = KnnDistanceDetector::fit(x.clone(), 5, 0.99).unwrap();
@@ -109,8 +102,7 @@ fn detectors_round_trip() {
         serde_json::from_str(&serde_json::to_string(&maha).unwrap()).unwrap();
     let knn2: KnnDistanceDetector =
         serde_json::from_str(&serde_json::to_string(&knn).unwrap()).unwrap();
-    let lof2: LofDetector =
-        serde_json::from_str(&serde_json::to_string(&lof).unwrap()).unwrap();
+    let lof2: LofDetector = serde_json::from_str(&serde_json::to_string(&lof).unwrap()).unwrap();
     let p = [5.0, -3.0];
     assert_eq!(maha.score(&p), maha2.score(&p));
     assert_eq!(knn.score(&p), knn2.score(&p));
@@ -126,13 +118,11 @@ fn substrate_artifacts_round_trip() {
     let mut rng = StdRng::seed_from_u64(6);
     // Verification test program.
     let program = TestTemplate::default().generate(&mut rng);
-    let p2: Program =
-        serde_json::from_str(&serde_json::to_string(&program).unwrap()).unwrap();
+    let p2: Program = serde_json::from_str(&serde_json::to_string(&program).unwrap()).unwrap();
     assert_eq!(program, p2);
     // Timing path.
     let path = PathGenerator::default().generate(&mut rng);
-    let path2: TimingPath =
-        serde_json::from_str(&serde_json::to_string(&path).unwrap()).unwrap();
+    let path2: TimingPath = serde_json::from_str(&serde_json::to_string(&path).unwrap()).unwrap();
     assert_eq!(path, path2);
     // Template itself (so a refined template can be checked in).
     let t = TestTemplate::default();
@@ -144,9 +134,8 @@ fn substrate_artifacts_round_trip() {
 fn transforms_round_trip() {
     use edm::transform::{Pca, Pls};
     let mut rng = StdRng::seed_from_u64(7);
-    let x: Vec<Vec<f64>> = (0..30)
-        .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
-        .collect();
+    let x: Vec<Vec<f64>> =
+        (0..30).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()]).collect();
     let pca = Pca::fit(&x, 2).unwrap();
     let pca2: Pca = serde_json::from_str(&serde_json::to_string(&pca).unwrap()).unwrap();
     assert_eq!(pca.transform(&x[3]), pca2.transform(&x[3]));
