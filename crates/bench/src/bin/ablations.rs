@@ -171,9 +171,11 @@ fn ablate_fig11_feature_selection() -> Vec<bool> {
 }
 
 fn main() {
+    edm_bench::init_trace();
     let mut claims = Vec::new();
     claims.extend(ablate_fig9_kernels());
     claims.extend(ablate_fig7_filter());
     claims.extend(ablate_fig11_feature_selection());
+    edm_bench::emit_trace("ablations", 91);
     finish(&claims);
 }

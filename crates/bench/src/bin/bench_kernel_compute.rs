@@ -113,6 +113,7 @@ struct SvcRow {
 }
 
 fn main() {
+    edm_bench::init_trace();
     let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     println!(
         "kernel-compute bench: d = {DIM}, rbf gamma = {GAMMA}, host cores = {host_cores}, \
@@ -230,4 +231,5 @@ fn main() {
 
     std::fs::write("BENCH_kernel_compute.json", &j).expect("write BENCH_kernel_compute.json");
     println!("\nwrote BENCH_kernel_compute.json");
+    edm_bench::emit_trace("bench_kernel_compute", 1);
 }

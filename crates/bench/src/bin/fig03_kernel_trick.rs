@@ -48,6 +48,7 @@ fn training_error<K: edm_kernels::Kernel<[f64]> + Clone>(
 }
 
 fn main() {
+    edm_bench::init_trace();
     header("Figure 3: kernel trick on ring-vs-disc data");
     let mut rng = StdRng::seed_from_u64(3);
     let (x, y) = ring_disc(100, &mut rng);
@@ -68,5 +69,6 @@ fn main() {
         claim("explicit feature space IS separable (error = 0)", explicit_err == 0.0),
         claim("kernel path matches the explicit map (error = 0)", kernel_err == 0.0),
     ];
+    edm_bench::emit_trace("fig03_kernel_trick", 3);
     finish(&claims);
 }

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    edm_bench::init_trace();
     header("Figure 5: overfitting vs model complexity");
 
     // --- Sweep 1: polynomial regression on noisy data ---------------
@@ -109,5 +110,6 @@ fn main() {
         claim("svc: training error decreases with gamma", svc_train_drops),
         claim("svc: validation error rises past the optimum", svc_overfits),
     ];
+    edm_bench::emit_trace("fig05_overfitting", 5);
     finish(&claims);
 }

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    edm_bench::init_trace();
     header("Figure 7: novel test selection vs simulate-everything");
     // The production randomizer draws from a mixture of scenario modes
     // (overwhelmingly the generic one); the unit under test has a 6-deep
@@ -79,11 +80,13 @@ fn main() {
                 ),
                 claim("simulation saving is large (>= 60%)", saving >= 0.60),
             ];
+            edm_bench::emit_trace("fig07_novel_test_selection", 7);
             finish(&claims);
         }
         _ => {
             let reached = result.filtered.last().map(|p| p.covered).unwrap_or(0);
             println!("novelty-filtered flow stalled at {reached}/{} points", result.max_coverage);
+            edm_bench::emit_trace("fig07_novel_test_selection", 7);
             finish(&[claim("filtered flow reaches the baseline's max coverage", false)]);
         }
     }

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    edm_bench::init_trace();
     header("Figure 9: fast layout-variability prediction vs litho simulation");
     let config = VariabilityConfig { n_train: 400, n_test: 200, ..Default::default() };
     let mut rng = StdRng::seed_from_u64(9);
@@ -57,5 +58,6 @@ fn main() {
         ),
         claim("the model is much faster than the simulation (>= 10x)", result.speedup() >= 10.0),
     ];
+    edm_bench::emit_trace("fig09_litho_variability", 9);
     finish(&claims);
 }

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    edm_bench::init_trace();
     header("Figure 10: design-silicon timing correlation diagnosis");
     let silicon = SiliconModel::default()
         .with_effect(SystematicEffect::ViaResistance { lower_layer: 4, extra_ps: 7.0 })
@@ -70,5 +71,6 @@ fn main() {
                 .unwrap_or(false),
         ),
     ];
+    edm_bench::emit_trace("fig10_dstc", 10);
     finish(&claims);
 }

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    edm_bench::init_trace();
     header("Figure 11: customer-return screening");
     let config = ReturnScreeningConfig {
         lot_size: 10_000,
@@ -51,5 +52,6 @@ fn main() {
             result.overkill_rate < 0.01,
         ),
     ];
+    edm_bench::emit_trace("fig11_customer_returns", 11);
     finish(&claims);
 }

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    edm_bench::init_trace();
     header("Figure 12: test-cost reduction and its escapes");
     let config = TestCostConfig::default(); // 200k analysis + 100k follow-on
     let mut rng = StdRng::seed_from_u64(12);
@@ -50,5 +51,6 @@ fn main() {
             result.escapes_from_tail_mechanism * 10 >= result.escapes * 8,
         ),
     ];
+    edm_bench::emit_trace("fig12_difficult_case", 12);
     finish(&claims);
 }

@@ -34,6 +34,7 @@ fn sample(n: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<i32>) {
 }
 
 fn main() {
+    edm_bench::init_trace();
     header("ref [3]: Boolean-function learning without guarantees");
     let mut rng = StdRng::seed_from_u64(3);
     let (train_x, train_y) = sample(2_000, &mut rng);
@@ -74,5 +75,6 @@ fn main() {
         claim("a plain CART tree learns the DNF to >= 97% accuracy", tree_acc >= 0.97),
         claim("a random forest matches or beats it", forest_acc >= tree_acc - 0.01),
     ];
+    edm_bench::emit_trace("ref03_boolean_learning", 3);
     finish(&claims);
 }

@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    edm_bench::init_trace();
     header("ref [20]: five regressor families on Fmax prediction");
     let product = ProductModel::automotive();
     let fmax_idx = product.test_index("fmax").expect("model has fmax");
@@ -94,5 +95,6 @@ fn main() {
         claim("every family explains a meaningful share of variance (R2 > 0.3)", all_positive_r2),
         claim("GP predictive variance is positive and finite", var > 0.0 && var.is_finite()),
     ];
+    edm_bench::emit_trace("ref20_fmax_regressors", 20);
     finish(&claims);
 }

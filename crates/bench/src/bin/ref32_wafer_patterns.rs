@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    edm_bench::init_trace();
     header("ref [32]: inter-wafer abnormality pattern mining");
     let mut rng = StdRng::seed_from_u64(32);
     let n_per_class = 40;
@@ -101,5 +102,6 @@ fn main() {
         ),
         claim("association mining links signature bins to low yield", signature_implies_low_yield),
     ];
+    edm_bench::emit_trace("ref32_wafer_patterns", 32);
     finish(&claims);
 }

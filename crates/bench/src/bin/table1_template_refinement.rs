@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    edm_bench::init_trace();
     header("Table 1: coverage improvement after learning");
     let sim = LsuSimulator::default_config();
     let config = RefinementConfig::default(); // 400 / 100 / 50 tests
@@ -63,5 +64,6 @@ fn main() {
             last_rate >= 5.0 * orig_rate.max(0.02),
         ),
     ];
+    edm_bench::emit_trace("table1_template_refinement", 1);
     finish(&claims);
 }

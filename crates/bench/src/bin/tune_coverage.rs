@@ -59,10 +59,11 @@ fn first_hit(name: &str, t: &TestTemplate, n: usize, seed: u64, sim: &LsuSimulat
 }
 
 fn main() {
+    edm_bench::init_trace();
     // (a)/(b): the Table 1 shape — the default template leaves A2..A7
     // at or near zero over 400 tests; the refined knobs cover them all.
     let orig = TestTemplate::default();
-    profile("orig(400)", &orig, 400, 1);
+    edm_bench::phase("tune.profile.orig", || profile("orig(400)", &orig, 400, 1));
     let mut refined = TestTemplate::default();
     refined.boost_reuse(0.25);
     refined.boost_stores(0.25);
@@ -70,12 +71,15 @@ fn main() {
     refined.boost_unaligned(0.35);
     refined.boost_mem_burst(0.5);
     refined.reduce_locality(0.2);
-    profile("refined(100)", &refined, 100, 2);
+    edm_bench::phase("tune.profile.refined", || profile("refined(100)", &refined, 100, 2));
 
     // (c): the Fig. 7 regime — with a 6-deep store buffer the
     // buffer-full point takes thousands of default-template tests.
     let deep = LsuSimulator::new(LsuConfig { store_buffer_depth: 6, ..Default::default() });
-    for seed in [3, 4, 5] {
-        first_hit(&format!("deep6 seed{seed}"), &orig, 12_000, seed, &deep);
-    }
+    edm_bench::phase("tune.first_hit", || {
+        for seed in [3, 4, 5] {
+            first_hit(&format!("deep6 seed{seed}"), &orig, 12_000, seed, &deep);
+        }
+    });
+    edm_bench::emit_trace("tune_coverage", 1);
 }

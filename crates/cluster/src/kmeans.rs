@@ -51,6 +51,7 @@ pub fn kmeans<R: Rng + ?Sized>(
     max_iter: usize,
     rng: &mut R,
 ) -> Result<KMeansResult, ClusterError> {
+    let _span = edm_trace::span("cluster.kmeans.fit");
     if k == 0 {
         return Err(ClusterError::InvalidParameter {
             name: "k",
@@ -147,6 +148,11 @@ pub fn kmeans<R: Rng + ?Sized>(
         }
     }
     let inertia = x.iter().zip(&labels).map(|(p, &l)| edm_linalg::sq_dist(p, &centroids[l])).sum();
+    if edm_trace::enabled() {
+        edm_trace::counter_add("cluster.kmeans.runs", 1);
+        edm_trace::counter_add("cluster.kmeans.iterations", iterations as u64);
+        edm_trace::record("cluster.kmeans.iterations_per_run", iterations as f64);
+    }
     Ok(KMeansResult { labels, centroids, inertia, iterations })
 }
 

@@ -92,6 +92,7 @@ pub fn run<R: Rng + ?Sized>(
     config: &DstcConfig,
     rng: &mut R,
 ) -> Result<DstcResult, LearnError> {
+    let _span = edm_trace::span("core.dstc.run");
     let paths: Vec<TimingPath> = generator.generate_population(config.n_paths, rng);
     let predicted: Vec<f64> = paths.iter().map(|p| timer.path_delay(p)).collect();
     let measured: Vec<f64> = paths.iter().map(|p| silicon.measure(p, rng)).collect();

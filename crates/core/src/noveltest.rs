@@ -210,6 +210,7 @@ pub fn run<R: Rng + ?Sized>(
     config: &NovelSelectionConfig,
     rng: &mut R,
 ) -> Result<NovelSelectionResult, SvmError> {
+    let _span = edm_trace::span("core.noveltest.run");
     let tests: Vec<_> = (0..config.n_tests).map(|_| template.generate(rng)).collect();
     run_stream(&tests, simulator, config)
 }
@@ -225,6 +226,7 @@ pub fn run_stream(
     simulator: &LsuSimulator,
     config: &NovelSelectionConfig,
 ) -> Result<NovelSelectionResult, SvmError> {
+    let _span = edm_trace::span("core.noveltest.run_stream");
     let outcomes: Vec<_> = tests.iter().map(|t| simulator.simulate(t)).collect();
 
     // Baseline: simulate in stream order.

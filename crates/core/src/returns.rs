@@ -181,6 +181,7 @@ pub fn run<R: Rng + ?Sized>(
     config: &ReturnScreeningConfig,
     rng: &mut R,
 ) -> Result<ReturnScreeningResult, NoveltyError> {
+    let _span = edm_trace::span("core.returns.run");
     let product = ProductModel::automotive().with_defect_rate(config.defect_rate);
     let flow = TestFlow::new(product.spec_limits().to_vec());
     let field = FieldModel::default();

@@ -98,6 +98,7 @@ pub fn run<R: Rng + ?Sized>(
     config: &RefinementConfig,
     rng: &mut R,
 ) -> Result<Vec<StageResult>, LearnError> {
+    let _span = edm_trace::span("core.template_refine.run");
     let mut template = TestTemplate::default();
     let mut stages = Vec::new();
     let feature_names = Program::feature_names();

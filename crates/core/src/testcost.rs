@@ -82,6 +82,7 @@ pub struct TestCostResult {
 /// Panics if the product model has fewer than three tests (cannot
 /// happen with [`ProductModel::automotive`]).
 pub fn run<R: Rng + ?Sized>(config: &TestCostConfig, rng: &mut R) -> TestCostResult {
+    let _span = edm_trace::span("core.testcost.run");
     let clean = ProductModel::automotive().with_defect_rate(0.0);
     let test_a = clean.test_index("test_A").expect("model has test_A");
     let covering = [

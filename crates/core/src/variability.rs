@@ -119,6 +119,7 @@ pub fn run<R: Rng + ?Sized>(
     config: &VariabilityConfig,
     rng: &mut R,
 ) -> Result<(VariabilityResult, VariabilityPredictor), SvmError> {
+    let _span = edm_trace::span("core.variability.run");
     // Generate and label.
     let mut clips = Vec::with_capacity(config.n_train + config.n_test);
     for _ in 0..(config.n_train + config.n_test) {

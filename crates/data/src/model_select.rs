@@ -65,8 +65,15 @@ where
     R: Rng + ?Sized,
     F: FnMut(&Dataset, &Dataset) -> Option<f64>,
 {
+    let _span = edm_trace::span("data.cv");
     let folds = KFold::new(k).split(ds, rng);
-    let scores: Vec<f64> = folds.iter().filter_map(|f| fit_score(&f.train, &f.test)).collect();
+    let scores: Vec<f64> = folds
+        .iter()
+        .filter_map(|f| {
+            let _fold_span = edm_trace::span("data.cv.fold");
+            fit_score(&f.train, &f.test)
+        })
+        .collect();
     assert!(!scores.is_empty(), "every cross-validation fold failed to fit");
     CvScore {
         mean: edm_linalg::mean(&scores),
@@ -91,12 +98,15 @@ where
     R: Rng + ?Sized,
     F: Fn(&Dataset, &Dataset) -> Option<f64> + Sync,
 {
+    let _span = edm_trace::span("data.cv");
     let folds = KFold::new(k).split(ds, rng);
-    let scores: Vec<f64> =
-        edm_par::map_indexed(folds.len(), |i| fit_score(&folds[i].train, &folds[i].test))
-            .into_iter()
-            .flatten()
-            .collect();
+    let scores: Vec<f64> = edm_par::map_indexed(folds.len(), |i| {
+        let _fold_span = edm_trace::span("data.cv.fold");
+        fit_score(&folds[i].train, &folds[i].test)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     assert!(!scores.is_empty(), "every cross-validation fold failed to fit");
     CvScore {
         mean: edm_linalg::mean(&scores),

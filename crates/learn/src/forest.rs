@@ -60,6 +60,7 @@ impl RandomForestClassifier {
         params: ForestParams,
         rng: &mut R,
     ) -> Result<Self, LearnError> {
+        let _span = edm_trace::span("learn.forest.fit");
         if params.n_trees == 0 {
             return Err(LearnError::InvalidParameter {
                 name: "n_trees",
@@ -83,6 +84,9 @@ impl RandomForestClassifier {
             })
             .collect();
         let trees = edm_par::map_indexed(draws.len(), |t| {
+            // One span per tree: the `learn.forest.tree` aggregate's
+            // count/min/max show per-tree training time spread.
+            let _tree_span = edm_trace::span("learn.forest.tree");
             let (indices, feats) = &draws[t];
             let bx: Vec<Vec<f64>> = indices.iter().map(|&i| x[i].clone()).collect();
             let by: Vec<i32> = indices.iter().map(|&i| y[i]).collect();

@@ -31,17 +31,36 @@ use std::sync::Mutex;
 ///
 /// Reads the `EDM_NUM_THREADS` environment variable if set (useful for
 /// benchmarking scaling curves), otherwise the machine's available
-/// parallelism. Always at least 1. With the `parallel` feature
-/// disabled this is constantly 1.
+/// parallelism. Always at least 1. A value of `0` is clamped to 1 and
+/// a non-numeric value falls back to the host parallelism — both with
+/// a one-shot warning on stderr rather than a silent fallback. With
+/// the `parallel` feature disabled this is constantly 1.
 pub fn num_threads() -> usize {
     #[cfg(feature = "parallel")]
     {
-        if let Ok(v) = std::env::var("EDM_NUM_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.max(1);
-            }
+        match std::env::var("EDM_NUM_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) => {
+                    static WARN_ZERO: std::sync::Once = std::sync::Once::new();
+                    WARN_ZERO.call_once(|| {
+                        eprintln!("edm-par: EDM_NUM_THREADS=0 is invalid; clamping to 1 thread");
+                    });
+                    1
+                }
+                Ok(n) => n,
+                Err(_) => {
+                    static WARN_PARSE: std::sync::Once = std::sync::Once::new();
+                    WARN_PARSE.call_once(|| {
+                        eprintln!(
+                            "edm-par: ignoring non-numeric EDM_NUM_THREADS value {v:?}; \
+                             using host parallelism"
+                        );
+                    });
+                    host_parallelism()
+                }
+            },
+            Err(_) => host_parallelism(),
         }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
     }
     #[cfg(not(feature = "parallel"))]
     {
@@ -49,9 +68,55 @@ pub fn num_threads() -> usize {
     }
 }
 
+#[cfg(feature = "parallel")]
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// True when the `parallel` feature is compiled in.
 pub const fn parallel_enabled() -> bool {
     cfg!(feature = "parallel")
+}
+
+/// Per-worker telemetry: chunk count and busy time, recorded into the
+/// `edm-trace` registry when the worker retires (`par.worker.jobs` /
+/// `par.worker.busy_ns` histograms — one sample per worker thread —
+/// and the `par.jobs` counter). When tracing is off (or compiled out)
+/// the cost is one relaxed atomic load per worker, and the timed and
+/// untimed paths run the exact same job closure, so telemetry can
+/// never perturb results.
+#[cfg(feature = "parallel")]
+struct WorkerProbe {
+    enabled: bool,
+    jobs: u64,
+    busy: std::time::Duration,
+}
+
+#[cfg(feature = "parallel")]
+impl WorkerProbe {
+    fn start() -> Self {
+        WorkerProbe { enabled: edm_trace::enabled(), jobs: 0, busy: std::time::Duration::ZERO }
+    }
+
+    #[inline]
+    fn job(&mut self, work: impl FnOnce()) {
+        if self.enabled {
+            let t0 = std::time::Instant::now();
+            work();
+            self.busy += t0.elapsed();
+            self.jobs += 1;
+        } else {
+            work();
+        }
+    }
+
+    fn finish(self) {
+        if self.enabled && self.jobs > 0 {
+            edm_trace::counter_add("par.jobs", self.jobs);
+            edm_trace::record("par.worker.jobs", self.jobs as f64);
+            edm_trace::record("par.worker.busy_ns", self.busy.as_nanos() as f64);
+        }
+    }
 }
 
 /// Minimum element count before [`for_each_row`] / [`for_each_chunk`]
@@ -94,12 +159,16 @@ where
             let jobs = Mutex::new(data.chunks_mut(row_len).enumerate());
             std::thread::scope(|s| {
                 for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let job = jobs.lock().expect("worker panicked holding job lock").next();
-                        match job {
-                            Some((i, row)) => f(i, row),
-                            None => break,
+                    s.spawn(|| {
+                        let mut probe = WorkerProbe::start();
+                        loop {
+                            let job = jobs.lock().expect("worker panicked holding job lock").next();
+                            match job {
+                                Some((i, row)) => probe.job(|| f(i, row)),
+                                None => break,
+                            }
                         }
+                        probe.finish();
                     });
                 }
             });
@@ -141,12 +210,16 @@ where
             let jobs = Mutex::new(data.chunks_mut(chunk_len).enumerate());
             std::thread::scope(|s| {
                 for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let job = jobs.lock().expect("worker panicked holding job lock").next();
-                        match job {
-                            Some((i, chunk)) => f(i, chunk),
-                            None => break,
+                    s.spawn(|| {
+                        let mut probe = WorkerProbe::start();
+                        loop {
+                            let job = jobs.lock().expect("worker panicked holding job lock").next();
+                            match job {
+                                Some((i, chunk)) => probe.job(|| f(i, chunk)),
+                                None => break,
+                            }
                         }
+                        probe.finish();
                     });
                 }
             });
@@ -181,12 +254,16 @@ where
             let jobs = Mutex::new(out.chunks_mut(1).enumerate());
             std::thread::scope(|s| {
                 for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let job = jobs.lock().expect("worker panicked holding job lock").next();
-                        match job {
-                            Some((i, slot)) => slot[0] = Some(f(i)),
-                            None => break,
+                    s.spawn(|| {
+                        let mut probe = WorkerProbe::start();
+                        loop {
+                            let job = jobs.lock().expect("worker panicked holding job lock").next();
+                            match job {
+                                Some((i, slot)) => probe.job(|| slot[0] = Some(f(i))),
+                                None => break,
+                            }
                         }
+                        probe.finish();
                     });
                 }
             });
@@ -268,6 +345,27 @@ mod tests {
     fn ragged_rows_rejected() {
         let mut data = vec![0.0; 7];
         for_each_row(&mut data, 3, |_, _| {});
+    }
+
+    /// Sequential single test: `EDM_NUM_THREADS` is process-global, so
+    /// the cases must not interleave with each other.
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn env_thread_override_parsing() {
+        std::env::set_var("EDM_NUM_THREADS", "3");
+        assert_eq!(num_threads(), 3);
+        std::env::set_var("EDM_NUM_THREADS", " 8 ");
+        assert_eq!(num_threads(), 8, "surrounding whitespace is tolerated");
+        std::env::set_var("EDM_NUM_THREADS", "0");
+        assert_eq!(num_threads(), 1, "zero is clamped to one thread, not silently ignored");
+        std::env::remove_var("EDM_NUM_THREADS");
+        let host = num_threads();
+        assert!(host >= 1);
+        for bad in ["lots", "-2", "1.5", ""] {
+            std::env::set_var("EDM_NUM_THREADS", bad);
+            assert_eq!(num_threads(), host, "non-numeric {bad:?} falls back to host parallelism");
+        }
+        std::env::remove_var("EDM_NUM_THREADS");
     }
 
     #[test]

@@ -2,7 +2,7 @@ use edm_kernels::{gram_row, Kernel, RbfKernel};
 use edm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
-use crate::qmatrix::{CachedQ, DenseQ, KernelQ, QMatrix, DEFAULT_CACHE_BYTES};
+use crate::qmatrix::{CacheStats, CachedQ, DenseQ, KernelQ, QMatrix, DEFAULT_CACHE_BYTES};
 use crate::solver::{solve, DualProblem};
 use crate::SvmError;
 
@@ -111,6 +111,7 @@ impl<K: Kernel<[f64]> + Clone> OneClassSvm<K> {
     /// [`SvmError::InvalidInput`] on empty or ragged input, invalid ν, or
     /// SMO non-convergence.
     pub fn fit(&self, x: &[Vec<f64>]) -> Result<OneClassModel<K>, SvmError> {
+        let _span = edm_trace::span("svm.one_class.fit");
         if x.is_empty() {
             return Err(SvmError::InvalidInput("empty training set".into()));
         }
@@ -124,6 +125,7 @@ impl<K: Kernel<[f64]> + Clone> OneClassSvm<K> {
         let source = KernelQ::<[f64], _, _>::new(&self.kernel, x, None);
         let q = CachedQ::new(source, self.params.cache_bytes);
         let (alpha, rho, iterations) = solve_one_class_q(&q, x.len(), &self.params)?;
+        let cache = q.stats();
         let mut support = Vec::new();
         let mut coef = Vec::new();
         for (i, &a) in alpha.iter().enumerate() {
@@ -132,7 +134,7 @@ impl<K: Kernel<[f64]> + Clone> OneClassSvm<K> {
                 coef.push(a);
             }
         }
-        Ok(OneClassModel { kernel: self.kernel.clone(), support, coef, rho, iterations })
+        Ok(OneClassModel { kernel: self.kernel.clone(), support, coef, rho, iterations, cache })
     }
 }
 
@@ -205,6 +207,7 @@ pub struct OneClassModel<K> {
     coef: Vec<f64>,
     rho: f64,
     iterations: usize,
+    cache: CacheStats,
 }
 
 impl<K: Kernel<[f64]>> OneClassModel<K> {
@@ -234,6 +237,11 @@ impl<K> OneClassModel<K> {
     /// SMO iterations used in training.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Q-row cache behaviour during this model's training run.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
     }
 }
 

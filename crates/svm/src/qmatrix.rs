@@ -36,6 +36,7 @@ use std::rc::Rc;
 
 use edm_kernels::Kernel;
 use edm_linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 /// Default row-cache budget (64 MiB), mirroring LIBSVM's order of
 /// magnitude (its `-m` option defaults to 100 MB).
@@ -336,13 +337,22 @@ where
 // CachedQ: the LRU row cache.
 // ---------------------------------------------------------------------
 
-/// Hit/miss counters of a [`CachedQ`], for benchmarking and tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Hit/miss/eviction counters of a [`CachedQ`].
+///
+/// Exposed on trained models ([`SvcModel::cache_stats`](crate::SvcModel::cache_stats),
+/// [`SvrModel::cache_stats`](crate::SvrModel::cache_stats),
+/// [`OneClassModel::cache_stats`](crate::OneClassModel::cache_stats)) so
+/// callers can see how the Q-row cache behaved during their training
+/// run, and flushed into the `edm-trace` registry
+/// (`svm.qcache.{hits,misses,evictions}`) when the cache is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Row requests served from the cache.
     pub hits: u64,
     /// Row requests that had to compute the row.
     pub misses: u64,
+    /// Resident rows discarded to make room (always ≤ `misses`).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -370,6 +380,7 @@ struct CacheState {
     clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// LIBSVM-style LRU row cache over any [`QSource`].
@@ -409,6 +420,7 @@ impl<S: QSource> CachedQ<S> {
                 clock: 0,
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
         }
     }
@@ -418,15 +430,33 @@ impl<S: QSource> CachedQ<S> {
         self.budget_rows
     }
 
-    /// Hit/miss counters so far.
+    /// Hit/miss/eviction counters so far.
     pub fn stats(&self) -> CacheStats {
         let st = self.state.borrow();
-        CacheStats { hits: st.hits, misses: st.misses }
+        CacheStats { hits: st.hits, misses: st.misses, evictions: st.evictions }
     }
 
     /// The wrapped source.
     pub fn source(&self) -> &S {
         &self.source
+    }
+}
+
+impl<S> Drop for CachedQ<S> {
+    /// Flushes this cache's lifetime counters into the global trace
+    /// registry, so every training run's cache behaviour shows up in
+    /// `svm.qcache.{hits,misses,evictions}` without the caller doing
+    /// anything.
+    fn drop(&mut self) {
+        if !edm_trace::enabled() {
+            return;
+        }
+        let st = self.state.borrow();
+        if st.hits + st.misses > 0 {
+            edm_trace::counter_add("svm.qcache.hits", st.hits);
+            edm_trace::counter_add("svm.qcache.misses", st.misses);
+            edm_trace::counter_add("svm.qcache.evictions", st.evictions);
+        }
     }
 }
 
@@ -473,6 +503,7 @@ impl<S: QSource> QMatrix for CachedQ<S> {
                 if let Some(v) = victim {
                     st.entries[v] = None;
                     st.resident -= 1;
+                    st.evictions += 1;
                 }
             }
             st.entries[i] = Some(CacheEntry { data: Rc::clone(&data), stamp });
@@ -555,6 +586,7 @@ mod tests {
         let s = cached.stats();
         assert_eq!(s.misses, 4, "4 distinct rows touched");
         assert_eq!(s.hits, 4, "4 revisits served from cache");
+        assert_eq!(s.evictions, 0, "budget was never exceeded");
     }
 
     #[test]
@@ -568,10 +600,12 @@ mod tests {
         q.row(0); // hit  — 0 now more recent than 1
         q.row(2); // miss — evicts 1, resident {0, 2}
         q.row(0); // hit
-        q.row(1); // miss (was evicted)
+        q.row(1); // miss — evicts 2 (was evicted itself before)
         let s = q.stats();
         assert_eq!(s.misses, 4);
         assert_eq!(s.hits, 2);
+        assert_eq!(s.evictions, 2, "rows 1 then 2 were evicted");
+        assert!((s.hit_rate() - 2.0 / 6.0).abs() < 1e-15);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub struct DualSolution {
 /// KKT gap still above `tol`; [`SvmError::InvalidInput`] on inconsistent
 /// dimensions.
 pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
+    let _span = edm_trace::span("svm.smo.solve");
     let n = problem.p.len();
     if problem.y.len() != n
         || problem.c.len() != n
@@ -99,6 +100,10 @@ pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
 
     let mut iterations = 0;
     let mut gap = f64::INFINITY;
+    // Telemetry accumulated locally and flushed once after the loop, so
+    // enabled-level tracing costs no per-iteration registry locks (the
+    // per-iteration KKT trajectory probe is `full`-level only).
+    let mut bound_hits = 0u64;
     while iterations < problem.max_iter {
         // Working-set selection: maximal violating pair.
         // i maximizes -y_t G_t over I_up; j minimizes it over I_low.
@@ -126,6 +131,7 @@ pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
         }
         let (i, j) = (i.expect("checked"), j.expect("checked"));
         iterations += 1;
+        edm_trace::record_full("svm.smo.kkt_gap", gap);
 
         // One row fetch each per iteration — the access pattern the LRU
         // row cache is shaped around.
@@ -201,6 +207,22 @@ pub fn solve(problem: &DualProblem<'_>) -> Result<DualSolution, SvmError> {
             for ((gt, &qti), &qtj) in g.iter_mut().zip(row_i.iter()).zip(row_j.iter()) {
                 *gt += qti * dai + qtj * daj;
             }
+        }
+        if alpha[i] == 0.0 || alpha[i] == c[i] {
+            bound_hits += 1;
+        }
+        if alpha[j] == 0.0 || alpha[j] == c[j] {
+            bound_hits += 1;
+        }
+    }
+
+    if edm_trace::enabled() {
+        edm_trace::counter_add("svm.smo.calls", 1);
+        edm_trace::counter_add("svm.smo.iterations", iterations as u64);
+        edm_trace::counter_add("svm.smo.bound_hits", bound_hits);
+        edm_trace::record("svm.smo.iterations_per_call", iterations as f64);
+        if gap.is_finite() {
+            edm_trace::record("svm.smo.final_gap", gap);
         }
     }
 

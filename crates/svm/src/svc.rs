@@ -2,7 +2,7 @@ use edm_kernels::{Kernel, RbfKernel};
 use edm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
-use crate::qmatrix::{CachedQ, GramQ, KernelQ, QMatrix, DEFAULT_CACHE_BYTES};
+use crate::qmatrix::{CacheStats, CachedQ, GramQ, KernelQ, QMatrix, DEFAULT_CACHE_BYTES};
 use crate::solver::{solve, DualProblem};
 use crate::SvmError;
 
@@ -100,6 +100,7 @@ impl<K: Kernel<[f64]> + Clone> SvcTrainer<K> {
     /// * [`SvmError::SingleClass`] — all labels identical.
     /// * [`SvmError::NoConvergence`] — SMO iteration cap reached.
     pub fn fit(&self, x: &[Vec<f64>], y: &[f64]) -> Result<SvcModel<K>, SvmError> {
+        let _span = edm_trace::span("svm.svc.fit");
         self.params.validate()?;
         validate_labels(x, y)?;
         if !(y.contains(&1.0) && y.contains(&-1.0)) {
@@ -110,6 +111,7 @@ impl<K: Kernel<[f64]> + Clone> SvcTrainer<K> {
         let source = KernelQ::<[f64], _, _>::new(&self.kernel, x, Some(y));
         let q = CachedQ::new(source, self.params.cache_bytes);
         let (alpha, rho, iterations) = solve_svc_q(&q, y, &self.params)?;
+        let cache = q.stats();
         // Keep only support vectors.
         let mut support = Vec::new();
         let mut coef = Vec::new();
@@ -121,7 +123,15 @@ impl<K: Kernel<[f64]> + Clone> SvcTrainer<K> {
                 complexity += a;
             }
         }
-        Ok(SvcModel { kernel: self.kernel.clone(), support, coef, rho, complexity, iterations })
+        Ok(SvcModel {
+            kernel: self.kernel.clone(),
+            support,
+            coef,
+            rho,
+            complexity,
+            iterations,
+            cache,
+        })
     }
 }
 
@@ -190,6 +200,7 @@ pub struct SvcModel<K> {
     rho: f64,
     complexity: f64,
     iterations: usize,
+    cache: CacheStats,
 }
 
 impl<K: Kernel<[f64]>> SvcModel<K> {
@@ -240,6 +251,11 @@ impl<K> SvcModel<K> {
     /// SMO iterations used in training.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Q-row cache behaviour during this model's training run.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
     }
 }
 
@@ -363,6 +379,29 @@ mod tests {
             bad.fit(&[vec![0.0], vec![1.0]], &[1.0, -1.0]),
             Err(SvmError::InvalidParameter { name: "c", .. })
         ));
+    }
+
+    #[test]
+    fn model_exposes_cache_stats_and_trace_counters() {
+        edm_trace::set_level(edm_trace::Level::Summary);
+        let trace_on = edm_trace::compiled();
+        let (x, y) = blobs();
+        let m =
+            SvcTrainer::new(SvcParams::default()).kernel(RbfKernel::new(0.5)).fit(&x, &y).unwrap();
+        let s = m.cache_stats();
+        assert!(s.misses > 0, "training must compute Q rows");
+        assert!(s.hits > 0, "SMO revisits working-set rows through the cache");
+        assert!(s.evictions <= s.misses, "can only evict rows that were filled");
+        // The dropped CachedQ and the solver flushed global counters
+        // (only when the probe machinery is compiled in).
+        if trace_on {
+            let r = edm_trace::collect();
+            assert!(r.counter("svm.smo.iterations") > 0);
+            assert!(r.counter("svm.qcache.hits") >= s.hits);
+            assert!(r.counter("svm.qcache.misses") >= s.misses);
+            assert!(r.span_count("svm.smo.solve") > 0);
+        }
+        edm_trace::set_level(edm_trace::Level::Off);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use edm_kernels::{Kernel, RbfKernel};
 use serde::{Deserialize, Serialize};
 
-use crate::qmatrix::{CachedQ, SvrQ, DEFAULT_CACHE_BYTES};
+use crate::qmatrix::{CacheStats, CachedQ, SvrQ, DEFAULT_CACHE_BYTES};
 use crate::solver::{solve, DualProblem};
 use crate::SvmError;
 
@@ -126,6 +126,7 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
     /// [`SvmError::InvalidInput`] on empty/ragged/mismatched input;
     /// [`SvmError::NoConvergence`] if the SMO cap is hit.
     pub fn fit(&self, x: &[Vec<f64>], y: &[f64]) -> Result<SvrModel<K>, SvmError> {
+        let _span = edm_trace::span("svm.svr.fit");
         self.params.validate()?;
         if x.is_empty() {
             return Err(SvmError::InvalidInput("empty training set".into()));
@@ -167,6 +168,7 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
             max_iter: self.params.max_iter,
         };
         let sol = solve(&problem)?;
+        let cache = q.stats();
 
         // β_i = α_i − α*_i; keep nonzero coefficients.
         let mut support = Vec::new();
@@ -187,6 +189,7 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
             rho: sol.rho,
             complexity,
             iterations: sol.iterations,
+            cache,
         })
     }
 }
@@ -200,6 +203,7 @@ pub struct SvrModel<K> {
     rho: f64,
     complexity: f64,
     iterations: usize,
+    cache: CacheStats,
 }
 
 impl<K: Kernel<[f64]>> SvrModel<K> {
@@ -230,6 +234,11 @@ impl<K> SvrModel<K> {
     /// SMO iterations used in training.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Q-row cache behaviour during this model's training run.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
     }
 }
 

@@ -1,0 +1,682 @@
+//! # edm-trace — telemetry for the edm workspace
+//!
+//! Zero-external-dependency instrumentation: hierarchical **spans**
+//! (RAII guards with monotonic timing), atomic **counters**, and
+//! fixed-bucket (power-of-two) **histograms**, aggregated in a global
+//! thread-safe registry and exportable as a JSON [`TraceReport`].
+//!
+//! ## Runtime knob
+//!
+//! The `EDM_TRACE` environment variable selects the level on first
+//! probe hit (or call [`set_level`] / [`init_from_env_or`] explicitly):
+//!
+//! * `off` (default) — probes are a single relaxed atomic load;
+//! * `summary` — counters, span aggregates, histograms;
+//! * `full` — additionally a bounded per-span event log and
+//!   high-frequency probes ([`record_full`], e.g. the SMO solver's
+//!   per-iteration KKT gap trajectory).
+//!
+//! ## Compile-time knob
+//!
+//! With the `trace` cargo feature disabled (workspace
+//! `--no-default-features`), every probe in this crate is an inline
+//! empty function and the registry is not compiled at all — callers
+//! need no `cfg` of their own.
+//!
+//! ## Probe taxonomy
+//!
+//! Names are dot-separated `crate.component.metric` (e.g.
+//! `svm.smo.iterations`, `par.worker.busy_ns`); span paths additionally
+//! nest by call structure with `/` (e.g. `fig05/train/svm.smo.solve`).
+//!
+//! ## Adding a probe
+//!
+//! ```
+//! let _span = edm_trace::span("myflow.stage");   // timed until drop
+//! edm_trace::counter_add("myflow.widgets", 3);
+//! edm_trace::record("myflow.latency_ns", 1234.0);
+//! ```
+//!
+//! Probes must never perturb numerics: they may observe values but not
+//! change control flow or floating-point results (property-tested at
+//! the workspace root: models train bitwise-identically at `full` vs
+//! `off`).
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+
+/// Telemetry level, in increasing order of detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Probes disabled (one relaxed atomic load each).
+    Off,
+    /// Counters, span aggregates, histograms.
+    Summary,
+    /// Summary plus the bounded span event log and high-frequency
+    /// [`record_full`] probes.
+    Full,
+}
+
+impl Level {
+    /// Canonical lowercase name (the `EDM_TRACE` vocabulary).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Summary => "summary",
+            Level::Full => "full",
+        }
+    }
+
+    /// Parses an `EDM_TRACE` value; `None` for unrecognized input.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" | "" => Some(Level::Off),
+            "summary" | "1" | "on" => Some(Level::Summary),
+            "full" | "2" => Some(Level::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate statistics of one span path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// `/`-joined hierarchical path (nesting by call structure).
+    pub path: String,
+    /// Completed activations.
+    pub count: u64,
+    /// Total wall time across activations, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest activation, nanoseconds.
+    pub min_ns: u64,
+    /// Longest activation, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One named monotonic counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterStat {
+    /// Probe name (`crate.component.metric`).
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One fixed-bucket histogram: buckets are powers of two, bucket
+/// exponent `e` covering `[2^e, 2^(e+1))`, clamped to `e ∈ [−32, 31]`
+/// (non-positive samples land in the lowest bucket).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramStat {
+    /// Probe name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Non-empty buckets as `(exponent, count)` pairs, ascending.
+    pub buckets: Vec<(i64, u64)>,
+}
+
+/// One completed span activation (collected only at [`Level::Full`],
+/// capped at [`EVENT_CAP`] events).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Hierarchical span path.
+    pub path: String,
+    /// Start offset from the registry epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Maximum events retained at [`Level::Full`]; later events are counted
+/// in [`TraceReport::dropped_events`] instead of stored.
+pub const EVENT_CAP: usize = 8192;
+
+/// A point-in-time snapshot of the registry, serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Level at snapshot time (`"off"`, `"summary"`, `"full"`; probes
+    /// compiled out report `"off"`).
+    pub level: String,
+    /// Whether probe machinery was compiled in (the `trace` feature).
+    pub compiled: bool,
+    /// Span aggregates, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterStat>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramStat>,
+    /// Individual span activations ([`Level::Full`] only).
+    pub events: Vec<SpanEvent>,
+    /// Events discarded after [`EVENT_CAP`] was reached.
+    pub dropped_events: u64,
+}
+
+impl TraceReport {
+    /// A report with no data (the compiled-out and freshly-reset states).
+    pub fn empty() -> Self {
+        TraceReport {
+            level: Level::Off.as_str().to_string(),
+            compiled: compiled(),
+            spans: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    /// Serializes to compact JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (practically unreachable: all floats stored are
+    /// finite) serializer error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// The value of counter `name`, or 0 if it never fired.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+
+    /// Sum of `count` over spans whose path's last `/`-segment equals
+    /// `leaf` (a span may appear under several parent paths).
+    pub fn span_count(&self, leaf: &str) -> u64 {
+        self.spans.iter().filter(|s| s.path.rsplit('/').next() == Some(leaf)).map(|s| s.count).sum()
+    }
+}
+
+/// True when the probe machinery is compiled in (`trace` feature).
+pub const fn compiled() -> bool {
+    cfg!(feature = "trace")
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::sync::{Mutex, Once, OnceLock};
+    use std::time::Instant;
+
+    const UNINIT: u8 = u8::MAX;
+    static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+    static ENV_WARN: Once = Once::new();
+
+    fn level_from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Summary,
+            2 => Level::Full,
+            _ => Level::Off,
+        }
+    }
+
+    /// Current level, initializing from `EDM_TRACE` on first use.
+    pub fn level() -> Level {
+        let v = LEVEL.load(Ordering::Relaxed);
+        if v == UNINIT {
+            init_level_from_env()
+        } else {
+            level_from_u8(v)
+        }
+    }
+
+    #[cold]
+    fn init_level_from_env() -> Level {
+        let lvl = match std::env::var("EDM_TRACE") {
+            Ok(s) => Level::parse(&s).unwrap_or_else(|| {
+                ENV_WARN.call_once(|| {
+                    eprintln!(
+                        "edm-trace: unrecognized EDM_TRACE value {s:?} \
+                         (expected off|summary|full); tracing stays off"
+                    );
+                });
+                Level::Off
+            }),
+            Err(_) => Level::Off,
+        };
+        LEVEL.store(lvl as u8, Ordering::Relaxed);
+        lvl
+    }
+
+    /// Sets the level programmatically (overrides `EDM_TRACE`).
+    pub fn set_level(lvl: Level) {
+        LEVEL.store(lvl as u8, Ordering::Relaxed);
+    }
+
+    /// Initializes the level from `EDM_TRACE` when set and parseable,
+    /// else to `default`. Harness entry points call this so their run
+    /// manifests have data even when the variable is unset.
+    pub fn init_from_env_or(default: Level) {
+        let lvl = std::env::var("EDM_TRACE").ok().and_then(|s| Level::parse(&s)).unwrap_or(default);
+        set_level(lvl);
+    }
+
+    /// True when probes record (level ≥ `summary`). The disabled path
+    /// is this one relaxed atomic load.
+    #[inline]
+    pub fn enabled() -> bool {
+        level() != Level::Off
+    }
+
+    /// True when high-frequency probes record (level = `full`).
+    #[inline]
+    pub fn full_enabled() -> bool {
+        level() == Level::Full
+    }
+
+    #[derive(Default)]
+    struct SpanAgg {
+        count: u64,
+        total_ns: u64,
+        min_ns: u64,
+        max_ns: u64,
+    }
+
+    struct Hist {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        buckets: [u64; 64],
+    }
+
+    impl Hist {
+        fn new() -> Self {
+            Hist {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                buckets: [0; 64],
+            }
+        }
+    }
+
+    /// Bucket index for value `v`: exponent `floor(log2 v)` clamped to
+    /// `[−32, 31]`, offset by 32. Non-positive and non-finite-negative
+    /// samples land in bucket 0.
+    fn bucket_index(v: f64) -> usize {
+        if v > 0.0 {
+            (v.log2().floor().clamp(-32.0, 31.0) as i64 + 32) as usize
+        } else {
+            0
+        }
+    }
+
+    struct Registry {
+        epoch: Instant,
+        spans: Mutex<HashMap<String, SpanAgg>>,
+        counters: Mutex<HashMap<&'static str, u64>>,
+        hists: Mutex<HashMap<&'static str, Hist>>,
+        events: Mutex<(Vec<SpanEvent>, u64)>,
+    }
+
+    fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Registry {
+            epoch: Instant::now(),
+            spans: Mutex::new(HashMap::new()),
+            counters: Mutex::new(HashMap::new()),
+            hists: Mutex::new(HashMap::new()),
+            events: Mutex::new((Vec::new(), 0)),
+        })
+    }
+
+    thread_local! {
+        static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    struct ActiveSpan {
+        path: String,
+        depth: usize,
+        start: Instant,
+    }
+
+    /// RAII span guard: times from creation to drop and records under
+    /// the hierarchical path current at creation. Obtain via [`span`].
+    pub struct Span(Option<ActiveSpan>);
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            let Some(active) = self.0.take() else { return };
+            let dur_ns = active.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                s.truncate(active.depth.saturating_sub(1));
+            });
+            let reg = registry();
+            {
+                let mut spans = reg.spans.lock().expect("span registry poisoned");
+                let agg = spans.entry(active.path.clone()).or_default();
+                if agg.count == 0 {
+                    agg.min_ns = dur_ns;
+                    agg.max_ns = dur_ns;
+                } else {
+                    agg.min_ns = agg.min_ns.min(dur_ns);
+                    agg.max_ns = agg.max_ns.max(dur_ns);
+                }
+                agg.count += 1;
+                agg.total_ns += dur_ns;
+            }
+            if full_enabled() {
+                let start_ns = active
+                    .start
+                    .saturating_duration_since(reg.epoch)
+                    .as_nanos()
+                    .min(u64::MAX as u128) as u64;
+                let mut ev = reg.events.lock().expect("event log poisoned");
+                if ev.0.len() < EVENT_CAP {
+                    ev.0.push(SpanEvent { path: active.path, start_ns, dur_ns });
+                } else {
+                    ev.1 += 1;
+                }
+            }
+        }
+    }
+
+    /// Opens a span named `name`, nested under any span already open on
+    /// this thread. Off-level cost: one relaxed atomic load.
+    pub fn span(name: &'static str) -> Span {
+        if !enabled() {
+            return Span(None);
+        }
+        let (path, depth) = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            (s.join("/"), s.len())
+        });
+        Span(Some(ActiveSpan { path, depth, start: Instant::now() }))
+    }
+
+    /// Adds `delta` to counter `name`. Off-level cost: one relaxed
+    /// atomic load.
+    pub fn counter_add(name: &'static str, delta: u64) {
+        if !enabled() {
+            return;
+        }
+        let mut counters = registry().counters.lock().expect("counter registry poisoned");
+        *counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records `value` into histogram `name`. Off-level cost: one
+    /// relaxed atomic load.
+    pub fn record(name: &'static str, value: f64) {
+        if !enabled() {
+            return;
+        }
+        record_unchecked(name, value);
+    }
+
+    /// Records `value` into histogram `name` only at [`Level::Full`] —
+    /// for high-frequency probes (per-iteration trajectories) too hot
+    /// for `summary` runs.
+    pub fn record_full(name: &'static str, value: f64) {
+        if !full_enabled() {
+            return;
+        }
+        record_unchecked(name, value);
+    }
+
+    fn record_unchecked(name: &'static str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut hists = registry().hists.lock().expect("histogram registry poisoned");
+        let h = hists.entry(name).or_insert_with(Hist::new);
+        h.count += 1;
+        h.sum += value;
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+        h.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Clears all spans, counters, histograms, and events (the level is
+    /// untouched). Harnesses call this between measured sections.
+    pub fn reset() {
+        let reg = registry();
+        reg.spans.lock().expect("span registry poisoned").clear();
+        reg.counters.lock().expect("counter registry poisoned").clear();
+        reg.hists.lock().expect("histogram registry poisoned").clear();
+        let mut ev = reg.events.lock().expect("event log poisoned");
+        ev.0.clear();
+        ev.1 = 0;
+    }
+
+    /// Snapshots the registry into a sorted, serializable report.
+    pub fn collect() -> TraceReport {
+        let reg = registry();
+        let mut spans: Vec<SpanStat> = reg
+            .spans
+            .lock()
+            .expect("span registry poisoned")
+            .iter()
+            .map(|(path, a)| SpanStat {
+                path: path.clone(),
+                count: a.count,
+                total_ns: a.total_ns,
+                min_ns: a.min_ns,
+                max_ns: a.max_ns,
+            })
+            .collect();
+        spans.sort_by(|a, b| a.path.cmp(&b.path));
+        let mut counters: Vec<CounterStat> = reg
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(&name, &value)| CounterStat { name: name.to_string(), value })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramStat> = reg
+            .hists
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(&name, h)| HistogramStat {
+                name: name.to_string(),
+                count: h.count,
+                sum: h.sum,
+                min: if h.count == 0 { 0.0 } else { h.min },
+                max: if h.count == 0 { 0.0 } else { h.max },
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i as i64 - 32, c))
+                    .collect(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let (events, dropped_events) = {
+            let ev = reg.events.lock().expect("event log poisoned");
+            (ev.0.clone(), ev.1)
+        };
+        TraceReport {
+            level: level().as_str().to_string(),
+            compiled: true,
+            spans,
+            counters,
+            histograms,
+            events,
+            dropped_events,
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::{Level, TraceReport};
+
+    /// Compiled-out span guard: a zero-sized no-op.
+    pub struct Span(());
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span(())
+    }
+
+    /// Always [`Level::Off`] (probes compiled out).
+    #[inline(always)]
+    pub fn level() -> Level {
+        Level::Off
+    }
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn set_level(_lvl: Level) {}
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn init_from_env_or(_default: Level) {}
+
+    /// Always false (probes compiled out).
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// Always false (probes compiled out).
+    #[inline(always)]
+    pub fn full_enabled() -> bool {
+        false
+    }
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn record(_name: &'static str, _value: f64) {}
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn record_full(_name: &'static str, _value: f64) {}
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Always [`TraceReport::empty`] (probes compiled out).
+    #[inline(always)]
+    pub fn collect() -> TraceReport {
+        TraceReport::empty()
+    }
+}
+
+pub use imp::{
+    collect, counter_add, enabled, full_enabled, init_from_env_or, level, record, record_full,
+    reset, set_level, span, Span,
+};
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+
+    /// One sequential lifecycle test: the registry and level are global,
+    /// so interleaved tests would race each other's counts.
+    #[test]
+    fn lifecycle_spans_counters_histograms_report() {
+        set_level(Level::Off);
+        reset();
+
+        // Off: nothing records.
+        {
+            let _s = span("off.span");
+            counter_add("off.counter", 5);
+            record("off.hist", 1.0);
+        }
+        let r = collect();
+        assert!(r.spans.is_empty() && r.counters.is_empty() && r.histograms.is_empty());
+        assert!(r.compiled);
+        assert_eq!(r.level, "off");
+
+        // Summary: aggregates but no events.
+        set_level(Level::Summary);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                counter_add("t.count", 2);
+                counter_add("t.count", 3);
+                record("t.hist", 3.5); // exponent 1
+                record("t.hist", 1024.0); // exponent 10
+                record_full("t.hot", 1.0); // full-only: must not record
+            }
+            {
+                let _inner2 = span("inner");
+            }
+        }
+        let r = collect();
+        assert_eq!(r.counter("t.count"), 5);
+        assert_eq!(r.span_count("inner"), 2);
+        let outer = r.spans.iter().find(|s| s.path == "outer").expect("outer span");
+        assert_eq!(outer.count, 1);
+        let nested = r.spans.iter().find(|s| s.path == "outer/inner").expect("nested path");
+        assert_eq!(nested.count, 2);
+        assert!(nested.min_ns <= nested.max_ns && nested.total_ns >= nested.max_ns);
+        let h = r.histograms.iter().find(|h| h.name == "t.hist").expect("histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1027.5);
+        assert_eq!(h.min, 3.5);
+        assert_eq!(h.max, 1024.0);
+        assert_eq!(h.buckets, vec![(1, 1), (10, 1)]);
+        assert!(r.histograms.iter().all(|h| h.name != "t.hot"), "record_full off at summary");
+        assert!(r.events.is_empty(), "no events at summary level");
+
+        // Full: events appear; record_full records.
+        set_level(Level::Full);
+        {
+            let _s = span("full.span");
+            record_full("t.hot", 2.0);
+        }
+        let r = collect();
+        assert!(r.events.iter().any(|e| e.path == "full.span"));
+        assert_eq!(r.histograms.iter().find(|h| h.name == "t.hot").map(|h| h.count), Some(1));
+
+        // JSON round-trips through the workspace serde_json compat.
+        let json = r.to_json().expect("serializable");
+        let back: TraceReport = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(back, r);
+
+        // Reset clears data but not the level.
+        reset();
+        let r = collect();
+        assert!(r.spans.is_empty() && r.counters.is_empty() && r.events.is_empty());
+        assert_eq!(r.level, "full");
+        set_level(Level::Off);
+        reset();
+    }
+
+    #[test]
+    fn level_parse_vocabulary() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("  SUMMARY "), Some(Level::Summary));
+        assert_eq!(Level::parse("full"), Some(Level::Full));
+        assert_eq!(Level::parse("1"), Some(Level::Summary));
+        assert_eq!(Level::parse(""), Some(Level::Off));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = TraceReport::empty();
+        let json = r.to_json().expect("serializable");
+        let back: TraceReport = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(back, r);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.span_count("absent"), 0);
+    }
+}

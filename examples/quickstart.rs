@@ -50,5 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &rules {
         println!("rule: {}", r.display_with(&names));
     }
+
+    // With EDM_TRACE=summary|full, show what the telemetry layer saw.
+    let trace = edm::trace::collect();
+    if !trace.spans.is_empty() {
+        println!("trace (level {}):", trace.level);
+        for s in &trace.spans {
+            println!("  {} x{} ({} us total)", s.path, s.count, s.total_ns / 1_000);
+        }
+        for c in &trace.counters {
+            println!("  {} = {}", c.name, c.value);
+        }
+    }
     Ok(())
 }

@@ -53,5 +53,6 @@ pub use edm_mfgtest as mfgtest;
 pub use edm_novelty as novelty;
 pub use edm_svm as svm;
 pub use edm_timing as timing;
+pub use edm_trace as trace;
 pub use edm_transform as transform;
 pub use edm_verif as verif;
