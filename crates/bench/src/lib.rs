@@ -118,6 +118,16 @@ pub fn emit_trace(name: &str, seed: u64) {
     };
     let path = std::path::Path::new("results").join(format!("{name}.trace.json"));
     let write = std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, json));
+    // At `EDM_TRACE=full` also drop a flamegraph-ready collapsed-stack
+    // file next to the manifest (feed to flamegraph.pl / inferno).
+    if manifest.report.level == "full" {
+        let folded = std::path::Path::new("results").join(format!("{name}.folded"));
+        if let Err(e) = std::fs::write(&folded, manifest.report.to_collapsed_stacks()) {
+            eprintln!("could not write {}: {e}", folded.display());
+        } else {
+            println!("collapsed stacks: {}", folded.display());
+        }
+    }
     match write {
         // Span counts are thread-invariant; counter/histogram counts are
         // not (worker probes only fire on parallel dispatch), so only the

@@ -19,15 +19,20 @@
 //!
 //! All three are solved by one sequential-minimal-optimization core
 //! ([`solver`]) over the dual problem, in the LIBSVM formulation with
-//! maximal-violating-pair working-set selection. The solver reads `Q`
-//! through the row-oriented [`qmatrix::QMatrix`] trait; the vector
-//! `fit` entry points compute kernel rows on demand behind a
-//! byte-budgeted LRU row cache ([`qmatrix::CachedQ`], LIBSVM-style) so
-//! the n×n Gram matrix is never materialized, while the precomputed-Gram
-//! entry points read rows straight from the caller's matrix. The cache
-//! budget is the `cache_bytes` knob on each params struct; caching and
-//! parallel row fills never change results — rows are bitwise identical
-//! however they are produced.
+//! second-order (WSS2) working-set selection and the shrinking
+//! heuristic, both on by default and switchable per trainer through the
+//! `shrinking` / `working_set` params (see [`solver::SolverOptions`]).
+//! The solver reads `Q` through the row-oriented [`qmatrix::QMatrix`]
+//! trait; the vector `fit` entry points compute kernel rows on demand
+//! behind a byte-budgeted LRU row cache ([`qmatrix::CachedQ`],
+//! LIBSVM-style) so the n×n Gram matrix is never materialized, while
+//! the precomputed-Gram entry points read rows straight from the
+//! caller's matrix. The cache budget is the `cache_bytes` knob on each
+//! params struct; caching and parallel row fills never change results —
+//! rows are bitwise identical however they are produced. Batch
+//! prediction (`predict_batch` / `decision_function_batch`) fans
+//! samples out across worker threads with the same bitwise-determinism
+//! guarantee.
 //!
 //! Following the paper's Figure 4, the solvers touch training data only
 //! through a Gram matrix: every trainer has a `fit_gram` entry point that
@@ -69,5 +74,6 @@ mod svr;
 pub use error::SvmError;
 pub use one_class::{solve_one_class, OneClassModel, OneClassParams, OneClassSvm};
 pub use qmatrix::{CacheStats, CachedQ, DenseQ, GramQ, KernelQ, QMatrix, QRow, QSource, SvrQ};
+pub use solver::{SolverOptions, WorkingSet};
 pub use svc::{solve_svc, SvcModel, SvcParams, SvcTrainer};
 pub use svr::{SvrModel, SvrParams, SvrTrainer};

@@ -3,7 +3,7 @@ use edm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::qmatrix::{CacheStats, CachedQ, DenseQ, KernelQ, QMatrix, DEFAULT_CACHE_BYTES};
-use crate::solver::{solve, DualProblem};
+use crate::solver::{solve, DualProblem, SolverOptions, WorkingSet};
 use crate::SvmError;
 
 /// Hyperparameters for ν one-class SVM training (Schölkopf et al.).
@@ -20,11 +20,23 @@ pub struct OneClassParams {
     /// Byte budget of the Q-row cache used during training
     /// ([`DEFAULT_CACHE_BYTES`] by default; `0` disables caching).
     pub cache_bytes: usize,
+    /// SMO shrinking heuristic (on by default; `false` reproduces the
+    /// unshrunk solver).
+    pub shrinking: bool,
+    /// SMO working-set selection rule (second order by default).
+    pub working_set: WorkingSet,
 }
 
 impl Default for OneClassParams {
     fn default() -> Self {
-        OneClassParams { nu: 0.1, tol: 1e-4, max_iter: 100_000, cache_bytes: DEFAULT_CACHE_BYTES }
+        OneClassParams {
+            nu: 0.1,
+            tol: 1e-4,
+            max_iter: 100_000,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            shrinking: true,
+            working_set: WorkingSet::SecondOrder,
+        }
     }
 }
 
@@ -39,6 +51,26 @@ impl OneClassParams {
     pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
         self.cache_bytes = cache_bytes;
         self
+    }
+
+    /// Enables or disables the SMO shrinking heuristic.
+    pub fn with_shrinking(mut self, shrinking: bool) -> Self {
+        self.shrinking = shrinking;
+        self
+    }
+
+    /// Sets the SMO working-set selection rule.
+    pub fn with_working_set(mut self, working_set: WorkingSet) -> Self {
+        self.working_set = working_set;
+        self
+    }
+
+    pub(crate) fn solver_opts(&self) -> SolverOptions {
+        SolverOptions {
+            working_set: self.working_set,
+            shrinking: self.shrinking,
+            shrink_interval: 0,
+        }
     }
 
     fn validate(&self) -> Result<(), SvmError> {
@@ -123,8 +155,8 @@ impl<K: Kernel<[f64]> + Clone> OneClassSvm<K> {
         // One-class Q is the kernel matrix itself; rows are computed on
         // demand behind the LRU cache, never materializing the Gram.
         let source = KernelQ::<[f64], _, _>::new(&self.kernel, x, None);
-        let q = CachedQ::new(source, self.params.cache_bytes);
-        let (alpha, rho, iterations) = solve_one_class_q(&q, x.len(), &self.params)?;
+        let mut q = CachedQ::new(source, self.params.cache_bytes);
+        let (alpha, rho, iterations) = solve_one_class_q(&mut q, x.len(), &self.params)?;
         let cache = q.stats();
         let mut support = Vec::new();
         let mut coef = Vec::new();
@@ -164,14 +196,15 @@ pub fn solve_one_class(
         )));
     }
     // Q = K exactly, so rows are borrowed zero-copy from the caller's
-    // matrix — no cache needed.
-    let q = DenseQ::new(gram);
-    solve_one_class_q(&q, n, params)
+    // matrix — no cache needed (shrinking swaps switch the view to
+    // gathered rows without copying the matrix).
+    let mut q = DenseQ::new(gram);
+    solve_one_class_q(&mut q, n, params)
 }
 
 /// Shared one-class dual assembly over any [`QMatrix`] (`Q = K`).
 fn solve_one_class_q(
-    q: &dyn QMatrix,
+    q: &mut dyn QMatrix,
     n: usize,
     params: &OneClassParams,
 ) -> Result<(Vec<f64>, f64, usize), SvmError> {
@@ -186,15 +219,15 @@ fn solve_one_class_q(
         alpha0[full] = total - full as f64;
     }
     let problem = DualProblem {
-        q,
         p: vec![0.0; n],
         y: vec![1.0; n],
         c: vec![1.0; n],
         alpha0,
         tol: params.tol,
         max_iter: params.max_iter,
+        opts: params.solver_opts(),
     };
-    let sol = solve(&problem)?;
+    let sol = solve(q, &problem)?;
     Ok((sol.alpha, sol.rho, sol.iterations))
 }
 
@@ -220,6 +253,19 @@ impl<K: Kernel<[f64]>> OneClassModel<K> {
     /// Whether `x` lies outside the learned support region.
     pub fn is_novel(&self, x: &[f64]) -> bool {
         self.decision_function(x) < 0.0
+    }
+
+    /// Decision values for a batch of samples, one support-vector sweep
+    /// per sample distributed across worker threads; bitwise identical
+    /// to mapping [`OneClassModel::decision_function`] serially.
+    pub fn decision_function_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        edm_par::map_indexed(xs.len(), |i| self.decision_function(&xs[i]))
+    }
+
+    /// Novelty flags for a batch of samples (parallel; bitwise
+    /// identical to mapping [`OneClassModel::is_novel`]).
+    pub fn is_novel_batch(&self, xs: &[Vec<f64>]) -> Vec<bool> {
+        edm_par::map_indexed(xs.len(), |i| self.is_novel(&xs[i]))
     }
 }
 

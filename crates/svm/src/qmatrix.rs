@@ -74,6 +74,13 @@ impl Deref for QRow<'_> {
 /// The solver fetches the two working-set rows once per iteration and
 /// streams them through its gradient update; `Q(i, j)` point access is
 /// just `row(i)[j]`.
+///
+/// The shrinking heuristic renumbers variables so the active set is
+/// always a prefix `0..active_size`. [`QMatrix::swap_index`] applies
+/// that renumbering to the matrix view (and to any resident cache
+/// rows), and [`QMatrix::row_prefix`] lets the solver ask for only the
+/// active prefix of a row so shrunk iterations never pay for inactive
+/// columns.
 pub trait QMatrix {
     /// Problem size (Q is `n × n`).
     fn n(&self) -> usize;
@@ -81,12 +88,38 @@ pub trait QMatrix {
     /// The precomputed diagonal `Q(i, i)`.
     fn diag(&self) -> &[f64];
 
-    /// Row `i` of `Q`.
+    /// Row `i` of `Q`. The returned slice has at least `self.n()`
+    /// valid entries.
     ///
     /// # Panics
     ///
     /// Panics if `i >= self.n()`.
     fn row(&self, i: usize) -> QRow<'_>;
+
+    /// Row `i` of `Q` with at least the first `len` entries valid; the
+    /// returned slice may be shorter than `self.n()` but never shorter
+    /// than `len`. The default just returns the full row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()` or `len > self.n()`.
+    fn row_prefix(&self, i: usize, len: usize) -> QRow<'_> {
+        assert!(len <= self.n(), "prefix {len} out of bounds for n = {}", self.n());
+        self.row(i)
+    }
+
+    /// Renumbers variables `a` and `b` (rows *and* columns swap, since
+    /// `Q` is symmetric): after the call, `row(a)` is the old `row(b)`
+    /// with entries `a`/`b` exchanged, and `diag()` reflects the new
+    /// order. Used by the solver's shrinking heuristic to keep the
+    /// active set a contiguous prefix.
+    ///
+    /// Rows handed out *before* the swap keep the old numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= self.n()` or `b >= self.n()`.
+    fn swap_index(&mut self, a: usize, b: usize);
 }
 
 /// A strategy for computing rows of `Q` from scratch — what [`CachedQ`]
@@ -100,6 +133,23 @@ pub trait QSource {
 
     /// Writes row `i` of `Q` into `out` (`out.len() == self.n()`).
     fn fill_row(&self, i: usize, out: &mut [f64]);
+
+    /// Computes the single entry `Q(i, j)`.
+    ///
+    /// Must be bitwise identical to what [`QSource::fill_row`] writes
+    /// at position `j` — [`CachedQ`] mixes contiguous fills, gathered
+    /// fills, and prefix extensions within one row.
+    fn entry(&self, i: usize, j: usize) -> f64;
+
+    /// Writes `out[t] = Q(i, idx[t])` — a gathered row fill used by
+    /// [`CachedQ`] once shrinking has permuted variables. Each entry is
+    /// an independent [`QSource::entry`] evaluation, so gather order
+    /// never changes results.
+    fn fill_row_gather(&self, i: usize, idx: &[usize], out: &mut [f64]) {
+        for (v, &j) in out.iter_mut().zip(idx) {
+            *v = self.entry(i, j);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -109,11 +159,16 @@ pub trait QSource {
 /// [`QMatrix`] over an already-materialized symmetric matrix: rows are
 /// borrowed, never copied, so no cache is needed.
 ///
-/// Used by the precomputed-Gram one-class entry point (where `Q = K`
-/// exactly) and by solver tests.
+/// Used by solver tests and anywhere a small `Q` already exists in
+/// memory. Rows stay zero-copy until the first [`QMatrix::swap_index`];
+/// after that, rows are gathered through the permutation (an O(n)
+/// copy per fetch, still no O(n²) duplicate of the matrix).
 pub struct DenseQ<'a> {
     m: &'a Matrix,
     diag: Vec<f64>,
+    /// `perm[view index] = backing-matrix index`.
+    perm: Vec<usize>,
+    permuted: bool,
 }
 
 impl<'a> DenseQ<'a> {
@@ -125,7 +180,7 @@ impl<'a> DenseQ<'a> {
     pub fn new(m: &'a Matrix) -> Self {
         assert!(m.is_square(), "Q must be square, got {}x{}", m.rows(), m.cols());
         let diag = (0..m.rows()).map(|i| m[(i, i)]).collect();
-        DenseQ { m, diag }
+        DenseQ { m, diag, perm: (0..m.rows()).collect(), permuted: false }
     }
 }
 
@@ -139,7 +194,29 @@ impl QMatrix for DenseQ<'_> {
     }
 
     fn row(&self, i: usize) -> QRow<'_> {
-        QRow::Borrowed(self.m.row(i))
+        self.row_prefix(i, self.m.rows())
+    }
+
+    fn row_prefix(&self, i: usize, len: usize) -> QRow<'_> {
+        let n = self.m.rows();
+        assert!(i < n, "row {i} out of bounds for n = {n}");
+        assert!(len <= n, "prefix {len} out of bounds for n = {n}");
+        if !self.permuted {
+            return QRow::Borrowed(self.m.row(i));
+        }
+        let src = self.m.row(self.perm[i]);
+        QRow::Shared(self.perm[..len].iter().map(|&t| src[t]).collect())
+    }
+
+    fn swap_index(&mut self, a: usize, b: usize) {
+        let n = self.m.rows();
+        assert!(a < n && b < n, "swap ({a}, {b}) out of bounds for n = {n}");
+        if a == b {
+            return;
+        }
+        self.perm.swap(a, b);
+        self.diag.swap(a, b);
+        self.permuted = true;
     }
 }
 
@@ -191,6 +268,13 @@ impl QSource for GramQ<'_> {
                 }
             }
             None => out.copy_from_slice(row),
+        }
+    }
+
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        match self.signs {
+            Some(s) => s[i] * s[j] * self.gram[(i, j)],
+            None => self.gram[(i, j)],
         }
     }
 }
@@ -257,6 +341,33 @@ where
             let si = s[i];
             for (v, &sj) in out.iter_mut().zip(s) {
                 *v *= si * sj;
+            }
+        }
+    }
+
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        let k = self.kernel.eval(self.items[i].borrow(), self.items[j].borrow());
+        match self.signs {
+            // Same expression shape as `fill_row`'s `*v *= si * sj`
+            // (exact either way: sign factors are ±1).
+            Some(s) => k * (s[i] * s[j]),
+            None => k,
+        }
+    }
+
+    fn fill_row_gather(&self, i: usize, idx: &[usize], out: &mut [f64]) {
+        debug_assert_eq!(idx.len(), out.len());
+        let xi = self.items[i].borrow();
+        edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
+            let start = c * Q_ROW_CHUNK;
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = self.kernel.eval(xi, self.items[idx[start + off]].borrow());
+            }
+        });
+        if let Some(s) = self.signs {
+            let si = s[i];
+            for (v, &j) in out.iter_mut().zip(idx) {
+                *v *= si * s[j];
             }
         }
     }
@@ -331,6 +442,30 @@ where
             second[u] = -v;
         }
     }
+
+    fn entry(&self, t: usize, u: usize) -> f64 {
+        let m = self.items.len();
+        let (bt, st) = if t < m { (t, 1.0) } else { (t - m, -1.0) };
+        let (bu, su) = if u < m { (u, 1.0) } else { (u - m, -1.0) };
+        // Bitwise identical to `fill_row`'s mirror path: IEEE negation
+        // commutes exactly through multiplication by ±1.
+        st * su * self.kernel.eval(self.items[bt].borrow(), self.items[bu].borrow())
+    }
+
+    fn fill_row_gather(&self, t: usize, idx: &[usize], out: &mut [f64]) {
+        debug_assert_eq!(idx.len(), out.len());
+        let m = self.items.len();
+        let (bt, st) = if t < m { (t, 1.0) } else { (t - m, -1.0) };
+        let xt = self.items[bt].borrow();
+        edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
+            let start = c * Q_ROW_CHUNK;
+            for (off, v) in chunk.iter_mut().enumerate() {
+                let u = idx[start + off];
+                let (bu, su) = if u < m { (u, 1.0) } else { (u - m, -1.0) };
+                *v = st * su * self.kernel.eval(xt, self.items[bu].borrow());
+            }
+        });
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -368,6 +503,10 @@ impl CacheStats {
 }
 
 struct CacheEntry {
+    /// The cached row prefix: `data.len()` entries are valid, which may
+    /// be fewer than `n` when the row was filled for a shrunk active
+    /// set. A request for a longer prefix extends the row in place
+    /// (keeping the already-computed entries bit-for-bit).
     data: Rc<[f64]>,
     /// Logical access time; smallest stamp = least recently used.
     stamp: u64,
@@ -392,12 +531,21 @@ struct CacheState {
 ///
 /// Rows are handed out as [`Rc`]-shared slices, so a row the solver
 /// still holds survives its own eviction. Since a cached row is the
-/// verbatim output of a single `fill_row`, caching never changes
-/// results — only how often rows are recomputed.
+/// verbatim output of a single `fill_row` (or of bitwise-identical
+/// [`QSource::entry`] evaluations on the gather/extension paths),
+/// caching never changes results — only how often rows are recomputed.
+///
+/// [`QMatrix::swap_index`] mirrors LIBSVM's cache handling: resident
+/// rows long enough to cover both swapped columns get the two entries
+/// exchanged in place; rows covering only the lower index can no
+/// longer be represented and are dropped (counted as evictions).
 pub struct CachedQ<S> {
     source: S,
     diag: Vec<f64>,
     budget_rows: usize,
+    /// `perm[view index] = source index`.
+    perm: Vec<usize>,
+    permuted: bool,
     state: RefCell<CacheState>,
 }
 
@@ -414,6 +562,8 @@ impl<S: QSource> CachedQ<S> {
             source,
             diag,
             budget_rows,
+            perm: (0..n).collect(),
+            permuted: false,
             state: RefCell::new(CacheState {
                 entries: (0..n).map(|_| None).collect(),
                 resident: 0,
@@ -422,6 +572,17 @@ impl<S: QSource> CachedQ<S> {
                 misses: 0,
                 evictions: 0,
             }),
+        }
+    }
+
+    /// Computes entries `start..` of (view-space) row `i` into `out`.
+    fn fill_range(&self, i: usize, start: usize, out: &mut [f64]) {
+        if !self.permuted && start == 0 && out.len() == self.diag.len() {
+            // Identity permutation, full row: the source's contiguous
+            // (and possibly parallel) fast path.
+            self.source.fill_row(i, out);
+        } else {
+            self.source.fill_row_gather(self.perm[i], &self.perm[start..start + out.len()], out);
         }
     }
 
@@ -470,16 +631,28 @@ impl<S: QSource> QMatrix for CachedQ<S> {
     }
 
     fn row(&self, i: usize) -> QRow<'_> {
+        self.row_prefix(i, self.diag.len())
+    }
+
+    fn row_prefix(&self, i: usize, len: usize) -> QRow<'_> {
         let n = self.diag.len();
         assert!(i < n, "row {i} out of bounds for n = {n}");
+        assert!(len <= n, "prefix {len} out of bounds for n = {n}");
         let mut st = self.state.borrow_mut();
         st.clock += 1;
         let stamp = st.clock;
+        let mut extend_from = None;
         if let Some(entry) = st.entries[i].as_mut() {
             entry.stamp = stamp;
             let data = Rc::clone(&entry.data);
-            st.hits += 1;
-            return QRow::Shared(data);
+            if data.len() >= len {
+                st.hits += 1;
+                return QRow::Shared(data);
+            }
+            // Resident but too short: keep the computed prefix and
+            // extend it below (counted as a miss — entries are
+            // computed either way).
+            extend_from = Some(data);
         }
         st.misses += 1;
         // Release the borrow during the (possibly slow, possibly
@@ -487,12 +660,20 @@ impl<S: QSource> QMatrix for CachedQ<S> {
         // access can interleave, but the fill must not observe a live
         // RefCell borrow if a kernel ever routes back through us.
         drop(st);
-        let mut buf = vec![0.0; n];
-        self.source.fill_row(i, &mut buf);
+        let mut buf = vec![0.0; len];
+        let start = match &extend_from {
+            Some(prev) => {
+                buf[..prev.len()].copy_from_slice(prev);
+                prev.len()
+            }
+            None => 0,
+        };
+        self.fill_range(i, start, &mut buf[start..]);
         let data: Rc<[f64]> = buf.into();
         if self.budget_rows > 0 {
             let mut st = self.state.borrow_mut();
-            if st.resident >= self.budget_rows {
+            let replacing = st.entries[i].is_some();
+            if !replacing && st.resident >= self.budget_rows {
                 let victim = st
                     .entries
                     .iter()
@@ -507,9 +688,52 @@ impl<S: QSource> QMatrix for CachedQ<S> {
                 }
             }
             st.entries[i] = Some(CacheEntry { data: Rc::clone(&data), stamp });
-            st.resident += 1;
+            if !replacing {
+                st.resident += 1;
+            }
         }
         QRow::Shared(data)
+    }
+
+    fn swap_index(&mut self, a: usize, b: usize) {
+        let n = self.diag.len();
+        assert!(a < n && b < n, "swap ({a}, {b}) out of bounds for n = {n}");
+        if a == b {
+            return;
+        }
+        self.perm.swap(a, b);
+        self.diag.swap(a, b);
+        self.permuted = true;
+        let st = self.state.get_mut();
+        st.entries.swap(a, b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let mut dropped = 0u64;
+        for slot in st.entries.iter_mut() {
+            let Some(entry) = slot else { continue };
+            let len = entry.data.len();
+            if len > hi {
+                // Row covers both columns: exchange the two entries so
+                // the cached contents match the new numbering.
+                match Rc::get_mut(&mut entry.data) {
+                    Some(d) => d.swap(lo, hi),
+                    None => {
+                        // A solver-held handle shares this row; leave
+                        // the shared copy (old numbering) untouched.
+                        let mut v = entry.data.to_vec();
+                        v.swap(lo, hi);
+                        entry.data = v.into();
+                    }
+                }
+            } else if len > lo {
+                // Covers `lo` but not `hi`: the prefix can no longer be
+                // represented under the new numbering. Drop it (LIBSVM
+                // does the same).
+                *slot = None;
+                dropped += 1;
+            }
+        }
+        st.resident -= dropped as usize;
+        st.evictions += dropped;
     }
 }
 
@@ -634,6 +858,124 @@ mod tests {
                 assert_eq!(row[j], gram[(i, j)]);
             }
             assert_eq!(q.diag()[i], gram[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn swap_index_permutes_rows_diag_and_cache() {
+        let x = cloud(8);
+        let y: Vec<f64> = (0..8).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let gram = gram_matrix(&RbfKernel::new(0.8), &x);
+        let mut q = CachedQ::new(GramQ::new(&gram, Some(&y)), 1 << 20);
+        // Warm some rows before swapping so the in-cache swap path runs.
+        q.row(1);
+        q.row(5);
+        q.row(2);
+        q.swap_index(1, 5);
+        q.swap_index(0, 2);
+        // View permutation: 0<->2 after 1<->5.
+        let perm = [2usize, 5, 0, 3, 4, 1, 6, 7];
+        let entry = |i: usize, j: usize| y[i] * y[j] * gram[(i, j)];
+        for i in 0..8 {
+            assert_eq!(q.diag()[i].to_bits(), gram[(perm[i], perm[i])].to_bits());
+            let row = q.row(i);
+            for j in 0..8 {
+                assert_eq!(
+                    row[j].to_bits(),
+                    entry(perm[i], perm[j]).to_bits(),
+                    "Q({i},{j}) after swap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_q_swap_matches_reference_permutation() {
+        let gram = gram_matrix(&RbfKernel::new(1.3), &cloud(6));
+        let mut q = DenseQ::new(&gram);
+        q.swap_index(0, 4);
+        q.swap_index(2, 3);
+        let perm = [4usize, 1, 3, 2, 0, 5];
+        for i in 0..6 {
+            assert_eq!(q.diag()[i].to_bits(), gram[(perm[i], perm[i])].to_bits());
+            let row = q.row(i);
+            assert!(matches!(row, QRow::Shared(_)), "permuted rows are gathered");
+            for j in 0..6 {
+                assert_eq!(row[j].to_bits(), gram[(perm[i], perm[j])].to_bits());
+            }
+        }
+        let pre = q.row_prefix(1, 3);
+        assert_eq!(pre.len(), 3, "prefix fetch gathers only the prefix");
+    }
+
+    #[test]
+    fn prefix_rows_extend_in_place() {
+        let x = cloud(10);
+        let k = RbfKernel::new(0.5);
+        let src = KernelQ::<[f64], _, _>::new(&k, &x, None);
+        let q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, &x, None), 1 << 20);
+        let mut full = vec![0.0; 10];
+        src.fill_row(3, &mut full);
+        let short = q.row_prefix(3, 4);
+        assert_eq!(short.len(), 4);
+        for j in 0..4 {
+            assert_eq!(short[j].to_bits(), full[j].to_bits());
+        }
+        // Extension keeps the cached prefix and computes the rest.
+        let long = q.row(3);
+        assert_eq!(long.len(), 10);
+        for j in 0..10 {
+            assert_eq!(long[j].to_bits(), full[j].to_bits());
+        }
+        // Now a full-length entry is resident: any prefix is a hit.
+        q.row_prefix(3, 2);
+        let s = q.stats();
+        assert_eq!(s.misses, 2, "initial fill + extension");
+        assert_eq!(s.hits, 1, "prefix served from the extended row");
+    }
+
+    #[test]
+    fn swap_drops_short_rows_that_cover_only_lo() {
+        let gram = gram_matrix(&RbfKernel::new(1.0), &cloud(8));
+        let mut q = CachedQ::new(GramQ::new(&gram, None), 1 << 20);
+        q.row_prefix(0, 3); // covers column 1 but not column 5
+        q.row_prefix(4, 1); // covers neither swapped column
+        q.swap_index(1, 5);
+        let s = q.stats();
+        assert_eq!(s.evictions, 1, "row 0's prefix dropped, row 4's kept");
+        // Re-fetching row 0 recomputes under the new numbering.
+        let row = q.row(0);
+        let perm = [0usize, 5, 2, 3, 4, 1, 6, 7];
+        for j in 0..8 {
+            assert_eq!(row[j].to_bits(), gram[(perm[0], perm[j])].to_bits());
+        }
+        // Row 4's 1-entry prefix is untouched by the swap and still hits.
+        let pre = q.row_prefix(4, 1);
+        assert_eq!(pre[0].to_bits(), gram[(4, 0)].to_bits());
+        assert_eq!(q.stats().hits, 1);
+    }
+
+    #[test]
+    fn gather_fill_matches_entry_oracle() {
+        let x = cloud(7);
+        let y: Vec<f64> = (0..7).map(|i| if i < 4 { 1.0 } else { -1.0 }).collect();
+        let k = RbfKernel::new(0.9);
+        let kq = KernelQ::<[f64], _, _>::new(&k, &x, Some(&y));
+        let sq = SvrQ::<[f64], _, _>::new(&k, &x);
+        let idx = [5usize, 0, 3, 3, 6];
+        let mut out = vec![0.0; idx.len()];
+        kq.fill_row_gather(2, &idx, &mut out);
+        for (t, &j) in idx.iter().enumerate() {
+            assert_eq!(out[t].to_bits(), kq.entry(2, j).to_bits());
+        }
+        let idx2 = [13usize, 1, 8, 0];
+        let mut out2 = vec![0.0; idx2.len()];
+        sq.fill_row_gather(9, &idx2, &mut out2);
+        let mut full = vec![0.0; 14];
+        sq.fill_row(9, &mut full);
+        for (t, &u) in idx2.iter().enumerate() {
+            assert_eq!(out2[t].to_bits(), full[u].to_bits(), "SvrQ gather vs mirror fill");
+            assert_eq!(out2[t].to_bits(), sq.entry(9, u).to_bits());
         }
     }
 

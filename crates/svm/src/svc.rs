@@ -3,7 +3,7 @@ use edm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::qmatrix::{CacheStats, CachedQ, GramQ, KernelQ, QMatrix, DEFAULT_CACHE_BYTES};
-use crate::solver::{solve, DualProblem};
+use crate::solver::{solve, DualProblem, SolverOptions, WorkingSet};
 use crate::SvmError;
 
 /// Hyperparameters for C-SVC training.
@@ -21,11 +21,23 @@ pub struct SvcParams {
     /// ([`DEFAULT_CACHE_BYTES`] by default; `0` disables caching so
     /// every row access recomputes its kernel evaluations).
     pub cache_bytes: usize,
+    /// SMO shrinking heuristic (on by default; `false` reproduces the
+    /// unshrunk solver).
+    pub shrinking: bool,
+    /// SMO working-set selection rule (second order by default).
+    pub working_set: WorkingSet,
 }
 
 impl Default for SvcParams {
     fn default() -> Self {
-        SvcParams { c: 1.0, tol: 1e-3, max_iter: 100_000, cache_bytes: DEFAULT_CACHE_BYTES }
+        SvcParams {
+            c: 1.0,
+            tol: 1e-3,
+            max_iter: 100_000,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            shrinking: true,
+            working_set: WorkingSet::SecondOrder,
+        }
     }
 }
 
@@ -40,6 +52,26 @@ impl SvcParams {
     pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
         self.cache_bytes = cache_bytes;
         self
+    }
+
+    /// Enables or disables the SMO shrinking heuristic.
+    pub fn with_shrinking(mut self, shrinking: bool) -> Self {
+        self.shrinking = shrinking;
+        self
+    }
+
+    /// Sets the SMO working-set selection rule.
+    pub fn with_working_set(mut self, working_set: WorkingSet) -> Self {
+        self.working_set = working_set;
+        self
+    }
+
+    pub(crate) fn solver_opts(&self) -> SolverOptions {
+        SolverOptions {
+            working_set: self.working_set,
+            shrinking: self.shrinking,
+            shrink_interval: 0,
+        }
     }
 
     fn validate(&self) -> Result<(), SvmError> {
@@ -109,8 +141,8 @@ impl<K: Kernel<[f64]> + Clone> SvcTrainer<K> {
         // Kernel rows are computed on demand behind the LRU row cache —
         // the n×n Gram matrix is never materialized.
         let source = KernelQ::<[f64], _, _>::new(&self.kernel, x, Some(y));
-        let q = CachedQ::new(source, self.params.cache_bytes);
-        let (alpha, rho, iterations) = solve_svc_q(&q, y, &self.params)?;
+        let mut q = CachedQ::new(source, self.params.cache_bytes);
+        let (alpha, rho, iterations) = solve_svc_q(&mut q, y, &self.params)?;
         let cache = q.stats();
         // Keep only support vectors.
         let mut support = Vec::new();
@@ -165,28 +197,28 @@ pub fn solve_svc(
     if !(y.contains(&1.0) && y.contains(&-1.0)) {
         return Err(SvmError::SingleClass);
     }
-    let q = CachedQ::new(GramQ::new(gram, Some(y)), params.cache_bytes);
-    solve_svc_q(&q, y, params)
+    let mut q = CachedQ::new(GramQ::new(gram, Some(y)), params.cache_bytes);
+    solve_svc_q(&mut q, y, params)
 }
 
 /// Shared C-SVC dual assembly over any [`QMatrix`] (`Q = yᵢyⱼKᵢⱼ`
 /// already folded into `q`).
 fn solve_svc_q(
-    q: &dyn QMatrix,
+    q: &mut dyn QMatrix,
     y: &[f64],
     params: &SvcParams,
 ) -> Result<(Vec<f64>, f64, usize), SvmError> {
     let n = y.len();
     let problem = DualProblem {
-        q,
         p: vec![-1.0; n],
         y: y.to_vec(),
         c: vec![params.c; n],
         alpha0: vec![0.0; n],
         tol: params.tol,
         max_iter: params.max_iter,
+        opts: params.solver_opts(),
     };
-    let sol = solve(&problem)?;
+    let sol = solve(q, &problem)?;
     Ok((sol.alpha, sol.rho, sol.iterations))
 }
 
@@ -220,9 +252,20 @@ impl<K: Kernel<[f64]>> SvcModel<K> {
         }
     }
 
-    /// Predicts a batch of samples.
+    /// Decision values for a batch of samples, one support-vector sweep
+    /// per sample distributed across worker threads. Each sample's
+    /// value is computed exactly as [`SvcModel::decision_function`]
+    /// would (serial accumulation over support vectors), so the result
+    /// is bitwise identical to the serial loop regardless of thread
+    /// count.
+    pub fn decision_function_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        edm_par::map_indexed(xs.len(), |i| self.decision_function(&xs[i]))
+    }
+
+    /// Predicts a batch of samples (parallel; bitwise identical to
+    /// mapping [`SvcModel::predict`] over `xs`).
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        edm_par::map_indexed(xs.len(), |i| self.predict(&xs[i]))
     }
 }
 

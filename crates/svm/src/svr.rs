@@ -2,7 +2,7 @@ use edm_kernels::{Kernel, RbfKernel};
 use serde::{Deserialize, Serialize};
 
 use crate::qmatrix::{CacheStats, CachedQ, SvrQ, DEFAULT_CACHE_BYTES};
-use crate::solver::{solve, DualProblem};
+use crate::solver::{solve, DualProblem, SolverOptions, WorkingSet};
 use crate::SvmError;
 
 /// Hyperparameters for ε-SVR training.
@@ -20,6 +20,11 @@ pub struct SvrParams {
     /// Byte budget of the Q-row cache used during training
     /// ([`DEFAULT_CACHE_BYTES`] by default; `0` disables caching).
     pub cache_bytes: usize,
+    /// SMO shrinking heuristic (on by default; `false` reproduces the
+    /// unshrunk solver).
+    pub shrinking: bool,
+    /// SMO working-set selection rule (second order by default).
+    pub working_set: WorkingSet,
 }
 
 impl Default for SvrParams {
@@ -30,6 +35,8 @@ impl Default for SvrParams {
             tol: 1e-3,
             max_iter: 200_000,
             cache_bytes: DEFAULT_CACHE_BYTES,
+            shrinking: true,
+            working_set: WorkingSet::SecondOrder,
         }
     }
 }
@@ -51,6 +58,26 @@ impl SvrParams {
     pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
         self.cache_bytes = cache_bytes;
         self
+    }
+
+    /// Enables or disables the SMO shrinking heuristic.
+    pub fn with_shrinking(mut self, shrinking: bool) -> Self {
+        self.shrinking = shrinking;
+        self
+    }
+
+    /// Sets the SMO working-set selection rule.
+    pub fn with_working_set(mut self, working_set: WorkingSet) -> Self {
+        self.working_set = working_set;
+        self
+    }
+
+    pub(crate) fn solver_opts(&self) -> SolverOptions {
+        SolverOptions {
+            working_set: self.working_set,
+            shrinking: self.shrinking,
+            shrink_interval: 0,
+        }
     }
 
     fn validate(&self) -> Result<(), SvmError> {
@@ -150,7 +177,8 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
         // on demand behind the LRU cache — the Gram matrix is never
         // materialized.
         let sign = |t: usize| if t < m { 1.0 } else { -1.0 };
-        let q = CachedQ::new(SvrQ::<[f64], _, _>::new(&self.kernel, x), self.params.cache_bytes);
+        let mut q =
+            CachedQ::new(SvrQ::<[f64], _, _>::new(&self.kernel, x), self.params.cache_bytes);
         let mut p = Vec::with_capacity(2 * m);
         for &yi in y {
             p.push(self.params.epsilon - yi);
@@ -159,15 +187,15 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
             p.push(self.params.epsilon + yi);
         }
         let problem = DualProblem {
-            q: &q,
             p,
             y: (0..2 * m).map(sign).collect(),
             c: vec![self.params.c; 2 * m],
             alpha0: vec![0.0; 2 * m],
             tol: self.params.tol,
             max_iter: self.params.max_iter,
+            opts: self.params.solver_opts(),
         };
-        let sol = solve(&problem)?;
+        let sol = solve(&mut q, &problem)?;
         let cache = q.stats();
 
         // β_i = α_i − α*_i; keep nonzero coefficients.
@@ -214,9 +242,13 @@ impl<K: Kernel<[f64]>> SvrModel<K> {
         s - self.rho
     }
 
-    /// Predicts a batch of samples.
+    /// Predicts a batch of samples, one support-vector sweep per sample
+    /// distributed across worker threads. Each sample is evaluated
+    /// exactly as [`SvrModel::predict`] would (serial accumulation over
+    /// support vectors), so the result is bitwise identical to the
+    /// serial loop regardless of thread count.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        edm_par::map_indexed(xs.len(), |i| self.predict(&xs[i]))
     }
 }
 

@@ -6,7 +6,7 @@
 //! random access pattern always match a direct source fill.
 
 use edm_kernels::RbfKernel;
-use edm_svm::solver::{solve, DualProblem, DualSolution};
+use edm_svm::solver::{solve, DualProblem, DualSolution, SolverOptions};
 use edm_svm::{CachedQ, KernelQ, QMatrix, QSource, SvmError, SvrQ};
 use proptest::prelude::*;
 
@@ -50,17 +50,20 @@ fn solve_svc_cached(
     cache_bytes: usize,
 ) -> Result<DualSolution, SvmError> {
     let k = RbfKernel::new(gamma);
-    let q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, x, Some(y)), cache_bytes);
+    let mut q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, x, Some(y)), cache_bytes);
     let n = x.len();
-    solve(&DualProblem {
-        q: &q,
-        p: vec![-1.0; n],
-        y: y.to_vec(),
-        c: vec![5.0; n],
-        alpha0: vec![0.0; n],
-        tol: 1e-4,
-        max_iter: 20_000,
-    })
+    solve(
+        &mut q,
+        &DualProblem {
+            p: vec![-1.0; n],
+            y: y.to_vec(),
+            c: vec![5.0; n],
+            alpha0: vec![0.0; n],
+            tol: 1e-4,
+            max_iter: 20_000,
+            opts: SolverOptions::default(),
+        },
+    )
 }
 
 fn solve_svr_cached(
@@ -71,7 +74,7 @@ fn solve_svr_cached(
 ) -> Result<DualSolution, SvmError> {
     let k = RbfKernel::new(gamma);
     let m = x.len();
-    let q = CachedQ::new(SvrQ::<[f64], _, _>::new(&k, x), cache_bytes);
+    let mut q = CachedQ::new(SvrQ::<[f64], _, _>::new(&k, x), cache_bytes);
     let epsilon = 0.05;
     let mut p = Vec::with_capacity(2 * m);
     for &ti in t {
@@ -81,15 +84,18 @@ fn solve_svr_cached(
         p.push(epsilon + ti);
     }
     let sign = |u: usize| if u < m { 1.0 } else { -1.0 };
-    solve(&DualProblem {
-        q: &q,
-        p,
-        y: (0..2 * m).map(sign).collect(),
-        c: vec![2.0; 2 * m],
-        alpha0: vec![0.0; 2 * m],
-        tol: 1e-4,
-        max_iter: 40_000,
-    })
+    solve(
+        &mut q,
+        &DualProblem {
+            p,
+            y: (0..2 * m).map(sign).collect(),
+            c: vec![2.0; 2 * m],
+            alpha0: vec![0.0; 2 * m],
+            tol: 1e-4,
+            max_iter: 40_000,
+            opts: SolverOptions::default(),
+        },
+    )
 }
 
 fn solve_one_class_cached(
@@ -99,7 +105,7 @@ fn solve_one_class_cached(
     cache_bytes: usize,
 ) -> Result<DualSolution, SvmError> {
     let k = RbfKernel::new(gamma);
-    let q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, x, None), cache_bytes);
+    let mut q = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, x, None), cache_bytes);
     let n = x.len();
     // LIBSVM's feasible start Σα = νn — nonzero alpha0 also exercises
     // the gradient-initialization row fetches.
@@ -112,15 +118,18 @@ fn solve_one_class_cached(
     if full < n {
         alpha0[full] = total - full as f64;
     }
-    solve(&DualProblem {
-        q: &q,
-        p: vec![0.0; n],
-        y: vec![1.0; n],
-        c: vec![1.0; n],
-        alpha0,
-        tol: 1e-4,
-        max_iter: 20_000,
-    })
+    solve(
+        &mut q,
+        &DualProblem {
+            p: vec![0.0; n],
+            y: vec![1.0; n],
+            c: vec![1.0; n],
+            alpha0,
+            tol: 1e-4,
+            max_iter: 20_000,
+            opts: SolverOptions::default(),
+        },
+    )
 }
 
 proptest! {

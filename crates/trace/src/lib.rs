@@ -192,6 +192,42 @@ impl TraceReport {
     pub fn span_count(&self, leaf: &str) -> u64 {
         self.spans.iter().filter(|s| s.path.rsplit('/').next() == Some(leaf)).map(|s| s.count).sum()
     }
+
+    /// Renders the span aggregates in Brendan Gregg's collapsed-stack
+    /// ("folded") format, one `stack;frames self_ns` line per span,
+    /// ready for `flamegraph.pl` / `inferno-flamegraph`.
+    ///
+    /// The sample value of each line is the span's **self** time: its
+    /// `total_ns` minus the `total_ns` of its direct children (clamped
+    /// at zero, since child totals can slightly exceed the parent's
+    /// when activations straddle the snapshot). Spans fully accounted
+    /// for by their children produce no line, per the format's
+    /// convention. Lines appear in path order, so the output is
+    /// deterministic for a given report.
+    pub fn to_collapsed_stacks(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let child_total: u64 = self
+                .spans
+                .iter()
+                .filter(|c| {
+                    c.path
+                        .strip_prefix(&s.path)
+                        .and_then(|rest| rest.strip_prefix('/'))
+                        .is_some_and(|leaf| !leaf.contains('/'))
+                })
+                .map(|c| c.total_ns)
+                .sum();
+            let self_ns = s.total_ns.saturating_sub(child_total);
+            if self_ns > 0 {
+                out.push_str(&s.path.replace('/', ";"));
+                out.push(' ');
+                out.push_str(&self_ns.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
 }
 
 /// True when the probe machinery is compiled in (`trace` feature).
@@ -580,6 +616,41 @@ pub use imp::{
     collect, counter_add, enabled, full_enabled, init_from_env_or, level, record, record_full,
     reset, set_level, span, Span,
 };
+
+#[cfg(test)]
+mod collapse_tests {
+    use super::*;
+
+    fn stat(path: &str, total_ns: u64) -> SpanStat {
+        SpanStat { path: path.to_string(), count: 1, total_ns, min_ns: total_ns, max_ns: total_ns }
+    }
+
+    /// Folded output: `/` becomes `;`, values are self time (total
+    /// minus direct children), zero-self and over-accounted spans are
+    /// omitted, order follows the report's path order.
+    #[test]
+    fn collapsed_stacks_formatting() {
+        let mut r = TraceReport::empty();
+        r.spans = vec![
+            stat("other", 10),
+            stat("solve", 100),
+            stat("solve/select", 30),
+            stat("solve/select/row", 30), // fully accounts for its parent
+            stat("solve/update", 20),
+        ];
+        assert_eq!(
+            r.to_collapsed_stacks(),
+            "other 10\nsolve 50\nsolve;select;row 30\nsolve;update 20\n"
+        );
+
+        // Child totals exceeding the parent's clamp to zero rather than
+        // wrapping.
+        r.spans = vec![stat("a", 5), stat("a/b", 9)];
+        assert_eq!(r.to_collapsed_stacks(), "a;b 9\n");
+
+        assert_eq!(TraceReport::empty().to_collapsed_stacks(), "");
+    }
+}
 
 #[cfg(all(test, feature = "trace"))]
 mod tests {
