@@ -211,7 +211,7 @@ fn run_svc_litho(
     (result, model_out.expect("three configs ran"), test_h.to_vec())
 }
 
-/// Ref [20] substrate: ε-SVR predicting Fmax from the automotive
+/// Ref \[20\] substrate: ε-SVR predicting Fmax from the automotive
 /// product's other standardized parametric tests.
 fn run_svr_fmax(quick: bool, reps: usize) -> (WorkloadResult, SvrModel<RbfKernel>, Vec<Vec<f64>>) {
     let (n_train, n_test) = if quick { (150, 60) } else { (600, 200) };

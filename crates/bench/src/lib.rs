@@ -23,6 +23,8 @@
 //! paper's qualitative claim fails to hold (so CI catches regressions in
 //! the reproductions).
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 
 /// Prints a section header in a uniform style.

@@ -158,6 +158,7 @@ fn format_time(secs: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
         pub fn $group() {
             let mut c = $crate::Criterion::default();
             $($target(&mut c);)+

@@ -7,7 +7,7 @@
 //! (the "kernel module" the paper calls the real implementation
 //! challenge).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 
 use serde::{Deserialize, Serialize};
@@ -71,8 +71,11 @@ impl SpectrumKernel {
         self.n
     }
 
-    fn counts<'a, T: Eq + Hash>(&self, s: &'a [T], len: usize) -> HashMap<&'a [T], f64> {
-        let mut m: HashMap<&[T], f64> = HashMap::new();
+    // BTreeMap, not HashMap: `eval` folds these counts into a float
+    // accumulator, so the iteration order must not depend on a
+    // per-process hash seed.
+    fn counts<'a, T: Ord>(&self, s: &'a [T], len: usize) -> BTreeMap<&'a [T], f64> {
+        let mut m: BTreeMap<&[T], f64> = BTreeMap::new();
         if s.len() >= len {
             for w in s.windows(len) {
                 *m.entry(w).or_insert(0.0) += 1.0;
@@ -82,7 +85,7 @@ impl SpectrumKernel {
     }
 }
 
-impl<T: Eq + Hash> Kernel<[T]> for SpectrumKernel {
+impl<T: Ord> Kernel<[T]> for SpectrumKernel {
     fn eval(&self, a: &[T], b: &[T]) -> f64 {
         let mut total = 0.0;
         let mut w = 1.0;
@@ -144,7 +147,7 @@ impl SpectrumProfile {
         // length's weight): then dot() accumulates w · c_a · c_b, which
         // is exactly the kernel sum. The gram length is folded into the
         // hash so equal token runs of different lengths stay distinct.
-        let mut map: HashMap<u64, f64> = HashMap::new();
+        let mut map: BTreeMap<u64, f64> = BTreeMap::new();
         let mut w = 1.0_f64;
         for len in 1..=kernel.n {
             let sw = w.sqrt();
@@ -160,8 +163,9 @@ impl SpectrumProfile {
             }
             w *= kernel.length_weight;
         }
-        let mut grams: Vec<(u64, f64)> = map.into_iter().collect();
-        grams.sort_unstable_by_key(|&(h, _)| h);
+        // BTreeMap iteration is already ascending by hash, the order
+        // `dot`'s merge-join requires.
+        let grams: Vec<(u64, f64)> = map.into_iter().collect();
         let norm = grams.iter().map(|&(_, c)| c * c).sum::<f64>().sqrt();
         SpectrumProfile { grams, norm }
     }

@@ -1,0 +1,77 @@
+//! Regression tests pinning cross-process determinism of the spectrum
+//! kernel (the fixed unordered-iteration site in `sequence.rs`).
+//!
+//! `SpectrumKernel::eval` folds per-gram counts into a float
+//! accumulator. With the counts in a `HashMap` that fold follows the
+//! per-process (in fact per-map) hash-seeded iteration order, so the
+//! low bits of the result change between runs; with a `BTreeMap` the
+//! order is the sorted gram order and the result is bitwise stable.
+//! The test computes a fingerprint in two child processes launched with
+//! different `RUST_HASH_SEED` environments and asserts bitwise
+//! equality with the parent.
+
+use edm_kernels::{Kernel, SpectrumKernel, SpectrumProfile};
+
+const CHILD_VAR: &str = "EDM_DETERMINISM_CHILD";
+
+fn fnv1a(fp: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(fp, |fp, &b| (fp ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Kernel values over token streams with hundreds of distinct grams and
+/// an irrational-ish length weight: any change in summation order moves
+/// the low bits of the result.
+fn fingerprint() -> u64 {
+    let a: Vec<u32> = (0..257u32).map(|i| (i * 7919) % 53).collect();
+    let b: Vec<u32> = (0..211u32).map(|i| (i * 104_729) % 47).collect();
+    let k = SpectrumKernel::weighted(4, 1.714_285_714_285_714_3);
+    let pa = SpectrumProfile::build(&a, &k);
+    let pb = SpectrumProfile::build(&b, &k);
+    let values =
+        [k.eval(&a[..], &a[..]), k.eval(&a[..], &b[..]), k.eval(&b[..], &b[..]), pa.cosine(&pb)];
+    values.iter().fold(0xcbf2_9ce4_8422_2325, |fp, v| fnv1a(fp, &v.to_bits().to_le_bytes()))
+}
+
+fn child_fingerprint(test_name: &str, seed: &str) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([test_name, "--exact", "--nocapture", "--test-threads=1"])
+        .env(CHILD_VAR, "1")
+        .env("RUST_HASH_SEED", seed)
+        .output()
+        .expect("spawn child test process");
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // With --nocapture the marker shares a line with libtest's own
+    // "test ... ok" output, so search within lines.
+    stdout
+        .split("fingerprint=")
+        .nth(1)
+        .map(|rest| rest.chars().take_while(char::is_ascii_hexdigit).collect::<String>())
+        .unwrap_or_else(|| panic!("no fingerprint in child output: {stdout}"))
+}
+
+#[test]
+fn spectrum_kernel_bitwise_stable_across_processes() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        println!("fingerprint={:016x}", fingerprint());
+        return;
+    }
+    let first = child_fingerprint("spectrum_kernel_bitwise_stable_across_processes", "1");
+    let second = child_fingerprint("spectrum_kernel_bitwise_stable_across_processes", "2");
+    assert_eq!(first, second, "spectrum kernel varies across processes");
+    assert_eq!(first, format!("{:016x}", fingerprint()), "parent disagrees with children");
+}
+
+/// Within one process, two separately built maps already see different
+/// hash seeds; repeated evaluation must still agree bitwise.
+#[test]
+fn spectrum_kernel_repeatable_in_process() {
+    let a: Vec<u32> = (0..257u32).map(|i| (i * 7919) % 53).collect();
+    let b: Vec<u32> = (0..211u32).map(|i| (i * 104_729) % 47).collect();
+    let k = SpectrumKernel::weighted(4, 1.714_285_714_285_714_3);
+    let v = k.eval(&a[..], &b[..]);
+    for _ in 0..8 {
+        assert_eq!(k.eval(&a[..], &b[..]).to_bits(), v.to_bits());
+    }
+}

@@ -8,7 +8,7 @@
 //! failed), and the mined rules surface frequently co-occurring
 //! structure.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -99,8 +99,11 @@ pub fn mine(
     let n = txs.len();
     let min_count = ((params.min_support * n as f64).ceil() as usize).max(1);
 
-    // L1: frequent single items.
-    let mut item_counts: HashMap<u32, usize> = HashMap::new();
+    // L1: frequent single items. BTreeMap, not HashMap: the level-wise
+    // join and its `binary_search` prune both require `level` in sorted
+    // order, and the iteration below must not depend on a per-process
+    // hash seed.
+    let mut item_counts: BTreeMap<u32, usize> = BTreeMap::new();
     for t in &txs {
         for &i in t {
             *item_counts.entry(i).or_insert(0) += 1;
@@ -108,7 +111,6 @@ pub fn mine(
     }
     let mut level: Vec<Vec<u32>> =
         item_counts.iter().filter(|&(_, &c)| c >= min_count).map(|(&i, _)| vec![i]).collect();
-    level.sort();
 
     let mut frequent: Vec<FrequentItemset> = level
         .iter()
@@ -155,7 +157,7 @@ pub fn mine(
 
     // Rule generation: for each frequent itemset of size >= 2, split into
     // antecedent/consequent (single-item consequents keep output focused).
-    let support_of: HashMap<Vec<u32>, usize> =
+    let support_of: BTreeMap<Vec<u32>, usize> =
         frequent.iter().map(|f| (f.items.clone(), f.support_count)).collect();
     let mut rules = Vec::new();
     for f in frequent.iter().filter(|f| f.items.len() >= 2) {

@@ -1,0 +1,99 @@
+//! Regression tests pinning cross-process determinism of Apriori rule
+//! mining (the fixed unordered-iteration site in `rules/apriori.rs`).
+//!
+//! The level-wise join keeps each level sorted by iterating a
+//! `BTreeMap` of item counts; the subset prune then relies on
+//! `binary_search` into that level. With a `HashMap` the first level
+//! comes out in hash-seeded order, the prune misfires, and the mined
+//! itemsets and rules change between runs. The test mines a fixed
+//! transaction set in two child processes launched with different
+//! `RUST_HASH_SEED` environments and asserts identical output.
+
+use edm_learn::rules::apriori::{mine, AprioriParams};
+
+const CHILD_VAR: &str = "EDM_DETERMINISM_CHILD";
+
+fn fnv1a(fp: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(fp, |fp, &b| (fp ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+fn transactions() -> Vec<Vec<u32>> {
+    // 160 transactions over 31 items with layered co-occurrence so the
+    // mining reaches 4-itemsets and a large, order-sensitive L1.
+    (0..160u32)
+        .map(|i| {
+            let mut t = vec![i % 31, (i * 7) % 31, (i * 13) % 31, (i * 29 + 3) % 31];
+            if i % 3 == 0 {
+                t.extend([1, 2, 4]);
+            }
+            if i % 5 == 0 {
+                t.extend([2, 6, 8]);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Full mining output — itemsets, supports, rule floats — folded
+/// order-sensitively into one digest.
+fn fingerprint() -> u64 {
+    let params = AprioriParams { min_support: 0.05, min_confidence: 0.4, max_len: 4 };
+    let (frequent, rules) = mine(&transactions(), params).expect("mining succeeds");
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for f in &frequent {
+        for &i in &f.items {
+            fp = fnv1a(fp, &i.to_le_bytes());
+        }
+        fp = fnv1a(fp, &(f.support_count as u64).to_le_bytes());
+    }
+    for r in &rules {
+        for &i in r.antecedent.iter().chain(&r.consequent) {
+            fp = fnv1a(fp, &i.to_le_bytes());
+        }
+        for v in [r.support, r.confidence, r.lift] {
+            fp = fnv1a(fp, &v.to_bits().to_le_bytes());
+        }
+    }
+    fp
+}
+
+fn child_fingerprint(test_name: &str, seed: &str) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([test_name, "--exact", "--nocapture", "--test-threads=1"])
+        .env(CHILD_VAR, "1")
+        .env("RUST_HASH_SEED", seed)
+        .output()
+        .expect("spawn child test process");
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // With --nocapture the marker shares a line with libtest's own
+    // "test ... ok" output, so search within lines.
+    stdout
+        .split("fingerprint=")
+        .nth(1)
+        .map(|rest| rest.chars().take_while(char::is_ascii_hexdigit).collect::<String>())
+        .unwrap_or_else(|| panic!("no fingerprint in child output: {stdout}"))
+}
+
+#[test]
+fn apriori_output_bitwise_stable_across_processes() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        println!("fingerprint={:016x}", fingerprint());
+        return;
+    }
+    let first = child_fingerprint("apriori_output_bitwise_stable_across_processes", "1");
+    let second = child_fingerprint("apriori_output_bitwise_stable_across_processes", "2");
+    assert_eq!(first, second, "apriori output varies across processes");
+    assert_eq!(first, format!("{:016x}", fingerprint()), "parent disagrees with children");
+}
+
+/// Mining the same transactions twice in one process is identical,
+/// including rule tie-breaking.
+#[test]
+fn apriori_repeatable_in_process() {
+    let params = AprioriParams { min_support: 0.05, min_confidence: 0.4, max_len: 4 };
+    let first = mine(&transactions(), params).expect("mining succeeds");
+    let again = mine(&transactions(), params).expect("mining succeeds");
+    assert_eq!(first, again);
+}

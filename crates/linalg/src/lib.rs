@@ -26,8 +26,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
-#![warn(missing_docs)]
 
 mod cholesky;
 mod eigen;

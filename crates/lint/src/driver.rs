@@ -1,0 +1,325 @@
+//! Workspace discovery and lint orchestration.
+//!
+//! [`load`] reads the root `Cargo.toml`, expands the member list
+//! (including `dir/*` globs), parses every member manifest, and scans
+//! every `.rs` file under each non-compat crate's `src/`, `tests/`,
+//! `benches/`, and `examples/` trees. [`run`] then applies the lints
+//! from [`crate::lints`] and returns a [`Report`]. Both work on any
+//! directory with a workspace-shaped `Cargo.toml`, which is how the
+//! fixture tests drive the whole pipeline on miniature workspaces.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lints::{self, SuppressionTable};
+use crate::manifest::{self, TomlDoc};
+use crate::report::Report;
+use crate::scanner::{self, ScannedFile};
+
+/// Which tree of a crate a source file lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Under `src/` — library/binary code, fully linted.
+    Lib,
+    /// Under `tests/` — exempt from the determinism lints.
+    Test,
+    /// Under `benches/` — exempt like tests.
+    Bench,
+    /// Under `examples/` — linted for determinism, unwrap-exempt.
+    Example,
+}
+
+/// One scanned `.rs` file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Index into [`Workspace::crates`].
+    pub crate_idx: usize,
+    /// Which tree the file lives in.
+    pub kind: FileKind,
+    /// The token stream and side tables.
+    pub scanned: ScannedFile,
+}
+
+/// One workspace member (or the root package).
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Package name from `[package]`, or the directory name.
+    pub name: String,
+    /// Crate directory relative to the root (`""` for the root pkg).
+    pub rel_dir: String,
+    /// True for `crates/compat/*` stand-ins, which are exempt.
+    pub is_compat: bool,
+    /// Parsed `Cargo.toml`.
+    pub manifest: TomlDoc,
+    /// Manifest path relative to the root.
+    pub manifest_rel: String,
+    /// `# edm-allow(...)` comments found in the manifest.
+    pub manifest_sups: Vec<scanner::Suppression>,
+}
+
+/// Everything the lints look at, loaded once.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Root package first (when present), then members in order.
+    pub crates: Vec<CrateInfo>,
+    /// Scanned sources of all non-compat crates.
+    pub files: Vec<SourceFile>,
+    /// Parsed `trace-probes.toml` (empty doc when absent).
+    pub probe_registry: TomlDoc,
+    /// Registry path relative to the root.
+    pub probe_registry_rel: String,
+    /// `(rel_path, allowed_count)` from the unwrap baseline file.
+    pub unwrap_baseline: Vec<(String, usize)>,
+    /// Baseline path relative to the root.
+    pub unwrap_baseline_rel: String,
+}
+
+/// Path of the probe registry, relative to the workspace root.
+pub const PROBE_REGISTRY_REL: &str = "trace-probes.toml";
+/// Path of the unwrap ratchet baseline, relative to the root.
+pub const UNWRAP_BASELINE_REL: &str = "crates/lint/unwrap-baseline.toml";
+
+/// Loads the workspace rooted at `root`.
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let root =
+        root.canonicalize().map_err(|e| format!("cannot resolve root {}: {e}", root.display()))?;
+    let root_manifest_path = root.join("Cargo.toml");
+    let root_src = fs::read_to_string(&root_manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", root_manifest_path.display()))?;
+    let root_doc = manifest::parse(&root_src);
+
+    let mut crates = Vec::new();
+    if root_doc.section("package").is_some() {
+        crates.push(make_crate("", &root_src, root_doc.clone()));
+    }
+    for member in expand_members(&root, &root_doc)? {
+        let manifest_path = root.join(&member).join("Cargo.toml");
+        let src = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let doc = manifest::parse(&src);
+        crates.push(make_crate(&member, &src, doc));
+    }
+
+    let mut files = Vec::new();
+    for (crate_idx, krate) in crates.iter().enumerate() {
+        if krate.is_compat {
+            continue;
+        }
+        let base = if krate.rel_dir.is_empty() { root.clone() } else { root.join(&krate.rel_dir) };
+        for (sub, kind) in [
+            ("src", FileKind::Lib),
+            ("tests", FileKind::Test),
+            ("benches", FileKind::Bench),
+            ("examples", FileKind::Example),
+        ] {
+            let dir = base.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut paths = Vec::new();
+            collect_rs_files(&dir, &mut paths);
+            paths.sort();
+            for path in paths {
+                let src = fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let rel_path = rel_to(&root, &path);
+                files.push(SourceFile { rel_path, crate_idx, kind, scanned: scanner::scan(&src) });
+            }
+        }
+    }
+
+    let probe_registry = match fs::read_to_string(root.join(PROBE_REGISTRY_REL)) {
+        Ok(src) => manifest::parse(&src),
+        Err(_) => TomlDoc::default(),
+    };
+    let unwrap_baseline = match fs::read_to_string(root.join(UNWRAP_BASELINE_REL)) {
+        Ok(src) => manifest::parse(&src)
+            .section("counts")
+            .map(|sec| {
+                sec.entries
+                    .iter()
+                    .filter_map(|e| match &e.value {
+                        manifest::TomlValue::Int(n) if *n >= 0 => {
+                            Some((e.key.join("."), *n as usize))
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+
+    Ok(Workspace {
+        root,
+        crates,
+        files,
+        probe_registry,
+        probe_registry_rel: PROBE_REGISTRY_REL.to_string(),
+        unwrap_baseline,
+        unwrap_baseline_rel: UNWRAP_BASELINE_REL.to_string(),
+    })
+}
+
+/// Runs every lint over a loaded workspace.
+pub fn run(ws: &Workspace) -> Report {
+    let mut sup = SuppressionTable::default();
+    for file in &ws.files {
+        sup.insert(&file.rel_path, file.scanned.suppressions.clone());
+    }
+    for krate in &ws.crates {
+        if !krate.is_compat {
+            sup.insert(&krate.manifest_rel, krate.manifest_sups.clone());
+        }
+    }
+
+    let mut findings = lints::run_all(ws, &mut sup);
+    lints::finish_suppressions(sup, &mut findings);
+
+    let manifests = ws.crates.iter().filter(|c| !c.is_compat).count();
+    let mut report = Report {
+        findings,
+        files_scanned: ws.files.len() + manifests,
+        lints_run: lints::LINTS.iter().map(|(id, _)| *id).collect(),
+    };
+    report.sort();
+    report
+}
+
+/// Convenience: load + run.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    Ok(run(&load(root)?))
+}
+
+/// Renders a fresh unwrap baseline (TOML) from the current tree.
+pub fn render_baseline(ws: &Workspace) -> String {
+    let mut out = String::from(
+        "# Ratchet baseline for the `unwrap-in-lib` lint: per-file counts of\n\
+         # non-test `.unwrap()` call sites that predate the lint. New files\n\
+         # start at zero; shrink a file's count (or run\n\
+         # `edm-lint --write-baseline`) when you clean one up. Never grow it.\n\
+         \n[counts]\n",
+    );
+    let mut rows: Vec<(String, usize)> = ws
+        .files
+        .iter()
+        .filter(|f| matches!(f.kind, FileKind::Lib) && !ws.crates[f.crate_idx].is_compat)
+        .map(|f| (f.rel_path.clone(), lints::count_unwraps_non_test(f)))
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    rows.sort();
+    for (path, n) in rows {
+        let _ = writeln!(out, "\"{path}\" = {n}");
+    }
+    out
+}
+
+/// Renders the discovered probe inventory as a registry skeleton.
+pub fn render_probe_dump(ws: &Workspace) -> String {
+    let mut by_section: std::collections::BTreeMap<&str, Vec<(String, String)>> =
+        std::collections::BTreeMap::new();
+    for (name, section, rel_path, line) in lints::collect_probes(ws) {
+        by_section.entry(section).or_default().push((name, format!("{rel_path}:{line}")));
+    }
+    let mut out = String::from("# Discovered edm-trace probes (edm-lint --dump-probes).\n");
+    for section in ["spans", "counters", "histograms"] {
+        let _ = writeln!(out, "\n[{section}]");
+        let mut entries = by_section.remove(section).unwrap_or_default();
+        entries.sort();
+        entries.dedup_by(|a, b| a.0 == b.0);
+        for (name, site) in entries {
+            let _ = writeln!(out, "\"{name}\" = \"TODO: describe\" # {site}");
+        }
+    }
+    out
+}
+
+fn make_crate(rel_dir: &str, manifest_src: &str, doc: TomlDoc) -> CrateInfo {
+    let name =
+        doc.get("package", "name").and_then(|v| v.as_str()).map(str::to_string).unwrap_or_else(
+            || {
+                Path::new(rel_dir)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            },
+        );
+    let manifest_rel =
+        if rel_dir.is_empty() { "Cargo.toml".to_string() } else { format!("{rel_dir}/Cargo.toml") };
+    CrateInfo {
+        name,
+        is_compat: rel_dir.contains("compat"),
+        rel_dir: rel_dir.to_string(),
+        manifest: doc,
+        manifest_rel,
+        manifest_sups: scanner::scan_toml_suppressions(manifest_src),
+    }
+}
+
+fn expand_members(root: &Path, root_doc: &TomlDoc) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let members = root_doc
+        .get("workspace", "members")
+        .and_then(|v| v.as_array().map(<[_]>::to_vec))
+        .unwrap_or_default();
+    for member in members {
+        let Some(pattern) = member.as_str() else { continue };
+        if let Some(prefix) = pattern.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            let entries =
+                fs::read_dir(&dir).map_err(|e| format!("cannot expand {pattern}: {e}"))?;
+            let mut expanded: Vec<String> = entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().join("Cargo.toml").is_file())
+                .map(|e| format!("{prefix}/{}", e.file_name().to_string_lossy()))
+                .collect();
+            expanded.sort();
+            out.extend(expanded);
+        } else {
+            out.push(pattern.to_string());
+        }
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            // `fixtures/` trees hold deliberately-bad lint inputs;
+            // `target/` holds build products.
+            let name = entry.file_name();
+            if name != "fixtures" && name != "target" {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_paths_are_slash_separated() {
+        let root = Path::new("/a/b");
+        assert_eq!(rel_to(root, Path::new("/a/b/crates/x/src/lib.rs")), "crates/x/src/lib.rs");
+    }
+}

@@ -1,0 +1,49 @@
+//! # edm-lint — workspace static analysis for the edm invariants
+//!
+//! A dependency-free lint driver that enforces the determinism,
+//! instrumentation, and feature-hygiene rules the rest of the
+//! workspace relies on but `rustc`/`clippy` cannot see:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `direct-thread-spawn`  | all threads come from `edm-par` |
+//! | `unordered-iteration`  | no hash-order iteration in library code |
+//! | `ambient-entropy`      | no wall-clock / OS-entropy seeding |
+//! | `probe-registry`       | trace probe names match `trace-probes.toml` |
+//! | `feature-forwarding`   | `parallel`/`trace` forwarded through every dep edge |
+//! | `forbid-unsafe`        | every crate root forbids `unsafe_code` |
+//! | `unwrap-in-lib`        | `.unwrap()` ratcheted against a checked-in baseline |
+//!
+//! Violations carry `file:line` positions; runs emit a human report
+//! plus machine-readable `results/lint.json`, and exit nonzero on any
+//! non-grandfathered error, which makes the CI job a hard gate.
+//!
+//! ## Suppressions
+//!
+//! ```text
+//! // edm-allow(unordered-iteration): drained into a BTreeMap before use
+//! // edm-allow-file(unwrap-in-lib): generated parser, indices proven in bounds
+//! ```
+//!
+//! A suppression must name a known lint **and** give a reason after a
+//! colon — a reason-less or unknown suppression is itself reported
+//! (`bad-suppression`), and unused suppressions warn so they get
+//! cleaned up. In `Cargo.toml` the same forms work after `#`.
+//!
+//! The scanner is a purpose-built lexer ([`scanner`]), not a regex
+//! pass: comments, strings, lifetimes, and `#[cfg(test)]` regions are
+//! understood, so test code can use `HashMap` freely and a lint
+//! needle inside a doc comment never fires. Manifests are read by a
+//! small TOML subset parser ([`manifest`]) that keeps line numbers
+//! and duplicate keys.
+
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod lints;
+pub mod manifest;
+pub mod report;
+pub mod scanner;
+
+pub use driver::{lint_workspace, load, run, Workspace};
+pub use report::{Finding, Report, Severity};

@@ -1,0 +1,129 @@
+//! CLI entry point for `edm-lint`. See the crate docs for the lints.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use edm_lint::{driver, lints};
+
+const USAGE: &str = "\
+edm-lint: static analysis for the edm workspace invariants
+
+USAGE:
+    edm-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        workspace root to lint (default: .)
+    --json <FILE>       where to write the JSON report
+                        (default: <root>/results/lint.json)
+    --no-json           skip writing the JSON report
+    --list              list the lints and exit
+    --dump-probes       print discovered trace probes as registry TOML
+    --write-baseline    rewrite the unwrap-in-lib ratchet baseline
+    -h, --help          show this help
+";
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    no_json: bool,
+    list: bool,
+    dump_probes: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: None,
+        no_json: false,
+        list: false,
+        dump_probes: false,
+        write_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = args.next().map(PathBuf::from).ok_or("--root needs a value")?;
+            }
+            "--json" => {
+                opts.json = Some(args.next().map(PathBuf::from).ok_or("--json needs a value")?);
+            }
+            "--no-json" => opts.no_json = true,
+            "--list" => opts.list = true,
+            "--dump-probes" => opts.dump_probes = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("edm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+
+    if opts.list {
+        for (id, desc) in lints::LINTS {
+            println!("{id:<22} {desc}");
+        }
+        return Ok(true);
+    }
+
+    let ws = driver::load(&opts.root)?;
+
+    if opts.dump_probes {
+        print!("{}", driver::render_probe_dump(&ws));
+        return Ok(true);
+    }
+
+    if opts.write_baseline {
+        let path = ws.root.join(driver::UNWRAP_BASELINE_REL);
+        fs::write(&path, driver::render_baseline(&ws))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("edm-lint: wrote {}", path.display());
+        // Fall through and lint against the fresh baseline.
+        let ws = driver::load(&opts.root)?;
+        let report = driver::run(&ws);
+        print!("{}", report.render_human());
+        return Ok(report.is_clean());
+    }
+
+    let report = driver::run(&ws);
+    print!("{}", report.render_human());
+
+    if !opts.no_json {
+        let json_path =
+            opts.json.clone().unwrap_or_else(|| ws.root.join("results").join("lint.json"));
+        if let Some(parent) = json_path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        fs::write(&json_path, report.render_json())
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    }
+
+    Ok(report.is_clean())
+}

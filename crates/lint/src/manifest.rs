@@ -1,0 +1,404 @@
+//! A small TOML reader: enough of the grammar for Cargo manifests and
+//! the probe registry, with source line numbers on every entry.
+//!
+//! Supported: `[section]` / `[[array-of-table]]` headers (dotted and
+//! quoted parts), bare/quoted/dotted keys, string / boolean / integer
+//! values, arrays (including multiline), and inline tables. Duplicate
+//! keys are preserved in order so lints can flag them. Unsupported
+//! syntax parses to [`TomlValue::Other`] rather than failing, so an
+//! exotic manifest degrades to "not checkable" instead of a crash.
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A basic or literal string (escapes left as written).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// An array of values.
+    Array(Vec<TomlValue>),
+    /// An inline table `{ k = v, ... }` as ordered pairs.
+    Table(Vec<(String, TomlValue)>),
+    /// Anything this mini-parser does not model (floats, dates, ...).
+    Other(String),
+}
+
+impl TomlValue {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[TomlValue]> {
+        match self {
+            TomlValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The pairs, if this is an inline table.
+    pub fn as_table(&self) -> Option<&[(String, TomlValue)]> {
+        match self {
+            TomlValue::Table(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an inline table.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.as_table()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// One `key = value` line (key split on dots).
+#[derive(Debug, Clone)]
+pub struct TomlEntry {
+    /// The key path (`a.b = 1` → `["a", "b"]`).
+    pub key: Vec<String>,
+    /// The parsed value.
+    pub value: TomlValue,
+    /// 1-based line the entry starts on.
+    pub line: u32,
+}
+
+/// One `[section]` with its entries.
+#[derive(Debug, Clone)]
+pub struct TomlSection {
+    /// Dotted section name; `""` for the implicit root section.
+    pub name: String,
+    /// 1-based header line (0 for the root section).
+    pub line: u32,
+    /// Entries in source order; duplicates preserved.
+    pub entries: Vec<TomlEntry>,
+}
+
+/// A parsed document: sections in source order.
+#[derive(Debug, Default, Clone)]
+pub struct TomlDoc {
+    /// All sections, the implicit root first.
+    pub sections: Vec<TomlSection>,
+}
+
+impl TomlDoc {
+    /// The first section with this exact dotted name.
+    pub fn section(&self, name: &str) -> Option<&TomlSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// All sections whose name starts with `prefix` + `.`.
+    pub fn sections_under<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a TomlSection> + 'a {
+        self.sections
+            .iter()
+            .filter(move |s| s.name.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('.')))
+    }
+
+    /// Looks up `section.key` (single-segment key) as a value.
+    pub fn get(&self, section: &str, key: &str) -> Option<&TomlValue> {
+        self.section(section)?
+            .entries
+            .iter()
+            .find(|e| e.key.len() == 1 && e.key[0] == key)
+            .map(|e| &e.value)
+    }
+}
+
+/// Parses `src` into a [`TomlDoc`]. Never fails: unmodeled syntax
+/// degrades to [`TomlValue::Other`] and malformed lines are skipped.
+pub fn parse(src: &str) -> TomlDoc {
+    let mut doc = TomlDoc::default();
+    doc.sections.push(TomlSection { name: String::new(), line: 0, entries: Vec::new() });
+
+    let lines: Vec<&str> = src.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line_no = (i + 1) as u32;
+        let stripped = strip_comment(lines[i]);
+        let trimmed = stripped.trim();
+        if trimmed.is_empty() {
+            i += 1;
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('[') {
+            // [section] or [[array-of-tables]] — both become sections.
+            let header = header.strip_prefix('[').unwrap_or(header);
+            let name_part = header.trim_end().trim_end_matches(']').trim();
+            let name = parse_key_path(name_part).join(".");
+            doc.sections.push(TomlSection { name, line: line_no, entries: Vec::new() });
+            i += 1;
+            continue;
+        }
+        // key = value, where value may continue over following lines
+        // (multiline array or inline table).
+        let Some(eq) = find_top_level_eq(trimmed) else {
+            i += 1;
+            continue;
+        };
+        let key = parse_key_path(trimmed[..eq].trim());
+        let mut value_src = trimmed[eq + 1..].trim().to_string();
+        while !balanced(&value_src) && i + 1 < lines.len() {
+            i += 1;
+            value_src.push('\n');
+            value_src.push_str(strip_comment(lines[i]).trim());
+        }
+        let value = parse_value(value_src.trim());
+        doc.sections.last_mut().expect("root section always present").entries.push(TomlEntry {
+            key,
+            value,
+            line: line_no,
+        });
+        i += 1;
+    }
+    doc
+}
+
+/// Removes a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str: Option<u8> = None;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match (in_str, bytes[i]) {
+            (Some(q), b) if b == q => in_str = None,
+            (Some(b'"'), b'\\') => i += 1,
+            (None, b'"') | (None, b'\'') => in_str = Some(bytes[i]),
+            (None, b'#') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Finds the first `=` outside quotes (key/value separator).
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut in_str: Option<u8> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match (in_str, b) {
+            (Some(q), x) if x == q => in_str = None,
+            (None, b'"') | (None, b'\'') => in_str = Some(b),
+            (None, b'=') => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True when every `[`/`{`/`"` opened on this fragment is closed.
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str: Option<u8> = None;
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match (in_str, bytes[i]) {
+            (Some(b'"'), b'\\') => i += 1,
+            (Some(q), b) if b == q => in_str = None,
+            (Some(_), _) => {}
+            (None, b'"') | (None, b'\'') => in_str = Some(bytes[i]),
+            (None, b'[') | (None, b'{') => depth += 1,
+            (None, b']') | (None, b'}') => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    depth <= 0 && in_str.is_none()
+}
+
+/// Splits `a."b.c".d` into `["a", "b.c", "d"]`.
+fn parse_key_path(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str: Option<char> = None;
+    for c in s.chars() {
+        match (in_str, c) {
+            (Some(q), x) if x == q => in_str = None,
+            (Some(_), x) => cur.push(x),
+            (None, '"') | (None, '\'') => in_str = Some(c),
+            (None, '.') => {
+                parts.push(cur.trim().to_string());
+                cur.clear();
+            }
+            (None, x) => cur.push(x),
+        }
+    }
+    parts.push(cur.trim().to_string());
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+fn parse_value(s: &str) -> TomlValue {
+    let s = s.trim();
+    if s == "true" {
+        return TomlValue::Bool(true);
+    }
+    if s == "false" {
+        return TomlValue::Bool(false);
+    }
+    if let Some(rest) = s.strip_prefix('"') {
+        // Basic string: take up to the closing unescaped quote.
+        return TomlValue::Str(read_basic_string(rest));
+    }
+    if let Some(rest) = s.strip_prefix('\'') {
+        return TomlValue::Str(rest.split('\'').next().unwrap_or("").to_string());
+    }
+    if s.starts_with('[') {
+        return TomlValue::Array(split_items(&s[1..s.rfind(']').unwrap_or(s.len())]));
+    }
+    if s.starts_with('{') {
+        let inner = &s[1..s.rfind('}').unwrap_or(s.len())];
+        let mut pairs = Vec::new();
+        for item in split_top_level(inner, ',') {
+            if let Some(eq) = find_top_level_eq(&item) {
+                let key = parse_key_path(item[..eq].trim()).join(".");
+                pairs.push((key, parse_value(item[eq + 1..].trim())));
+            }
+        }
+        return TomlValue::Table(pairs);
+    }
+    if let Ok(n) = s.replace('_', "").parse::<i64>() {
+        return TomlValue::Int(n);
+    }
+    TomlValue::Other(s.to_string())
+}
+
+fn read_basic_string(after_quote: &str) -> String {
+    let mut out = String::new();
+    let mut chars = after_quote.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => break,
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    out.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        '\\' => '\\',
+                        '"' => '"',
+                        other => other,
+                    });
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn split_items(inner: &str) -> Vec<TomlValue> {
+    split_top_level(inner, ',')
+        .into_iter()
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| parse_value(s.trim()))
+        .collect()
+}
+
+/// Splits on `sep` at depth 0 outside strings.
+fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    let mut in_str: Option<char> = None;
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match (in_str, c) {
+            (Some('"'), '\\') => {
+                cur.push(c);
+                if let Some(&next) = chars.peek() {
+                    cur.push(next);
+                    chars.next();
+                }
+            }
+            (Some(q), x) if x == q => {
+                in_str = None;
+                cur.push(c);
+            }
+            (Some(_), _) => cur.push(c),
+            (None, '"') | (None, '\'') => {
+                in_str = Some(c);
+                cur.push(c);
+            }
+            (None, '[') | (None, '{') => {
+                depth += 1;
+                cur.push(c);
+            }
+            (None, ']') | (None, '}') => {
+                depth -= 1;
+                cur.push(c);
+            }
+            (None, x) if x == sep && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            (None, _) => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keys_and_values_parse() {
+        let doc = parse(
+            "top = \"root\"\n[package]\nname = \"edm-lint\" # comment\nversion.workspace = true\n\n[dependencies]\nserde = { path = \"x\", features = [\"derive\"] }\n",
+        );
+        assert_eq!(doc.sections.len(), 3);
+        assert_eq!(doc.get("", "top").unwrap().as_str(), Some("root"));
+        assert_eq!(doc.get("package", "name").unwrap().as_str(), Some("edm-lint"));
+        let ver = &doc.section("package").unwrap().entries[1];
+        assert_eq!(ver.key, ["version", "workspace"]);
+        assert_eq!(ver.value, TomlValue::Bool(true));
+        assert_eq!(ver.line, 4);
+        let serde = doc.get("dependencies", "serde").unwrap();
+        assert_eq!(serde.get("path").unwrap().as_str(), Some("x"));
+        let feats = serde.get("features").unwrap().as_array().unwrap();
+        assert_eq!(feats[0].as_str(), Some("derive"));
+    }
+
+    #[test]
+    fn multiline_arrays_and_quoted_keys() {
+        let doc = parse(
+            "[features]\ndefault = [\n  \"parallel\", # keep\n  \"trace\",\n]\n[probes]\n\"svm.smo.calls\" = \"solver calls\"\n",
+        );
+        let default = doc.get("features", "default").unwrap().as_array().unwrap();
+        assert_eq!(default.len(), 2);
+        assert_eq!(default[1].as_str(), Some("trace"));
+        let probes = doc.section("probes").unwrap();
+        assert_eq!(probes.entries[0].key, ["svm.smo.calls"]);
+        assert_eq!(probes.entries[0].value.as_str(), Some("solver calls"));
+    }
+
+    #[test]
+    fn duplicate_keys_are_preserved() {
+        let doc = parse("[spans]\na = \"1\"\na = \"2\"\n");
+        assert_eq!(doc.section("spans").unwrap().entries.len(), 2);
+    }
+
+    #[test]
+    fn array_of_tables_and_dotted_headers() {
+        let doc = parse("[[bin]]\nname = \"edm-lint\"\n[workspace.lints.rust]\nx = 1\n");
+        assert_eq!(doc.get("bin", "name").unwrap().as_str(), Some("edm-lint"));
+        assert_eq!(doc.get("workspace.lints.rust", "x"), Some(&TomlValue::Int(1)));
+        assert_eq!(doc.sections_under("workspace").count(), 1);
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let doc = parse("k = \"a # not comment\"\n");
+        assert_eq!(doc.get("", "k").unwrap().as_str(), Some("a # not comment"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Finding types and the two renderers: human diagnostics for the
+//! terminal and a machine-readable JSON document for CI.
+
+use std::fmt::Write as _;
+
+/// How a finding affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational only (e.g. an unused suppression); never fails.
+    Warning,
+    /// A violation; the run exits nonzero unless grandfathered.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic produced by a lint.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable lint id (`unordered-iteration`, ...).
+    pub lint: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line, or 0 when the finding is file/crate level.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+    /// True when covered by the checked-in baseline (reported but not
+    /// counted against the exit code).
+    pub grandfathered: bool,
+}
+
+/// A finished lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in the order the driver produced them.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned (Rust sources + manifests).
+    pub files_scanned: usize,
+    /// Lints that ran, in registry order.
+    pub lints_run: Vec<&'static str>,
+}
+
+impl Report {
+    /// Findings that should fail the run.
+    pub fn blocking(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error && !f.grandfathered)
+    }
+
+    /// True when the run should exit zero.
+    pub fn is_clean(&self) -> bool {
+        self.blocking().next().is_none()
+    }
+
+    /// Sorts findings for stable output: by file, line, lint id.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    }
+
+    /// Terminal rendering: one `file:line: severity[lint] message` per
+    /// blocking finding plus a summary line. Grandfathered findings
+    /// are counted but not listed (they are all in the JSON report).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.findings.iter().filter(|f| !f.grandfathered) {
+            if f.line > 0 {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: {}[{}] {}",
+                    f.file,
+                    f.line,
+                    f.severity.label(),
+                    f.lint,
+                    f.message
+                );
+            } else {
+                let _ =
+                    writeln!(out, "{}: {}[{}] {}", f.file, f.severity.label(), f.lint, f.message);
+            }
+        }
+        let errors = self.blocking().count();
+        let warnings = self.findings.iter().filter(|f| f.severity == Severity::Warning).count();
+        let grandfathered = self.findings.iter().filter(|f| f.grandfathered).count();
+        let _ = writeln!(
+            out,
+            "edm-lint: {} files scanned, {} lints, {} error(s), {} warning(s), {} grandfathered",
+            self.files_scanned,
+            self.lints_run.len(),
+            errors,
+            warnings,
+            grandfathered
+        );
+        out
+    }
+
+    /// Machine-readable JSON for `results/lint.json`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"summary\": {");
+        let _ = write!(
+            out,
+            "\n    \"files_scanned\": {},\n    \"errors\": {},\n    \"warnings\": {},\n    \"grandfathered\": {},\n    \"clean\": {}\n  }},\n",
+            self.files_scanned,
+            self.blocking().count(),
+            self.findings.iter().filter(|f| f.severity == Severity::Warning).count(),
+            self.findings.iter().filter(|f| f.grandfathered).count(),
+            self.is_clean()
+        );
+        out.push_str("  \"lints\": [");
+        for (i, lint) in self.lints_run.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}", json_str(lint));
+        }
+        out.push_str("],\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"lint\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"grandfathered\": {}, \"message\": {}}}",
+                json_str(f.lint),
+                json_str(f.severity.label()),
+                json_str(&f.file),
+                f.line,
+                f.grandfathered,
+                json_str(&f.message)
+            );
+            out.push_str(if i + 1 < self.findings.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    lint: "unordered-iteration",
+                    severity: Severity::Error,
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 7,
+                    message: "HashMap iterated in library code".into(),
+                    grandfathered: false,
+                },
+                Finding {
+                    lint: "unwrap-in-lib",
+                    severity: Severity::Error,
+                    file: "crates/y/src/lib.rs".into(),
+                    line: 3,
+                    message: "unwrap() in library code".into(),
+                    grandfathered: true,
+                },
+                Finding {
+                    lint: "bad-suppression",
+                    severity: Severity::Warning,
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 1,
+                    message: "unused suppression".into(),
+                    grandfathered: false,
+                },
+            ],
+            files_scanned: 2,
+            lints_run: vec!["unordered-iteration", "unwrap-in-lib"],
+        }
+    }
+
+    #[test]
+    fn blocking_excludes_warnings_and_grandfathered() {
+        let r = sample();
+        assert_eq!(r.blocking().count(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn human_rendering_has_file_line_and_summary() {
+        let text = sample().render_human();
+        assert!(text.contains("crates/x/src/lib.rs:7: error[unordered-iteration]"));
+        // Grandfathered findings are summarized, not listed.
+        assert!(!text.contains("crates/y/src/lib.rs:3"));
+        assert!(text.contains("1 error(s), 1 warning(s), 1 grandfathered"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = sample();
+        r.findings[0].message = "quote \" and \\ backslash".into();
+        let json = r.render_json();
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\\\" and \\\\ backslash"));
+        assert!(json.contains("\"clean\": false"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

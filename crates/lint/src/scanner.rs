@@ -1,0 +1,462 @@
+//! A small Rust source scanner: enough lexing to drive the lints.
+//!
+//! This is not a full lexer. It produces a flat token stream of
+//! identifiers, string literals, and punctuation with 1-based line
+//! numbers, skipping comments, char literals, and lifetimes — the
+//! shapes every lint in this crate matches on. Along the way it
+//! collects `// edm-allow(...)` suppression comments and marks which
+//! lines fall inside `#[cfg(test)] mod ... { }` regions so test code
+//! can be exempted without parsing the full grammar.
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// The token shapes the lints match on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`thread`, `spawn`, `fn`, ...).
+    Ident(String),
+    /// A string literal's unescaped-as-written contents (no quotes).
+    Str(String),
+    /// A single punctuation byte (`(`, `.`, `:`, `#`, ...).
+    Punct(char),
+}
+
+/// An inline `// edm-allow(lint-id): reason` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The lint id between the parentheses.
+    pub lint_id: String,
+    /// The reason after the colon, trimmed; empty when missing.
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// True for `edm-allow-file(...)`, which covers the whole file.
+    pub whole_file: bool,
+    /// Set by the driver when a finding consumed this suppression.
+    pub used: bool,
+}
+
+/// A scanned source file: tokens plus the side tables the lints need.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// Flat token stream in source order.
+    pub tokens: Vec<Token>,
+    /// All `edm-allow` comments found, in source order.
+    pub suppressions: Vec<Suppression>,
+    /// Half-open `[start, end]` line ranges inside `#[cfg(test)]` mods.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Total number of lines in the file.
+    pub line_count: u32,
+}
+
+impl ScannedFile {
+    /// True when `line` falls inside a `#[cfg(test)] mod` region.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+/// Lexes `src` into tokens, suppressions, and test-region spans.
+pub fn scan(src: &str) -> ScannedFile {
+    let mut out = ScannedFile::default();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            // Line comment (or doc comment): scan for edm-allow, skip.
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = memchr_newline(bytes, i);
+                let text = &src[i..end];
+                if let Some(sup) = parse_suppression(text, line) {
+                    out.suppressions.push(sup);
+                }
+                i = end;
+            }
+            // Block comment: skip with nesting, tracking newlines.
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            // Raw string literal r"..." / r#"..."# (with optional b).
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start_line = line;
+                let (contents, next, newlines) = lex_raw_string(src, i);
+                line += newlines;
+                out.tokens.push(Token { kind: TokenKind::Str(contents), line: start_line });
+                i = next;
+            }
+            // Ordinary string literal (or b"...").
+            b'"' => {
+                let start_line = line;
+                let (contents, next, newlines) = lex_string(src, i);
+                line += newlines;
+                out.tokens.push(Token { kind: TokenKind::Str(contents), line: start_line });
+                i = next;
+            }
+            // Char literal or lifetime. 'a' is a char, 'a is a
+            // lifetime; disambiguate by looking for the closing quote.
+            b'\'' => {
+                i = skip_char_or_lifetime(bytes, i);
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // `b` / `r` prefixes on strings were handled above, so
+                // anything here really is an identifier or keyword.
+                out.tokens.push(Token { kind: TokenKind::Ident(ident.to_string()), line });
+            }
+            _ if b.is_ascii_digit() => {
+                // Numeric literal: skip (incl. underscores, suffixes,
+                // hex). Floats with exponents are covered because every
+                // constituent byte is alphanumeric, `_`, `.`, `+`, `-`;
+                // the sign only follows e/E so plain punctuation after
+                // a number still lexes on its own.
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+            }
+            _ => {
+                if !b.is_ascii_whitespace() {
+                    out.tokens.push(Token { kind: TokenKind::Punct(b as char), line });
+                }
+                i += 1;
+            }
+        }
+    }
+
+    out.line_count = line;
+    out.test_regions = find_test_regions(&out.tokens);
+    out
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    bytes[from..].iter().position(|&b| b == b'\n').map_or(bytes.len(), |p| from + p)
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // r" r#" br" rb" — any r immediately opening a raw string.
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn lex_raw_string(src: &str, start: usize) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // r
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let content_start = i;
+    let closer: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+        }
+        if bytes[i] == b'"' && bytes[i..].starts_with(&closer) {
+            let contents = src[content_start..i].to_string();
+            return (contents, i + closer.len(), newlines);
+        }
+        i += 1;
+    }
+    (src[content_start..].to_string(), bytes.len(), newlines)
+}
+
+fn lex_string(src: &str, start: usize) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut i = start + 1;
+    let content_start = i;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => {
+                let contents = src[content_start..i].to_string();
+                return (contents, i + 1, newlines);
+            }
+            _ => i += 1,
+        }
+    }
+    (src[content_start..].to_string(), bytes.len(), newlines)
+}
+
+fn skip_char_or_lifetime(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    if i >= bytes.len() {
+        return i;
+    }
+    if bytes[i] == b'\\' {
+        // Escaped char literal: skip escape, then to closing quote.
+        i += 2;
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(bytes.len());
+    }
+    // 'x' is a char literal iff the next-next byte closes it.
+    if bytes.get(i + 1) == Some(&b'\'') {
+        return i + 2;
+    }
+    // Otherwise a lifetime: skip the identifier part.
+    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+        i += 1;
+    }
+    i
+}
+
+/// Parses one `// edm-allow(lint-id): reason` comment line.
+fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
+    suppression_from_comment_body(comment.trim_start_matches('/').trim_start(), line)
+}
+
+/// Scans TOML `# edm-allow(...)` comments (manifests can be
+/// suppressed too, e.g. for `feature-forwarding`).
+pub fn scan_toml_suppressions(src: &str) -> Vec<Suppression> {
+    src.lines()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let body = l.trim_start().strip_prefix('#')?.trim_start();
+            suppression_from_comment_body(body, (i + 1) as u32)
+        })
+        .collect()
+}
+
+/// Parses a comment body (marker already stripped) as a suppression.
+fn suppression_from_comment_body(body: &str, line: u32) -> Option<Suppression> {
+    let (whole_file, rest) = if let Some(r) = body.strip_prefix("edm-allow-file(") {
+        (true, r)
+    } else if let Some(r) = body.strip_prefix("edm-allow(") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let close = rest.find(')')?;
+    let lint_id = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map_or("", str::trim).to_string();
+    Some(Suppression { lint_id, reason, line, whole_file, used: false })
+}
+
+/// Finds `#[cfg(test)] mod name { ... }` line ranges by brace matching
+/// over the token stream. Also treats `#[cfg(test)]` directly above
+/// a `mod` with intervening attributes as the same region.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_cfg_test_attr(tokens, i) {
+            i += 1;
+            continue;
+        }
+        // Skip past the attribute: #[cfg(test)] is 7 tokens.
+        let mut j = i + 7;
+        // Allow further attributes (#[...]) between cfg(test) and mod.
+        while matches!(tokens.get(j).map(|t| &t.kind), Some(TokenKind::Punct('#'))) {
+            j = skip_attr(tokens, j);
+        }
+        if !matches!(tokens.get(j).map(|t| &t.kind),
+            Some(TokenKind::Ident(id)) if id == "mod")
+        {
+            i += 1;
+            continue;
+        }
+        // mod NAME { ... }  (skip `mod name;` out-of-line test mods —
+        // those land in their own file, which the walker still scans,
+        // but path-based exemption handles `tests/` dirs separately).
+        let mut k = j + 1;
+        while k < tokens.len()
+            && !matches!(tokens[k].kind, TokenKind::Punct('{') | TokenKind::Punct(';'))
+        {
+            k += 1;
+        }
+        if k >= tokens.len() || matches!(tokens[k].kind, TokenKind::Punct(';')) {
+            i = k;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut depth = 0i32;
+        let mut end_line = tokens[k].line;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = tokens[k].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if depth > 0 {
+            // Unclosed (shouldn't happen in compiling code): cover to
+            // end of stream.
+            end_line = tokens.last().map_or(start_line, |t| t.line);
+        }
+        regions.push((start_line, end_line));
+        i = k + 1;
+    }
+    regions
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let idents = ["#", "[", "cfg", "(", "test", ")", "]"];
+    tokens.len() >= i + idents.len()
+        && idents.iter().enumerate().all(|(off, want)| match &tokens[i + off].kind {
+            TokenKind::Ident(id) => id == want,
+            TokenKind::Punct(c) => want.len() == 1 && want.starts_with(*c),
+            TokenKind::Str(_) => false,
+        })
+}
+
+/// Given `tokens[i] == '#'`, returns the index just past the attr.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if !matches!(tokens.get(j).map(|t| &t.kind), Some(TokenKind::Punct('['))) {
+        return j;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(scanned: &ScannedFile) -> Vec<&str> {
+        scanned
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(id) => Some(id.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_emit_idents() {
+        let s = scan("// HashMap in a comment\nlet x = \"HashMap\"; /* HashMap */ fn f() {}");
+        assert_eq!(idents(&s), ["let", "x", "fn", "f"]);
+        // But the string contents are kept as a Str token.
+        assert!(s.tokens.iter().any(|t| t.kind == TokenKind::Str("HashMap".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_lex() {
+        let s = scan("fn f<'a>(x: &'a str) -> String { r#\"spawn \" inner\"#.into() }");
+        assert!(idents(&s).contains(&"str"));
+        assert!(s.tokens.iter().any(|t| t.kind == TokenKind::Str("spawn \" inner".into())));
+        // The lifetime's `a` must not appear as an identifier token.
+        assert!(!idents(&s).contains(&"a"));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_lexing() {
+        let s = scan("let c = 'x'; let esc = '\\''; let nl = '\\n'; fn g() {}");
+        assert!(idents(&s).contains(&"g"));
+    }
+
+    #[test]
+    fn suppressions_parse_with_and_without_reason() {
+        let s = scan(
+            "// edm-allow(unordered-iteration): sorted before use\nlet x = 1;\n// edm-allow(ambient-entropy)\n// edm-allow-file(unwrap-in-lib): demo\n",
+        );
+        assert_eq!(s.suppressions.len(), 3);
+        assert_eq!(s.suppressions[0].lint_id, "unordered-iteration");
+        assert_eq!(s.suppressions[0].reason, "sorted before use");
+        assert_eq!(s.suppressions[0].line, 1);
+        assert!(!s.suppressions[0].whole_file);
+        assert_eq!(s.suppressions[1].reason, "");
+        assert!(s.suppressions[2].whole_file);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert_eq!(s.test_regions, vec![(2, 5)]);
+        assert!(s.in_test_region(4));
+        assert!(!s.in_test_region(1));
+        assert!(!s.in_test_region(6));
+    }
+
+    #[test]
+    fn test_region_allows_intervening_attrs() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n}\n";
+        let s = scan(src);
+        assert_eq!(s.test_regions, vec![(1, 4)]);
+    }
+}

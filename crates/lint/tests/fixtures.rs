@@ -1,0 +1,153 @@
+//! End-to-end tests: run the whole driver on the `bad-ws` fixture
+//! workspace (one deliberate violation per lint, plus suppression
+//! cases) and on the real workspace (which must be clean).
+
+use std::path::{Path, PathBuf};
+
+use edm_lint::report::Severity;
+use edm_lint::{driver, Finding, Report};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad-ws")
+}
+
+fn fixture_report() -> Report {
+    driver::lint_workspace(&fixture_root()).expect("fixture workspace loads")
+}
+
+fn find<'r>(report: &'r Report, lint: &str, msg_part: &str) -> Vec<&'r Finding> {
+    report.findings.iter().filter(|f| f.lint == lint && f.message.contains(msg_part)).collect()
+}
+
+#[test]
+fn direct_thread_spawn_fires_for_spawn_and_scope() {
+    let r = fixture_report();
+    let spawn = find(&r, "direct-thread-spawn", "thread::spawn");
+    let scope = find(&r, "direct-thread-spawn", "thread::scope");
+    assert_eq!(spawn.len(), 1, "{}", r.render_human());
+    assert_eq!(scope.len(), 1);
+    assert!(spawn[0].file.ends_with("crates/alpha/src/lib.rs"));
+    // The spawn inside #[cfg(test)] must not be flagged.
+    assert_eq!(r.findings.iter().filter(|f| f.lint == "direct-thread-spawn").count(), 2);
+}
+
+#[test]
+fn unordered_iteration_fires_only_on_unsuppressed_sites() {
+    let r = fixture_report();
+    let hits: Vec<_> = r.findings.iter().filter(|f| f.lint == "unordered-iteration").collect();
+    // Lines 4 and 5 (the two `use` statements). The suppressed type
+    // aliases and the HashMap inside #[cfg(test)] stay silent.
+    assert_eq!(hits.len(), 2, "{}", r.render_human());
+    assert!(hits.iter().all(|f| f.file.ends_with("crates/alpha/src/lib.rs")));
+    assert_eq!(hits.iter().map(|f| f.line).collect::<Vec<_>>(), vec![4, 5]);
+}
+
+#[test]
+fn ambient_entropy_fires_for_clock_and_rng() {
+    let r = fixture_report();
+    assert_eq!(find(&r, "ambient-entropy", "Time::now").len(), 1);
+    assert_eq!(find(&r, "ambient-entropy", "thread_rng").len(), 1);
+}
+
+#[test]
+fn probe_registry_catches_every_rot_mode() {
+    let r = fixture_report();
+    // Typo: used but unregistered, flagged at the call site.
+    let typo = find(&r, "probe-registry", "alpha.typo_flow");
+    assert_eq!(typo.len(), 1, "{}", r.render_human());
+    assert!(typo[0].file.ends_with("crates/alpha/src/lib.rs"));
+    // Wrong section: registered as span, emitted as counter.
+    assert_eq!(find(&r, "probe-registry", "used as a counters probe").len(), 1);
+    // Stale: registered, never emitted.
+    assert!(!find(&r, "probe-registry", "stale registry entry").is_empty());
+    assert_eq!(find(&r, "probe-registry", "\"alpha.stale\"").len(), 1);
+    // Duplicate registration.
+    assert_eq!(find(&r, "probe-registry", "duplicate probe").len(), 1);
+    // Missing description.
+    assert_eq!(find(&r, "probe-registry", "has no description").len(), 1);
+    // The correctly used probe is not flagged.
+    assert!(find(&r, "probe-registry", "\"alpha.flow\"").is_empty());
+}
+
+#[test]
+fn feature_forwarding_flags_missing_forward_and_honors_toml_suppression() {
+    let r = fixture_report();
+    let missing = find(&r, "feature-forwarding", "beta/parallel");
+    assert_eq!(missing.len(), 1, "{}", r.render_human());
+    assert!(missing[0].file.ends_with("crates/alpha/Cargo.toml"));
+    // trace IS forwarded — no finding mentions it.
+    assert!(find(&r, "feature-forwarding", "beta/trace").is_empty());
+    // gamma's missing forwards are suppressed in its manifest, and the
+    // suppression is used (no unused-suppression warning for gamma).
+    assert!(!r
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("gamma/Cargo.toml") && f.lint == "feature-forwarding"));
+    assert!(!r
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("gamma/Cargo.toml") && f.message.contains("unused")));
+}
+
+#[test]
+fn forbid_unsafe_flags_only_the_crate_missing_it() {
+    let r = fixture_report();
+    let hits: Vec<_> = r.findings.iter().filter(|f| f.lint == "forbid-unsafe").collect();
+    assert_eq!(hits.len(), 1, "{}", r.render_human());
+    assert!(hits[0].file.ends_with("crates/alpha/src/lib.rs"));
+    assert!(hits[0].message.contains("alpha"));
+}
+
+#[test]
+fn unwrap_in_lib_counts_only_non_test_sites() {
+    let r = fixture_report();
+    let hits: Vec<_> = r.findings.iter().filter(|f| f.lint == "unwrap-in-lib").collect();
+    // One real site; the unwrap inside #[cfg(test)] is exempt. With no
+    // baseline file in the fixture the site is a hard error.
+    assert_eq!(hits.len(), 1, "{}", r.render_human());
+    assert!(!hits[0].grandfathered);
+    assert_eq!(hits[0].severity, Severity::Error);
+}
+
+#[test]
+fn suppressions_are_reason_checked_and_usage_tracked() {
+    let r = fixture_report();
+    // Reason-less suppression still suppresses, but is itself an error.
+    let no_reason = find(&r, "bad-suppression", "has no reason");
+    assert_eq!(no_reason.len(), 1, "{}", r.render_human());
+    assert_eq!(no_reason[0].severity, Severity::Error);
+    // Unknown lint id.
+    let unknown = find(&r, "bad-suppression", "unknown lint");
+    assert_eq!(unknown.len(), 1);
+    assert!(unknown[0].message.contains("not-a-real-lint"));
+    // Unused suppression warns.
+    let unused = find(&r, "bad-suppression", "unused edm-allow(direct-thread-spawn)");
+    assert_eq!(unused.len(), 1);
+    assert_eq!(unused[0].severity, Severity::Warning);
+    // The reasoned, used suppression generates nothing at its line.
+    assert!(!r
+        .findings
+        .iter()
+        .any(|f| f.lint == "bad-suppression" && f.message.contains("unordered-iteration) names")));
+}
+
+#[test]
+fn fixture_report_blocks_and_serializes() {
+    let r = fixture_report();
+    assert!(!r.is_clean());
+    let json = r.render_json();
+    assert!(json.contains("\"clean\": false"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // CARGO_MANIFEST_DIR = crates/lint → the repo root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = driver::lint_workspace(&root).expect("workspace loads");
+    assert!(report.is_clean(), "the real workspace must lint clean:\n{}", report.render_human());
+    // And the run actually covered the tree: all lints, many files.
+    assert_eq!(report.lints_run.len(), 8);
+    assert!(report.files_scanned > 100, "only {} files", report.files_scanned);
+}

@@ -1,0 +1,8 @@
+//! Fixture crate that satisfies every lint.
+
+#![forbid(unsafe_code)]
+
+/// A function with nothing to flag.
+pub fn fine() -> u32 {
+    7
+}

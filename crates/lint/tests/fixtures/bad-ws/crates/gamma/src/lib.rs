@@ -1,0 +1,9 @@
+//! Fixture crate whose only sin (missing feature forwarding) is
+//! suppressed in its manifest.
+
+#![forbid(unsafe_code)]
+
+/// Nothing to flag here either.
+pub fn also_fine() -> u32 {
+    11
+}

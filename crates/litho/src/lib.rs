@@ -35,9 +35,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
-#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
-#![warn(missing_docs)]
 
 pub mod features;
 pub mod geometry;

@@ -40,8 +40,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
-#![warn(missing_docs)]
 
 pub mod product;
 pub mod returns;

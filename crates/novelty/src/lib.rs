@@ -17,7 +17,6 @@
 //! can swap detectors without changing logic.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use edm_kernels::{Kernel, RbfKernel};
 use edm_linalg::{stats, Cholesky, Matrix};

@@ -60,9 +60,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
-#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
-#![warn(missing_docs)]
 
 mod error;
 mod one_class;

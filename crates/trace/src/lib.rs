@@ -228,6 +228,72 @@ impl TraceReport {
         }
         out
     }
+
+    /// Renders the registry snapshot in the OpenMetrics text
+    /// exposition format for scrape-based monitoring.
+    ///
+    /// * Counters map directly: probe `svm.smo.iterations` becomes the
+    ///   family `edm_svm_smo_iterations` with one `_total` sample.
+    /// * Power-of-two histograms map to cumulative `le` buckets: the
+    ///   bucket with exponent `e` covers `[2^e, 2^(e+1))`, so its upper
+    ///   bound is `le="2^(e+1)"`; `_sum`, `_count`, and the mandatory
+    ///   `le="+Inf"` bucket follow.
+    /// * Span aggregates become two labeled counter families,
+    ///   `edm_span_activations` and `edm_span_time_ns`, with the
+    ///   hierarchical path as the `path` label.
+    ///
+    /// Output ends with the `# EOF` terminator and is deterministic for
+    /// a given report (families in the report's sorted order).
+    pub fn to_openmetrics(&self) -> String {
+        fn metric_name(probe: &str) -> String {
+            let mut name = String::with_capacity(probe.len() + 4);
+            name.push_str("edm_");
+            for c in probe.chars() {
+                name.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            name
+        }
+        fn label_value(path: &str) -> String {
+            path.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        }
+        let mut out = String::new();
+        for c in &self.counters {
+            let name = metric_name(&c.name);
+            out.push_str(&format!("# TYPE {name} counter\n{name}_total {}\n", c.value));
+        }
+        for h in &self.histograms {
+            let name = metric_name(&h.name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(exponent, count) in &h.buckets {
+                cumulative += count;
+                let le = 2f64.powi(exponent as i32 + 1);
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE edm_span_activations counter\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "edm_span_activations_total{{path=\"{}\"}} {}\n",
+                    label_value(&s.path),
+                    s.count
+                ));
+            }
+            out.push_str("# TYPE edm_span_time_ns counter\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "edm_span_time_ns_total{{path=\"{}\"}} {}\n",
+                    label_value(&s.path),
+                    s.total_ns
+                ));
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
 }
 
 /// True when the probe machinery is compiled in (`trace` feature).
@@ -235,6 +301,9 @@ pub const fn compiled() -> bool {
     cfg!(feature = "trace")
 }
 
+// edm-allow-file(unordered-iteration): the registry maps are keyed by
+// probe name for O(1) hot-path updates and are only ever iterated by
+// snapshot(), which sorts every family by name before reporting.
 #[cfg(feature = "trace")]
 mod imp {
     use super::*;
@@ -649,6 +718,91 @@ mod collapse_tests {
         assert_eq!(r.to_collapsed_stacks(), "a;b 9\n");
 
         assert_eq!(TraceReport::empty().to_collapsed_stacks(), "");
+    }
+}
+
+#[cfg(test)]
+mod openmetrics_tests {
+    use super::*;
+
+    /// Counters map directly; probe dots become metric-name
+    /// underscores; the counter sample carries the `_total` suffix.
+    #[test]
+    fn counters_map_directly() {
+        let mut r = TraceReport::empty();
+        r.counters = vec![
+            CounterStat { name: "svm.smo.iterations".to_string(), value: 42 },
+            CounterStat { name: "svm.qcache.hits".to_string(), value: 7 },
+        ];
+        assert_eq!(
+            r.to_openmetrics(),
+            "# TYPE edm_svm_smo_iterations counter\n\
+             edm_svm_smo_iterations_total 42\n\
+             # TYPE edm_svm_qcache_hits counter\n\
+             edm_svm_qcache_hits_total 7\n\
+             # EOF\n"
+        );
+    }
+
+    /// Power-of-two buckets become cumulative `le` buckets at the
+    /// bucket's upper bound `2^(e+1)`, closed by `+Inf`, `_sum`,
+    /// `_count`.
+    #[test]
+    fn histogram_buckets_are_cumulative_le() {
+        let mut r = TraceReport::empty();
+        r.histograms = vec![HistogramStat {
+            name: "t.hist".to_string(),
+            count: 4,
+            sum: 1035.0,
+            min: 0.25,
+            max: 1024.0,
+            // [2^-3, 2^-2): 1 sample; [2^1, 2^2): 2; [2^10, 2^11): 1
+            buckets: vec![(-3, 1), (1, 2), (10, 1)],
+        }];
+        assert_eq!(
+            r.to_openmetrics(),
+            "# TYPE edm_t_hist histogram\n\
+             edm_t_hist_bucket{le=\"0.25\"} 1\n\
+             edm_t_hist_bucket{le=\"4\"} 3\n\
+             edm_t_hist_bucket{le=\"2048\"} 4\n\
+             edm_t_hist_bucket{le=\"+Inf\"} 4\n\
+             edm_t_hist_sum 1035\n\
+             edm_t_hist_count 4\n\
+             # EOF\n"
+        );
+    }
+
+    /// Spans become two labeled counter families; quotes and
+    /// backslashes in paths are escaped per the exposition format.
+    #[test]
+    fn spans_become_labeled_counters() {
+        let mut r = TraceReport::empty();
+        r.spans = vec![
+            SpanStat { path: "solve".to_string(), count: 2, total_ns: 90, min_ns: 40, max_ns: 50 },
+            SpanStat {
+                path: "solve/q\"r\\w".to_string(),
+                count: 1,
+                total_ns: 30,
+                min_ns: 30,
+                max_ns: 30,
+            },
+        ];
+        assert_eq!(
+            r.to_openmetrics(),
+            "# TYPE edm_span_activations counter\n\
+             edm_span_activations_total{path=\"solve\"} 2\n\
+             edm_span_activations_total{path=\"solve/q\\\"r\\\\w\"} 1\n\
+             # TYPE edm_span_time_ns counter\n\
+             edm_span_time_ns_total{path=\"solve\"} 90\n\
+             edm_span_time_ns_total{path=\"solve/q\\\"r\\\\w\"} 30\n\
+             # EOF\n"
+        );
+    }
+
+    /// An empty report is just the terminator.
+    #[test]
+    fn empty_report_is_only_eof() {
+        assert_eq!(TraceReport::empty().to_openmetrics(), "# EOF\n");
     }
 }
 

@@ -15,9 +15,6 @@
 //! [`KernelPca`] bridging the kernel trick of §2.2 with PCA.
 
 #![forbid(unsafe_code)]
-#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
-#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN
-#![warn(missing_docs)]
 
 mod crosscov;
 mod ica;

@@ -33,8 +33,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
-#![warn(missing_docs)]
 
 pub mod coverage;
 pub mod isa;

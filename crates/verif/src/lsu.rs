@@ -5,7 +5,7 @@
 //! This is the "simulation" whose server-farm hours the Fig. 7 flow
 //! saves: `cycles` is the cost proxy, [`CoverageMap`] the value produced.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +55,11 @@ pub struct SimOutcome {
     pub cycles: u64,
     /// Instructions executed (skips reduce this below program length).
     pub instructions_executed: usize,
+    /// Order-sensitive FNV-1a digest of the final memory image. Memory
+    /// is kept in a `BTreeMap`, so this is identical across processes;
+    /// the determinism suite pins it across runs with different hash
+    /// seeds.
+    pub memory_fingerprint: u64,
 }
 
 /// The load-store-unit simulator.
@@ -107,7 +112,10 @@ impl LsuSimulator {
     pub fn simulate(&self, program: &Program) -> SimOutcome {
         let cfg = &self.config;
         let mut regs = [0u32; NUM_REGS];
-        let mut memory: HashMap<u32, u8> = HashMap::new();
+        // BTreeMap, not HashMap: the final image is folded into
+        // `memory_fingerprint` in iteration order, which must not
+        // depend on a per-process hash seed.
+        let mut memory: BTreeMap<u32, u8> = BTreeMap::new();
         let mut cache: Vec<Option<LineState>> = vec![None; cfg.n_sets];
         let mut store_buffer: Vec<StoreEntry> = Vec::new();
         let mut coverage = CoverageMap::new();
@@ -333,7 +341,13 @@ impl LsuSimulator {
                 }
             }
         }
-        SimOutcome { coverage, cycles, instructions_executed: executed }
+        let mut fp: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for (&addr, &byte) in &memory {
+            for b in addr.to_le_bytes().into_iter().chain([byte]) {
+                fp = (fp ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        SimOutcome { coverage, cycles, instructions_executed: executed, memory_fingerprint: fp }
     }
 }
 

@@ -1,0 +1,81 @@
+//! Regression tests pinning cross-process determinism of the LSU
+//! simulator (the fixed unordered-iteration site in `lsu.rs`).
+//!
+//! The simulated memory image is kept in a `BTreeMap` and digested into
+//! `SimOutcome::memory_fingerprint` in iteration order; with a
+//! `HashMap` that digest would follow the per-process hash-seeded
+//! order and differ between runs. The test simulates seeded random
+//! programs in two child processes launched with different
+//! `RUST_HASH_SEED` environments and asserts the fingerprints match.
+
+use edm_verif::lsu::LsuSimulator;
+use edm_verif::template::TestTemplate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHILD_VAR: &str = "EDM_DETERMINISM_CHILD";
+
+fn fnv1a(fp: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(fp, |fp, &b| (fp ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Outcomes of seeded template programs, folded order-sensitively.
+fn fingerprint() -> u64 {
+    let template = TestTemplate::default();
+    let sim = LsuSimulator::default_config();
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for seed in 0..16u64 {
+        let program = template.generate(&mut StdRng::seed_from_u64(seed));
+        let out = sim.simulate(&program);
+        fp = fnv1a(fp, &out.cycles.to_le_bytes());
+        fp = fnv1a(fp, &(out.instructions_executed as u64).to_le_bytes());
+        fp = fnv1a(fp, &out.memory_fingerprint.to_le_bytes());
+    }
+    fp
+}
+
+fn child_fingerprint(test_name: &str, seed: &str) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([test_name, "--exact", "--nocapture", "--test-threads=1"])
+        .env(CHILD_VAR, "1")
+        .env("RUST_HASH_SEED", seed)
+        .output()
+        .expect("spawn child test process");
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // With --nocapture the marker shares a line with libtest's own
+    // "test ... ok" output, so search within lines.
+    stdout
+        .split("fingerprint=")
+        .nth(1)
+        .map(|rest| rest.chars().take_while(char::is_ascii_hexdigit).collect::<String>())
+        .unwrap_or_else(|| panic!("no fingerprint in child output: {stdout}"))
+}
+
+#[test]
+fn lsu_outcome_bitwise_stable_across_processes() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        println!("fingerprint={:016x}", fingerprint());
+        return;
+    }
+    let first = child_fingerprint("lsu_outcome_bitwise_stable_across_processes", "1");
+    let second = child_fingerprint("lsu_outcome_bitwise_stable_across_processes", "2");
+    assert_eq!(first, second, "LSU outcome varies across processes");
+    assert_eq!(first, format!("{:016x}", fingerprint()), "parent disagrees with children");
+}
+
+/// The memory fingerprint is part of outcome equality and repeats
+/// within a process.
+#[test]
+fn memory_fingerprint_repeatable_in_process() {
+    let template = TestTemplate::default();
+    let sim = LsuSimulator::default_config();
+    let program = template.generate(&mut StdRng::seed_from_u64(7));
+    let first = sim.simulate(&program);
+    for _ in 0..4 {
+        let again = sim.simulate(&program);
+        assert_eq!(again, first);
+        assert_eq!(again.memory_fingerprint, first.memory_fingerprint);
+    }
+}

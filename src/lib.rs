@@ -42,6 +42,8 @@
 //! `crates/bench/src/bin/` for the harnesses that regenerate every table
 //! and figure of the paper.
 
+#![forbid(unsafe_code)]
+
 pub use edm_cluster as cluster;
 pub use edm_core as core;
 pub use edm_data as data;
