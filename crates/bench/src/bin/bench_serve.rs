@@ -1,0 +1,313 @@
+//! Load harness for the `edm-serve` scoring service. Emits
+//! `BENCH_serve.json` in the working directory.
+//!
+//! Measurements against a live server on an ephemeral loopback port:
+//!
+//! * sustained scoring throughput and p50/p99 end-to-end latency,
+//!   driven by concurrent closed-loop clients (`edm_par::map_indexed`
+//!   fan-out — one connection per request, as the protocol dictates);
+//! * a correctness probe: predictions served over HTTP are bitwise
+//!   identical to the in-process `predict_batch` path;
+//! * deterministic queue-full backpressure: a one-worker, one-slot
+//!   server under a client burst must answer `503` (never hang) for
+//!   the overflow, and every request must get *some* response;
+//! * `/metrics` is valid OpenMetrics text ending in `# EOF`.
+//!
+//! `--quick` shrinks the request counts for CI smoke use.
+
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use edm::prelude::*;
+use edm_serve::json::{self, Value};
+use edm_serve::{ModelRegistry, Server, ServerConfig};
+
+const DIM: usize = 8;
+const TRAIN_N: usize = 240;
+/// Rows per scoring request.
+const BATCH: usize = 16;
+/// Concurrent closed-loop clients in the throughput phase.
+const CLIENTS: usize = 8;
+
+/// Deterministic SplitMix64 stream.
+struct Mix(u64);
+
+impl Mix {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+    }
+}
+
+fn points(seed: u64, n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut m = Mix(seed);
+    (0..n).map(|_| (0..d).map(|_| m.next_f64()).collect()).collect()
+}
+
+/// Two separable blobs with ±1 labels.
+fn blobs(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut x = points(seed, n, DIM);
+    let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    for (xi, &yi) in x.iter_mut().zip(&y) {
+        for v in xi.iter_mut() {
+            *v += yi * 1.3;
+        }
+    }
+    (x, y)
+}
+
+fn predict_body(rows: &[Vec<f64>]) -> String {
+    let inputs = Value::Array(
+        rows.iter().map(|r| Value::Array(r.iter().map(|&v| Value::Number(v)).collect())).collect(),
+    );
+    Value::Object(vec![("inputs".to_string(), inputs)]).encode()
+}
+
+/// One full HTTP exchange; returns `(status, body, latency_ns)`.
+/// Socket failures come back as status 0 so a load phase never
+/// panics mid-measurement — the claims catch any non-200/503 status.
+fn exchange(addr: SocketAddr, request: &str) -> (u16, String, u64) {
+    let t0 = Instant::now();
+    let run = || -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.write_all(request.as_bytes())?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        Ok(response)
+    };
+    let response = match run() {
+        Ok(r) => r,
+        Err(_) => return (0, String::new(), t0.elapsed().as_nanos() as u64),
+    };
+    let latency_ns = t0.elapsed().as_nanos() as u64;
+    let status = response.split(' ').nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let body = response.split_once("\r\n\r\n").map_or(String::new(), |(_, b)| b.to_string());
+    (status, body, latency_ns)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, u64) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, u64) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// A deliberately slow predictor (deterministic spin) so the
+/// backpressure phase can saturate a one-worker server.
+struct SpinPredictor {
+    spin_iters: u64,
+}
+
+impl Predictor for SpinPredictor {
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>, edm::Error> {
+        let mut acc = 0.0f64;
+        for i in 0..self.spin_iters {
+            acc += (i as f64).sqrt();
+        }
+        Ok(vec![acc.fract(); xs.len()])
+    }
+
+    fn n_features(&self) -> usize {
+        DIM
+    }
+
+    fn name(&self) -> &'static str {
+        "spin"
+    }
+}
+
+fn main() {
+    edm_bench::init_trace();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests = if quick { 120 } else { 1200 };
+    let burst = if quick { 32 } else { 96 };
+    let mut claims = Vec::new();
+
+    edm_bench::header("edm-serve scoring service");
+    println!(
+        "d = {DIM}, batch = {BATCH} rows/request, clients = {CLIENTS}, requests = {requests}, \
+         quick = {quick}"
+    );
+
+    // --- throughput + latency against real models ------------------
+    let (x, y) = blobs(3, TRAIN_N);
+    let svc = SvcTrainer::new(SvcParams::default())
+        .kernel(RbfKernel::new(0.4))
+        .fit(&x, &y)
+        .expect("separable blobs train");
+    let ridge = Ridge::fit(&x, &y, 0.1).expect("ridge fits");
+    let queries = points(11, BATCH, DIM);
+    let expected = svc.predict_batch(&queries);
+
+    let mut reg = ModelRegistry::new();
+    reg.register("svc", svc).expect("register svc");
+    reg.register("ridge", ridge).expect("register ridge");
+    let server = Server::start("127.0.0.1:0", reg, ServerConfig::default())
+        .expect("bind an ephemeral loopback port");
+    let addr = server.local_addr();
+    let body = predict_body(&queries);
+    let request = format!(
+        "POST /v1/models/svc:predict HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+
+    // Wire-format correctness probe before any load.
+    let (status, resp_body, _) = post(addr, "/v1/models/svc:predict", &body);
+    let served: Vec<f64> = json::parse(&resp_body)
+        .ok()
+        .and_then(|doc| {
+            doc.get("predictions")
+                .and_then(Value::as_array)
+                .map(|preds| preds.iter().filter_map(Value::as_f64).collect())
+        })
+        .unwrap_or_default();
+    let bitwise = status == 200
+        && served.len() == expected.len()
+        && served.iter().zip(&expected).all(|(s, e)| s.to_bits() == e.to_bits());
+    claims.push(edm_bench::claim(
+        "HTTP predictions are bitwise equal to in-process scoring",
+        bitwise,
+    ));
+
+    // Warmup, then the measured closed-loop fan-out.
+    for _ in 0..CLIENTS {
+        let (s, _, _) = exchange(addr, &request);
+        assert_eq!(s, 200, "warmup request failed");
+    }
+    std::env::set_var("EDM_NUM_THREADS", CLIENTS.to_string());
+    let t0 = Instant::now();
+    let results = edm_par::map_indexed(requests, |_| {
+        let (status, _, latency_ns) = exchange(addr, &request);
+        (status, latency_ns)
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let ok = results.iter().filter(|(s, _)| *s == 200).count();
+    let mut latencies_ms: Vec<f64> = results.iter().map(|(_, ns)| *ns as f64 / 1e6).collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let sustained_rps = requests as f64 / wall_s;
+    let p50_ms = percentile(&latencies_ms, 0.50);
+    let p99_ms = percentile(&latencies_ms, 0.99);
+    println!(
+        "throughput: {ok}/{requests} ok | {sustained_rps:9.1} req/s sustained | \
+         p50 {p50_ms:7.3} ms | p99 {p99_ms:7.3} ms"
+    );
+    claims.push(edm_bench::claim(
+        "every load request scored (no drops at default queue depth)",
+        ok == requests,
+    ));
+    claims.push(edm_bench::claim(
+        "sustained throughput is positive and finite",
+        sustained_rps.is_finite() && sustained_rps > 0.0,
+    ));
+
+    // Rows-per-second through the model for scale: each request
+    // carries BATCH rows.
+    let rows_per_s = sustained_rps * BATCH as f64;
+
+    let (metrics_status, metrics_body, _) = get(addr, "/metrics");
+    let openmetrics_ok = metrics_status == 200 && metrics_body.ends_with("# EOF\n");
+    claims.push(edm_bench::claim("/metrics is OpenMetrics text ending in # EOF", openmetrics_ok));
+    let (models_status, _, _) = get(addr, "/v1/models");
+    claims.push(edm_bench::claim("/v1/models answers 200 under no load", models_status == 200));
+    server.shutdown();
+
+    // --- backpressure under queue-full load ------------------------
+    edm_bench::header("backpressure: 1 worker, 1 queue slot");
+    let mut slow_reg = ModelRegistry::new();
+    let spin_iters = if quick { 2_000_000 } else { 8_000_000 };
+    slow_reg.register("spin", SpinPredictor { spin_iters }).expect("register spin");
+    let slow_server = Server::start(
+        "127.0.0.1:0",
+        slow_reg,
+        ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() },
+    )
+    .expect("bind backpressure server");
+    let slow_addr = slow_server.local_addr();
+    let slow_body = predict_body(&queries[..1]);
+    let slow_request = format!(
+        "POST /v1/models/spin:predict HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{slow_body}",
+        slow_body.len()
+    );
+    let burst_results = edm_par::map_indexed(burst, |_| {
+        let (status, _, _) = exchange(slow_addr, &slow_request);
+        status
+    });
+    let served_count = burst_results.iter().filter(|&&s| s == 200).count();
+    let rejected_503 = burst_results.iter().filter(|&&s| s == 503).count();
+    let other = burst - served_count - rejected_503;
+    println!(
+        "burst of {burst}: {served_count} served, {rejected_503} rejected with 503, {other} other"
+    );
+    claims.push(edm_bench::claim(
+        "overload overflow is refused with 503, not hung or dropped",
+        rejected_503 >= 1 && other == 0,
+    ));
+    claims.push(edm_bench::claim(
+        "the saturated server still serves (worker + queue drain)",
+        served_count >= 2,
+    ));
+    slow_server.shutdown();
+
+    // --- manifest --------------------------------------------------
+    use std::fmt::Write as _;
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(
+        j,
+        "  \"config\": {{\"d\": {DIM}, \"batch_rows\": {BATCH}, \"clients\": {CLIENTS}, \
+         \"requests\": {requests}, \"burst\": {burst}, \"quick\": {quick}, \
+         \"host_cores\": {}}},",
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    );
+    let _ = writeln!(j, "  \"throughput\": {{");
+    let _ = writeln!(j, "    \"sustained_rps\": {sustained_rps:.1},");
+    let _ = writeln!(j, "    \"rows_per_s\": {rows_per_s:.1},");
+    let _ = writeln!(j, "    \"p50_latency_ms\": {p50_ms:.3},");
+    let _ = writeln!(j, "    \"p99_latency_ms\": {p99_ms:.3},");
+    let _ = writeln!(j, "    \"completed\": {ok}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"backpressure\": {{");
+    let _ = writeln!(j, "    \"burst\": {burst},");
+    let _ = writeln!(j, "    \"served\": {served_count},");
+    let _ = writeln!(j, "    \"rejected_503\": {rejected_503},");
+    let _ = writeln!(j, "    \"unexpected_statuses\": {other}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"claims\": {{");
+    let _ = writeln!(j, "    \"bitwise_identical_over_http\": {bitwise},");
+    let _ = writeln!(j, "    \"openmetrics_eof_framing\": {openmetrics_ok},");
+    let _ = writeln!(j, "    \"backpressure_503_seen\": {},", rejected_503 >= 1);
+    let _ = writeln!(
+        j,
+        "    \"note\": \"closed-loop loopback load from {CLIENTS} concurrent clients; \
+         latency includes connect + request + score + response on this host\""
+    );
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+    std::fs::write("BENCH_serve.json", &j).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
+    edm_bench::emit_trace("bench_serve", 3);
+    edm_bench::finish(&claims);
+}

@@ -50,7 +50,7 @@ fn main() {
     let (y_train, y_test) = y_all.split_at(n_train);
 
     // Train the five families (paper ref [20]'s lineup).
-    let knn = KnnRegressor::fit(15, x_train.to_vec(), y_train.to_vec()).expect("knn");
+    let knn = KnnRegressor::fit(15, x_train, y_train).expect("knn");
     let lsf = LeastSquares::fit(x_train, y_train).expect("lsf");
     let ridge = Ridge::fit(x_train, y_train, 10.0).expect("ridge");
     let svr = SvrTrainer::new(SvrParams::default().with_c(10.0).with_epsilon(0.02))

@@ -44,6 +44,7 @@ impl Default for ForestParams {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RandomForestClassifier {
     trees: Vec<DecisionTreeClassifier>,
+    n_features: usize,
 }
 
 impl RandomForestClassifier {
@@ -94,12 +95,23 @@ impl RandomForestClassifier {
         })
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
-        Ok(RandomForestClassifier { trees })
+        Ok(RandomForestClassifier { trees, n_features: d })
     }
 
     /// Number of trees in the ensemble.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Dimensionality of the training samples.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Majority votes for a batch of samples (parallel; bitwise
+    /// identical to mapping [`RandomForestClassifier::predict`]).
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<i32> {
+        edm_par::map_indexed(xs.len(), |i| self.predict(&xs[i]))
     }
 
     /// Majority vote over the trees (ties break toward smaller labels).

@@ -89,9 +89,20 @@ impl<K: Kernel<[f64]> + Clone> GpRegressor<K> {
         (mean, var)
     }
 
+    /// Posterior means for a batch of samples (parallel; bitwise
+    /// identical to mapping [`GpRegressor::predict`] over `xs`).
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        edm_par::map_indexed(xs.len(), |i| self.predict(&xs[i]))
+    }
+
     /// The noise variance σ² used at fit time.
     pub fn noise(&self) -> f64 {
         self.noise
+    }
+
+    /// Dimensionality of the training samples.
+    pub fn n_features(&self) -> usize {
+        self.x[0].len()
     }
 
     /// Number of training samples conditioned on.

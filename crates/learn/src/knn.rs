@@ -23,7 +23,7 @@ fn k_nearest(train: &[Vec<f64>], x: &[f64], k: usize) -> Vec<(f64, usize)> {
 ///
 /// let x = vec![vec![0.0], vec![0.1], vec![1.0], vec![1.1]];
 /// let y = vec![0, 0, 1, 1];
-/// let m = KnnClassifier::fit(3, x, y)?;
+/// let m = KnnClassifier::fit(3, &x, &y)?;
 /// assert_eq!(m.predict(&[0.05]), 0);
 /// assert_eq!(m.predict(&[1.05]), 1);
 /// # Ok::<(), edm_learn::LearnError>(())
@@ -39,11 +39,14 @@ pub struct KnnClassifier {
 impl KnnClassifier {
     /// Stores the training data ("training" is memorization for k-NN).
     ///
+    /// Borrows the samples like every other `fit` in the workspace and
+    /// clones them internally — k-NN memorizes its training set.
+    ///
     /// # Errors
     ///
     /// [`LearnError::InvalidInput`] on empty/ragged/mismatched input;
     /// [`LearnError::InvalidParameter`] if `k == 0`.
-    pub fn fit(k: usize, x: Vec<Vec<f64>>, y: Vec<i32>) -> Result<Self, LearnError> {
+    pub fn fit(k: usize, x: &[Vec<f64>], y: &[i32]) -> Result<Self, LearnError> {
         if k == 0 {
             return Err(LearnError::InvalidParameter {
                 name: "k",
@@ -51,8 +54,19 @@ impl KnnClassifier {
                 constraint: "must be at least 1",
             });
         }
-        check_xy(&x, y.len())?;
-        Ok(KnnClassifier { k, x, y, weighted: false })
+        check_xy(x, y.len())?;
+        Ok(KnnClassifier { k, x: x.to_vec(), y: y.to_vec(), weighted: false })
+    }
+
+    /// Consuming variant of [`KnnClassifier::fit`], kept for callers of
+    /// the pre-`edm::Predictor` signature.
+    ///
+    /// # Errors
+    ///
+    /// As for [`KnnClassifier::fit`].
+    #[deprecated(since = "0.1.0", note = "use `fit(k, &x, &y)`, which borrows its input")]
+    pub fn fit_owned(k: usize, x: Vec<Vec<f64>>, y: Vec<i32>) -> Result<Self, LearnError> {
+        Self::fit(k, &x, &y)
     }
 
     /// Switches to inverse-distance-weighted voting — one way of
@@ -78,9 +92,15 @@ impl KnnClassifier {
         votes[0].0
     }
 
-    /// Predicts a batch.
+    /// Predicts a batch (parallel; bitwise identical to mapping
+    /// [`KnnClassifier::predict`] over `xs`).
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<i32> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        edm_par::map_indexed(xs.len(), |i| self.predict(&xs[i]))
+    }
+
+    /// Dimensionality of the memorized training samples.
+    pub fn n_features(&self) -> usize {
+        self.x[0].len()
     }
 }
 
@@ -93,12 +113,13 @@ pub struct KnnRegressor {
 }
 
 impl KnnRegressor {
-    /// Stores the training data.
+    /// Stores the training data (borrowing, cloning internally — see
+    /// [`KnnClassifier::fit`]).
     ///
     /// # Errors
     ///
     /// As for [`KnnClassifier::fit`].
-    pub fn fit(k: usize, x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, LearnError> {
+    pub fn fit(k: usize, x: &[Vec<f64>], y: &[f64]) -> Result<Self, LearnError> {
         if k == 0 {
             return Err(LearnError::InvalidParameter {
                 name: "k",
@@ -106,8 +127,19 @@ impl KnnRegressor {
                 constraint: "must be at least 1",
             });
         }
-        check_xy(&x, y.len())?;
-        Ok(KnnRegressor { k, x, y })
+        check_xy(x, y.len())?;
+        Ok(KnnRegressor { k, x: x.to_vec(), y: y.to_vec() })
+    }
+
+    /// Consuming variant of [`KnnRegressor::fit`], kept for callers of
+    /// the pre-`edm::Predictor` signature.
+    ///
+    /// # Errors
+    ///
+    /// As for [`KnnRegressor::fit`].
+    #[deprecated(since = "0.1.0", note = "use `fit(k, &x, &y)`, which borrows its input")]
+    pub fn fit_owned(k: usize, x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, LearnError> {
+        Self::fit(k, &x, &y)
     }
 
     /// Predicts the mean target of the k nearest neighbors.
@@ -115,6 +147,17 @@ impl KnnRegressor {
         let nn = k_nearest(&self.x, x, self.k);
         let s: f64 = nn.iter().map(|&(_, i)| self.y[i]).sum();
         s / nn.len() as f64
+    }
+
+    /// Predicts a batch (parallel; bitwise identical to mapping
+    /// [`KnnRegressor::predict`] over `xs`).
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        edm_par::map_indexed(xs.len(), |i| self.predict(&xs[i]))
+    }
+
+    /// Dimensionality of the memorized training samples.
+    pub fn n_features(&self) -> usize {
+        self.x[0].len()
     }
 }
 
@@ -125,7 +168,7 @@ mod tests {
     #[test]
     fn one_nn_memorizes() {
         let x = vec![vec![0.0, 0.0], vec![5.0, 5.0]];
-        let m = KnnClassifier::fit(1, x.clone(), vec![7, 9]).unwrap();
+        let m = KnnClassifier::fit(1, &x, &[7, 9]).unwrap();
         assert_eq!(m.predict(&x[0]), 7);
         assert_eq!(m.predict(&x[1]), 9);
     }
@@ -135,11 +178,11 @@ mod tests {
         // Two far class-1 points, one near class-0 point; k=3 majority is 1.
         let x = vec![vec![0.1], vec![2.0], vec![2.1]];
         let y = vec![0, 1, 1];
-        let m = KnnClassifier::fit(3, x, y).unwrap();
+        let m = KnnClassifier::fit(3, &x, &y).unwrap();
         assert_eq!(m.predict(&[0.0]), 1);
         // but distance weighting flips it back
         let x = vec![vec![0.1], vec![2.0], vec![2.1]];
-        let m = KnnClassifier::fit(3, x, vec![0, 1, 1]).unwrap().weighted();
+        let m = KnnClassifier::fit(3, &x, &[0, 1, 1]).unwrap().weighted();
         assert_eq!(m.predict(&[0.0]), 0);
     }
 
@@ -147,20 +190,20 @@ mod tests {
     fn regressor_averages() {
         let x = vec![vec![0.0], vec![1.0], vec![10.0]];
         let y = vec![2.0, 4.0, 100.0];
-        let m = KnnRegressor::fit(2, x, y).unwrap();
+        let m = KnnRegressor::fit(2, &x, &y).unwrap();
         assert!((m.predict(&[0.5]) - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn k_larger_than_data_uses_all() {
-        let m = KnnRegressor::fit(10, vec![vec![0.0], vec![1.0]], vec![1.0, 3.0]).unwrap();
+        let m = KnnRegressor::fit(10, &[vec![0.0], vec![1.0]], &[1.0, 3.0]).unwrap();
         assert!((m.predict(&[0.0]) - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn zero_k_rejected() {
         assert!(matches!(
-            KnnClassifier::fit(0, vec![vec![0.0]], vec![0]),
+            KnnClassifier::fit(0, &[vec![0.0]], &[0]),
             Err(LearnError::InvalidParameter { name: "k", .. })
         ));
     }

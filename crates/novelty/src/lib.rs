@@ -195,15 +195,17 @@ pub struct KnnDistanceDetector {
 }
 
 impl KnnDistanceDetector {
-    /// Fits by memorizing the data; the threshold is the `quantile` of
-    /// each training point's own k-NN distance (self excluded).
+    /// Fits by memorizing the data (borrowing, cloning internally, like
+    /// every other `fit` in the workspace); the threshold is the
+    /// `quantile` of each training point's own k-NN distance (self
+    /// excluded).
     ///
     /// # Errors
     ///
     /// [`NoveltyError::InvalidParameter`] for `k == 0` or a quantile
     /// outside `(0, 1]`; [`NoveltyError::InvalidInput`] if `x` has fewer
     /// than `k + 1` points.
-    pub fn fit(x: Vec<Vec<f64>>, k: usize, quantile: f64) -> Result<Self, NoveltyError> {
+    pub fn fit(x: &[Vec<f64>], k: usize, quantile: f64) -> Result<Self, NoveltyError> {
         if k == 0 {
             return Err(NoveltyError::InvalidParameter {
                 name: "k",
@@ -218,18 +220,29 @@ impl KnnDistanceDetector {
                 constraint: "must be in (0, 1]",
             });
         }
-        check_points(&x)?;
+        check_points(x)?;
         if x.len() <= k {
             return Err(NoveltyError::InvalidInput(format!(
                 "need more than k = {k} points, got {}",
                 x.len()
             )));
         }
-        let mut detector = KnnDistanceDetector { x, k, threshold: f64::INFINITY };
+        let mut detector = KnnDistanceDetector { x: x.to_vec(), k, threshold: f64::INFINITY };
         let train_scores: Vec<f64> =
             (0..detector.x.len()).map(|i| detector.kth_distance(&detector.x[i], Some(i))).collect();
         detector.threshold = stats::quantile(&train_scores, quantile).expect("non-empty scores");
         Ok(detector)
+    }
+
+    /// Consuming variant of [`KnnDistanceDetector::fit`], kept for
+    /// callers of the pre-`edm::Predictor` signature.
+    ///
+    /// # Errors
+    ///
+    /// As for [`KnnDistanceDetector::fit`].
+    #[deprecated(since = "0.1.0", note = "use `fit(&x, k, quantile)`, which borrows its input")]
+    pub fn fit_owned(x: Vec<Vec<f64>>, k: usize, quantile: f64) -> Result<Self, NoveltyError> {
+        Self::fit(&x, k, quantile)
     }
 
     fn kth_distance(&self, p: &[f64], exclude: Option<usize>) -> f64 {
@@ -267,12 +280,12 @@ pub struct LofDetector {
 }
 
 impl LofDetector {
-    /// Fits LOF structures on `x`.
+    /// Fits LOF structures on `x` (borrowing, cloning internally).
     ///
     /// # Errors
     ///
     /// As for [`KnnDistanceDetector::fit`].
-    pub fn fit(x: Vec<Vec<f64>>, k: usize, quantile: f64) -> Result<Self, NoveltyError> {
+    pub fn fit(x: &[Vec<f64>], k: usize, quantile: f64) -> Result<Self, NoveltyError> {
         if k == 0 {
             return Err(NoveltyError::InvalidParameter {
                 name: "k",
@@ -287,7 +300,7 @@ impl LofDetector {
                 constraint: "must be in (0, 1]",
             });
         }
-        check_points(&x)?;
+        check_points(x)?;
         let n = x.len();
         if n <= k {
             return Err(NoveltyError::InvalidInput(format!(
@@ -315,7 +328,7 @@ impl LofDetector {
                 neighbors[i].len() as f64 / reach.max(1e-12)
             })
             .collect();
-        let mut detector = LofDetector { x, k, lrd, threshold: f64::INFINITY };
+        let mut detector = LofDetector { x: x.to_vec(), k, lrd, threshold: f64::INFINITY };
         let scores: Vec<f64> = (0..n)
             .map(|i| {
                 // training-point LOF via the precomputed structures
@@ -327,6 +340,17 @@ impl LofDetector {
             .collect();
         detector.threshold = stats::quantile(&scores, quantile).expect("non-empty scores");
         Ok(detector)
+    }
+
+    /// Consuming variant of [`LofDetector::fit`], kept for callers of
+    /// the pre-`edm::Predictor` signature.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LofDetector::fit`].
+    #[deprecated(since = "0.1.0", note = "use `fit(&x, k, quantile)`, which borrows its input")]
+    pub fn fit_owned(x: Vec<Vec<f64>>, k: usize, quantile: f64) -> Result<Self, NoveltyError> {
+        Self::fit(&x, k, quantile)
     }
 
     fn neighbors_of(&self, p: &[f64]) -> Vec<(f64, usize)> {
@@ -380,11 +404,11 @@ mod tests {
         assert!(maha.is_novel(&far));
         assert!(!maha.is_novel(&near));
 
-        let knn = KnnDistanceDetector::fit(x.clone(), 5, 0.99).unwrap();
+        let knn = KnnDistanceDetector::fit(&x, 5, 0.99).unwrap();
         assert!(knn.is_novel(&far));
         assert!(!knn.is_novel(&near));
 
-        let lof = LofDetector::fit(x, 5, 0.99).unwrap();
+        let lof = LofDetector::fit(&x, 5, 0.99).unwrap();
         assert!(lof.is_novel(&far));
         assert!(!lof.is_novel(&near));
     }
@@ -393,7 +417,7 @@ mod tests {
     fn scores_increase_with_distance() {
         let x = cloud(60, 2);
         let maha = MahalanobisDetector::fit(&x, 0.95).unwrap();
-        let knn = KnnDistanceDetector::fit(x, 3, 0.95).unwrap();
+        let knn = KnnDistanceDetector::fit(&x, 3, 0.95).unwrap();
         let s = |d: &dyn NoveltyDetector, r: f64| d.score(&[0.5 + r, 0.5]);
         for det in [&maha as &dyn NoveltyDetector, &knn] {
             assert!(s(det, 3.0) > s(det, 1.0));
@@ -430,7 +454,7 @@ mod tests {
         for i in 0..10 {
             x.push(vec![10.0 + (i % 5) as f64, (i / 5) as f64 * 2.0]); // sparse
         }
-        let lof = LofDetector::fit(x, 5, 1.0).unwrap();
+        let lof = LofDetector::fit(&x, 5, 1.0).unwrap();
         let local_outlier = lof.score(&[0.6, 0.6]); // near dense cluster, outside it
         let sparse_member = lof.score(&[11.0, 1.0]); // inside sparse cluster spacing
         assert!(local_outlier > sparse_member);
@@ -440,8 +464,8 @@ mod tests {
     fn invalid_parameters_rejected() {
         let x = cloud(20, 4);
         assert!(MahalanobisDetector::fit(&x, 0.0).is_err());
-        assert!(KnnDistanceDetector::fit(x.clone(), 0, 0.9).is_err());
-        assert!(KnnDistanceDetector::fit(x.clone(), 25, 0.9).is_err());
-        assert!(LofDetector::fit(x, 3, 1.5).is_err());
+        assert!(KnnDistanceDetector::fit(&x, 0, 0.9).is_err());
+        assert!(KnnDistanceDetector::fit(&x, 25, 0.9).is_err());
+        assert!(LofDetector::fit(&x, 3, 1.5).is_err());
     }
 }

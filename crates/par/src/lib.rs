@@ -9,6 +9,10 @@
 //! - [`map_indexed`] — build a `Vec<T>` where slot `i` is produced by
 //!   `f(i)`, in parallel, returned in index order.
 //!
+//! Long-lived services (the `edm-serve` HTTP front end) use the
+//! persistent bounded [`pool::WorkerPool`] instead of these fork-join
+//! primitives; see that module's docs for its admission protocol.
+//!
 //! **Determinism guarantee.** Work is *distributed* dynamically (a
 //! shared work-list hands out the next index to whichever thread is
 //! free) but each unit writes only its own disjoint output slot and
@@ -23,6 +27,9 @@
 //! plain serial loop and no threads are ever spawned.
 
 #![forbid(unsafe_code)]
+
+#[cfg(feature = "parallel")]
+pub mod pool;
 
 #[cfg(feature = "parallel")]
 use std::sync::Mutex;

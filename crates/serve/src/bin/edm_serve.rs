@@ -1,0 +1,93 @@
+//! Demo scoring server: trains a few models on synthetic data and
+//! serves them until killed.
+//!
+//! ```text
+//! cargo run --release -p edm-serve --bin edm_serve [addr]
+//! ```
+//!
+//! `addr` defaults to `127.0.0.1:8080`. Set `EDM_TRACE=summary` (or
+//! `full`) to populate `/metrics`.
+
+use std::time::Duration;
+
+use edm::prelude::*;
+use edm_serve::{ModelRegistry, Server, ServerConfig};
+
+/// Deterministic SplitMix64 stream (the workspace bans ambient
+/// entropy; a fixed seed also makes the demo responses reproducible).
+struct Mix(u64);
+
+impl Mix {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+    }
+}
+
+/// Two separable blobs with ±1 labels, mimicking a pass/fail test
+/// outcome against two parametric measurements.
+fn blobs(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut m = Mix(42);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        x.push(vec![m.next_f64() + label * 1.5, m.next_f64() + label * 1.5]);
+        y.push(label);
+    }
+    (x, y)
+}
+
+fn registry() -> ModelRegistry {
+    let (x, y) = blobs(120);
+    let labels: Vec<i32> = y.iter().map(|&v| v as i32).collect();
+    // A smooth synthetic "fmax" response over the same features.
+    let fmax: Vec<f64> = x.iter().map(|r| 3.1 + 0.8 * r[0] - 0.4 * r[1]).collect();
+
+    let mut reg = ModelRegistry::new();
+    reg.register(
+        "passfail-svc",
+        SvcTrainer::new(SvcParams::default())
+            .kernel(RbfKernel::new(0.5))
+            .fit(&x, &y)
+            .expect("separable blobs train"),
+    )
+    .expect("register passfail-svc");
+    reg.register("fmax-ridge", Ridge::fit(&x, &fmax, 0.1).expect("ridge fits"))
+        .expect("register fmax-ridge");
+    reg.register(
+        "outlier-oneclass",
+        OneClassSvm::new(OneClassParams::default().with_nu(0.1))
+            .kernel(RbfKernel::new(0.5))
+            .fit(&x)
+            .expect("one-class fits"),
+    )
+    .expect("register outlier-oneclass");
+    reg.register("passfail-knn", KnnClassifier::fit(5, &x, &labels).expect("knn fits"))
+        .expect("register passfail-knn");
+    reg
+}
+
+fn main() {
+    edm_trace::init_from_env_or(edm_trace::Level::Summary);
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let server = Server::start(&addr, registry(), ServerConfig::default())
+        .expect("bind the requested address");
+    let bound = server.local_addr();
+    println!("edm-serve listening on http://{bound}");
+    println!();
+    println!("try:");
+    println!("  curl http://{bound}/healthz");
+    println!("  curl http://{bound}/v1/models");
+    println!(
+        "  curl -d '{{\"inputs\": [[1.4, 1.6], [-1.5, -1.4]]}}' \\\n       http://{bound}/v1/models/passfail-svc:predict"
+    );
+    println!("  curl http://{bound}/metrics");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

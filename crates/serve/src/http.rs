@@ -1,0 +1,312 @@
+//! Minimal HTTP/1.1 request reader and response writer.
+//!
+//! Implements just enough of RFC 9112 for a scoring service: one
+//! request per connection (`connection: close` on every response),
+//! `content-length` body framing, and hard caps on line length, header
+//! count, and body size so a misbehaving client cannot exhaust memory.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most header lines accepted per request.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, target, and raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target path (`/v1/models/svc:predict`).
+    pub target: String,
+    /// Raw body (empty when no `content-length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request — answer 400.
+    Malformed(String),
+    /// Declared body exceeds the server's cap — answer 413.
+    TooLarge {
+        /// The configured body cap in bytes.
+        limit: usize,
+    },
+    /// Socket-level failure (including read timeouts) — drop the
+    /// connection; there is no one left to answer.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one line (up to CRLF or LF), returning it without the line
+/// terminator. Errors if the line exceeds [`MAX_LINE_BYTES`] or the
+/// stream ends mid-line.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut buf = Vec::with_capacity(128);
+    let mut chunk = [0u8; 1];
+    loop {
+        // Byte-at-a-time via the BufReader is fine: the underlying
+        // stream is buffered, and header sections are tiny.
+        match reader.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into())),
+            Ok(_) => {
+                if chunk[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()));
+                }
+                buf.push(chunk[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::Malformed("header line too long".into()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads and parses one HTTP/1.x request from `reader`.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for syntax violations (caller answers 400),
+/// [`HttpError::TooLarge`] when `content-length` exceeds `max_body`
+/// (caller answers 413), and [`HttpError::Io`] for socket failures.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(HttpError::Malformed("bad request line".into())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported protocol version".into()));
+    }
+
+    let mut content_length: usize = 0;
+    for i in 0.. {
+        if i >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without a colon".into()));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparseable content-length".into()))?;
+        }
+        // Every other header (host, accept, user-agent, ...) is noise
+        // for a close-per-request scoring endpoint.
+    }
+
+    if content_length > max_body {
+        return Err(HttpError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method: method.to_string(), target: target.to_string(), body })
+}
+
+/// A response ready to be written to the socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Value for the `content-type` header.
+    pub content_type: &'static str,
+    /// When set, emitted as a `retry-after` header (seconds) — used by
+    /// the 503 backpressure path.
+    pub retry_after: Option<u32>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            retry_after: None,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            retry_after: None,
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Serializes the status line, headers, and body to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures (including write timeouts).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nconnection: close\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").expect("valid");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let req = parse("POST /v1/models/svc:predict HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .expect("valid");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let req = parse("GET /metrics HTTP/1.0\nhost: y\n\n").expect("valid");
+        assert_eq!(req.target, "/metrics");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET  /x HTTP/1.1\r\n\r\n",
+            "GET nopath HTTP/1.1\r\n\r\n",
+            " /x HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(matches!(parse(bad), Err(HttpError::Malformed(_))), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_content_length_and_headers() {
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn enforces_the_body_cap_without_reading_the_body() {
+        let raw = "POST /x HTTP/1.1\r\ncontent-length: 4096\r\n\r\n";
+        match parse(raw) {
+            Err(HttpError::TooLarge { limit }) => assert_eq!(limit, 1024),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format_is_exact() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into()).write_to(&mut out).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nconnection: close\r\ncontent-type: application/json\r\ncontent-length: 11\r\n\r\n{\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn retry_after_header_rides_on_503() {
+        let mut resp = Response::json(503, "{}".into());
+        resp.retry_after = Some(1);
+        let mut out = Vec::new();
+        resp.write_to(&mut out).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("\r\nretry-after: 1\r\n"), "got {text:?}");
+    }
+}

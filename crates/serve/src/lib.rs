@@ -1,0 +1,51 @@
+//! # edm-serve — dependency-free model serving for trained edm models
+//!
+//! A small HTTP/1.1 scoring service built entirely on `std::net`: no
+//! async runtime, no web framework, no serde on the wire. Models that
+//! implement the facade's object-safe [`edm::Predictor`] trait are
+//! registered by name in a [`ModelRegistry`] and served by a fixed
+//! worker pool ([`edm_par::pool::WorkerPool`]) behind a bounded queue —
+//! when the queue is full the server answers `503` with `retry-after`
+//! instead of stalling the client or buffering without limit.
+//!
+//! Endpoints:
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/v1/models/{name}:predict` | POST | Score a JSON batch (`{"inputs": [[...], ...]}`) |
+//! | `/v1/models` | GET | List registered models |
+//! | `/healthz` | GET | Liveness probe |
+//! | `/metrics` | GET | Telemetry snapshot in OpenMetrics text format |
+//!
+//! Scoring fans through the same `predict_batch` paths the library
+//! exposes directly, so a prediction served over HTTP is bitwise
+//! identical to one computed in-process (pinned by this crate's
+//! property tests).
+//!
+//! The threaded server lives behind the `parallel` feature (mirroring
+//! the workspace's "no threads without `parallel`" invariant); the
+//! JSON codec, HTTP parser, and registry compile featureless.
+//!
+//! ```
+//! use edm::prelude::*;
+//! use edm_serve::ModelRegistry;
+//!
+//! let x = vec![vec![0.0, 0.0], vec![1.0, 0.5], vec![0.5, 1.0], vec![1.0, 1.0]];
+//! let y = vec![0.0, 1.0, 1.0, 2.0];
+//! let mut registry = ModelRegistry::new();
+//! registry.register("fmax-ridge", Ridge::fit(&x, &y, 0.1)?)?;
+//! assert_eq!(registry.names(), vec!["fmax-ridge"]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod json;
+pub mod registry;
+#[cfg(feature = "parallel")]
+pub mod server;
+
+pub use registry::{ModelInfo, ModelRegistry, RegistryError, ServedModel};
+#[cfg(feature = "parallel")]
+pub use server::{ServeError, Server, ServerConfig};

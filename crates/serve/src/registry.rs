@@ -1,0 +1,192 @@
+//! The model registry: a name → [`Predictor`] map shared by every
+//! worker thread.
+//!
+//! Backed by a `BTreeMap` so listings are deterministically ordered
+//! (the workspace bans `HashMap` iteration in lib code). The registry
+//! is built once at startup and then shared immutably behind an `Arc`,
+//! so no locking is needed on the request path.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use edm::Predictor;
+
+/// A model the registry can serve: any [`Predictor`] that is safe to
+/// share across the worker pool.
+pub type ServedModel = Arc<dyn Predictor + Send + Sync>;
+
+/// Why a model could not be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name contains characters outside `[A-Za-z0-9_.-]` or is
+    /// empty. Names appear verbatim in URL paths, so the alphabet is
+    /// restricted to characters that need no percent-encoding.
+    InvalidName(String),
+    /// A model with this name is already registered.
+    Duplicate(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::InvalidName(name) => {
+                write!(f, "invalid model name {name:?}: use 1+ characters from [A-Za-z0-9_.-]")
+            }
+            RegistryError::Duplicate(name) => {
+                write!(f, "a model named {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Summary of one registered model, as reported by `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The registered (URL-visible) name.
+    pub name: String,
+    /// The model family, from [`Predictor::name`].
+    pub family: &'static str,
+    /// Expected feature count per input row.
+    pub n_features: usize,
+}
+
+/// An ordered collection of named models.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, ServedModel>,
+}
+
+impl fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelRegistry").field("models", &self.names()).finish()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `model` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidName`] for names outside the URL-safe
+    /// alphabet, [`RegistryError::Duplicate`] when the name is taken.
+    pub fn register<P>(&mut self, name: &str, model: P) -> Result<(), RegistryError>
+    where
+        P: Predictor + Send + Sync + 'static,
+    {
+        self.register_arc(name, Arc::new(model))
+    }
+
+    /// Registers an already-shared model under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelRegistry::register`].
+    pub fn register_arc(&mut self, name: &str, model: ServedModel) -> Result<(), RegistryError> {
+        if name.is_empty()
+            || !name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+        {
+            return Err(RegistryError::InvalidName(name.to_string()));
+        }
+        if self.models.contains_key(name) {
+            return Err(RegistryError::Duplicate(name.to_string()));
+        }
+        self.models.insert(name.to_string(), model);
+        Ok(())
+    }
+
+    /// The model registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<ServedModel> {
+        self.models.get(name).cloned()
+    }
+
+    /// Registered names, in lexicographic order.
+    pub fn names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// One [`ModelInfo`] per registered model, in name order.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        self.models
+            .iter()
+            .map(|(name, model)| ModelInfo {
+                name: name.clone(),
+                family: model.name(),
+                n_features: model.n_features(),
+            })
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm::prelude::*;
+
+    fn tiny_ridge() -> Ridge {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 0.5], vec![0.5, 1.0], vec![1.0, 1.0]];
+        let y = vec![0.0, 1.0, 1.0, 2.0];
+        Ridge::fit(&x, &y, 0.1).expect("tiny ridge fits")
+    }
+
+    #[test]
+    fn register_and_look_up() {
+        let mut reg = ModelRegistry::new();
+        reg.register("fmax-ridge", tiny_ridge()).expect("register");
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+        let model = reg.get("fmax-ridge").expect("present");
+        assert_eq!(model.name(), "ridge");
+        assert_eq!(model.n_features(), 2);
+        assert!(reg.get("absent").is_none());
+    }
+
+    #[test]
+    fn listing_is_name_ordered() {
+        let mut reg = ModelRegistry::new();
+        for name in ["zeta", "alpha", "mid.point-1_2"] {
+            reg.register(name, tiny_ridge()).expect("register");
+        }
+        let names: Vec<String> = reg.list().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["alpha", "mid.point-1_2", "zeta"]);
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        let mut reg = ModelRegistry::new();
+        for bad in ["", "has space", "slash/y", "colon:predict", "q?x", "ünicode"] {
+            assert_eq!(
+                reg.register(bad, tiny_ridge()),
+                Err(RegistryError::InvalidName(bad.to_string())),
+                "{bad:?} should be invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut reg = ModelRegistry::new();
+        reg.register("svc", tiny_ridge()).expect("first");
+        assert_eq!(
+            reg.register("svc", tiny_ridge()),
+            Err(RegistryError::Duplicate("svc".to_string()))
+        );
+    }
+}

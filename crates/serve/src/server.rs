@@ -1,0 +1,489 @@
+//! The threaded HTTP server: accept loop, routing, backpressure, and
+//! graceful shutdown.
+//!
+//! # Threading model
+//!
+//! All threads live in [`edm_par::pool::WorkerPool`]s — the workspace
+//! bans `thread::spawn` outside `edm-par`. A single-worker pool runs
+//! the accept loop; a second pool of [`ServerConfig::workers`] threads
+//! handles connections, behind a bounded queue of
+//! [`ServerConfig::queue_capacity`] slots.
+//!
+//! # Backpressure
+//!
+//! Admission is two-phase: the accept loop reserves a queue slot
+//! *before* handing the socket to a worker. When no slot is free it
+//! still owns the connection, so it answers
+//! `503 Service Unavailable` with a `retry-after` header instead of
+//! hanging the client or buffering unboundedly.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] flips the shutdown flag, wakes the accept loop
+//! with a loopback connection, joins it, then drains the worker pool:
+//! every connection already admitted is answered before the threads
+//! exit.
+
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use std::{fmt, io};
+
+use edm_par::pool::WorkerPool;
+
+use crate::http::{self, HttpError, Request, Response};
+use crate::json::{self, Value};
+use crate::registry::ModelRegistry;
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded queue depth; connection number `queue_capacity + 1`
+    /// while all workers are busy is refused with a 503.
+    pub queue_capacity: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted request body, in bytes (413 beyond this).
+    pub max_body_bytes: usize,
+    /// Seconds advertised in the `retry-after` header of 503 responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_body_bytes: 1 << 20,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or inspecting the listening socket failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "could not start the server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A running scoring server. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting, drains admitted connections,
+/// and joins every thread.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<WorkerPool>,
+    workers: Option<Arc<WorkerPool>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server").field("local_addr", &self.local_addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` and starts serving `registry` in the background.
+    ///
+    /// Bind to port 0 for an ephemeral port and read the actual one
+    /// back from [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        registry: ModelRegistry,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
+        let registry = Arc::new(registry);
+
+        let acceptor = WorkerPool::new(1, 1);
+        {
+            let stop = Arc::clone(&stop);
+            let workers = Arc::clone(&workers);
+            let permit = acceptor.try_reserve().expect("fresh 1-slot pool has room");
+            permit.execute(move || accept_loop(&listener, &workers, &registry, &stop, &config));
+        }
+        Ok(Server { local_addr, stop, acceptor: Some(acceptor), workers: Some(workers) })
+    }
+
+    /// The bound address (with the real port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently admitted but not yet picked up by a
+    /// worker (includes in-flight admissions).
+    pub fn queue_len(&self) -> usize {
+        self.workers.as_ref().map_or(0, |w| w.queue_len())
+    }
+
+    /// Stops accepting, drains every admitted connection, and joins
+    /// all threads. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop may be parked in `accept()`; a throwaway
+        // loopback connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        if let Some(mut acceptor) = self.acceptor.take() {
+            acceptor.shutdown();
+        }
+        // The accept loop has exited and dropped its pool handle, so
+        // this is the last one; draining it answers every admitted
+        // connection before the workers exit.
+        if let Some(workers) = self.workers.take() {
+            if let Some(mut pool) = Arc::into_inner(workers) {
+                pool.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    workers: &Arc<WorkerPool>,
+    registry: &Arc<ModelRegistry>,
+    stop: &AtomicBool,
+    config: &ServerConfig,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            // Transient accept failures (e.g. the peer vanished
+            // between SYN and accept) are not fatal to the server.
+            Err(_) => continue,
+        };
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        match workers.try_reserve() {
+            None => {
+                // Queue full: the permit was never granted, so this
+                // thread still owns the socket and can refuse politely.
+                edm_trace::counter_add("serve.http.rejected", 1);
+                let mut resp = error_response(503, "scoring queue is full");
+                resp.retry_after = Some(config.retry_after_secs);
+                respond_and_drain(&stream, &resp, config.max_body_bytes);
+            }
+            Some(permit) => {
+                edm_trace::record("serve.queue.depth", workers.queue_len() as f64);
+                let registry = Arc::clone(registry);
+                let max_body = config.max_body_bytes;
+                permit.execute(move || handle_connection(&stream, &registry, max_body));
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: &TcpStream, registry: &ModelRegistry, max_body: usize) {
+    edm_trace::counter_add("serve.http.requests", 1);
+    let _span = edm_trace::span("serve.request");
+    let mut reader = BufReader::new(stream);
+    let request = match http::read_request(&mut reader, max_body) {
+        Ok(r) => r,
+        Err(HttpError::Malformed(why)) => {
+            respond_and_drain(stream, &error_response(400, &why), max_body);
+            return;
+        }
+        Err(HttpError::TooLarge { limit }) => {
+            respond_and_drain(
+                stream,
+                &error_response(413, &format!("request body exceeds {limit} bytes")),
+                max_body,
+            );
+            return;
+        }
+        // Dead or stalled socket: nobody is left to answer.
+        Err(HttpError::Io(_)) => return,
+    };
+    let response = route(&request, registry);
+    respond(stream, &response);
+}
+
+/// Writes `resp`, ignoring socket errors — the client may already be
+/// gone, and a failed write must not take the worker down.
+fn respond(mut stream: &TcpStream, resp: &Response) {
+    let _ = resp.write_to(&mut stream);
+}
+
+/// How much unread request the draining close will consume before
+/// giving up, beyond the body cap (request line + headers).
+const DRAIN_SLACK_BYTES: usize = 16 * 1024;
+
+/// Answers a request that was *not* fully read: writes `resp`,
+/// half-closes the write side, then drains (bounded) whatever the
+/// client already sent. Closing a socket with unread bytes in its
+/// receive buffer makes TCP send RST instead of FIN, which can
+/// destroy the just-written response in the client's receive buffer —
+/// exactly the 503/413 answers this server most needs to deliver.
+fn respond_and_drain(mut stream: &TcpStream, resp: &Response, cap: usize) {
+    let _ = resp.write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Write);
+    // A well-behaved client closes as soon as it has read the
+    // response (the half-close above ends its `read`), so this loop
+    // normally sees EOF within a round trip; the short timeout bounds
+    // the cost of a client that trickles instead.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                drained += n;
+                if drained > cap + DRAIN_SLACK_BYTES {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn route(req: &Request, registry: &ModelRegistry) -> Response {
+    let t0 = Instant::now();
+    match req.target.as_str() {
+        "/healthz" => {
+            let resp = require_get(req).unwrap_or_else(|| Response::text(200, "ok\n"));
+            edm_trace::record("serve.healthz.latency_ns", elapsed_ns(t0));
+            resp
+        }
+        "/metrics" => {
+            let resp = require_get(req).unwrap_or_else(|| Response {
+                status: 200,
+                content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                retry_after: None,
+                body: edm_trace::collect().to_openmetrics().into_bytes(),
+            });
+            edm_trace::record("serve.metrics.latency_ns", elapsed_ns(t0));
+            resp
+        }
+        "/v1/models" => {
+            let resp = require_get(req).unwrap_or_else(|| models_response(registry));
+            edm_trace::record("serve.models.latency_ns", elapsed_ns(t0));
+            resp
+        }
+        target if target.starts_with("/v1/models/") && target.ends_with(":predict") => {
+            let name = &target["/v1/models/".len()..target.len() - ":predict".len()];
+            let resp = if req.method == "POST" {
+                predict_response(name, &req.body, registry)
+            } else {
+                error_response(405, ":predict requires POST")
+            };
+            edm_trace::record("serve.predict.latency_ns", elapsed_ns(t0));
+            resp
+        }
+        _ => error_response(404, "no such endpoint"),
+    }
+}
+
+fn elapsed_ns(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e9
+}
+
+/// `None` when the method is GET, otherwise the 405 to send.
+fn require_get(req: &Request) -> Option<Response> {
+    (req.method != "GET").then(|| error_response(405, "this endpoint requires GET"))
+}
+
+/// `{"error": msg}` with the given status.
+fn error_response(status: u16, msg: &str) -> Response {
+    let body = Value::Object(vec![("error".to_string(), Value::Str(msg.to_string()))]);
+    Response::json(status, body.encode())
+}
+
+fn models_response(registry: &ModelRegistry) -> Response {
+    let models: Vec<Value> = registry
+        .list()
+        .into_iter()
+        .map(|m| {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(m.name)),
+                ("family".to_string(), Value::Str(m.family.to_string())),
+                ("n_features".to_string(), Value::Number(m.n_features as f64)),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![("models".to_string(), Value::Array(models))]);
+    Response::json(200, body.encode())
+}
+
+fn predict_response(name: &str, body: &[u8], registry: &ModelRegistry) -> Response {
+    let Some(model) = registry.get(name) else {
+        return error_response(404, &format!("no model named {name:?}"));
+    };
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return error_response(400, "request body is not UTF-8"),
+    };
+    let doc = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return error_response(400, &e.to_string()),
+    };
+    let Some(raw_rows) = doc.get("inputs").and_then(Value::as_array) else {
+        return error_response(400, "body must be {\"inputs\": [[f64, ...], ...]}");
+    };
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(raw_rows.len());
+    for (i, raw_row) in raw_rows.iter().enumerate() {
+        let Some(cells) = raw_row.as_array() else {
+            return error_response(400, &format!("inputs[{i}] is not an array"));
+        };
+        let mut row = Vec::with_capacity(cells.len());
+        for (j, cell) in cells.iter().enumerate() {
+            let Some(v) = cell.as_f64() else {
+                return error_response(400, &format!("inputs[{i}][{j}] is not a number"));
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    match model.predict_batch(&rows) {
+        Ok(predictions) => {
+            let body = Value::Object(vec![
+                ("model".to_string(), Value::Str(name.to_string())),
+                ("family".to_string(), Value::Str(model.name().to_string())),
+                ("count".to_string(), Value::Number(predictions.len() as f64)),
+                (
+                    "predictions".to_string(),
+                    Value::Array(predictions.into_iter().map(Value::Number).collect()),
+                ),
+            ]);
+            Response::json(200, body.encode())
+        }
+        // A shape mismatch is the client's fault; anything else
+        // (there is currently nothing else `predict_batch` can return)
+        // would be the server's.
+        Err(e @ edm::Error::Shape { .. }) => error_response(400, &e.to_string()),
+        Err(e) => error_response(500, &e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm::prelude::*;
+
+    fn registry_with_ridge() -> ModelRegistry {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        let mut reg = ModelRegistry::new();
+        reg.register("plane", Ridge::fit(&x, &y, 1e-6).expect("plane fits")).expect("register");
+        reg
+    }
+
+    fn req(method: &str, target: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn routing_table_without_sockets() {
+        let reg = registry_with_ridge();
+        assert_eq!(route(&req("GET", "/healthz", ""), &reg).status, 200);
+        assert_eq!(route(&req("POST", "/healthz", ""), &reg).status, 405);
+        assert_eq!(route(&req("GET", "/metrics", ""), &reg).status, 200);
+        assert_eq!(route(&req("GET", "/v1/models", ""), &reg).status, 200);
+        assert_eq!(route(&req("GET", "/v1/models/plane:predict", ""), &reg).status, 405);
+        assert_eq!(route(&req("GET", "/nope", ""), &reg).status, 404);
+        let ok = route(&req("POST", "/v1/models/plane:predict", r#"{"inputs": [[1, 1]]}"#), &reg);
+        assert_eq!(ok.status, 200);
+        let shown = String::from_utf8(ok.body).expect("utf8");
+        assert!(shown.contains("\"predictions\":["), "body was {shown}");
+    }
+
+    #[test]
+    fn predict_error_statuses() {
+        let reg = registry_with_ridge();
+        let predict = "/v1/models/plane:predict";
+        // Unknown model.
+        assert_eq!(route(&req("POST", "/v1/models/ghost:predict", "{}"), &reg).status, 404);
+        // Not JSON at all.
+        assert_eq!(route(&req("POST", predict, "not json"), &reg).status, 400);
+        // JSON, wrong shape.
+        assert_eq!(route(&req("POST", predict, "{\"rows\": []}"), &reg).status, 400);
+        assert_eq!(route(&req("POST", predict, "{\"inputs\": [4]}"), &reg).status, 400);
+        assert_eq!(route(&req("POST", predict, "{\"inputs\": [[true]]}"), &reg).status, 400);
+        // Feature-count mismatch surfaces the facade Shape error.
+        let mismatch = route(&req("POST", predict, "{\"inputs\": [[1, 2, 3]]}"), &reg);
+        assert_eq!(mismatch.status, 400);
+        let shown = String::from_utf8(mismatch.body).expect("utf8");
+        assert!(shown.contains("expects"), "body was {shown}");
+    }
+
+    #[test]
+    fn predictions_match_the_inherent_path() {
+        let reg = registry_with_ridge();
+        let model = reg.get("plane").expect("registered");
+        let rows = vec![vec![0.25, 0.5], vec![0.75, -0.25]];
+        let direct = model.predict_batch(&rows).expect("clean batch");
+        let resp = route(
+            &req("POST", "/v1/models/plane:predict", r#"{"inputs": [[0.25, 0.5], [0.75, -0.25]]}"#),
+            &reg,
+        );
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).expect("utf8")).expect("json");
+        let served: Vec<f64> = doc
+            .get("predictions")
+            .and_then(Value::as_array)
+            .expect("predictions array")
+            .iter()
+            .map(|v| v.as_f64().expect("number"))
+            .collect();
+        assert_eq!(served.len(), direct.len());
+        for (s, d) in served.iter().zip(&direct) {
+            assert_eq!(s.to_bits(), d.to_bits(), "wire round trip changed a prediction");
+        }
+    }
+}

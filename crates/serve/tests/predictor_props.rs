@@ -1,0 +1,103 @@
+//! Property tests pinning the serving contract: scoring through a
+//! `&dyn Predictor` trait object (the only path the server uses) is
+//! bitwise identical to calling the model's inherent `predict_batch`,
+//! for SVC, SVR, and ridge across random training sets and batches.
+//!
+//! This is the load-bearing guarantee behind "a prediction served over
+//! HTTP equals one computed in-process": the trait impls must stay
+//! pure delegation, never re-deriving scores.
+
+use edm::prelude::*;
+use proptest::prelude::*;
+
+/// Deterministic SplitMix64 point cloud in `[-1, 1]^d`.
+fn points(seed: u64, n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+    };
+    (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
+}
+
+/// Two separable ±1 blobs plus a smooth regression target over the
+/// same features.
+fn blobs(seed: u64, n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    let mut x = points(seed, n, d);
+    let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    for (xi, &yi) in x.iter_mut().zip(&y) {
+        for v in xi.iter_mut() {
+            *v += yi * 1.2;
+        }
+    }
+    let target: Vec<f64> =
+        x.iter().map(|r| r.iter().enumerate().map(|(j, v)| v * (j as f64 + 0.5)).sum()).collect();
+    (x, y, target)
+}
+
+fn assert_bitwise(name: &str, via_trait: &[f64], inherent: &[f64]) {
+    assert_eq!(via_trait.len(), inherent.len(), "{name}: length changed through the trait");
+    for (i, (a, b)) in via_trait.iter().zip(inherent).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{name}: row {i} differs through the trait object ({a} vs {b})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn svc_trait_object_is_bitwise_identical(
+        seed in 0u64..1_000_000,
+        n in 8usize..28,
+        gamma in 0.3f64..2.0,
+        batch in 1usize..12,
+    ) {
+        let (x, y, _) = blobs(seed, n, 3);
+        let model = SvcTrainer::new(SvcParams::default())
+            .kernel(RbfKernel::new(gamma))
+            .fit(&x, &y)
+            .expect("separable blobs train");
+        let queries = points(seed ^ 0xABCD, batch, 3);
+        let served = (&model as &dyn Predictor).predict_batch(&queries).expect("clean batch");
+        assert_bitwise("svc", &served, &model.predict_batch(&queries));
+    }
+
+    #[test]
+    fn svr_trait_object_is_bitwise_identical(
+        seed in 0u64..1_000_000,
+        n in 8usize..28,
+        gamma in 0.3f64..2.0,
+        batch in 1usize..12,
+    ) {
+        let (x, _, target) = blobs(seed, n, 3);
+        let model = SvrTrainer::new(SvrParams::default())
+            .kernel(RbfKernel::new(gamma))
+            .fit(&x, &target)
+            .expect("svr trains");
+        let queries = points(seed ^ 0x1234, batch, 3);
+        let served = (&model as &dyn Predictor).predict_batch(&queries).expect("clean batch");
+        assert_bitwise("svr", &served, &model.predict_batch(&queries));
+    }
+
+    #[test]
+    fn ridge_trait_object_is_bitwise_identical(
+        seed in 0u64..1_000_000,
+        n in 6usize..40,
+        lambda in 1e-6f64..10.0,
+        batch in 1usize..12,
+    ) {
+        let (x, _, target) = blobs(seed, n, 4);
+        let model = Ridge::fit(&x, &target, lambda).expect("ridge fits");
+        let queries = points(seed ^ 0x9999, batch, 4);
+        let served = (&model as &dyn Predictor).predict_batch(&queries).expect("clean batch");
+        assert_bitwise("ridge", &served, &model.predict_batch(&queries));
+    }
+}

@@ -166,7 +166,15 @@ impl<K: Kernel<[f64]> + Clone> OneClassSvm<K> {
                 coef.push(a);
             }
         }
-        Ok(OneClassModel { kernel: self.kernel.clone(), support, coef, rho, iterations, cache })
+        Ok(OneClassModel {
+            kernel: self.kernel.clone(),
+            n_features: d,
+            support,
+            coef,
+            rho,
+            iterations,
+            cache,
+        })
     }
 }
 
@@ -236,6 +244,7 @@ fn solve_one_class_q(
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OneClassModel<K> {
     kernel: K,
+    n_features: usize,
     support: Vec<Vec<f64>>,
     coef: Vec<f64>,
     rho: f64,
@@ -273,6 +282,12 @@ impl<K> OneClassModel<K> {
     /// Number of support vectors retained.
     pub fn n_support(&self) -> usize {
         self.support.len()
+    }
+
+    /// Dimensionality of the training samples; every sample scored by
+    /// this model must have exactly this many features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// The offset ρ.

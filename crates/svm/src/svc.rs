@@ -157,6 +157,7 @@ impl<K: Kernel<[f64]> + Clone> SvcTrainer<K> {
         }
         Ok(SvcModel {
             kernel: self.kernel.clone(),
+            n_features: x[0].len(),
             support,
             coef,
             rho,
@@ -226,6 +227,7 @@ fn solve_svc_q(
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SvcModel<K> {
     kernel: K,
+    n_features: usize,
     support: Vec<Vec<f64>>,
     /// `yᵢ αᵢ` per support vector.
     coef: Vec<f64>,
@@ -273,6 +275,12 @@ impl<K> SvcModel<K> {
     /// Number of support vectors retained.
     pub fn n_support(&self) -> usize {
         self.support.len()
+    }
+
+    /// Dimensionality of the training samples; every sample scored by
+    /// this model must have exactly this many features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// The support vectors.

@@ -212,6 +212,7 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
         }
         Ok(SvrModel {
             kernel: self.kernel.clone(),
+            n_features: d,
             support,
             coef,
             rho: sol.rho,
@@ -226,6 +227,7 @@ impl<K: Kernel<[f64]> + Clone> SvrTrainer<K> {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SvrModel<K> {
     kernel: K,
+    n_features: usize,
     support: Vec<Vec<f64>>,
     coef: Vec<f64>,
     rho: f64,
@@ -256,6 +258,14 @@ impl<K> SvrModel<K> {
     /// Number of support vectors retained.
     pub fn n_support(&self) -> usize {
         self.support.len()
+    }
+
+    /// Dimensionality of the training samples; every sample scored by
+    /// this model must have exactly this many features. (A wide-tube
+    /// SVR can retain zero support vectors, so this is recorded at fit
+    /// time rather than derived from them.)
+    pub fn n_features(&self) -> usize {
+        self.n_features
     }
 
     /// Model complexity `Σᵢ |βᵢ|` (paper §2.3).

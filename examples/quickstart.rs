@@ -3,10 +3,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use edm::kernels::RbfKernel;
-use edm::learn::rules::cn2sd::{learn_rules, Cn2SdParams};
-use edm::novelty::{MahalanobisDetector, NoveltyDetector};
-use edm::svm::{SvcParams, SvcTrainer};
+use edm::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -164,7 +164,7 @@ fn learners_agree_on_an_easy_problem() {
     let probe_lo = [0.0, 0.0];
     let probe_hi = [3.0, 3.0];
 
-    let knn = KnnClassifier::fit(5, x.clone(), y.clone()).unwrap();
+    let knn = KnnClassifier::fit(5, &x, &y).unwrap();
     let nb = GaussianNb::fit(&x, &y).unwrap();
     let lda = DiscriminantAnalysis::fit(&x, &y, Covariance::Pooled).unwrap();
     let tree = DecisionTreeClassifier::fit(&x, &y, TreeParams::default()).unwrap();
@@ -199,7 +199,7 @@ fn five_fmax_regressors_from_the_paper_all_fit() {
     let probe = [2.0];
     let want = 2.0 + 0.8 * 2.0;
 
-    let knn = KnnRegressor::fit(3, x.clone(), y.clone()).unwrap();
+    let knn = KnnRegressor::fit(3, &x, &y).unwrap();
     let lsf = LeastSquares::fit(&x, &y).unwrap();
     let ridge = Ridge::fit(&x, &y, 0.1).unwrap();
     let svr = SvrTrainer::new(SvrParams::default().with_c(100.0).with_epsilon(0.01))

@@ -96,8 +96,8 @@ fn detectors_round_trip() {
     use edm::novelty::{KnnDistanceDetector, LofDetector, MahalanobisDetector, NoveltyDetector};
     let (x, _) = blobs(40, 5);
     let maha = MahalanobisDetector::fit(&x, 0.99).unwrap();
-    let knn = KnnDistanceDetector::fit(x.clone(), 5, 0.99).unwrap();
-    let lof = LofDetector::fit(x, 5, 0.99).unwrap();
+    let knn = KnnDistanceDetector::fit(&x, 5, 0.99).unwrap();
+    let lof = LofDetector::fit(&x, 5, 0.99).unwrap();
     let maha2: MahalanobisDetector =
         serde_json::from_str(&serde_json::to_string(&maha).unwrap()).unwrap();
     let knn2: KnnDistanceDetector =
