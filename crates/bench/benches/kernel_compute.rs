@@ -66,6 +66,34 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
+/// Naive row-major transpose: strided writes, no blocking. Kept here
+/// (not in the library) purely as the comparison point for the
+/// cache-blocked `Matrix::transpose`.
+fn transpose_naive(a: &Matrix) -> Matrix {
+    let mut t = Matrix::zeros(a.cols(), a.rows());
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            t[(c, r)] = a[(r, c)];
+        }
+    }
+    t
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_compute_transpose");
+    for n in [256usize, 1024] {
+        let flat = points(3, n, n);
+        let a = Matrix::from_rows(&flat);
+        g.bench_function(format!("transpose_naive_{n}"), |b| {
+            b.iter(|| transpose_naive(black_box(&a)))
+        });
+        g.bench_function(format!("transpose_blocked_{n}"), |b| {
+            b.iter(|| black_box(&a).transpose())
+        });
+    }
+    g.finish();
+}
+
 fn bench_q_row_fill(c: &mut Criterion) {
     let (x, y) = blobs(2000, 32);
     let k = RbfKernel::new(0.5);
@@ -103,5 +131,12 @@ fn bench_svc_cache(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gram, bench_matmul, bench_q_row_fill, bench_svc_cache);
+criterion_group!(
+    benches,
+    bench_gram,
+    bench_matmul,
+    bench_transpose,
+    bench_q_row_fill,
+    bench_svc_cache
+);
 criterion_main!(benches);

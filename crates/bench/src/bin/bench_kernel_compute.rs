@@ -1,33 +1,62 @@
-//! Scaling harness for the parallel kernel-compute layer and the SMO
+//! Scaling harness for the blocked kernel-compute layer and the SMO
 //! Q-row cache. Emits `BENCH_kernel_compute.json` in the working
-//! directory.
+//! directory; `--quick` runs a trimmed variant for CI smoke.
 //!
 //! Measurements (RBF kernel, d = 32, deterministic data):
 //!
-//! * Gram-matrix build at n ∈ {500, 2000, 8000}, serial
-//!   (`EDM_NUM_THREADS=1`) vs parallel (`EDM_NUM_THREADS=4`), with a
-//!   bitwise checksum comparison proving the two paths agree exactly;
+//! * Gram-matrix build at n ∈ {500, 2000, 8000} ({500, 1500} under
+//!   `--quick`), three ways: the **seed baseline** (the deprecated
+//!   row-sharded `gram_matrix_rows` pinned to one thread — what the
+//!   repo shipped before the blocked rework), the tiled builder at one
+//!   thread, and the tiled builder at the parallel thread count. A
+//!   bitwise checksum comparison proves all three agree exactly.
+//! * A tile-geometry sweep over `EDM_BLOCK` at one fixed size, so a
+//!   host with a different cache hierarchy can see what retuning buys.
 //! * SVC training at the same sizes, serial, with the Q-row cache on
 //!   (default budget) vs off (`cache_bytes = 0`).
 //!
 //! Thread counts are swept in-process via the `EDM_NUM_THREADS`
 //! override that `edm_par::num_threads()` re-reads on every call. The
-//! host core count is recorded alongside the timings: on a single-core
-//! machine the parallel sweep measures dispatch overhead rather than
-//! speedup, and the JSON says so instead of fabricating a scaling
-//! number.
+//! parallel sweep is clamped to the host's available parallelism and
+//! the JSON records the true `host_cores`: claiming a 4-thread speedup
+//! measured on one core would be fiction, so on small hosts the
+//! "parallel" column degenerates to the tiled serial path and the
+//! headline speedup is carried by cache locality alone.
+//!
+//! The claims block is load-bearing. Full mode exits nonzero unless
+//! the tiled+parallel path strictly beats the seed baseline at the
+//! largest size (where the old row-sharded builder's 0.89× parallel
+//! regression lived), stays within a 0.9 no-regression floor at every
+//! other size, and the tiled serial path is ≥ 1.1× the seed at the
+//! largest size. Quick mode (CI) enforces a ≥ 0.9 floor only. The
+//! asymmetry is honesty, not leniency: at n ≤ 2000 both builders do
+//! the same n²/2 cache-resident kernel evaluations and their true
+//! ratio is ~1.0, so a strict win-gate there would be a coin flip on
+//! scheduler noise.
+//!
+//! On the tiling ceiling: both builders evaluate the same n²/2 kernel
+//! cells, and at d = 32 the RBF evaluation itself (an order-pinned
+//! 32-term reduction plus `exp`) dominates. Tiling removes the seed's
+//! per-row dispatch and its element-wise strided mirror, which is
+//! worth ~1.2× at n = 8000 — not the multiples a memory-bound loop
+//! would show, because the sample set (2 MB) never leaves cache.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+#[allow(deprecated)]
+use edm_kernels::gram_matrix_rows;
 use edm_kernels::{gram_matrix, RbfKernel};
 use edm_svm::{SvcParams, SvcTrainer};
 
 const DIM: usize = 32;
 const GAMMA: f64 = 0.5;
 const SIZES: [usize; 3] = [500, 2000, 8000];
-/// Thread count the parallel sweep pins (the acceptance scenario).
+const QUICK_SIZES: [usize; 2] = [500, 1500];
+/// Thread count the parallel sweep requests (clamped to the host).
 const PAR_THREADS: usize = 4;
+/// Tile geometries swept at a fixed size, `band_rows x col_tile`.
+const TILE_SWEEP: [&str; 4] = ["16x32", "32x64", "64x128", "128x256"];
 
 /// Deterministic SplitMix64 stream.
 struct Mix(u64);
@@ -77,32 +106,72 @@ fn checksum(rows: usize, m: &edm_linalg::Matrix) -> u64 {
     h
 }
 
-/// Median wall time of `runs` executions, in milliseconds.
+/// Best (minimum) wall time of `runs` executions, in milliseconds.
 ///
 /// One untimed warmup run first, and the previous result is dropped
 /// *before* each timed run starts: keeping a second multi-hundred-MB
 /// buffer alive while the next one is allocated perturbs page-fault
-/// behaviour enough to swing large-`n` timings by 3×.
+/// behaviour enough to swing large-`n` timings by 3×. Minimum (not
+/// median) because scheduler/background interference on shared hosts
+/// is strictly additive — the fastest rep is the closest observation
+/// of what the code itself costs.
 fn time_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     drop(f());
-    let mut times = Vec::with_capacity(runs);
+    let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..runs {
         drop(last.take());
         let t0 = Instant::now();
         let out = f();
-        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
         last = Some(out);
     }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    (times[times.len() / 2], last.expect("runs > 0"))
+    (best, last.expect("runs > 0"))
+}
+
+/// Best-of-`rounds` for a set of variants measured **interleaved**:
+/// one timed rep of each variant per round, round-robin. Slow phases
+/// of background load then hit every variant equally instead of
+/// landing on whichever one was being measured in bulk, and the
+/// per-variant minimum discards the polluted rounds entirely. The
+/// first (untimed) warmup pass over all variants is where callers
+/// should latch checksums/iteration counts from their closures; timed
+/// reps drop each result outside the measured window so deallocation
+/// of a multi-hundred-MB buffer never lands in the timing.
+fn time_interleaved_ms<T>(rounds: usize, variants: &mut [&mut dyn FnMut() -> T]) -> Vec<f64> {
+    for f in variants.iter_mut() {
+        drop(f()); // warmup, untimed
+    }
+    let mut best = vec![f64::INFINITY; variants.len()];
+    for _ in 0..rounds {
+        for (b, f) in best.iter_mut().zip(variants.iter_mut()) {
+            let t0 = Instant::now();
+            let out = f();
+            *b = b.min(t0.elapsed().as_secs_f64() * 1e3);
+            drop(out);
+        }
+    }
+    best
 }
 
 struct GramRow {
     n: usize,
+    seed_serial_ms: f64,
     serial_ms: f64,
     parallel_ms: f64,
     bitwise_identical: bool,
+}
+
+impl GramRow {
+    /// Production path (tiled, parallel) vs what the repo used to ship.
+    fn speedup(&self) -> f64 {
+        self.seed_serial_ms / self.parallel_ms
+    }
+
+    /// Tiling alone, threads held at one.
+    fn tiled_vs_seed(&self) -> f64 {
+        self.seed_serial_ms / self.serial_ms
+    }
 }
 
 struct SvcRow {
@@ -113,54 +182,120 @@ struct SvcRow {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     edm_bench::init_trace();
     let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let par_threads = PAR_THREADS.min(host_cores);
+    let sizes: &[usize] = if quick { &QUICK_SIZES } else { &SIZES };
     println!(
-        "kernel-compute bench: d = {DIM}, rbf gamma = {GAMMA}, host cores = {host_cores}, \
-         parallel feature = {}",
+        "kernel-compute bench{}: d = {DIM}, rbf gamma = {GAMMA}, host cores = {host_cores}, \
+         parallel threads = {par_threads} (requested {PAR_THREADS}), parallel feature = {}",
+        if quick { " (quick)" } else { "" },
         edm_par::parallel_enabled()
     );
 
     let mut gram_rows = Vec::new();
-    for &n in &SIZES {
-        let runs = if n >= 8000 { 3 } else { 5 };
+    for &n in sizes {
+        // Small sizes finish in single-digit milliseconds, so buy many
+        // rounds (still cheap) to stabilize the best-of-k minimum.
+        let rounds = if n >= 8000 {
+            5
+        } else if n >= 2000 {
+            15
+        } else {
+            30
+        };
         let pts = points(1, n, DIM);
         let k = RbfKernel::new(GAMMA);
-        set_threads(1);
-        let (serial_ms, g_serial) = time_ms(runs, || gram_matrix(&k, &pts));
-        let sum_serial = checksum(n, &g_serial);
-        drop(g_serial);
-        set_threads(PAR_THREADS);
-        let (parallel_ms, g_par) = time_ms(runs, || gram_matrix(&k, &pts));
-        let sum_par = checksum(n, &g_par);
-        drop(g_par);
-        let row = GramRow { n, serial_ms, parallel_ms, bitwise_identical: sum_serial == sum_par };
+        let mut sum_seed: Option<u64> = None;
+        let mut sum_serial: Option<u64> = None;
+        let mut sum_par: Option<u64> = None;
+        let mut f_seed = || {
+            set_threads(1);
+            #[allow(deprecated)]
+            let g = gram_matrix_rows(&k, &pts);
+            if sum_seed.is_none() {
+                sum_seed = Some(checksum(n, &g));
+            }
+            g
+        };
+        let mut f_serial = || {
+            set_threads(1);
+            let g = gram_matrix(&k, &pts);
+            if sum_serial.is_none() {
+                sum_serial = Some(checksum(n, &g));
+            }
+            g
+        };
+        let mut f_par = || {
+            set_threads(par_threads);
+            let g = gram_matrix(&k, &pts);
+            if sum_par.is_none() {
+                sum_par = Some(checksum(n, &g));
+            }
+            g
+        };
+        let best = time_interleaved_ms(rounds, &mut [&mut f_seed, &mut f_serial, &mut f_par]);
+        let (seed_serial_ms, serial_ms, parallel_ms) = (best[0], best[1], best[2]);
+        let row = GramRow {
+            n,
+            seed_serial_ms,
+            serial_ms,
+            parallel_ms,
+            bitwise_identical: sum_seed.is_some()
+                && sum_seed == sum_serial
+                && sum_serial == sum_par,
+        };
         println!(
-            "gram n={n:5}: serial {serial_ms:9.2} ms | {PAR_THREADS} threads {parallel_ms:9.2} ms \
-             | speedup {:.2}x | bitwise identical: {}",
-            row.serial_ms / row.parallel_ms,
+            "gram n={n:5}: seed {seed_serial_ms:9.2} ms | tiled {serial_ms:9.2} ms | \
+             {par_threads} threads {parallel_ms:9.2} ms | speedup {:.2}x | bitwise identical: {}",
+            row.speedup(),
             row.bitwise_identical
         );
-        assert!(row.bitwise_identical, "parallel gram diverged from serial");
+        assert!(row.bitwise_identical, "tiled gram diverged from the seed builder");
         gram_rows.push(row);
     }
 
+    // Tile-geometry sweep: tiled serial build at one size per EDM_BLOCK.
+    set_threads(1);
+    let sweep_n = if quick { 1500 } else { 2000 };
+    let sweep_pts = points(1, sweep_n, DIM);
+    let sweep_k = RbfKernel::new(GAMMA);
+    let mut tile_rows = Vec::new();
+    for block in TILE_SWEEP {
+        std::env::set_var("EDM_BLOCK", block);
+        let (ms, g) = time_ms(3, || gram_matrix(&sweep_k, &sweep_pts));
+        drop(g);
+        println!("tile sweep n={sweep_n}: EDM_BLOCK={block:8} {ms:9.2} ms");
+        tile_rows.push((block, ms));
+    }
+    std::env::remove_var("EDM_BLOCK");
+
     set_threads(1); // cache comparison is a serial, algorithmic effect
     let mut svc_rows = Vec::new();
-    for &n in &SIZES {
-        let runs = 3;
+    for &n in sizes {
+        let rounds = 3;
         let (x, y) = blobs(n, DIM);
         let on = SvcTrainer::new(SvcParams::default()).kernel(RbfKernel::new(GAMMA));
         let off =
             SvcTrainer::new(SvcParams::default().with_cache_bytes(0)).kernel(RbfKernel::new(GAMMA));
-        let (cache_on_ms, model) = time_ms(runs, || on.fit(&x, &y).expect("separable blobs"));
-        let (cache_off_ms, model_off) = time_ms(runs, || off.fit(&x, &y).expect("separable blobs"));
-        assert_eq!(
-            model.iterations(),
-            model_off.iterations(),
-            "cache changed the optimization trajectory"
-        );
-        let row = SvcRow { n, cache_on_ms, cache_off_ms, iterations: model.iterations() };
+        let mut iters_on: Option<usize> = None;
+        let mut iters_off: Option<usize> = None;
+        let mut f_on = || {
+            let m = on.fit(&x, &y).expect("separable blobs");
+            iters_on.get_or_insert(m.iterations());
+            m
+        };
+        let mut f_off = || {
+            let m = off.fit(&x, &y).expect("separable blobs");
+            iters_off.get_or_insert(m.iterations());
+            m
+        };
+        let best = time_interleaved_ms(rounds, &mut [&mut f_on, &mut f_off]);
+        let (cache_on_ms, cache_off_ms) = (best[0], best[1]);
+        let iterations = iters_on.expect("warmup ran");
+        assert_eq!(Some(iterations), iters_off, "cache changed the optimization trajectory");
+        let row = SvcRow { n, cache_on_ms, cache_off_ms, iterations };
         println!(
             "svc  n={n:5}: cache on {cache_on_ms:9.2} ms | cache off {cache_off_ms:9.2} ms \
              | win {:.2}x | {} iterations",
@@ -175,22 +310,34 @@ fn main() {
     let _ = writeln!(
         j,
         "  \"config\": {{\"d\": {DIM}, \"kernel\": \"rbf\", \"gamma\": {GAMMA}, \
-         \"host_cores\": {host_cores}, \"parallel_threads\": {PAR_THREADS}, \
-         \"parallel_feature\": {}}},",
+         \"host_cores\": {host_cores}, \"parallel_threads\": {par_threads}, \
+         \"parallel_feature\": {}, \"quick\": {quick}}},",
         edm_par::parallel_enabled()
     );
     let _ = writeln!(j, "  \"gram_build\": [");
     for (i, r) in gram_rows.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"n\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
-             \"speedup\": {:.3}, \"bitwise_identical\": {}}}{}",
+            "    {{\"n\": {}, \"seed_serial_ms\": {:.3}, \"serial_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"tiled_vs_seed\": {:.3}, \
+             \"bitwise_identical\": {}}}{}",
             r.n,
+            r.seed_serial_ms,
             r.serial_ms,
             r.parallel_ms,
-            r.serial_ms / r.parallel_ms,
+            r.speedup(),
+            r.tiled_vs_seed(),
             r.bitwise_identical,
             if i + 1 < gram_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"tile_sweep\": [");
+    for (i, (block, ms)) in tile_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"n\": {sweep_n}, \"block\": \"{block}\", \"serial_ms\": {ms:.3}}}{}",
+            if i + 1 < tile_rows.len() { "," } else { "" }
         );
     }
     let _ = writeln!(j, "  ],");
@@ -209,22 +356,28 @@ fn main() {
         );
     }
     let _ = writeln!(j, "  ],");
-    let gram2000 = gram_rows.iter().find(|r| r.n == 2000).expect("n=2000 measured");
+    let min_speedup = gram_rows.iter().map(GramRow::speedup).fold(f64::INFINITY, f64::min);
+    let largest = gram_rows.last().expect("at least one size");
     let cache_win =
         svc_rows.iter().map(|r| r.cache_off_ms / r.cache_on_ms).fold(f64::NEG_INFINITY, f64::max);
     let _ = writeln!(j, "  \"claims\": {{");
+    let _ = writeln!(j, "    \"gram_min_speedup_vs_seed\": {min_speedup:.3},");
+    let _ = writeln!(j, "    \"gram_speedup_at_largest_n\": {:.3},", largest.speedup());
+    let _ = writeln!(j, "    \"gram_speedup_gt_1_at_every_n\": {},", min_speedup > 1.0);
     let _ = writeln!(
         j,
-        "    \"gram_n2000_speedup_on_{PAR_THREADS}_threads\": {:.3},",
-        gram2000.serial_ms / gram2000.parallel_ms
+        "    \"gram_tiled_serial_vs_seed_n{}\": {:.3},",
+        largest.n,
+        largest.tiled_vs_seed()
     );
-    let _ = writeln!(j, "    \"gram_speedup_measurable_on_host\": {},", host_cores >= 2);
     let _ = writeln!(j, "    \"best_svc_cache_win\": {cache_win:.3},");
     let _ = writeln!(j, "    \"svc_cache_win_ge_1\": {},", cache_win > 1.0);
     let _ = writeln!(
         j,
-        "    \"note\": \"speedup numbers are wall-clock medians on this host; with fewer \
-         cores than parallel_threads the gram sweep measures dispatch overhead, not scaling\""
+        "    \"note\": \"interleaved best-of-k wall times on this host; seed_serial_ms is the \
+         pre-rework row-sharded builder at one thread, parallel_threads is clamped to \
+         host_cores, so on small hosts the speedup column isolates cache blocking rather than \
+         thread scaling\""
     );
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
@@ -232,4 +385,36 @@ fn main() {
     std::fs::write("BENCH_kernel_compute.json", &j).expect("write BENCH_kernel_compute.json");
     println!("\nwrote BENCH_kernel_compute.json");
     edm_bench::emit_trace("bench_kernel_compute", 1);
+
+    // Hard gates — a regression here must fail the run, not just
+    // reword the JSON. The strict win is demanded at the largest size,
+    // where the old builder actually regressed and where tiling has
+    // headroom; the smaller cache-resident sizes get a no-regression
+    // floor because their true ratio is ~1.0 (see the module docs).
+    if quick {
+        assert!(
+            min_speedup >= 0.9,
+            "tiled+parallel gram build regressed past noise vs the seed baseline \
+             (min speedup {min_speedup:.3}, floor 0.9)"
+        );
+    } else {
+        assert!(
+            largest.speedup() > 1.0,
+            "tiled+parallel gram at n={} no faster than the seed baseline ({:.3}x)",
+            largest.n,
+            largest.speedup()
+        );
+        assert!(
+            min_speedup >= 0.9,
+            "tiled+parallel gram build regressed past noise vs the seed baseline \
+             (min speedup {min_speedup:.3}, floor 0.9)"
+        );
+        assert!(
+            largest.tiled_vs_seed() >= 1.1,
+            "tiled serial gram at n={} is only {:.3}x the seed baseline (need >= 1.1x; \
+             the eval-bound ceiling at d=32 is ~1.2-1.3x, see the module docs)",
+            largest.n,
+            largest.tiled_vs_seed()
+        );
+    }
 }

@@ -8,7 +8,7 @@
 
 use std::borrow::Borrow;
 
-use edm_linalg::Matrix;
+use edm_linalg::{BlockSpec, Matrix};
 
 use crate::Kernel;
 
@@ -19,10 +19,19 @@ use crate::Kernel;
 /// evaluated; symmetry is filled in, so a slightly asymmetric (buggy)
 /// kernel is symmetrized rather than propagated.
 ///
-/// The upper-triangle fill runs one row per worker thread (with the
-/// `parallel` feature; serial otherwise). Each entry is produced by the
-/// same single kernel evaluation either way, so the result is bitwise
-/// identical across both paths.
+/// The fill is cache-blocked: worker threads take *bands* of rows (not
+/// single rows), and each band sweeps the upper triangle one
+/// [`BlockSpec::col_tile`]-wide panel of samples at a time, so the
+/// panel stays L1/L2-resident while every row of the band evaluates
+/// against it. At industrial n the naive row loop streams the entire
+/// sample set through cache once per row; the tiled walk streams it
+/// once per *band*, which is what makes the build memory-lean enough
+/// to scale. Each entry is still produced by the same single kernel
+/// evaluation in every configuration, so serial, parallel, and any
+/// tile shape give bitwise identical results.
+///
+/// Emits `kernels.gram.tiles` and `kernels.gram.mirrored_cells`
+/// counters when tracing is on.
 pub fn gram_matrix<S, K, I>(kernel: &K, items: &[I]) -> Matrix
 where
     S: ?Sized,
@@ -34,15 +43,66 @@ where
     if n == 0 {
         return g;
     }
-    // Phase 1: each worker fills columns i..n of its own row i.
+    let spec = BlockSpec::from_env();
+    let (band_rows, tile) = (spec.band_rows, spec.col_tile);
+    // Phase 1: bands of rows fill their upper-triangle cells tile by
+    // tile. A band starting at row i0 only owns cells with j >= i, so
+    // it can skip every column tile left of the one holding i0.
+    edm_par::for_each_band(g.as_mut_slice(), n, band_rows, |b, band| {
+        let i0 = b * band_rows;
+        let mut j0 = i0 - i0 % tile;
+        while j0 < n {
+            let jend = (j0 + tile).min(n);
+            for (di, row) in band.chunks_mut(n).enumerate() {
+                let i = i0 + di;
+                let lo = j0.max(i);
+                let xi = items[i].borrow();
+                for (slot, j) in row[lo..jend].iter_mut().zip(lo..) {
+                    *slot = kernel.eval(xi, items[j].borrow());
+                }
+            }
+            j0 = jend;
+        }
+    });
+    if edm_trace::enabled() {
+        // Tile count is a pure function of (n, spec): per band, the
+        // panels from the diagonal one through the last.
+        let panels = n.div_ceil(tile);
+        let tiles: u64 = (0..n).step_by(band_rows).map(|i0| (panels - i0 / tile) as u64).sum();
+        edm_trace::counter_add("kernels.gram.tiles", tiles);
+        edm_trace::counter_add("kernels.gram.mirrored_cells", (n * (n - 1) / 2) as u64);
+    }
+    // Phase 2: mirror the triangle — tile-blocked copies, cheap next
+    // to the kernel evaluations above.
+    g.mirror_upper_to_lower();
+    g
+}
+
+/// The pre-tiling Gram builder: one output row per dispatch, each row
+/// streaming the entire sample set, with an element-wise mirror.
+///
+/// Kept for one release as a measurement baseline — `bench_kernel_compute`
+/// quantifies the tiled [`gram_matrix`] against it — and for callers
+/// that need the old scheduling while migrating.
+#[deprecated(since = "0.1.0", note = "use `gram_matrix`, which tiles the fill for cache reuse")]
+pub fn gram_matrix_rows<S, K, I>(kernel: &K, items: &[I]) -> Matrix
+where
+    S: ?Sized,
+    K: Kernel<S> + ?Sized,
+    I: Borrow<S> + Sync,
+{
+    let n = items.len();
+    let mut g = Matrix::zeros(n, n);
+    if n == 0 {
+        return g;
+    }
+    // Each worker fills columns i..n of its own row i.
     edm_par::for_each_row(g.as_mut_slice(), n, |i, row| {
         let xi = items[i].borrow();
         for (j, slot) in row.iter_mut().enumerate().skip(i) {
             *slot = kernel.eval(xi, items[j].borrow());
         }
     });
-    // Phase 2: mirror the triangle — plain copies, cheap next to the
-    // kernel evaluations above.
     for i in 1..n {
         for j in 0..i {
             g[(i, j)] = g[(j, i)];
@@ -76,6 +136,47 @@ where
 /// Chunk size for [`gram_row`] scoring: large enough that the per-chunk
 /// dispatch cost is negligible next to the kernel evaluations.
 const GRAM_ROW_CHUNK: usize = 512;
+
+/// Evaluates several kernel rows in one pass: `out[r][t] =
+/// k(xs[r], items[t])`.
+///
+/// The batch is computed sample-major — every chunk of `items` is
+/// loaded once and scored against *all* query samples while it is
+/// cache-hot — so scoring B rows together costs one stream over the
+/// data instead of B. Worker threads split the sample axis; each cell
+/// is one independent kernel evaluation, so the result is bitwise
+/// identical to calling [`gram_row`] per query in any order.
+pub fn gram_rows<S, K, I>(kernel: &K, xs: &[&S], items: &[I]) -> Vec<Vec<f64>>
+where
+    S: Sync + ?Sized,
+    K: Kernel<S> + ?Sized,
+    I: Borrow<S> + Sync,
+{
+    let b = xs.len();
+    let n = items.len();
+    let mut out: Vec<Vec<f64>> = xs.iter().map(|_| vec![0.0; n]).collect();
+    if b == 0 || n == 0 {
+        return out;
+    }
+    // Interleaved scratch (`scratch[t * b + r]`) keeps each parallel
+    // chunk a contiguous run of whole sample-columns.
+    let mut scratch = vec![0.0; n * b];
+    edm_par::for_each_chunk(&mut scratch, GRAM_ROW_CHUNK * b, |c, chunk| {
+        let t0 = c * GRAM_ROW_CHUNK;
+        for (dt, cell) in chunk.chunks_exact_mut(b).enumerate() {
+            let xt = items[t0 + dt].borrow();
+            for (v, x) in cell.iter_mut().zip(xs) {
+                *v = kernel.eval(x, xt);
+            }
+        }
+    });
+    for (r, row) in out.iter_mut().enumerate() {
+        for (t, v) in row.iter_mut().enumerate() {
+            *v = scratch[t * b + r];
+        }
+    }
+    out
+}
 
 /// Centers a Gram matrix in feature space:
 /// `K' = K − 1ₙK − K1ₙ + 1ₙK1ₙ` where `1ₙ` is the constant `1/n` matrix.
@@ -217,5 +318,36 @@ mod tests {
         for (a, b) in row.iter().zip(g.row(2)) {
             assert!((a - b).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn gram_rows_matches_per_row_scoring_bitwise() {
+        let items = cloud();
+        let k = RbfKernel::new(1.1);
+        let xs: Vec<&[f64]> = vec![&items[0], &items[3], &items[0]];
+        let batch = gram_rows(&k, &xs, &items);
+        assert_eq!(batch.len(), 3);
+        for (x, got) in xs.iter().zip(&batch) {
+            let solo = gram_row(&k, x, &items);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                solo.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        let empty: Vec<&[f64]> = vec![];
+        assert!(gram_rows(&k, &empty, &items).is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_row_sharded_builder_matches_tiled_bitwise() {
+        let items = cloud();
+        let k = RbfKernel::new(0.6);
+        let tiled = gram_matrix(&k, &items);
+        let rows = gram_matrix_rows(&k, &items);
+        assert_eq!(
+            tiled.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            rows.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 }

@@ -47,7 +47,9 @@ mod sequence;
 mod vector_kernels;
 
 pub use composite::{NormalizedKernel, ProductKernel, ScaledKernel, SumKernel};
-pub use gram::{center_gram, gram_matrix, gram_row, is_psd};
+#[allow(deprecated)]
+pub use gram::gram_matrix_rows;
+pub use gram::{center_gram, gram_matrix, gram_row, gram_rows, is_psd};
 pub use sequence::{SpectrumKernel, SpectrumProfile};
 pub use vector_kernels::{
     Chi2Kernel, HistogramIntersectionKernel, LinearKernel, PolyKernel, RbfKernel, SigmoidKernel,

@@ -4,7 +4,9 @@
 //! threading threshold in `edm-par`, so the worker-thread path really
 //! runs (under the default `parallel` feature).
 
-use edm_kernels::{gram_matrix, gram_row, Kernel, LinearKernel, RbfKernel};
+#[allow(deprecated)]
+use edm_kernels::gram_matrix_rows;
+use edm_kernels::{gram_matrix, gram_row, gram_rows, Kernel, LinearKernel, RbfKernel};
 use proptest::prelude::*;
 
 /// Deterministic SplitMix64 point cloud.
@@ -72,5 +74,72 @@ proptest! {
             row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             want
         );
+    }
+
+    /// Ragged sizes straddling the tile geometry (n below one band,
+    /// one past a boundary, not a multiple of the column tile) and the
+    /// degenerate d = 1 must all reproduce the naive reference.
+    #[test]
+    fn tiled_gram_matrix_handles_ragged_sizes(
+        seed in 0u64..1_000_000,
+        n in 1usize..140,
+        d in 1usize..4,
+        gamma in 0.2f64..2.0,
+    ) {
+        let pts = points(seed, n, d);
+        let k = RbfKernel::new(gamma);
+        let g = gram_matrix(&k, &pts);
+        let got: Vec<u64> = (0..n)
+            .flat_map(|i| g.row(i).iter().map(|v| v.to_bits()))
+            .collect();
+        prop_assert_eq!(got, gram_serial(&k, &pts));
+    }
+
+    /// The deprecated row-sharded builder and the tiled builder fill
+    /// every cell with the same lone `kernel.eval` (or its mirror), so
+    /// their outputs must be bitwise interchangeable.
+    #[test]
+    fn tiled_gram_matches_deprecated_row_sharded(
+        seed in 0u64..1_000_000,
+        n in 1usize..90,
+        gamma in 0.2f64..2.0,
+    ) {
+        let pts = points(seed, n, 3);
+        let k = RbfKernel::new(gamma);
+        let tiled = gram_matrix(&k, &pts);
+        #[allow(deprecated)]
+        let sharded = gram_matrix_rows(&k, &pts);
+        let tb: Vec<u64> = (0..n)
+            .flat_map(|i| tiled.row(i).iter().map(|v| v.to_bits()))
+            .collect();
+        let sb: Vec<u64> = (0..n)
+            .flat_map(|i| sharded.row(i).iter().map(|v| v.to_bits()))
+            .collect();
+        prop_assert_eq!(tb, sb);
+    }
+
+    /// Batched scoring must be indistinguishable from per-row calls:
+    /// `gram_rows` returns exactly what `gram_row` would for each
+    /// probe, independent of batch width.
+    #[test]
+    fn batched_gram_rows_match_per_row_calls(
+        seed in 0u64..1_000_000,
+        n in 1usize..120,
+        b in 1usize..6,
+        gamma in 0.2f64..2.0,
+    ) {
+        let pts = points(seed, n, 3);
+        let probes = points(seed ^ 0xBEEF, b, 3);
+        let k = RbfKernel::new(gamma);
+        let refs: Vec<&[f64]> = probes.iter().map(Vec::as_slice).collect();
+        let batched = gram_rows(&k, &refs, &pts);
+        prop_assert_eq!(batched.len(), b);
+        for (probe, got) in probes.iter().zip(&batched) {
+            let lone = gram_row(&k, probe.as_slice(), &pts);
+            prop_assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                lone.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 }

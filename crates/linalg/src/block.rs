@@ -1,0 +1,167 @@
+//! Cache-blocking parameters and the register-blocked micro-kernel
+//! shared by the tiled dense routines ([`Matrix::mat_mul`],
+//! [`Matrix::gram`], [`Matrix::transpose`] and the kernel-Gram builder
+//! in `edm-kernels`).
+//!
+//! The tiling strategy is deliberately one-knob: a [`BlockSpec`] names
+//! a *band* height (rows of output handed to one worker in a single
+//! dispatch) and a *column tile* width (the contiguous output run the
+//! inner loops sweep while their inputs stay cache-resident). Both
+//! routines walk tiles in a fixed order and keep every element's
+//! reduction loop full-range ascending, so the blocked results are
+//! bitwise identical to the naive loops — blocking only reorders
+//! *which elements* are touched when, never the summation order
+//! *within* an element.
+//!
+//! [`Matrix::mat_mul`]: crate::Matrix::mat_mul
+//! [`Matrix::gram`]: crate::Matrix::gram
+//! [`Matrix::transpose`]: crate::Matrix::transpose
+
+/// Width of the fixed-size chunks the micro-kernel processes.
+///
+/// Eight `f64` lanes = one cache line = two AVX2 registers (or one
+/// AVX-512 register); a compile-time-known trip count with no bounds
+/// checks is what lets the autovectorizer emit packed SIMD for the
+/// chunk body.
+const LANES: usize = 8;
+
+/// Tile sizes for the cache-blocked dense routines.
+///
+/// * `band_rows` — output rows per parallel band. One band is one
+///   dispatch unit in [`edm_par::for_each_band`], and the tiled loops
+///   reuse whatever input panel they stream across all rows of the
+///   band.
+/// * `col_tile` — output columns per inner tile. Sized so the input
+///   panel a tile consumes (`col_tile` columns × the reduction depth)
+///   stays L1/L2-resident while every row of the band sweeps it.
+///
+/// The defaults (64 × 128) keep a 64-row × 256-byte sample band and a
+/// 128-column × 256-byte input panel — 16 KiB + 32 KiB at the
+/// workspace's typical feature depth of 32 — comfortably inside a
+/// 64 KiB L1d, with plenty of headroom before L2 even at depth 256.
+///
+/// Tuning is env-overridable without recompiling: `EDM_BLOCK=B` sets
+/// the band height, `EDM_BLOCK=BxC` (or `B,C`) sets both. Invalid
+/// values warn once on stderr and fall back to the defaults, matching
+/// the `EDM_NUM_THREADS` convention in `edm-par`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Output rows per parallel band (dispatch granule).
+    pub band_rows: usize,
+    /// Output columns per inner tile (cache-residency granule).
+    pub col_tile: usize,
+}
+
+impl Default for BlockSpec {
+    fn default() -> Self {
+        BlockSpec { band_rows: 64, col_tile: 128 }
+    }
+}
+
+impl BlockSpec {
+    /// A spec with explicit tile sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(band_rows: usize, col_tile: usize) -> Self {
+        assert!(band_rows > 0 && col_tile > 0, "BlockSpec dimensions must be positive");
+        BlockSpec { band_rows, col_tile }
+    }
+
+    /// The spec in effect for this call: `EDM_BLOCK` if set and valid,
+    /// otherwise the defaults.
+    ///
+    /// Re-reads the environment on every call (like `EDM_NUM_THREADS`)
+    /// so benchmarks can sweep tile sizes in-process. An unparsable or
+    /// zero value warns once on stderr and falls back to the defaults
+    /// rather than silently misconfiguring the kernels.
+    pub fn from_env() -> Self {
+        match std::env::var("EDM_BLOCK") {
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                static WARN: std::sync::Once = std::sync::Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "edm-linalg: ignoring invalid EDM_BLOCK value {v:?} \
+                         (expected \"BAND\" or \"BANDxTILE\"); using defaults"
+                    );
+                });
+                BlockSpec::default()
+            }),
+            Err(_) => BlockSpec::default(),
+        }
+    }
+
+    /// Parses `"64"`, `"64x128"`, or `"64,128"`. `None` on anything
+    /// else (including zeros, which would make the tiled loops spin).
+    fn parse(v: &str) -> Option<Self> {
+        let v = v.trim();
+        let (band, tile) = match v.split_once(['x', 'X', ',']) {
+            Some((b, t)) => (b.trim().parse().ok()?, t.trim().parse().ok()?),
+            None => (v.parse().ok()?, BlockSpec::default().col_tile),
+        };
+        if band == 0 || tile == 0 {
+            return None;
+        }
+        Some(BlockSpec { band_rows: band, col_tile: tile })
+    }
+}
+
+/// `acc[t] += a * b[t]` over a contiguous run.
+///
+/// The body is the register-blocked micro-kernel: fixed [`LANES`]-wide
+/// chunks with a compile-time trip count (so LLVM emits packed
+/// mul/add), plus a scalar tail. Each output element still receives
+/// exactly one `+= a * b` — identical operation, identical rounding —
+/// so this is bitwise interchangeable with the plain zip loop.
+///
+/// # Panics
+///
+/// Panics if the run lengths differ.
+#[inline]
+pub(crate) fn axpy_run(a: f64, b: &[f64], acc: &mut [f64]) {
+    assert_eq!(b.len(), acc.len(), "axpy_run length mismatch");
+    let mut bc = b.chunks_exact(LANES);
+    let mut ac = acc.chunks_exact_mut(LANES);
+    for (av, bv) in (&mut ac).zip(&mut bc) {
+        for l in 0..LANES {
+            av[l] += a * bv[l];
+        }
+    }
+    for (av, bv) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+        *av += a * bv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_documented_forms() {
+        assert_eq!(BlockSpec::parse("64"), Some(BlockSpec { band_rows: 64, col_tile: 128 }));
+        assert_eq!(BlockSpec::parse("32x256"), Some(BlockSpec::new(32, 256)));
+        assert_eq!(BlockSpec::parse(" 16 , 48 "), Some(BlockSpec::new(16, 48)));
+        assert_eq!(BlockSpec::parse("8X8"), Some(BlockSpec::new(8, 8)));
+        for bad in ["", "zero", "0", "64x0", "0x64", "-4", "4x-4", "1.5"] {
+            assert_eq!(BlockSpec::parse(bad), None, "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn axpy_run_matches_plain_loop_bitwise() {
+        // 19 elements: two full 8-lane chunks plus a 3-wide tail.
+        let b: Vec<f64> = (0..19).map(|i| (i as f64 * 0.7).sin()).collect();
+        let a = 0.123456789;
+        let mut blocked: Vec<f64> = (0..19).map(|i| (i as f64).cos()).collect();
+        let mut plain = blocked.clone();
+        axpy_run(a, &b, &mut blocked);
+        for (y, x) in plain.iter_mut().zip(&b) {
+            *y += a * x;
+        }
+        assert_eq!(
+            blocked.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            plain.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

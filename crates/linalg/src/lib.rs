@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+mod block;
 mod cholesky;
 mod eigen;
 mod error;
@@ -37,6 +38,7 @@ pub mod sample;
 pub mod stats;
 mod vector;
 
+pub use block::BlockSpec;
 pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;

@@ -139,7 +139,12 @@ impl Matrix {
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        // One strided pass over the buffer; the iterator form avoids the
+        // per-element index arithmetic and bounds check of `self[(r, c)]`.
+        self.data[c..].iter().step_by(self.cols).copied().collect()
     }
 
     /// Iterator over the rows as slices.
@@ -164,15 +169,30 @@ impl Matrix {
 
     /// The transpose `Aᵀ`.
     ///
-    /// Large matrices are transposed with one worker thread per output
-    /// row; each element is a single copy, so serial and parallel
-    /// results are identical.
+    /// Tile-blocked: workers take bands of output rows and copy the
+    /// input in square-ish tiles, so the strided side of the copy
+    /// revisits each cache line while it is still resident instead of
+    /// streaming the whole matrix once per output row. Each element is
+    /// a single copy, so blocked, serial, and parallel results are all
+    /// identical.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        let n = self.rows;
-        edm_par::for_each_row(&mut t.data, n.max(1), |c, trow| {
-            for (r, slot) in trow.iter_mut().enumerate() {
-                *slot = self[(r, c)];
+        if self.rows == 0 || self.cols == 0 {
+            return t;
+        }
+        let spec = crate::BlockSpec::from_env();
+        let (rows, cols) = (self.rows, self.cols);
+        let data = &self.data;
+        edm_par::for_each_band(&mut t.data, rows, spec.band_rows, |b, band| {
+            let c0 = b * spec.band_rows;
+            for r0 in (0..rows).step_by(spec.col_tile) {
+                let rend = (r0 + spec.col_tile).min(rows);
+                for (dc, trow) in band.chunks_mut(rows).enumerate() {
+                    let c = c0 + dc;
+                    for (slot, r) in trow[r0..rend].iter_mut().zip(r0..) {
+                        *slot = data[r * cols + c];
+                    }
+                }
             }
         });
         t
@@ -217,19 +237,31 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both B and C.
-        // Output rows are independent, so they parallelize without
-        // changing each element's k-ascending accumulation order: the
-        // product is bitwise identical to the serial path.
-        edm_par::for_each_row(&mut out.data, other.cols.max(1), |i, crow| {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                for (c, &b) in crow.iter_mut().zip(brow) {
-                    *c += a * b;
+        if self.rows == 0 || other.cols == 0 {
+            return out;
+        }
+        // Cache-blocked i-k-j: workers take bands of output rows, and
+        // within a band the columns are swept one `col_tile`-wide panel
+        // of B at a time, so the panel stays cache-resident while every
+        // row of the band streams over it. Each C element still
+        // accumulates in k-ascending order with the same zero skip as
+        // the naive loop, so the product is bitwise identical to the
+        // serial i-k-j path.
+        let spec = crate::BlockSpec::from_env();
+        let n = other.cols;
+        edm_par::for_each_band(&mut out.data, n, spec.band_rows, |bi, band| {
+            let i0 = bi * spec.band_rows;
+            for j0 in (0..n).step_by(spec.col_tile) {
+                let jend = (j0 + spec.col_tile).min(n);
+                for (di, crow) in band.chunks_mut(n).enumerate() {
+                    let arow = self.row(i0 + di);
+                    let ctile = &mut crow[j0..jend];
+                    for (k, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        crate::block::axpy_run(a, &other.data[k * n + j0..k * n + jend], ctile);
+                    }
                 }
             }
         });
@@ -238,29 +270,61 @@ impl Matrix {
 
     /// The Gram product `AᵀA` (always symmetric positive semidefinite).
     ///
-    /// Upper-triangle rows are computed in parallel for large outputs.
-    /// Every element accumulates its sample terms in the same ascending
-    /// sample order as the serial loop (and with the same skip of zero
-    /// factors), so the result is bitwise identical either way.
+    /// Only the upper triangle is computed (in parallel bands of rows,
+    /// streaming `A` once per band instead of once per row), then
+    /// mirrored tile-by-tile. Every element accumulates its sample
+    /// terms in the same ascending sample order as the serial loop (and
+    /// with the same skip of zero factors), so the result is bitwise
+    /// identical either way.
     pub fn gram(&self) -> Matrix {
-        let mut g = Matrix::zeros(self.cols, self.cols);
-        edm_par::for_each_row(&mut g.data, self.cols.max(1), |i, grow| {
-            for row in self.data.chunks_exact(self.cols.max(1)) {
-                let ri = row[i];
-                if ri == 0.0 {
-                    continue;
-                }
-                for (slot, &rj) in grow[i..].iter_mut().zip(&row[i..]) {
-                    *slot += ri * rj;
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        if d == 0 {
+            return g;
+        }
+        let spec = crate::BlockSpec::from_env();
+        edm_par::for_each_band(&mut g.data, d, spec.band_rows, |b, band| {
+            let i0 = b * spec.band_rows;
+            for row in self.data.chunks_exact(d) {
+                for (di, grow) in band.chunks_mut(d).enumerate() {
+                    let i = i0 + di;
+                    let ri = row[i];
+                    if ri == 0.0 {
+                        continue;
+                    }
+                    crate::block::axpy_run(ri, &row[i..], &mut grow[i..]);
                 }
             }
         });
-        for i in 0..self.cols {
-            for j in 0..i {
-                g[(i, j)] = g[(j, i)];
+        g.mirror_upper_to_lower();
+        g
+    }
+
+    /// Copies the strict upper triangle onto the lower one, making the
+    /// matrix exactly symmetric: `a[(i, j)] = a[(j, i)]` for `j < i`.
+    ///
+    /// The copy walks square tiles so the column-strided read side
+    /// stays cache-resident; used by the symmetric builders here and in
+    /// `edm-kernels` after filling only one triangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn mirror_upper_to_lower(&mut self) {
+        assert!(self.is_square(), "mirror requires a square matrix");
+        const TILE: usize = 64;
+        let n = self.rows;
+        for i0 in (0..n).step_by(TILE) {
+            let iend = (i0 + TILE).min(n);
+            for j0 in (0..=i0).step_by(TILE) {
+                let jend = (j0 + TILE).min(n);
+                for i in i0..iend {
+                    for j in j0..jend.min(i) {
+                        self.data[i * n + j] = self.data[j * n + i];
+                    }
+                }
             }
         }
-        g
     }
 
     /// Element-wise map.

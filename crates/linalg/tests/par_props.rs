@@ -124,4 +124,36 @@ proptest! {
         let a = matrix(seed, rows, cols, 7);
         prop_assert_eq!(bits(&a.transpose()), bits(&transpose_serial(&a)));
     }
+
+    #[test]
+    fn tiled_kernels_handle_ragged_shapes(
+        seed in 0u64..1_000_000,
+        rows in 1usize..72,
+        cols in 1usize..72,
+    ) {
+        // Small and awkward dims: below the default tile, not a
+        // multiple of it, single row/column. These fall back to the
+        // serial dispatch path, but still go through the blocked loops.
+        let a = matrix(seed, rows, cols, 3);
+        let b = matrix(seed ^ 0xF00D, cols, rows, 5);
+        prop_assert_eq!(bits(&a.mat_mul(&b)), bits(&mat_mul_serial(&a, &b)));
+        prop_assert_eq!(bits(&a.gram()), bits(&gram_serial(&a)));
+        prop_assert_eq!(bits(&a.transpose()), bits(&transpose_serial(&a)));
+    }
+}
+
+/// The exact boundary cases named in the blocked-compute contract:
+/// dims below one tile, one past a tile boundary, not a multiple of
+/// either block dimension, and the degenerate d = 1.
+#[test]
+fn tiled_kernels_cover_tile_boundary_shapes() {
+    // (rows, cols) pairs straddling the default 64×128 BlockSpec.
+    let shapes = [(1, 1), (1, 130), (63, 64), (64, 65), (65, 127), (128, 129), (129, 1), (200, 3)];
+    for (seed, &(rows, cols)) in shapes.iter().enumerate() {
+        let a = matrix(seed as u64 * 31 + 7, rows, cols, 4);
+        let b = matrix(seed as u64 * 37 + 11, cols, rows, 6);
+        assert_eq!(bits(&a.mat_mul(&b)), bits(&mat_mul_serial(&a, &b)), "mat_mul {rows}x{cols}");
+        assert_eq!(bits(&a.gram()), bits(&gram_serial(&a)), "gram {rows}x{cols}");
+        assert_eq!(bits(&a.transpose()), bits(&transpose_serial(&a)), "transpose {rows}x{cols}");
+    }
 }

@@ -239,6 +239,36 @@ where
     }
 }
 
+/// Applies `f(band_index, band)` to consecutive bands of `band_rows`
+/// whole `row_len`-sized rows of `data` (the final band may hold fewer
+/// rows). Band `b` starts at row `b * band_rows`.
+///
+/// This is the coarse-grained counterpart of [`for_each_row`] for
+/// cache-blocked kernels: handing a worker a *band* of rows instead of
+/// one row amortizes dispatch over `band_rows` rows of work and lets
+/// the closure reuse whatever inputs it streams across the whole band.
+/// Each band is visited exactly once by exactly one thread, so the
+/// determinism guarantee of [`for_each_row`] carries over unchanged.
+///
+/// # Panics
+///
+/// Panics if `band_rows == 0`, or if `data.len()` is not a multiple of
+/// `row_len` (with `row_len == 0` requiring `data` to be empty). A
+/// panic inside `f` on any thread propagates to the caller.
+pub fn for_each_band<T, F>(data: &mut [T], row_len: usize, band_rows: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(band_rows > 0, "band_rows must be positive");
+    if row_len == 0 {
+        assert!(data.is_empty(), "row_len is 0 but data is non-empty");
+        return;
+    }
+    assert_eq!(data.len() % row_len, 0, "data length not a multiple of row_len");
+    for_each_chunk(data, row_len * band_rows, f);
+}
+
 /// Builds a `Vec` whose `i`-th element is `f(i)`, computing the slots
 /// in parallel but returning them in index order.
 ///
@@ -331,6 +361,33 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i as f64);
         }
+    }
+
+    #[test]
+    fn bands_cover_every_row_once_with_ragged_tail() {
+        // 11 rows of 512 in bands of 4: bands of 4, 4, 3 rows.
+        let cols = 512;
+        let rows = 11;
+        let mut data = vec![0.0; rows * cols];
+        for_each_band(&mut data, cols, 4, |b, band| {
+            assert_eq!(band.len() % cols, 0);
+            let first_row = b * 4;
+            for (dr, row) in band.chunks_mut(cols).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v += ((first_row + dr) * cols + j) as f64;
+                }
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "band_rows must be positive")]
+    fn zero_band_rows_rejected() {
+        let mut data = vec![0.0; 8];
+        for_each_band(&mut data, 4, 0, |_, _| {});
     }
 
     #[test]

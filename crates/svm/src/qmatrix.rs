@@ -22,11 +22,15 @@
 //! * [`SvrQ`] — the 2m×2m SVR block structure over m samples, computing
 //!   each underlying kernel row once and mirroring it with signs.
 //!
-//! On a cache miss, [`KernelQ`] and [`SvrQ`] fill the row with worker
-//! threads (under the `parallel` feature). Every entry is one
-//! independent kernel evaluation, so serial and parallel fills are
-//! bitwise identical, and a cached row is bitwise identical to a
-//! recomputed one — caching can change solver timings but never results.
+//! On a cache miss, [`KernelQ`] and [`SvrQ`] fill rows with worker
+//! threads (under the `parallel` feature), and multi-row requests
+//! ([`QMatrix::rows_prefix`]) batch all missing rows into *one*
+//! sample-major pass over the data ([`QSource::fill_rows`]), so each
+//! item is loaded once per batch instead of once per row. Every entry
+//! is one independent kernel evaluation, so serial, parallel, and
+//! batched fills are bitwise identical, and a cached row is bitwise
+//! identical to a recomputed one — caching can change solver timings
+//! but never results.
 
 use std::borrow::Borrow;
 use std::cell::RefCell;
@@ -108,6 +112,24 @@ pub trait QMatrix {
         self.row(i)
     }
 
+    /// Several row prefixes at once: slot `r` of the result is row
+    /// `idxs[r]` with at least the first `len` entries valid.
+    ///
+    /// The default loops [`QMatrix::row_prefix`]. [`CachedQ`] overrides
+    /// it to materialize all rows missing from its cache in *one*
+    /// batched pass over the data (the hot case: WSS2's two working-set
+    /// rows per iteration, and the solver's gradient-initialization and
+    /// reconstruction sweeps). Batching never changes a row's contents
+    /// — each returned row is bitwise identical to a lone
+    /// `row_prefix` fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= self.n()` or `len > self.n()`.
+    fn rows_prefix(&self, idxs: &[usize], len: usize) -> Vec<QRow<'_>> {
+        idxs.iter().map(|&i| self.row_prefix(i, len)).collect()
+    }
+
     /// Renumbers variables `a` and `b` (rows *and* columns swap, since
     /// `Q` is symmetric): after the call, `row(a)` is the old `row(b)`
     /// with entries `a`/`b` exchanged, and `diag()` reflects the new
@@ -148,6 +170,40 @@ pub trait QSource {
     fn fill_row_gather(&self, i: usize, idx: &[usize], out: &mut [f64]) {
         for (v, &j) in out.iter_mut().zip(idx) {
             *v = self.entry(i, j);
+        }
+    }
+
+    /// Writes several full rows at once: `outs[r]` receives row
+    /// `rows[r]`, exactly as [`QSource::fill_row`] would.
+    ///
+    /// The default loops `fill_row`. Sources that stream the underlying
+    /// data ([`KernelQ`], [`SvrQ`]) override it to compute *all* batch
+    /// rows against each sample while it is cache-hot, so a B-row batch
+    /// costs one pass over the data instead of B. Every cell is the
+    /// same single evaluation either way — batched, looped, serial, and
+    /// parallel fills are all bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != outs.len()`.
+    fn fill_rows(&self, rows: &[usize], outs: &mut [&mut [f64]]) {
+        assert_eq!(rows.len(), outs.len(), "one output slice per batch row");
+        for (&i, out) in rows.iter().zip(outs.iter_mut()) {
+            self.fill_row(i, out);
+        }
+    }
+
+    /// Gathered form of [`QSource::fill_rows`]: `outs[r][t] =
+    /// Q(rows[r], idx[t])`, exactly as [`QSource::fill_row_gather`]
+    /// would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != outs.len()`.
+    fn fill_rows_gather(&self, rows: &[usize], idx: &[usize], outs: &mut [&mut [f64]]) {
+        assert_eq!(rows.len(), outs.len(), "one output slice per batch row");
+        for (&i, out) in rows.iter().zip(outs.iter_mut()) {
+            self.fill_row_gather(i, idx, out);
         }
     }
 }
@@ -330,25 +386,13 @@ where
     }
 
     fn fill_row(&self, i: usize, out: &mut [f64]) {
-        let xi = self.items[i].borrow();
-        edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
-            let start = c * Q_ROW_CHUNK;
-            for (off, v) in chunk.iter_mut().enumerate() {
-                *v = self.kernel.eval(xi, self.items[start + off].borrow());
-            }
-        });
-        if let Some(s) = self.signs {
-            let si = s[i];
-            for (v, &sj) in out.iter_mut().zip(s) {
-                *v *= si * sj;
-            }
-        }
+        self.fill_rows(&[i], &mut [out]);
     }
 
     fn entry(&self, i: usize, j: usize) -> f64 {
         let k = self.kernel.eval(self.items[i].borrow(), self.items[j].borrow());
         match self.signs {
-            // Same expression shape as `fill_row`'s `*v *= si * sj`
+            // Same expression shape as `fill_rows`'s `*v *= si * sj`
             // (exact either way: sign factors are ±1).
             Some(s) => k * (s[i] * s[j]),
             None => k,
@@ -356,18 +400,98 @@ where
     }
 
     fn fill_row_gather(&self, i: usize, idx: &[usize], out: &mut [f64]) {
-        debug_assert_eq!(idx.len(), out.len());
-        let xi = self.items[i].borrow();
-        edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
-            let start = c * Q_ROW_CHUNK;
-            for (off, v) in chunk.iter_mut().enumerate() {
-                *v = self.kernel.eval(xi, self.items[idx[start + off]].borrow());
+        self.fill_rows_gather(&[i], idx, &mut [out]);
+    }
+
+    fn fill_rows(&self, rows: &[usize], outs: &mut [&mut [f64]]) {
+        assert_eq!(rows.len(), outs.len(), "one output slice per batch row");
+        let b = rows.len();
+        if b == 0 {
+            return;
+        }
+        let xs: Vec<&S> = rows.iter().map(|&i| self.items[i].borrow()).collect();
+        if b == 1 {
+            let out = &mut *outs[0];
+            let xi = xs[0];
+            edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
+                let start = c * Q_ROW_CHUNK;
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v = self.kernel.eval(xi, self.items[start + off].borrow());
+                }
+            });
+        } else {
+            // Sample-major batch: each chunk of items is loaded once and
+            // evaluated against every batch row while cache-hot. The
+            // interleaved scratch (`scratch[t * b + r]`) keeps a parallel
+            // chunk a contiguous run of whole sample-columns.
+            let n = self.items.len();
+            let mut scratch = vec![0.0; n * b];
+            edm_par::for_each_chunk(&mut scratch, Q_ROW_CHUNK * b, |c, chunk| {
+                let t0 = c * Q_ROW_CHUNK;
+                for (dt, cell) in chunk.chunks_exact_mut(b).enumerate() {
+                    let xt = self.items[t0 + dt].borrow();
+                    for (v, xi) in cell.iter_mut().zip(&xs) {
+                        *v = self.kernel.eval(xi, xt);
+                    }
+                }
+            });
+            for (r, out) in outs.iter_mut().enumerate() {
+                for (t, v) in out.iter_mut().enumerate() {
+                    *v = scratch[t * b + r];
+                }
             }
-        });
+        }
         if let Some(s) = self.signs {
-            let si = s[i];
-            for (v, &j) in out.iter_mut().zip(idx) {
-                *v *= si * s[j];
+            for (&i, out) in rows.iter().zip(outs.iter_mut()) {
+                let si = s[i];
+                for (v, &sj) in out.iter_mut().zip(s) {
+                    *v *= si * sj;
+                }
+            }
+        }
+    }
+
+    fn fill_rows_gather(&self, rows: &[usize], idx: &[usize], outs: &mut [&mut [f64]]) {
+        assert_eq!(rows.len(), outs.len(), "one output slice per batch row");
+        let b = rows.len();
+        if b == 0 {
+            return;
+        }
+        let xs: Vec<&S> = rows.iter().map(|&i| self.items[i].borrow()).collect();
+        if b == 1 {
+            let out = &mut *outs[0];
+            debug_assert_eq!(idx.len(), out.len());
+            let xi = xs[0];
+            edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
+                let start = c * Q_ROW_CHUNK;
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v = self.kernel.eval(xi, self.items[idx[start + off]].borrow());
+                }
+            });
+        } else {
+            let mut scratch = vec![0.0; idx.len() * b];
+            edm_par::for_each_chunk(&mut scratch, Q_ROW_CHUNK * b, |c, chunk| {
+                let t0 = c * Q_ROW_CHUNK;
+                for (dt, cell) in chunk.chunks_exact_mut(b).enumerate() {
+                    let xt = self.items[idx[t0 + dt]].borrow();
+                    for (v, xi) in cell.iter_mut().zip(&xs) {
+                        *v = self.kernel.eval(xi, xt);
+                    }
+                }
+            });
+            for (r, out) in outs.iter_mut().enumerate() {
+                debug_assert_eq!(idx.len(), out.len());
+                for (t, v) in out.iter_mut().enumerate() {
+                    *v = scratch[t * b + r];
+                }
+            }
+        }
+        if let Some(s) = self.signs {
+            for (&i, out) in rows.iter().zip(outs.iter_mut()) {
+                let si = s[i];
+                for (v, &j) in out.iter_mut().zip(idx) {
+                    *v *= si * s[j];
+                }
             }
         }
     }
@@ -426,45 +550,118 @@ where
     }
 
     fn fill_row(&self, t: usize, out: &mut [f64]) {
-        let m = self.items.len();
-        let (bt, st) = if t < m { (t, 1.0) } else { (t - m, -1.0) };
-        let xt = self.items[bt].borrow();
-        let (first, second) = out.split_at_mut(m);
-        edm_par::for_each_chunk(first, Q_ROW_CHUNK, |c, chunk| {
-            let start = c * Q_ROW_CHUNK;
-            for (off, v) in chunk.iter_mut().enumerate() {
-                *v = self.kernel.eval(xt, self.items[start + off].borrow());
-            }
-        });
-        for (u, fu) in first.iter_mut().enumerate() {
-            let v = st * *fu;
-            *fu = v;
-            second[u] = -v;
-        }
+        self.fill_rows(&[t], &mut [out]);
     }
 
     fn entry(&self, t: usize, u: usize) -> f64 {
         let m = self.items.len();
         let (bt, st) = if t < m { (t, 1.0) } else { (t - m, -1.0) };
         let (bu, su) = if u < m { (u, 1.0) } else { (u - m, -1.0) };
-        // Bitwise identical to `fill_row`'s mirror path: IEEE negation
+        // Bitwise identical to `fill_rows`'s mirror path: IEEE negation
         // commutes exactly through multiplication by ±1.
         st * su * self.kernel.eval(self.items[bt].borrow(), self.items[bu].borrow())
     }
 
     fn fill_row_gather(&self, t: usize, idx: &[usize], out: &mut [f64]) {
-        debug_assert_eq!(idx.len(), out.len());
+        self.fill_rows_gather(&[t], idx, &mut [out]);
+    }
+
+    fn fill_rows(&self, rows: &[usize], outs: &mut [&mut [f64]]) {
+        assert_eq!(rows.len(), outs.len(), "one output slice per batch row");
+        let b = rows.len();
+        if b == 0 {
+            return;
+        }
         let m = self.items.len();
-        let (bt, st) = if t < m { (t, 1.0) } else { (t - m, -1.0) };
-        let xt = self.items[bt].borrow();
-        edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
-            let start = c * Q_ROW_CHUNK;
-            for (off, v) in chunk.iter_mut().enumerate() {
-                let u = idx[start + off];
-                let (bu, su) = if u < m { (u, 1.0) } else { (u - m, -1.0) };
-                *v = st * su * self.kernel.eval(xt, self.items[bu].borrow());
+        let decoded: Vec<(usize, f64)> =
+            rows.iter().map(|&t| if t < m { (t, 1.0) } else { (t - m, -1.0) }).collect();
+        if b == 1 {
+            let out = &mut *outs[0];
+            let (bt, st) = decoded[0];
+            let xt = self.items[bt].borrow();
+            let (first, second) = out.split_at_mut(m);
+            edm_par::for_each_chunk(first, Q_ROW_CHUNK, |c, chunk| {
+                let start = c * Q_ROW_CHUNK;
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v = self.kernel.eval(xt, self.items[start + off].borrow());
+                }
+            });
+            for (u, fu) in first.iter_mut().enumerate() {
+                let v = st * *fu;
+                *fu = v;
+                second[u] = -v;
+            }
+            return;
+        }
+        // One batched pass over the m base columns (each underlying
+        // kernel value is computed once and mirrored with signs into
+        // the 2m slots, as in the single-row fill), sample-major so
+        // every item load serves all batch rows.
+        let xs: Vec<&S> = decoded.iter().map(|&(bt, _)| self.items[bt].borrow()).collect();
+        let mut scratch = vec![0.0; m * b];
+        edm_par::for_each_chunk(&mut scratch, Q_ROW_CHUNK * b, |c, chunk| {
+            let u0 = c * Q_ROW_CHUNK;
+            for (du, cell) in chunk.chunks_exact_mut(b).enumerate() {
+                let xu = self.items[u0 + du].borrow();
+                for (v, xt) in cell.iter_mut().zip(&xs) {
+                    *v = self.kernel.eval(xt, xu);
+                }
             }
         });
+        for (r, out) in outs.iter_mut().enumerate() {
+            let st = decoded[r].1;
+            let (first, second) = out.split_at_mut(m);
+            for (u, (fu, su)) in first.iter_mut().zip(second.iter_mut()).enumerate() {
+                let v = st * scratch[u * b + r];
+                *fu = v;
+                *su = -v;
+            }
+        }
+    }
+
+    fn fill_rows_gather(&self, rows: &[usize], idx: &[usize], outs: &mut [&mut [f64]]) {
+        assert_eq!(rows.len(), outs.len(), "one output slice per batch row");
+        let b = rows.len();
+        if b == 0 {
+            return;
+        }
+        let m = self.items.len();
+        let decoded: Vec<(usize, f64)> =
+            rows.iter().map(|&t| if t < m { (t, 1.0) } else { (t - m, -1.0) }).collect();
+        if b == 1 {
+            let out = &mut *outs[0];
+            debug_assert_eq!(idx.len(), out.len());
+            let (bt, st) = decoded[0];
+            let xt = self.items[bt].borrow();
+            edm_par::for_each_chunk(out, Q_ROW_CHUNK, |c, chunk| {
+                let start = c * Q_ROW_CHUNK;
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    let u = idx[start + off];
+                    let (bu, su) = if u < m { (u, 1.0) } else { (u - m, -1.0) };
+                    *v = st * su * self.kernel.eval(xt, self.items[bu].borrow());
+                }
+            });
+            return;
+        }
+        let xs: Vec<&S> = decoded.iter().map(|&(bt, _)| self.items[bt].borrow()).collect();
+        let mut scratch = vec![0.0; idx.len() * b];
+        edm_par::for_each_chunk(&mut scratch, Q_ROW_CHUNK * b, |c, chunk| {
+            let t0 = c * Q_ROW_CHUNK;
+            for (dt, cell) in chunk.chunks_exact_mut(b).enumerate() {
+                let u = idx[t0 + dt];
+                let (bu, su) = if u < m { (u, 1.0) } else { (u - m, -1.0) };
+                let xu = self.items[bu].borrow();
+                for ((v, xt), &(_, st)) in cell.iter_mut().zip(&xs).zip(&decoded) {
+                    *v = st * su * self.kernel.eval(xt, xu);
+                }
+            }
+        });
+        for (r, out) in outs.iter_mut().enumerate() {
+            debug_assert_eq!(idx.len(), out.len());
+            for (t, v) in out.iter_mut().enumerate() {
+                *v = scratch[t * b + r];
+            }
+        }
     }
 }
 
@@ -586,6 +783,35 @@ impl<S: QSource> CachedQ<S> {
         }
     }
 
+    /// Makes `data` the resident entry for (view-space) row `i` with
+    /// the given access stamp, evicting the LRU row first if the budget
+    /// requires it. No-op when caching is disabled.
+    fn insert_row(&self, i: usize, data: &Rc<[f64]>, stamp: u64) {
+        if self.budget_rows == 0 {
+            return;
+        }
+        let mut st = self.state.borrow_mut();
+        let replacing = st.entries[i].is_some();
+        if !replacing && st.resident >= self.budget_rows {
+            let victim = st
+                .entries
+                .iter()
+                .enumerate()
+                .filter_map(|(k, e)| e.as_ref().map(|e| (k, e.stamp)))
+                .min_by_key(|&(_, s)| s)
+                .map(|(k, _)| k);
+            if let Some(v) = victim {
+                st.entries[v] = None;
+                st.resident -= 1;
+                st.evictions += 1;
+            }
+        }
+        st.entries[i] = Some(CacheEntry { data: Rc::clone(data), stamp });
+        if !replacing {
+            st.resident += 1;
+        }
+    }
+
     /// Maximum number of resident rows (0 = caching disabled).
     pub fn budget_rows(&self) -> usize {
         self.budget_rows
@@ -670,29 +896,140 @@ impl<S: QSource> QMatrix for CachedQ<S> {
         };
         self.fill_range(i, start, &mut buf[start..]);
         let data: Rc<[f64]> = buf.into();
-        if self.budget_rows > 0 {
+        self.insert_row(i, &data, stamp);
+        QRow::Shared(data)
+    }
+
+    fn rows_prefix(&self, idxs: &[usize], len: usize) -> Vec<QRow<'_>> {
+        let n = self.diag.len();
+        assert!(len <= n, "prefix {len} out of bounds for n = {n}");
+        // Fast path: every requested row is resident with a long
+        // enough prefix. This is the solver's steady state (a warm
+        // cache serving the per-iteration working-set pair), so skip
+        // the miss-classification machinery entirely; stamps and hit
+        // counts advance exactly as the general path would.
+        {
             let mut st = self.state.borrow_mut();
-            let replacing = st.entries[i].is_some();
-            if !replacing && st.resident >= self.budget_rows {
-                let victim = st
-                    .entries
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(k, e)| e.as_ref().map(|e| (k, e.stamp)))
-                    .min_by_key(|&(_, s)| s)
-                    .map(|(k, _)| k);
-                if let Some(v) = victim {
-                    st.entries[v] = None;
-                    st.resident -= 1;
-                    st.evictions += 1;
+            let all_hit = idxs.iter().all(|&i| {
+                assert!(i < n, "row {i} out of bounds for n = {n}");
+                st.entries[i].as_ref().is_some_and(|e| e.data.len() >= len)
+            });
+            if all_hit {
+                let mut out = Vec::with_capacity(idxs.len());
+                for &i in idxs {
+                    st.clock += 1;
+                    st.hits += 1;
+                    let stamp = st.clock;
+                    let entry = st.entries[i].as_mut().expect("resident row checked above");
+                    entry.stamp = stamp;
+                    out.push(QRow::Shared(Rc::clone(&entry.data)));
                 }
-            }
-            st.entries[i] = Some(CacheEntry { data: Rc::clone(&data), stamp });
-            if !replacing {
-                st.resident += 1;
+                return out;
             }
         }
-        QRow::Shared(data)
+        let mut results: Vec<Option<QRow<'_>>> = (0..idxs.len()).map(|_| None).collect();
+        // Pass 1 (one cache borrow): stamp hits, classify misses.
+        // `slots` collects every result position wanting the same row,
+        // so duplicate indices are computed once.
+        struct Miss {
+            i: usize,
+            stamp: u64,
+            prior: Option<Rc<[f64]>>,
+            slots: Vec<usize>,
+        }
+        let mut misses: Vec<Miss> = Vec::new();
+        {
+            let mut st = self.state.borrow_mut();
+            'next: for (slot, &i) in idxs.iter().enumerate() {
+                assert!(i < n, "row {i} out of bounds for n = {n}");
+                st.clock += 1;
+                let stamp = st.clock;
+                for m in misses.iter_mut() {
+                    if m.i == i {
+                        // Duplicate of a pending miss: once the first
+                        // fetch lands it would be resident, so the
+                        // repeat is a hit.
+                        st.hits += 1;
+                        m.stamp = stamp;
+                        m.slots.push(slot);
+                        continue 'next;
+                    }
+                }
+                if let Some(entry) = st.entries[i].as_mut() {
+                    entry.stamp = stamp;
+                    let data = Rc::clone(&entry.data);
+                    if data.len() >= len {
+                        st.hits += 1;
+                        results[slot] = Some(QRow::Shared(data));
+                        continue;
+                    }
+                    st.misses += 1;
+                    misses.push(Miss { i, stamp, prior: Some(data), slots: vec![slot] });
+                } else {
+                    st.misses += 1;
+                    misses.push(Miss { i, stamp, prior: None, slots: vec![slot] });
+                }
+            }
+        }
+        // Pass 2 (cache borrow released): fill the misses. Rows whose
+        // cached prefixes end at the same point share one batched pass
+        // over the data; stragglers take the single-row path. Either
+        // way each row's contents are exactly what `row_prefix` would
+        // have computed.
+        let mut filled: Vec<Option<Rc<[f64]>>> = (0..misses.len()).map(|_| None).collect();
+        let start_of = |m: &Miss| m.prior.as_ref().map_or(0, |p| p.len());
+        let mut order: Vec<usize> = (0..misses.len()).collect();
+        order.sort_by_key(|&p| start_of(&misses[p]));
+        let mut batched_passes = 0u64;
+        let mut g0 = 0;
+        while g0 < order.len() {
+            let start = start_of(&misses[order[g0]]);
+            let mut g1 = g0;
+            while g1 < order.len() && start_of(&misses[order[g1]]) == start {
+                g1 += 1;
+            }
+            let group = &order[g0..g1];
+            let mut bufs: Vec<Vec<f64>> = group
+                .iter()
+                .map(|&p| {
+                    let mut buf = vec![0.0; len];
+                    if let Some(prev) = &misses[p].prior {
+                        buf[..start].copy_from_slice(prev);
+                    }
+                    buf
+                })
+                .collect();
+            if group.len() == 1 {
+                self.fill_range(misses[group[0]].i, start, &mut bufs[0][start..]);
+            } else {
+                let rows: Vec<usize> = group.iter().map(|&p| self.perm[misses[p].i]).collect();
+                let mut tails: Vec<&mut [f64]> =
+                    bufs.iter_mut().map(|buf| &mut buf[start..]).collect();
+                if !self.permuted && start == 0 && len == n {
+                    self.source.fill_rows(&rows, &mut tails);
+                } else {
+                    self.source.fill_rows_gather(&rows, &self.perm[start..len], &mut tails);
+                }
+                batched_passes += 1;
+            }
+            for (&p, buf) in group.iter().zip(bufs) {
+                filled[p] = Some(buf.into());
+            }
+            g0 = g1;
+        }
+        if batched_passes > 0 && edm_trace::enabled() {
+            edm_trace::counter_add("svm.q.batch_fills", batched_passes);
+        }
+        // Insert in request order (matching what sequential fetches
+        // would have done to the LRU state), then hand out the rows.
+        for (m, data) in misses.iter().zip(&filled) {
+            let data = data.as_ref().expect("every miss filled by its group");
+            self.insert_row(m.i, data, m.stamp);
+            for &slot in &m.slots {
+                results[slot] = Some(QRow::Shared(Rc::clone(data)));
+            }
+        }
+        results.into_iter().map(|r| r.expect("every slot is a hit or a filled miss")).collect()
     }
 
     fn swap_index(&mut self, a: usize, b: usize) {

@@ -66,6 +66,13 @@ const TAU: f64 = 1e-12;
 /// `C` — still classify free vs. bound vectors correctly.
 const BOUND_RTOL: f64 = 1e-12;
 
+/// Rows per [`QMatrix::rows_prefix`] batch in the gradient
+/// initialization and reconstruction sweeps. Large enough that a
+/// batched fill streams the data once for many rows, small enough that
+/// the batch's scratch (`n × ROW_BATCH` doubles in the kernel-backed
+/// sources) stays modest.
+const ROW_BATCH: usize = 8;
+
 /// Working-set selection rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum WorkingSet {
@@ -376,14 +383,19 @@ impl Smo {
         for t in self.active_size..n {
             self.g[t] = self.g_bar[t] + self.p[t];
         }
-        for s in 0..self.active_size {
-            if self.is_lower(s) || self.is_upper(s) {
-                continue;
-            }
-            let row_s = q.row(s);
-            let a = self.alpha[s];
-            for t in self.active_size..n {
-                self.g[t] += a * row_s[t];
+        // Fetch the free variables' rows in small batches (one pass
+        // over the data per batch for kernel-backed sources) and apply
+        // them in the same s-ascending order as a row-at-a-time loop,
+        // so the rebuilt gradient is bitwise unchanged.
+        let free: Vec<usize> =
+            (0..self.active_size).filter(|&s| !(self.is_lower(s) || self.is_upper(s))).collect();
+        for chunk in free.chunks(ROW_BATCH) {
+            let rows = q.rows_prefix(chunk, n);
+            for (&s, row_s) in chunk.iter().zip(&rows) {
+                let a = self.alpha[s];
+                for t in self.active_size..n {
+                    self.g[t] += a * row_s[t];
+                }
             }
         }
         self.reconstructions += 1;
@@ -463,13 +475,17 @@ pub fn solve(q: &mut dyn QMatrix, problem: &DualProblem) -> Result<DualSolution,
         reconstructions: 0,
     };
 
-    // G = Qα + p. O(n²) initialization, but only nonzero α contribute
-    // (one Q-row fetch each). Ḡ picks up the variables starting at the
-    // upper bound (e.g. the one-class feasible start).
-    for j in 0..n {
-        let aj = smo.alpha[j];
-        if aj != 0.0 {
-            let row_j = q.row(j);
+    // G = Qα + p. O(n²) initialization, but only nonzero α contribute.
+    // Their rows are fetched in batches (one pass over the data per
+    // batch — the one-class feasible start makes *every* α nonzero, so
+    // this is a real hot spot) and applied in the same j-ascending
+    // order as a row-at-a-time loop, keeping G bitwise unchanged. Ḡ
+    // picks up the variables starting at the upper bound.
+    let nonzero: Vec<usize> = (0..n).filter(|&j| smo.alpha[j] != 0.0).collect();
+    for chunk in nonzero.chunks(ROW_BATCH) {
+        let rows = q.rows_prefix(chunk, n);
+        for (&j, row_j) in chunk.iter().zip(&rows) {
+            let aj = smo.alpha[j];
             for (gt, &qtj) in smo.g.iter_mut().zip(row_j.iter()) {
                 *gt += qtj * aj;
             }
@@ -525,12 +541,13 @@ pub fn solve(q: &mut dyn QMatrix, problem: &DualProblem) -> Result<DualSolution,
         iterations += 1;
         edm_trace::record_full("svm.smo.kkt_gap", gap);
 
-        // One row fetch each per iteration, truncated to the active
-        // prefix — the access pattern the LRU row cache is shaped
-        // around.
+        // The iteration's two working-set rows, truncated to the
+        // active prefix — fetched as one batch so that when both miss
+        // the cache they are filled in a single pass over the data.
         let active = smo.active_size;
-        let row_i = q.row_prefix(i, active);
-        let row_j = q.row_prefix(j, active);
+        let mut pair = q.rows_prefix(&[i, j], active).into_iter();
+        let row_i = pair.next().expect("pair fetch yields row i");
+        let row_j = pair.next().expect("pair fetch yields row j");
         let diag = q.diag();
 
         let old_ai = smo.alpha[i];
@@ -614,31 +631,31 @@ pub fn solve(q: &mut dyn QMatrix, problem: &DualProblem) -> Result<DualSolution,
 
         // Ḡ tracks Σ_{upper} C Q rows: patch it whenever i or j crossed
         // the upper bound (needs the *full* rows — the cache extends
-        // its prefix in place).
+        // its prefix in place, and when both crossed the two
+        // extensions share one batched pass).
         if smo.shrinking {
-            if was_upper_i != smo.is_upper(i) {
-                let row = q.row(i);
-                let ci = smo.c[i];
-                if was_upper_i {
-                    for (bt, &qti) in smo.g_bar.iter_mut().zip(row.iter()) {
-                        *bt -= ci * qti;
-                    }
-                } else {
-                    for (bt, &qti) in smo.g_bar.iter_mut().zip(row.iter()) {
-                        *bt += ci * qti;
-                    }
+            let crossed_i = was_upper_i != smo.is_upper(i);
+            let crossed_j = was_upper_j != smo.is_upper(j);
+            if crossed_i || crossed_j {
+                let mut wanted = Vec::with_capacity(2);
+                if crossed_i {
+                    wanted.push(i);
                 }
-            }
-            if was_upper_j != smo.is_upper(j) {
-                let row = q.row(j);
-                let cj = smo.c[j];
-                if was_upper_j {
-                    for (bt, &qtj) in smo.g_bar.iter_mut().zip(row.iter()) {
-                        *bt -= cj * qtj;
-                    }
-                } else {
-                    for (bt, &qtj) in smo.g_bar.iter_mut().zip(row.iter()) {
-                        *bt += cj * qtj;
+                if crossed_j {
+                    wanted.push(j);
+                }
+                let rows = q.rows_prefix(&wanted, n);
+                for (&t, row) in wanted.iter().zip(&rows) {
+                    let was_upper = if t == i { was_upper_i } else { was_upper_j };
+                    let ct = smo.c[t];
+                    if was_upper {
+                        for (bt, &qt) in smo.g_bar.iter_mut().zip(row.iter()) {
+                            *bt -= ct * qt;
+                        }
+                    } else {
+                        for (bt, &qt) in smo.g_bar.iter_mut().zip(row.iter()) {
+                            *bt += ct * qt;
+                        }
                     }
                 }
             }

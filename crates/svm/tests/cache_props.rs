@@ -176,6 +176,137 @@ proptest! {
         assert_identical(&solve_one_class_cached(&x, nu, gamma, 1 << 20), &off);
     }
 
+    /// Batched fetches through `rows_prefix` — duplicates, random
+    /// prefix lengths, and cache renumbering included — must return
+    /// rows bitwise identical to a direct source fill routed through
+    /// the same permutation.
+    #[test]
+    fn batched_rows_prefix_matches_source_fills(
+        seed in 0u64..1_000_000,
+        n in 4usize..32,
+        cache_bytes in 0usize..4000,
+    ) {
+        let x = points(seed, n, 3);
+        let k = RbfKernel::new(0.7);
+        let src = KernelQ::<[f64], _, _>::new(&k, &x, None);
+        let mut cached = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, &x, None), cache_bytes);
+        // Mirror of the renumbering applied via swap_index: logical
+        // position -> original index.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut direct = vec![0.0; n];
+        let mut state = seed ^ 0xBA7C4;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            state
+        };
+        for _ in 0..40 {
+            // Occasionally renumber, exercising the permuted gather path.
+            if next() % 3 == 0 {
+                let a = (next() % n as u64) as usize;
+                let b = (next() % n as u64) as usize;
+                cached.swap_index(a, b);
+                perm.swap(a, b);
+            }
+            let batch = 1 + (next() % 5) as usize;
+            let idxs: Vec<usize> = (0..batch).map(|_| (next() % n as u64) as usize).collect();
+            let len = 1 + (next() % n as u64) as usize;
+            let len = len.max(idxs.iter().copied().max().unwrap_or(0) + 1);
+            let rows = cached.rows_prefix(&idxs, len);
+            prop_assert_eq!(rows.len(), idxs.len());
+            for (&i, row) in idxs.iter().zip(&rows) {
+                src.fill_row(perm[i], &mut direct);
+                let want: Vec<u64> =
+                    perm[..len].iter().map(|&j| direct[j].to_bits()).collect();
+                let got: Vec<u64> = row[..len].iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(got, want, "row {} len {}", i, len);
+            }
+        }
+    }
+
+    /// Same contract for the SVR source, whose batched fill goes
+    /// through the mirrored two-block layout (`n = 2m` columns backed
+    /// by `m` kernel evaluations).
+    #[test]
+    fn batched_svr_rows_match_source_fills(
+        seed in 0u64..1_000_000,
+        m in 3usize..14,
+        cache_bytes in 0usize..4000,
+    ) {
+        let x = points(seed, m, 3);
+        let k = RbfKernel::new(0.9);
+        let n = 2 * m;
+        let src = SvrQ::<[f64], _, _>::new(&k, &x);
+        let mut cached = CachedQ::new(SvrQ::<[f64], _, _>::new(&k, &x), cache_bytes);
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut direct = vec![0.0; n];
+        let mut state = seed ^ 0x51C6;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            state
+        };
+        for _ in 0..30 {
+            if next() % 3 == 0 {
+                let a = (next() % n as u64) as usize;
+                let b = (next() % n as u64) as usize;
+                cached.swap_index(a, b);
+                perm.swap(a, b);
+            }
+            let batch = 1 + (next() % 4) as usize;
+            let idxs: Vec<usize> = (0..batch).map(|_| (next() % n as u64) as usize).collect();
+            let rows = cached.rows_prefix(&idxs, n);
+            for (&i, row) in idxs.iter().zip(&rows) {
+                src.fill_row(perm[i], &mut direct);
+                let want: Vec<u64> = perm.iter().map(|&j| direct[j].to_bits()).collect();
+                let got: Vec<u64> = row[..n].iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(got, want, "svr row {}", i);
+            }
+        }
+    }
+
+    /// For duplicate-free batches under a budget ample enough that no
+    /// eviction lands mid-batch, one `rows_prefix` call must leave the
+    /// cache in exactly the state that sequential `row_prefix` calls
+    /// would: same rows, same hit/miss/eviction counters. (Tight
+    /// budgets may classify differently — a sequential insert can
+    /// evict a row a later request would have hit — which is why the
+    /// solver-invariance tests above, not counter equality, pin that
+    /// regime.)
+    #[test]
+    fn batched_fetch_preserves_sequential_cache_state(
+        seed in 0u64..1_000_000,
+        n in 6usize..24,
+    ) {
+        let x = points(seed, n, 2);
+        let k = RbfKernel::new(1.1);
+        let cache_bytes = 1usize << 20;
+        let batched = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, &x, None), cache_bytes);
+        let sequential = CachedQ::new(KernelQ::<[f64], _, _>::new(&k, &x, None), cache_bytes);
+        let mut state = seed ^ 0xFACE;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            state
+        };
+        for _ in 0..30 {
+            let batch = 1 + (next() % 5) as usize;
+            let mut idxs: Vec<usize> = Vec::with_capacity(batch);
+            while idxs.len() < batch {
+                let i = (next() % n as u64) as usize;
+                if !idxs.contains(&i) {
+                    idxs.push(i);
+                }
+            }
+            let rows = batched.rows_prefix(&idxs, n);
+            for (&i, row) in idxs.iter().zip(&rows) {
+                let lone = sequential.row_prefix(i, n);
+                prop_assert_eq!(
+                    row[..n].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    lone[..n].iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            prop_assert_eq!(batched.stats(), sequential.stats());
+        }
+    }
+
     #[test]
     fn cached_rows_match_source_under_random_access(
         seed in 0u64..1_000_000,
