@@ -11,7 +11,14 @@
 //! * deterministic queue-full backpressure: a one-worker, one-slot
 //!   server under a client burst must answer `503` (never hang) for
 //!   the overflow, and every request must get *some* response;
-//! * `/metrics` is valid OpenMetrics text ending in `# EOF`.
+//! * `/metrics` is valid OpenMetrics text ending in `# EOF`, scraped
+//!   **mid-run** to prove the labeled per-model series are live, and
+//!   the server-side `predict × svc` latency series is cross-checked
+//!   against the client-observed percentiles (server-side handling
+//!   must be positive and below the client's connect-inclusive p50,
+//!   within tolerance);
+//! * `/v1/trace` returns a live trace report that our own JSON parser
+//!   accepts.
 //!
 //! `--quick` shrinks the request counts for CI smoke use.
 
@@ -105,6 +112,15 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, u64) {
     )
 }
 
+/// Value of the first exposition line starting with `prefix`
+/// (`name{labels} value`), if any.
+fn metric_value(body: &str, prefix: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return f64::NAN;
@@ -190,18 +206,44 @@ fn main() {
         bitwise,
     ));
 
-    // Warmup, then the measured closed-loop fan-out.
+    // Warmup, then the measured closed-loop fan-out — in two halves,
+    // with a /metrics scrape between them so the labeled per-model
+    // series are proven live *mid-run*, not just post-mortem.
     for _ in 0..CLIENTS {
         let (s, _, _) = exchange(addr, &request);
         assert_eq!(s, 200, "warmup request failed");
     }
     std::env::set_var("EDM_NUM_THREADS", CLIENTS.to_string());
+    let half = requests / 2;
     let t0 = Instant::now();
-    let results = edm_par::map_indexed(requests, |_| {
+    let mut results = edm_par::map_indexed(half, |_| {
         let (status, _, latency_ns) = exchange(addr, &request);
         (status, latency_ns)
     });
-    let wall_s = t0.elapsed().as_secs_f64();
+    let first_half_s = t0.elapsed().as_secs_f64();
+    let (mid_status, mid_metrics, _) = get(addr, "/metrics");
+    let mid_count = metric_value(
+        &mid_metrics,
+        "edm_serve_requests_total{endpoint=\"predict\",model=\"svc\",status=\"200\"}",
+    )
+    .unwrap_or(0.0);
+    let mid_window_p50 = metric_value(
+        &mid_metrics,
+        "edm_serve_latency_quantile_ms{endpoint=\"predict\",model=\"svc\",window=\"60s\",quantile=\"0.5\"}",
+    );
+    let mid_run_scrape_ok =
+        mid_status == 200 && mid_count >= half as f64 && mid_window_p50.is_some_and(|v| v > 0.0);
+    println!(
+        "mid-run /metrics: status {mid_status}, predict×svc 200s = {mid_count:.0}, \
+         rolling-window p50 = {:?} ms",
+        mid_window_p50
+    );
+    let t1 = Instant::now();
+    results.extend(edm_par::map_indexed(requests - half, |_| {
+        let (status, _, latency_ns) = exchange(addr, &request);
+        (status, latency_ns)
+    }));
+    let wall_s = first_half_s + t1.elapsed().as_secs_f64();
 
     let ok = results.iter().filter(|(s, _)| *s == 200).count();
     let mut latencies_ms: Vec<f64> = results.iter().map(|(_, ns)| *ns as f64 / 1e6).collect();
@@ -229,6 +271,54 @@ fn main() {
     let (metrics_status, metrics_body, _) = get(addr, "/metrics");
     let openmetrics_ok = metrics_status == 200 && metrics_body.ends_with("# EOF\n");
     claims.push(edm_bench::claim("/metrics is OpenMetrics text ending in # EOF", openmetrics_ok));
+    claims.push(edm_bench::claim(
+        "mid-run /metrics exposed live labeled predict×svc series",
+        mid_run_scrape_ok,
+    ));
+
+    // Cross-check the server-side latency series against the client's
+    // own measurements. The server times request handling only (after
+    // accept), so its p50 must be positive and must not exceed the
+    // client's connect-inclusive p50 beyond decilog-bucket tolerance
+    // (one ~26% bucket edge) plus scheduling slack.
+    let svc_series = "edm_serve_latency_quantile_ms{endpoint=\"predict\",model=\"svc\"";
+    let server_p50_ms = metric_value(
+        &metrics_body,
+        &format!("{svc_series},window=\"lifetime\",quantile=\"0.5\"}}"),
+    )
+    .unwrap_or(0.0);
+    let server_p99_ms = metric_value(
+        &metrics_body,
+        &format!("{svc_series},window=\"lifetime\",quantile=\"0.99\"}}"),
+    )
+    .unwrap_or(0.0);
+    let window_p50_ms =
+        metric_value(&metrics_body, &format!("{svc_series},window=\"60s\",quantile=\"0.5\"}}"))
+            .unwrap_or(0.0);
+    let server_count = metric_value(
+        &metrics_body,
+        "edm_serve_request_latency_ns_count{endpoint=\"predict\",model=\"svc\"}",
+    )
+    .unwrap_or(0.0);
+    let latency_cross_check = server_p50_ms > 0.0
+        && server_p50_ms <= p50_ms * 1.26 + 1.0
+        && server_count >= requests as f64;
+    println!(
+        "latency cross-check: server p50 {server_p50_ms:.3} ms (window {window_p50_ms:.3}) vs \
+         client p50 {p50_ms:.3} ms | server series count {server_count:.0}"
+    );
+    claims.push(edm_bench::claim(
+        "server-side per-model latency agrees with client measurements (within tolerance)",
+        latency_cross_check,
+    ));
+
+    let (trace_status, trace_body, _) = get(addr, "/v1/trace");
+    let trace_endpoint_ok = trace_status == 200
+        && json::parse(&trace_body).ok().is_some_and(|doc| doc.get("level").is_some());
+    claims.push(edm_bench::claim(
+        "/v1/trace returns a live report our own JSON parser accepts",
+        trace_endpoint_ok,
+    ));
     let (models_status, _, _) = get(addr, "/v1/models");
     claims.push(edm_bench::claim("/v1/models answers 200 under no load", models_status == 200));
     server.shutdown();
@@ -287,6 +377,17 @@ fn main() {
     let _ = writeln!(j, "    \"p50_latency_ms\": {p50_ms:.3},");
     let _ = writeln!(j, "    \"p99_latency_ms\": {p99_ms:.3},");
     let _ = writeln!(j, "    \"completed\": {ok}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"telemetry\": {{");
+    let _ = writeln!(j, "    \"client_p50_ms\": {p50_ms:.3},");
+    let _ = writeln!(j, "    \"client_p99_ms\": {p99_ms:.3},");
+    let _ = writeln!(j, "    \"server_p50_ms\": {server_p50_ms:.3},");
+    let _ = writeln!(j, "    \"server_p99_ms\": {server_p99_ms:.3},");
+    let _ = writeln!(j, "    \"server_window_p50_ms\": {window_p50_ms:.3},");
+    let _ = writeln!(j, "    \"server_latency_count\": {server_count:.0},");
+    let _ = writeln!(j, "    \"mid_run_scrape_ok\": {mid_run_scrape_ok},");
+    let _ = writeln!(j, "    \"latency_cross_check\": {latency_cross_check},");
+    let _ = writeln!(j, "    \"trace_endpoint_ok\": {trace_endpoint_ok}");
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"backpressure\": {{");
     let _ = writeln!(j, "    \"burst\": {burst},");

@@ -13,6 +13,12 @@
 //!   `full` are also recorded, but the estimate is the claim: the
 //!   delta of two medians of a millisecond-scale run is noisier than
 //!   the nanosecond-scale quantity being proven.
+//! * **Ring-buffer-on cost ≤ 2%.** At `EDM_TRACE=full` every span
+//!   begin/end and counter flush also pushes a timestamped event into
+//!   the bounded per-thread ring. The harness microbenchmarks one ring
+//!   event, counts how many events a training run actually attempts
+//!   (timeline length + dropped), and bounds the full-path ring cost
+//!   as `events × event_ns / train_ns`.
 //! * **Bitwise-identical results.** Training SVC and k-means at
 //!   `full` must produce exactly the models produced at `off` —
 //!   probes observe, they never perturb. Models are compared through
@@ -119,10 +125,26 @@ fn disabled_check_ns() -> f64 {
     t0.elapsed().as_secs_f64() * 1e9 / CHECK_ITERS as f64
 }
 
+/// Iterations of the ring-event microbenchmark (each iteration is one
+/// span activation = two ring events).
+const RING_ITERS: u64 = 200_000;
+
+/// Nanoseconds per ring event at `EDM_TRACE=full`: aggregate span
+/// update plus the bounded drop-oldest ring push. Must be called with
+/// the level already at `Full`.
+fn ring_event_ns() -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..RING_ITERS {
+        black_box(edm_trace::span("bench.ring.span"));
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / (2.0 * RING_ITERS as f64)
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct OverheadReport {
     workload: Workload,
     disabled_path: DisabledPath,
+    ring_path: RingPath,
     timings: Timings,
     bitwise: Bitwise,
     claims: Claims,
@@ -146,6 +168,15 @@ struct DisabledPath {
 }
 
 #[derive(Debug, Serialize, Deserialize)]
+struct RingPath {
+    event_ns: f64,
+    ring_events_per_train: u64,
+    ring_capacity: usize,
+    dropped_events: u64,
+    est_overhead_pct: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
 struct Timings {
     train_off_ms: f64,
     train_full_ms: f64,
@@ -162,6 +193,7 @@ struct Bitwise {
 #[derive(Debug, Serialize, Deserialize)]
 struct Claims {
     disabled_overhead_le_2pct: bool,
+    ring_overhead_le_2pct: bool,
     results_bitwise_identical: bool,
 }
 
@@ -207,6 +239,9 @@ fn main() {
     let hist_samples: u64 = report.histograms.iter().map(|h| h.count).sum();
     let counter_flushes = report.counters.len() as u64;
     let probe_checks = spans + hist_samples + counter_flushes;
+    // Ring events the same train attempted: everything still in the
+    // per-thread rings plus everything evicted by drop-oldest.
+    let ring_events = report.timeline.len() as u64 + report.dropped_events;
 
     // --- Timings ----------------------------------------------------
     edm_trace::set_level(edm_trace::Level::Off);
@@ -219,10 +254,23 @@ fn main() {
     };
     let est_overhead_pct = 100.0 * (probe_checks as f64 * check_ns) / (train_off_ms * 1e6);
     let full_minus_off_pct = 100.0 * (train_full_ms - train_off_ms) / train_off_ms;
+    // Ring microbenchmark runs at full, then the registry is reset so
+    // the run manifest below reflects real training work only.
+    edm_trace::set_level(edm_trace::Level::Full);
+    let event_ns = ring_event_ns();
+    edm_trace::reset();
+    let est_ring_overhead_pct = 100.0 * (ring_events as f64 * event_ns) / (train_off_ms * 1e6);
     println!("disabled probe check: {check_ns:.2} ns");
     println!("probe checks per train: {probe_checks} (spans {spans}, histogram samples {hist_samples}, counter flushes {counter_flushes})");
+    println!(
+        "ring event: {event_ns:.2} ns | events per train: {ring_events} ({} retained, {} dropped, cap {})",
+        report.timeline.len(),
+        report.dropped_events,
+        edm_trace::event_capacity(),
+    );
     println!("svc train: off {train_off_ms:.2} ms | full {train_full_ms:.2} ms ({full_minus_off_pct:+.2}%)");
     println!("estimated disabled-path overhead: {est_overhead_pct:.4}%");
+    println!("estimated ring-buffer-on overhead: {est_ring_overhead_pct:.4}%");
 
     let report_out = OverheadReport {
         workload: Workload {
@@ -238,6 +286,13 @@ fn main() {
             train_off_ms,
             est_overhead_pct,
         },
+        ring_path: RingPath {
+            event_ns,
+            ring_events_per_train: ring_events,
+            ring_capacity: edm_trace::event_capacity(),
+            dropped_events: report.dropped_events,
+            est_overhead_pct: est_ring_overhead_pct,
+        },
         timings: Timings { train_off_ms, train_full_ms, full_minus_off_pct },
         bitwise: Bitwise {
             svc_identical,
@@ -246,6 +301,7 @@ fn main() {
         },
         claims: Claims {
             disabled_overhead_le_2pct: est_overhead_pct <= 2.0,
+            ring_overhead_le_2pct: est_ring_overhead_pct <= 2.0,
             results_bitwise_identical: svc_identical && kmeans_identical,
         },
     };
@@ -253,10 +309,14 @@ fn main() {
     std::fs::write("BENCH_trace_overhead.json", json).expect("write BENCH_trace_overhead.json");
     println!("\nwrote BENCH_trace_overhead.json");
 
-    // Re-arm full level so the manifest snapshot reflects the run.
+    // Re-arm full level and run one more train so the manifest (and
+    // its Chrome trace) reflects real training work, not the ring
+    // microbenchmark.
     edm_trace::set_level(edm_trace::Level::Full);
+    drop(black_box(train_svc()));
     let claims = vec![
         claim("disabled-path overhead is <= 2%", est_overhead_pct <= 2.0),
+        claim("ring-buffer-on overhead is <= 2%", est_ring_overhead_pct <= 2.0),
         claim(
             "tracing never changes numerical results (bitwise)",
             svc_identical && kmeans_identical,

@@ -38,6 +38,9 @@ pub fn header(title: &str) {
 /// data by default. Call first in `main`, before any probe fires.
 pub fn init_trace() {
     edm_trace::init_from_env_or(edm_trace::Level::Summary);
+    // Label the harness thread's timeline ring so Chrome-trace exports
+    // show "main" instead of a numeric default.
+    edm_trace::name_thread("main");
 }
 
 /// Runs `f` under a named harness-level span (a one-line way to group
@@ -121,13 +124,20 @@ pub fn emit_trace(name: &str, seed: u64) {
     let path = std::path::Path::new("results").join(format!("{name}.trace.json"));
     let write = std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, json));
     // At `EDM_TRACE=full` also drop a flamegraph-ready collapsed-stack
-    // file next to the manifest (feed to flamegraph.pl / inferno).
+    // file and a Chrome Trace Event file (load in Perfetto or
+    // chrome://tracing) next to the manifest.
     if manifest.report.level == "full" {
         let folded = std::path::Path::new("results").join(format!("{name}.folded"));
         if let Err(e) = std::fs::write(&folded, manifest.report.to_collapsed_stacks()) {
             eprintln!("could not write {}: {e}", folded.display());
         } else {
             println!("collapsed stacks: {}", folded.display());
+        }
+        let chrome = std::path::Path::new("results").join(format!("{name}.chrome.json"));
+        if let Err(e) = std::fs::write(&chrome, manifest.report.to_chrome_trace()) {
+            eprintln!("could not write {}: {e}", chrome.display());
+        } else {
+            println!("chrome trace: {}", chrome.display());
         }
     }
     match write {

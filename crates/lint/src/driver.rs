@@ -71,6 +71,10 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// Parsed `trace-probes.toml` (empty doc when absent).
     pub probe_registry: TomlDoc,
+    /// `# edm-allow(...)` comments found in the probe registry (e.g.
+    /// for entries synthesized inside `crates/trace`, which the
+    /// call-site scan deliberately skips).
+    pub probe_registry_sups: Vec<scanner::Suppression>,
     /// Registry path relative to the root.
     pub probe_registry_rel: String,
     /// `(rel_path, allowed_count)` from the unwrap baseline file.
@@ -133,10 +137,11 @@ pub fn load(root: &Path) -> Result<Workspace, String> {
         }
     }
 
-    let probe_registry = match fs::read_to_string(root.join(PROBE_REGISTRY_REL)) {
-        Ok(src) => manifest::parse(&src),
-        Err(_) => TomlDoc::default(),
-    };
+    let (probe_registry, probe_registry_sups) =
+        match fs::read_to_string(root.join(PROBE_REGISTRY_REL)) {
+            Ok(src) => (manifest::parse(&src), scanner::scan_toml_suppressions(&src)),
+            Err(_) => (TomlDoc::default(), Vec::new()),
+        };
     let unwrap_baseline = match fs::read_to_string(root.join(UNWRAP_BASELINE_REL)) {
         Ok(src) => manifest::parse(&src)
             .section("counts")
@@ -160,6 +165,7 @@ pub fn load(root: &Path) -> Result<Workspace, String> {
         crates,
         files,
         probe_registry,
+        probe_registry_sups,
         probe_registry_rel: PROBE_REGISTRY_REL.to_string(),
         unwrap_baseline,
         unwrap_baseline_rel: UNWRAP_BASELINE_REL.to_string(),
@@ -177,6 +183,7 @@ pub fn run(ws: &Workspace) -> Report {
             sup.insert(&krate.manifest_rel, krate.manifest_sups.clone());
         }
     }
+    sup.insert(&ws.probe_registry_rel, ws.probe_registry_sups.clone());
 
     let mut findings = lints::run_all(ws, &mut sup);
     lints::finish_suppressions(sup, &mut findings);

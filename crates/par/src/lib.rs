@@ -105,6 +105,14 @@ impl WorkerProbe {
         WorkerProbe { enabled: edm_trace::enabled(), jobs: 0, busy: std::time::Duration::ZERO }
     }
 
+    /// Names this worker's timeline ring (`par-worker-<w>`) so
+    /// Chrome-trace exports label the track; free when tracing is off.
+    fn name(&self, w: usize) {
+        if self.enabled {
+            edm_trace::name_thread(&format!("par-worker-{w}"));
+        }
+    }
+
     #[inline]
     fn job(&mut self, work: impl FnOnce()) {
         if self.enabled {
@@ -165,9 +173,11 @@ where
         if workers > 1 && data.len() >= PAR_MIN_ELEMS {
             let jobs = Mutex::new(data.chunks_mut(row_len).enumerate());
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| {
+                for w in 0..workers {
+                    let (jobs, f) = (&jobs, &f);
+                    s.spawn(move || {
                         let mut probe = WorkerProbe::start();
+                        probe.name(w);
                         loop {
                             let job = jobs.lock().expect("worker panicked holding job lock").next();
                             match job {
@@ -216,9 +226,11 @@ where
         if workers > 1 && data.len() >= PAR_MIN_ELEMS {
             let jobs = Mutex::new(data.chunks_mut(chunk_len).enumerate());
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| {
+                for w in 0..workers {
+                    let (jobs, f) = (&jobs, &f);
+                    s.spawn(move || {
                         let mut probe = WorkerProbe::start();
+                        probe.name(w);
                         loop {
                             let job = jobs.lock().expect("worker panicked holding job lock").next();
                             match job {
@@ -290,9 +302,11 @@ where
             let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
             let jobs = Mutex::new(out.chunks_mut(1).enumerate());
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| {
+                for w in 0..workers {
+                    let (jobs, f) = (&jobs, &f);
+                    s.spawn(move || {
                         let mut probe = WorkerProbe::start();
+                        probe.name(w);
                         loop {
                             let job = jobs.lock().expect("worker panicked holding job lock").next();
                             match job {

@@ -83,9 +83,14 @@ impl WorkerPool {
             panics: AtomicU64::new(0),
         });
         let handles = (0..workers.max(1))
-            .map(|_| {
+            .map(|w| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || {
+                    // Label this thread's timeline ring so Chrome-trace
+                    // exports name the track after the pool worker.
+                    edm_trace::name_thread(&format!("pool-worker-{w}"));
+                    worker_loop(&inner)
+                })
             })
             .collect();
         WorkerPool { inner, handles }

@@ -153,6 +153,10 @@ pub struct Response {
     /// When set, emitted as a `retry-after` header (seconds) — used by
     /// the 503 backpressure path.
     pub retry_after: Option<u32>,
+    /// When set, emitted as an `x-request-id` header so a client can
+    /// correlate its response with the server's access log and
+    /// telemetry.
+    pub request_id: Option<u64>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -164,6 +168,7 @@ impl Response {
             status,
             content_type: "application/json",
             retry_after: None,
+            request_id: None,
             body: body.into_bytes(),
         }
     }
@@ -174,6 +179,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             retry_after: None,
+            request_id: None,
             body: body.as_bytes().to_vec(),
         }
     }
@@ -193,6 +199,9 @@ impl Response {
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        if let Some(id) = self.request_id {
+            head.push_str(&format!("x-request-id: {id}\r\n"));
         }
         head.push_str("\r\n");
         w.write_all(head.as_bytes())?;
@@ -297,6 +306,16 @@ mod tests {
             text,
             "HTTP/1.1 200 OK\r\nconnection: close\r\ncontent-type: application/json\r\ncontent-length: 11\r\n\r\n{\"ok\":true}"
         );
+    }
+
+    #[test]
+    fn request_id_header_rides_along_when_set() {
+        let mut resp = Response::text(200, "ok\n");
+        resp.request_id = Some(42);
+        let mut out = Vec::new();
+        resp.write_to(&mut out).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\r\nx-request-id: 42\r\n"), "got {text:?}");
     }
 
     #[test]

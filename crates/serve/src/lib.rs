@@ -14,8 +14,13 @@
 //! |---|---|---|
 //! | `/v1/models/{name}:predict` | POST | Score a JSON batch (`{"inputs": [[...], ...]}`) |
 //! | `/v1/models` | GET | List registered models |
+//! | `/v1/trace` | GET | Live [`edm_trace::TraceReport`] JSON (debug) |
 //! | `/healthz` | GET | Liveness probe |
-//! | `/metrics` | GET | Telemetry snapshot in OpenMetrics text format |
+//! | `/metrics` | GET | OpenMetrics exposition: trace registry + per-`endpoint × model` request series (lifetime + rolling-window latency) |
+//!
+//! Every request is answered with an `x-request-id` header that
+//! matches the server's access log line (`EDM_SERVE_LOG=1`; slow
+//! requests past `EDM_SERVE_SLOW_MS` are always logged).
 //!
 //! Scoring fans through the same `predict_batch` paths the library
 //! exposes directly, so a prediction served over HTTP is bitwise
@@ -42,10 +47,12 @@
 
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod registry;
 #[cfg(feature = "parallel")]
 pub mod server;
 
+pub use metrics::{LatencySnapshot, ServeMetrics};
 pub use registry::{ModelInfo, ModelRegistry, RegistryError, ServedModel};
 #[cfg(feature = "parallel")]
 pub use server::{ServeError, Server, ServerConfig};

@@ -1,0 +1,398 @@
+//! Request-scoped serving metrics, independent of the `edm-trace`
+//! level so `/metrics` can always answer "which model is slow right
+//! now".
+//!
+//! [`ServeMetrics`] keeps one series per `endpoint × model` pair:
+//! per-status request counts, a **lifetime** latency histogram, and a
+//! **rolling window** of the last [`WINDOW_SECS`] seconds (per-second
+//! slots, so the window advances without rescanning history).
+//! Latencies go into decilog histograms — bucket `i` covers
+//! `[10^(i/10), 10^((i+1)/10))` nanoseconds, i.e. ~26% wide buckets —
+//! which bounds quantile estimation error to one bucket edge while
+//! keeping each series a fixed 128-slot array.
+//!
+//! Rendering ([`ServeMetrics::render_openmetrics`]) emits OpenMetrics
+//! families **without** the `# EOF` terminator; the server composes
+//! them after the `edm-trace` registry body and closes the exposition
+//! itself. Timekeeping uses the monotonic [`Instant`] clock anchored at
+//! construction (no wall-clock entropy).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Width of the rolling latency window, in seconds.
+pub const WINDOW_SECS: u64 = 60;
+
+/// Decilog bucket count: bucket 127 starts at `10^12.7` ns ≈ 83 min,
+/// far beyond any request this server answers.
+const BUCKETS: usize = 128;
+
+/// Bucket index for a latency: `floor(10·log10(ns))`, clamped.
+fn bucket_index(ns: u64) -> usize {
+    if ns <= 1 {
+        return 0;
+    }
+    ((ns as f64).log10() * 10.0).floor().clamp(0.0, (BUCKETS - 1) as f64) as usize
+}
+
+/// Upper edge of bucket `i`, in nanoseconds.
+fn bucket_edge_ns(i: usize) -> f64 {
+    10f64.powf((i + 1) as f64 / 10.0)
+}
+
+/// Fixed-size decilog latency histogram.
+#[derive(Clone)]
+struct LogHist {
+    count: u64,
+    sum_ns: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl LogHist {
+    fn new() -> Self {
+        LogHist { count: 0, sum_ns: 0, buckets: [0; BUCKETS] }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns += ns;
+        self.buckets[bucket_index(ns)] += 1;
+    }
+
+    fn clear(&mut self) {
+        self.count = 0;
+        self.sum_ns = 0;
+        self.buckets = [0; BUCKETS];
+    }
+
+    fn merge(&mut self, other: &LogHist) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Quantile estimate (bucket upper edge), `None` when empty. The
+    /// estimate is at most one decilog bucket (~26%) above the true
+    /// order statistic.
+    fn quantile_ns(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_edge_ns(i));
+            }
+        }
+        Some(bucket_edge_ns(BUCKETS - 1))
+    }
+}
+
+/// One second of window data: the elapsed-second it was written for,
+/// and that second's latencies.
+#[derive(Clone)]
+struct Slot {
+    sec: u64,
+    hist: LogHist,
+}
+
+/// All data for one `endpoint × model` pair.
+struct Series {
+    statuses: BTreeMap<u16, u64>,
+    lifetime: LogHist,
+    slots: Vec<Slot>,
+}
+
+impl Series {
+    fn new() -> Self {
+        Series {
+            statuses: BTreeMap::new(),
+            lifetime: LogHist::new(),
+            slots: (0..WINDOW_SECS).map(|_| Slot { sec: 0, hist: LogHist::new() }).collect(),
+        }
+    }
+
+    fn record(&mut self, status: u16, ns: u64, now_sec: u64) {
+        *self.statuses.entry(status).or_insert(0) += 1;
+        self.lifetime.record(ns);
+        let slot = &mut self.slots[(now_sec % WINDOW_SECS) as usize];
+        if slot.sec != now_sec {
+            slot.hist.clear();
+            slot.sec = now_sec;
+        }
+        slot.hist.record(ns);
+    }
+
+    /// Aggregate of the slots written within the last [`WINDOW_SECS`]
+    /// seconds ending at `now_sec`.
+    fn window(&self, now_sec: u64) -> LogHist {
+        let mut agg = LogHist::new();
+        for slot in &self.slots {
+            if slot.hist.count > 0 && now_sec.saturating_sub(slot.sec) < WINDOW_SECS {
+                agg.merge(&slot.hist);
+            }
+        }
+        agg
+    }
+}
+
+/// A point-in-time latency summary for one `endpoint × model` series,
+/// as exposed to tests and harnesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySnapshot {
+    /// Requests in the summarized range.
+    pub count: u64,
+    /// Estimated median latency, nanoseconds (0 when empty).
+    pub p50_ns: f64,
+    /// Estimated 99th-percentile latency, nanoseconds (0 when empty).
+    pub p99_ns: f64,
+}
+
+/// Request-scoped metrics registry for one server instance: request-id
+/// allocation plus per-`endpoint × model` status counts and latency
+/// series (lifetime + rolling window). See the [module docs](self).
+pub struct ServeMetrics {
+    start: Instant,
+    next_id: AtomicU64,
+    series: Mutex<BTreeMap<(String, String), Series>>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// An empty registry; the window clock starts now.
+    pub fn new() -> Self {
+        ServeMetrics {
+            start: Instant::now(),
+            next_id: AtomicU64::new(1),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Allocates the next request id (1, 2, 3, ...).
+    pub fn next_request_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Seconds elapsed since construction (the window clock).
+    fn now_sec(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// Records one finished request.
+    pub fn observe(&self, endpoint: &str, model: &str, status: u16, latency_ns: u64) {
+        let now_sec = self.now_sec();
+        let mut series = self.series.lock().expect("metrics registry poisoned");
+        series
+            .entry((endpoint.to_string(), model.to_string()))
+            .or_insert_with(Series::new)
+            .record(status, latency_ns, now_sec);
+    }
+
+    /// Lifetime latency summary for one series, `None` when the pair
+    /// never recorded.
+    pub fn lifetime_snapshot(&self, endpoint: &str, model: &str) -> Option<LatencySnapshot> {
+        let series = self.series.lock().expect("metrics registry poisoned");
+        let s = series.get(&(endpoint.to_string(), model.to_string()))?;
+        Some(snapshot_of(&s.lifetime))
+    }
+
+    /// Rolling-window latency summary for one series, `None` when the
+    /// pair never recorded (an empty window returns `count: 0`).
+    pub fn window_snapshot(&self, endpoint: &str, model: &str) -> Option<LatencySnapshot> {
+        let now_sec = self.now_sec();
+        let series = self.series.lock().expect("metrics registry poisoned");
+        let s = series.get(&(endpoint.to_string(), model.to_string()))?;
+        Some(snapshot_of(&s.window(now_sec)))
+    }
+
+    /// Renders every series as OpenMetrics families, without the
+    /// `# EOF` terminator (the caller composes and closes the
+    /// exposition):
+    ///
+    /// * `edm_serve_requests_total{endpoint,model,status}` — counter;
+    /// * `edm_serve_request_latency_ns{endpoint,model}` — lifetime
+    ///   histogram with cumulative decilog `le` buckets;
+    /// * `edm_serve_latency_quantile_ms{endpoint,model,window,quantile}`
+    ///   — gauge, `window` ∈ {`lifetime`, `60s`}, `quantile` ∈ {`0.5`,
+    ///   `0.99`};
+    /// * `edm_serve_window_requests{endpoint,model}` — gauge, requests
+    ///   inside the rolling window.
+    ///
+    /// Empty when no request was ever recorded. Deterministic for a
+    /// given state (series in key order).
+    pub fn render_openmetrics(&self) -> String {
+        fn esc(v: &str) -> String {
+            v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        }
+        let now_sec = self.now_sec();
+        let series = self.series.lock().expect("metrics registry poisoned");
+        if series.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str("# TYPE edm_serve_requests counter\n");
+        for ((endpoint, model), s) in series.iter() {
+            for (&status, &n) in &s.statuses {
+                out.push_str(&format!(
+                    "edm_serve_requests_total{{endpoint=\"{}\",model=\"{}\",status=\"{status}\"}} {n}\n",
+                    esc(endpoint),
+                    esc(model)
+                ));
+            }
+        }
+        out.push_str("# TYPE edm_serve_request_latency_ns histogram\n");
+        for ((endpoint, model), s) in series.iter() {
+            let labels = format!("endpoint=\"{}\",model=\"{}\"", esc(endpoint), esc(model));
+            let mut cumulative = 0u64;
+            for (i, &c) in s.lifetime.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                out.push_str(&format!(
+                    "edm_serve_request_latency_ns_bucket{{{labels},le=\"{:.1}\"}} {cumulative}\n",
+                    bucket_edge_ns(i)
+                ));
+            }
+            out.push_str(&format!(
+                "edm_serve_request_latency_ns_bucket{{{labels},le=\"+Inf\"}} {}\n\
+                 edm_serve_request_latency_ns_sum{{{labels}}} {}\n\
+                 edm_serve_request_latency_ns_count{{{labels}}} {}\n",
+                s.lifetime.count, s.lifetime.sum_ns, s.lifetime.count
+            ));
+        }
+        out.push_str("# TYPE edm_serve_latency_quantile_ms gauge\n");
+        for ((endpoint, model), s) in series.iter() {
+            let labels = format!("endpoint=\"{}\",model=\"{}\"", esc(endpoint), esc(model));
+            let window = s.window(now_sec);
+            for (window_label, hist) in [("lifetime", &s.lifetime), ("60s", &window)] {
+                for (q_label, q) in [("0.5", 0.5), ("0.99", 0.99)] {
+                    let Some(ns) = hist.quantile_ns(q) else { continue };
+                    out.push_str(&format!(
+                        "edm_serve_latency_quantile_ms{{{labels},window=\"{window_label}\",\
+                         quantile=\"{q_label}\"}} {:.6}\n",
+                        ns / 1e6
+                    ));
+                }
+            }
+        }
+        out.push_str("# TYPE edm_serve_window_requests gauge\n");
+        for ((endpoint, model), s) in series.iter() {
+            out.push_str(&format!(
+                "edm_serve_window_requests{{endpoint=\"{}\",model=\"{}\"}} {}\n",
+                esc(endpoint),
+                esc(model),
+                s.window(now_sec).count
+            ));
+        }
+        out
+    }
+}
+
+fn snapshot_of(hist: &LogHist) -> LatencySnapshot {
+    LatencySnapshot {
+        count: hist.count,
+        p50_ns: hist.quantile_ns(0.5).unwrap_or(0.0),
+        p99_ns: hist.quantile_ns(0.99).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decilog_buckets_bracket_their_samples() {
+        // 1000 ns: log10 = 3.0 exactly -> bucket 30, edge 10^3.1.
+        assert_eq!(bucket_index(1000), 30);
+        assert!(bucket_edge_ns(30) > 1000.0 && bucket_edge_ns(30) < 1300.0);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_of_truth() {
+        let mut h = LogHist::new();
+        for ns in [100u64, 200, 300, 400, 1_000_000] {
+            h.record(ns);
+        }
+        let p50 = h.quantile_ns(0.5).expect("non-empty");
+        // True median 300; the estimate is its bucket's upper edge.
+        assert!((300.0..=300.0 * 1.26).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99).expect("non-empty");
+        assert!((1e6..=1e6 * 1.26).contains(&p99), "p99 = {p99}");
+        assert_eq!(LogHist::new().quantile_ns(0.5), None);
+    }
+
+    #[test]
+    fn observe_feeds_lifetime_and_window() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.next_request_id(), 1);
+        assert_eq!(m.next_request_id(), 2);
+        m.observe("predict", "svc", 200, 1_000_000);
+        m.observe("predict", "svc", 200, 2_000_000);
+        m.observe("predict", "svc", 400, 500_000);
+        let life = m.lifetime_snapshot("predict", "svc").expect("series exists");
+        assert_eq!(life.count, 3);
+        assert!(life.p50_ns >= 1e6 && life.p50_ns <= 1.26e6, "p50 = {}", life.p50_ns);
+        // The window was written this second, so it holds everything.
+        let win = m.window_snapshot("predict", "svc").expect("series exists");
+        assert_eq!(win.count, 3);
+        assert!(m.lifetime_snapshot("predict", "other").is_none());
+    }
+
+    #[test]
+    fn window_slots_expire_older_seconds() {
+        let mut s = Series::new();
+        s.record(200, 1000, 10);
+        s.record(200, 1000, 30);
+        // At second 30 both are inside the 60 s window...
+        assert_eq!(s.window(30).count, 2);
+        // ...at second 80 only the second-30 slot remains...
+        assert_eq!(s.window(80).count, 1);
+        // ...and at second 100 the window is empty, lifetime is not.
+        assert_eq!(s.window(100).count, 0);
+        assert_eq!(s.lifetime.count, 2);
+        // A slot is reused (cleared) when its second comes around again.
+        s.record(200, 1000, 10 + WINDOW_SECS);
+        assert_eq!(s.window(10 + WINDOW_SECS).count, 2, "slot 10 cleared and rewritten");
+    }
+
+    #[test]
+    fn openmetrics_rendering_has_all_families() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.render_openmetrics(), "", "no families before any request");
+        m.observe("predict", "svc", 200, 1_500_000);
+        m.observe("predict", "svc", 503, 2_000);
+        m.observe("healthz", "-", 200, 900);
+        let text = m.render_openmetrics();
+        assert!(!text.contains("# EOF"), "body must not terminate the exposition");
+        assert!(text.contains(
+            "edm_serve_requests_total{endpoint=\"predict\",model=\"svc\",status=\"200\"} 1"
+        ));
+        assert!(text.contains(
+            "edm_serve_requests_total{endpoint=\"predict\",model=\"svc\",status=\"503\"} 1"
+        ));
+        assert!(text
+            .contains("edm_serve_request_latency_ns_count{endpoint=\"predict\",model=\"svc\"} 2"));
+        assert!(text.contains("window=\"lifetime\",quantile=\"0.5\""));
+        assert!(text.contains("window=\"60s\",quantile=\"0.99\""));
+        assert!(text.contains("edm_serve_window_requests{endpoint=\"healthz\",model=\"-\"} 1"));
+        // Cumulative le buckets end at +Inf with the full count.
+        assert!(text.contains(
+            "edm_serve_request_latency_ns_bucket{endpoint=\"healthz\",model=\"-\",le=\"+Inf\"} 1"
+        ));
+    }
+}

@@ -23,6 +23,21 @@
 //! with a loopback connection, joins it, then drains the worker pool:
 //! every connection already admitted is answered before the threads
 //! exit.
+//!
+//! # Request-scoped telemetry
+//!
+//! Every request gets a monotonically increasing id (echoed as an
+//! `x-request-id` header) and is classified into an `endpoint × model`
+//! pair. Each finished request feeds three sinks: the always-on
+//! [`ServeMetrics`] registry (per-status counts plus lifetime and
+//! rolling-window latency series, rendered on `/metrics`), the
+//! `edm-trace` labeled probes `serve.request.count` /
+//! `serve.request.handle_ns` (active at `EDM_TRACE=summary` and
+//! above), and an env-gated one-line access log on stderr
+//! (`EDM_SERVE_LOG=1`; requests at or above the
+//! `EDM_SERVE_SLOW_MS` threshold are always logged and counted under
+//! `serve.request.slow`). `GET /v1/trace` returns the live
+//! [`edm_trace::TraceReport`] as JSON for interactive debugging.
 
 use std::io::{BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -35,6 +50,7 @@ use edm_par::pool::WorkerPool;
 
 use crate::http::{self, HttpError, Request, Response};
 use crate::json::{self, Value};
+use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
 
 /// Tunables for a [`Server`].
@@ -53,6 +69,13 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Seconds advertised in the `retry-after` header of 503 responses.
     pub retry_after_secs: u32,
+    /// Emit a one-line access log for every request (slow requests are
+    /// logged regardless). `None` defers to the `EDM_SERVE_LOG`
+    /// environment variable (truthy values: `1`, `true`, `on`).
+    pub access_log: Option<bool>,
+    /// Slow-request threshold in milliseconds. `None` defers to
+    /// `EDM_SERVE_SLOW_MS`, defaulting to 500 ms.
+    pub slow_ms: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -64,8 +87,42 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             max_body_bytes: 1 << 20,
             retry_after_secs: 1,
+            access_log: None,
+            slow_ms: None,
         }
     }
+}
+
+/// Resolved access-log settings (see [`ServerConfig::access_log`] and
+/// [`ServerConfig::slow_ms`]).
+#[derive(Debug, Clone, Copy)]
+struct LogConfig {
+    enabled: bool,
+    slow_ns: u64,
+}
+
+impl LogConfig {
+    fn resolve(config: &ServerConfig) -> LogConfig {
+        let enabled = config.access_log.unwrap_or_else(|| {
+            std::env::var("EDM_SERVE_LOG").is_ok_and(|v| {
+                v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+            })
+        });
+        let slow_ms = config.slow_ms.unwrap_or_else(|| {
+            std::env::var("EDM_SERVE_SLOW_MS")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(500.0)
+        });
+        LogConfig { enabled, slow_ns: (slow_ms.max(0.0) * 1e6) as u64 }
+    }
+}
+
+/// Shared per-server state handed to every connection handler.
+struct ServeState {
+    registry: ModelRegistry,
+    metrics: ServeMetrics,
+    log: LogConfig,
 }
 
 /// Why the server could not start.
@@ -131,14 +188,15 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let workers = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
-        let registry = Arc::new(registry);
+        let log = LogConfig::resolve(&config);
+        let state = Arc::new(ServeState { registry, metrics: ServeMetrics::new(), log });
 
         let acceptor = WorkerPool::new(1, 1);
         {
             let stop = Arc::clone(&stop);
             let workers = Arc::clone(&workers);
             let permit = acceptor.try_reserve().expect("fresh 1-slot pool has room");
-            permit.execute(move || accept_loop(&listener, &workers, &registry, &stop, &config));
+            permit.execute(move || accept_loop(&listener, &workers, &state, &stop, &config));
         }
         Ok(Server { local_addr, stop, acceptor: Some(acceptor), workers: Some(workers) })
     }
@@ -190,7 +248,7 @@ impl Drop for Server {
 fn accept_loop(
     listener: &TcpListener,
     workers: &Arc<WorkerPool>,
-    registry: &Arc<ModelRegistry>,
+    state: &Arc<ServeState>,
     stop: &AtomicBool,
     config: &ServerConfig,
 ) {
@@ -217,37 +275,77 @@ fn accept_loop(
             }
             Some(permit) => {
                 edm_trace::record("serve.queue.depth", workers.queue_len() as f64);
-                let registry = Arc::clone(registry);
+                let state = Arc::clone(state);
                 let max_body = config.max_body_bytes;
-                permit.execute(move || handle_connection(&stream, &registry, max_body));
+                permit.execute(move || handle_connection(&stream, &state, max_body));
             }
         }
     }
 }
 
-fn handle_connection(stream: &TcpStream, registry: &ModelRegistry, max_body: usize) {
+fn handle_connection(stream: &TcpStream, state: &ServeState, max_body: usize) {
     edm_trace::counter_add("serve.http.requests", 1);
     let _span = edm_trace::span("serve.request");
+    let id = state.metrics.next_request_id();
+    let t0 = Instant::now();
     let mut reader = BufReader::new(stream);
-    let request = match http::read_request(&mut reader, max_body) {
-        Ok(r) => r,
+    let (mut routed, drain) = match http::read_request(&mut reader, max_body) {
+        Ok(request) => (route(&request, &state.registry, &state.metrics), false),
+        // Requests that never parsed still count: they get the
+        // sentinel endpoint `unparsed` and the draining close (their
+        // bytes were not fully read).
         Err(HttpError::Malformed(why)) => {
-            respond_and_drain(stream, &error_response(400, &why), max_body);
-            return;
+            (Routed::plain(error_response(400, &why), "unparsed"), true)
         }
-        Err(HttpError::TooLarge { limit }) => {
-            respond_and_drain(
-                stream,
-                &error_response(413, &format!("request body exceeds {limit} bytes")),
-                max_body,
-            );
-            return;
-        }
+        Err(HttpError::TooLarge { limit }) => (
+            Routed::plain(
+                error_response(413, &format!("request body exceeds {limit} bytes")),
+                "unparsed",
+            ),
+            true,
+        ),
         // Dead or stalled socket: nobody is left to answer.
         Err(HttpError::Io(_)) => return,
     };
-    let response = route(&request, registry);
-    respond(stream, &response);
+    routed.response.request_id = Some(id);
+    if drain {
+        respond_and_drain(stream, &routed.response, max_body);
+    } else {
+        respond(stream, &routed.response);
+    }
+    finish_request(state, id, &routed, (t0.elapsed().as_secs_f64() * 1e9) as u64);
+}
+
+/// Feeds one finished request to the serve-local metrics registry, the
+/// labeled trace probes, and (when enabled, or when slow) the access
+/// log.
+fn finish_request(state: &ServeState, id: u64, routed: &Routed, latency_ns: u64) {
+    let status = routed.response.status;
+    state.metrics.observe(routed.endpoint, &routed.model, status, latency_ns);
+    let status_label = status.to_string();
+    edm_trace::counter_add_labeled(
+        "serve.request.count",
+        &[("endpoint", routed.endpoint), ("model", &routed.model), ("status", &status_label)],
+        1,
+    );
+    edm_trace::record_labeled(
+        "serve.request.handle_ns",
+        &[("endpoint", routed.endpoint), ("model", &routed.model)],
+        latency_ns as f64,
+    );
+    let slow = latency_ns >= state.log.slow_ns;
+    if slow {
+        edm_trace::counter_add("serve.request.slow", 1);
+    }
+    if state.log.enabled || slow {
+        eprintln!(
+            "edm-serve: request_id={id} endpoint={} model={} status={status} \
+             latency_ms={:.3} slow={slow}",
+            routed.endpoint,
+            routed.model,
+            latency_ns as f64 / 1e6,
+        );
+    }
 }
 
 /// Writes `resp`, ignoring socket errors — the client may already be
@@ -289,45 +387,74 @@ fn respond_and_drain(mut stream: &TcpStream, resp: &Response, cap: usize) {
     }
 }
 
-fn route(req: &Request, registry: &ModelRegistry) -> Response {
-    let t0 = Instant::now();
+/// A routed response plus its telemetry classification.
+struct Routed {
+    response: Response,
+    /// Static endpoint label: `healthz`, `metrics`, `models`,
+    /// `predict`, `trace`, `other`, or `unparsed`.
+    endpoint: &'static str,
+    /// Model label: the registered name for predict requests, the
+    /// bounded sentinel `unknown` for unregistered names, `-` for
+    /// model-less endpoints (label cardinality stays finite either
+    /// way).
+    model: String,
+}
+
+impl Routed {
+    fn plain(response: Response, endpoint: &'static str) -> Routed {
+        Routed { response, endpoint, model: "-".to_string() }
+    }
+}
+
+fn route(req: &Request, registry: &ModelRegistry, metrics: &ServeMetrics) -> Routed {
     match req.target.as_str() {
-        "/healthz" => {
-            let resp = require_get(req).unwrap_or_else(|| Response::text(200, "ok\n"));
-            edm_trace::record("serve.healthz.latency_ns", elapsed_ns(t0));
-            resp
-        }
+        "/healthz" => Routed::plain(
+            require_get(req).unwrap_or_else(|| Response::text(200, "ok\n")),
+            "healthz",
+        ),
         "/metrics" => {
-            let resp = require_get(req).unwrap_or_else(|| Response {
-                status: 200,
-                content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
-                retry_after: None,
-                body: edm_trace::collect().to_openmetrics().into_bytes(),
-            });
-            edm_trace::record("serve.metrics.latency_ns", elapsed_ns(t0));
-            resp
+            Routed::plain(require_get(req).unwrap_or_else(|| metrics_response(metrics)), "metrics")
         }
         "/v1/models" => {
-            let resp = require_get(req).unwrap_or_else(|| models_response(registry));
-            edm_trace::record("serve.models.latency_ns", elapsed_ns(t0));
-            resp
+            Routed::plain(require_get(req).unwrap_or_else(|| models_response(registry)), "models")
         }
+        "/v1/trace" => Routed::plain(require_get(req).unwrap_or_else(trace_response), "trace"),
         target if target.starts_with("/v1/models/") && target.ends_with(":predict") => {
             let name = &target["/v1/models/".len()..target.len() - ":predict".len()];
-            let resp = if req.method == "POST" {
+            let model = if registry.get(name).is_some() { name } else { "unknown" };
+            let response = if req.method == "POST" {
                 predict_response(name, &req.body, registry)
             } else {
                 error_response(405, ":predict requires POST")
             };
-            edm_trace::record("serve.predict.latency_ns", elapsed_ns(t0));
-            resp
+            Routed { response, endpoint: "predict", model: model.to_string() }
         }
-        _ => error_response(404, "no such endpoint"),
+        _ => Routed::plain(error_response(404, "no such endpoint"), "other"),
     }
 }
 
-fn elapsed_ns(t0: Instant) -> f64 {
-    t0.elapsed().as_secs_f64() * 1e9
+/// `/metrics`: the `edm-trace` registry families, the serve-local
+/// request series, and the closing `# EOF` line, as one OpenMetrics
+/// exposition.
+fn metrics_response(metrics: &ServeMetrics) -> Response {
+    let mut body = edm_trace::collect().openmetrics_body();
+    body.push_str(&metrics.render_openmetrics());
+    body.push_str("# EOF\n");
+    Response {
+        status: 200,
+        content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
+        retry_after: None,
+        request_id: None,
+        body: body.into_bytes(),
+    }
+}
+
+/// `/v1/trace`: the live [`edm_trace::TraceReport`] as JSON.
+fn trace_response() -> Response {
+    match edm_trace::collect().to_json() {
+        Ok(json) => Response::json(200, json),
+        Err(e) => error_response(500, &format!("trace serialization failed: {e}")),
+    }
 }
 
 /// `None` when the method is GET, otherwise the 405 to send.
@@ -428,19 +555,73 @@ mod tests {
         }
     }
 
+    /// Routes `r` against a throwaway metrics registry and returns the
+    /// response alone (most routing tests don't care about labels).
+    fn route_only(r: &Request, reg: &ModelRegistry) -> Response {
+        route(r, reg, &ServeMetrics::new()).response
+    }
+
     #[test]
     fn routing_table_without_sockets() {
         let reg = registry_with_ridge();
-        assert_eq!(route(&req("GET", "/healthz", ""), &reg).status, 200);
-        assert_eq!(route(&req("POST", "/healthz", ""), &reg).status, 405);
-        assert_eq!(route(&req("GET", "/metrics", ""), &reg).status, 200);
-        assert_eq!(route(&req("GET", "/v1/models", ""), &reg).status, 200);
-        assert_eq!(route(&req("GET", "/v1/models/plane:predict", ""), &reg).status, 405);
-        assert_eq!(route(&req("GET", "/nope", ""), &reg).status, 404);
-        let ok = route(&req("POST", "/v1/models/plane:predict", r#"{"inputs": [[1, 1]]}"#), &reg);
+        assert_eq!(route_only(&req("GET", "/healthz", ""), &reg).status, 200);
+        assert_eq!(route_only(&req("POST", "/healthz", ""), &reg).status, 405);
+        assert_eq!(route_only(&req("GET", "/metrics", ""), &reg).status, 200);
+        assert_eq!(route_only(&req("GET", "/v1/models", ""), &reg).status, 200);
+        assert_eq!(route_only(&req("GET", "/v1/trace", ""), &reg).status, 200);
+        assert_eq!(route_only(&req("POST", "/v1/trace", ""), &reg).status, 405);
+        assert_eq!(route_only(&req("GET", "/v1/models/plane:predict", ""), &reg).status, 405);
+        assert_eq!(route_only(&req("GET", "/nope", ""), &reg).status, 404);
+        let ok =
+            route_only(&req("POST", "/v1/models/plane:predict", r#"{"inputs": [[1, 1]]}"#), &reg);
         assert_eq!(ok.status, 200);
         let shown = String::from_utf8(ok.body).expect("utf8");
         assert!(shown.contains("\"predictions\":["), "body was {shown}");
+    }
+
+    #[test]
+    fn routes_classify_endpoint_and_model() {
+        let reg = registry_with_ridge();
+        let m = ServeMetrics::new();
+        let health = route(&req("GET", "/healthz", ""), &reg, &m);
+        assert_eq!((health.endpoint, health.model.as_str()), ("healthz", "-"));
+        let hit = route(&req("POST", "/v1/models/plane:predict", "{\"inputs\": []}"), &reg, &m);
+        assert_eq!((hit.endpoint, hit.model.as_str()), ("predict", "plane"));
+        // Unregistered names collapse to the bounded `unknown` label so
+        // clients cannot mint unbounded metric series.
+        let miss = route(&req("POST", "/v1/models/ghost:predict", "{}"), &reg, &m);
+        assert_eq!((miss.endpoint, miss.model.as_str()), ("predict", "unknown"));
+        let lost = route(&req("GET", "/nope", ""), &reg, &m);
+        assert_eq!(lost.endpoint, "other");
+    }
+
+    #[test]
+    fn trace_endpoint_returns_live_report_json() {
+        let reg = registry_with_ridge();
+        let resp = route_only(&req("GET", "/v1/trace", ""), &reg);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        let doc = json::parse(std::str::from_utf8(&resp.body).expect("utf8"))
+            .expect("live trace report parses with our own JSON parser");
+        assert!(doc.get("level").is_some(), "report carries the trace level");
+        assert!(doc.get("dropped_events").is_some(), "report carries the ring drop counter");
+    }
+
+    #[test]
+    fn metrics_endpoint_composes_serve_families_and_eof() {
+        let reg = registry_with_ridge();
+        let m = ServeMetrics::new();
+        m.observe("predict", "plane", 200, 1_500_000);
+        let resp = route(&req("GET", "/metrics", ""), &reg, &m).response;
+        let text = String::from_utf8(resp.body).expect("utf8");
+        assert!(
+            text.contains(
+                "edm_serve_requests_total{endpoint=\"predict\",model=\"plane\",status=\"200\"} 1"
+            ),
+            "serve families missing from {text}"
+        );
+        assert!(text.ends_with("# EOF\n"), "exposition must end with EOF");
+        assert_eq!(text.matches("# EOF").count(), 1, "exactly one EOF terminator");
     }
 
     #[test]
@@ -448,15 +629,15 @@ mod tests {
         let reg = registry_with_ridge();
         let predict = "/v1/models/plane:predict";
         // Unknown model.
-        assert_eq!(route(&req("POST", "/v1/models/ghost:predict", "{}"), &reg).status, 404);
+        assert_eq!(route_only(&req("POST", "/v1/models/ghost:predict", "{}"), &reg).status, 404);
         // Not JSON at all.
-        assert_eq!(route(&req("POST", predict, "not json"), &reg).status, 400);
+        assert_eq!(route_only(&req("POST", predict, "not json"), &reg).status, 400);
         // JSON, wrong shape.
-        assert_eq!(route(&req("POST", predict, "{\"rows\": []}"), &reg).status, 400);
-        assert_eq!(route(&req("POST", predict, "{\"inputs\": [4]}"), &reg).status, 400);
-        assert_eq!(route(&req("POST", predict, "{\"inputs\": [[true]]}"), &reg).status, 400);
+        assert_eq!(route_only(&req("POST", predict, "{\"rows\": []}"), &reg).status, 400);
+        assert_eq!(route_only(&req("POST", predict, "{\"inputs\": [4]}"), &reg).status, 400);
+        assert_eq!(route_only(&req("POST", predict, "{\"inputs\": [[true]]}"), &reg).status, 400);
         // Feature-count mismatch surfaces the facade Shape error.
-        let mismatch = route(&req("POST", predict, "{\"inputs\": [[1, 2, 3]]}"), &reg);
+        let mismatch = route_only(&req("POST", predict, "{\"inputs\": [[1, 2, 3]]}"), &reg);
         assert_eq!(mismatch.status, 400);
         let shown = String::from_utf8(mismatch.body).expect("utf8");
         assert!(shown.contains("expects"), "body was {shown}");
@@ -468,7 +649,7 @@ mod tests {
         let model = reg.get("plane").expect("registered");
         let rows = vec![vec![0.25, 0.5], vec![0.75, -0.25]];
         let direct = model.predict_batch(&rows).expect("clean batch");
-        let resp = route(
+        let resp = route_only(
             &req("POST", "/v1/models/plane:predict", r#"{"inputs": [[0.25, 0.5], [0.75, -0.25]]}"#),
             &reg,
         );

@@ -1,8 +1,9 @@
 //! # edm-trace — telemetry for the edm workspace
 //!
 //! Zero-external-dependency instrumentation: hierarchical **spans**
-//! (RAII guards with monotonic timing), atomic **counters**, and
-//! fixed-bucket (power-of-two) **histograms**, aggregated in a global
+//! (RAII guards with monotonic timing), atomic **counters** (optionally
+//! labeled), fixed-bucket (power-of-two) **histograms**, and a bounded
+//! per-thread **timeline event ring**, aggregated in a global
 //! thread-safe registry and exportable as a JSON [`TraceReport`].
 //!
 //! ## Runtime knob
@@ -12,9 +13,25 @@
 //!
 //! * `off` (default) — probes are a single relaxed atomic load;
 //! * `summary` — counters, span aggregates, histograms;
-//! * `full` — additionally a bounded per-span event log and
-//!   high-frequency probes ([`record_full`], e.g. the SMO solver's
-//!   per-iteration KKT gap trajectory).
+//! * `full` — additionally the per-thread timeline ring (span
+//!   begin/end + counter events) and high-frequency probes
+//!   ([`record_full`], e.g. the SMO solver's per-iteration KKT gap
+//!   trajectory).
+//!
+//! ## Timeline ring
+//!
+//! At `full`, every span begin/end and every unlabeled counter update
+//! appends a timestamped event to the calling thread's ring buffer.
+//! Rings are bounded (default [`EVENT_CAP`] events per thread,
+//! override with `EDM_TRACE_EVENTS` or [`set_event_capacity`]) and
+//! **drop-oldest**: a full ring discards its oldest event and counts
+//! it in [`TraceReport::dropped_events`]. Timestamps are nanoseconds
+//! since the registry epoch, measured with the monotonic
+//! [`std::time::Instant`] clock (no ambient wall-clock entropy).
+//! Threads can name their ring via [`name_thread`]; `edm-par` workers
+//! do this so exported timelines carry worker identities.
+//! [`TraceReport::to_chrome_trace`] renders the timeline in the Chrome
+//! Trace Event Format, loadable in Perfetto or `chrome://tracing`.
 //!
 //! ## Compile-time knob
 //!
@@ -28,6 +45,9 @@
 //! Names are dot-separated `crate.component.metric` (e.g.
 //! `svm.smo.iterations`, `par.worker.busy_ns`); span paths additionally
 //! nest by call structure with `/` (e.g. `fig05/train/svm.smo.solve`).
+//! Labeled forms ([`counter_add_labeled`], [`record_labeled`]) attach
+//! `key="value"` dimensions (e.g. per-model, per-endpoint) that
+//! surface as OpenMetrics labels.
 //!
 //! ## Adding a probe
 //!
@@ -35,6 +55,7 @@
 //! let _span = edm_trace::span("myflow.stage");   // timed until drop
 //! edm_trace::counter_add("myflow.widgets", 3);
 //! edm_trace::record("myflow.latency_ns", 1234.0);
+//! edm_trace::counter_add_labeled("myflow.requests", &[("model", "svc")], 1);
 //! ```
 //!
 //! Probes must never perturb numerics: they may observe values but not
@@ -53,7 +74,7 @@ pub enum Level {
     Off,
     /// Counters, span aggregates, histograms.
     Summary,
-    /// Summary plus the bounded span event log and high-frequency
+    /// Summary plus the per-thread timeline ring and high-frequency
     /// [`record_full`] probes.
     Full,
 }
@@ -94,22 +115,29 @@ pub struct SpanStat {
     pub max_ns: u64,
 }
 
-/// One named monotonic counter.
+/// One named monotonic counter (one row per distinct label set).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CounterStat {
     /// Probe name (`crate.component.metric`).
     pub name: String,
+    /// Label dimensions as `(key, value)` pairs, sorted by key; empty
+    /// for unlabeled counters.
+    pub labels: Vec<(String, String)>,
     /// Accumulated value.
     pub value: u64,
 }
 
 /// One fixed-bucket histogram: buckets are powers of two, bucket
 /// exponent `e` covering `[2^e, 2^(e+1))`, clamped to `e ∈ [−32, 31]`
-/// (non-positive samples land in the lowest bucket).
+/// (non-positive samples land in the lowest bucket). One row per
+/// distinct label set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramStat {
     /// Probe name.
     pub name: String,
+    /// Label dimensions as `(key, value)` pairs, sorted by key; empty
+    /// for unlabeled histograms.
+    pub labels: Vec<(String, String)>,
     /// Samples recorded.
     pub count: u64,
     /// Sum of samples.
@@ -122,20 +150,50 @@ pub struct HistogramStat {
     pub buckets: Vec<(i64, u64)>,
 }
 
-/// One completed span activation (collected only at [`Level::Full`],
-/// capped at [`EVENT_CAP`] events).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SpanEvent {
-    /// Hierarchical span path.
-    pub path: String,
-    /// Start offset from the registry epoch, nanoseconds.
-    pub start_ns: u64,
-    /// Duration, nanoseconds.
-    pub dur_ns: u64,
+/// Phase of one timeline event, mirroring the Chrome Trace Event
+/// Format `ph` vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names ARE the Chrome `ph` vocabulary
+pub enum EventKind {
+    /// A span opened.
+    B,
+    /// A span closed.
+    E,
+    /// A counter changed; `value` is the new cumulative total.
+    C,
 }
 
-/// Maximum events retained at [`Level::Full`]; later events are counted
-/// in [`TraceReport::dropped_events`] instead of stored.
+/// One timestamped event from a thread's timeline ring
+/// ([`Level::Full`] only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Recording thread's id (registration ordinal; see
+    /// [`TraceReport::threads`] for names).
+    pub tid: u64,
+    /// Event phase.
+    pub ph: EventKind,
+    /// Span leaf name ([`EventKind::B`]/[`EventKind::E`]) or
+    /// counter name ([`EventKind::C`]).
+    pub name: String,
+    /// Nanoseconds since the registry epoch (monotonic clock).
+    pub ts_ns: u64,
+    /// Cumulative counter value for [`EventKind::C`]; 0 otherwise.
+    pub value: f64,
+}
+
+/// Identity of one thread that recorded timeline events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadInfo {
+    /// Thread id as it appears in [`TimelineEvent::tid`].
+    pub tid: u64,
+    /// Human-readable name (set via [`name_thread`], or `thread-<tid>`).
+    pub name: String,
+}
+
+/// Default per-thread timeline ring capacity at [`Level::Full`];
+/// override with `EDM_TRACE_EVENTS` or [`set_event_capacity`]. A full
+/// ring drops its **oldest** event and counts it in
+/// [`TraceReport::dropped_events`].
 pub const EVENT_CAP: usize = 8192;
 
 /// A point-in-time snapshot of the registry, serializable to JSON.
@@ -148,13 +206,18 @@ pub struct TraceReport {
     pub compiled: bool,
     /// Span aggregates, sorted by path.
     pub spans: Vec<SpanStat>,
-    /// Counters, sorted by name.
+    /// Counters, sorted by name then labels.
     pub counters: Vec<CounterStat>,
-    /// Histograms, sorted by name.
+    /// Histograms, sorted by name then labels.
     pub histograms: Vec<HistogramStat>,
-    /// Individual span activations ([`Level::Full`] only).
-    pub events: Vec<SpanEvent>,
-    /// Events discarded after [`EVENT_CAP`] was reached.
+    /// Timeline ring contents ([`Level::Full`] only), ordered by
+    /// thread id, then append order (timestamps are monotone
+    /// non-decreasing within a thread).
+    pub timeline: Vec<TimelineEvent>,
+    /// Threads contributing timeline events, sorted by id.
+    pub threads: Vec<ThreadInfo>,
+    /// Timeline events discarded (drop-oldest) after a thread's ring
+    /// filled.
     pub dropped_events: u64,
 }
 
@@ -167,7 +230,8 @@ impl TraceReport {
             spans: Vec::new(),
             counters: Vec::new(),
             histograms: Vec::new(),
-            events: Vec::new(),
+            timeline: Vec::new(),
+            threads: Vec::new(),
             dropped_events: 0,
         }
     }
@@ -182,9 +246,10 @@ impl TraceReport {
         serde_json::to_string(self)
     }
 
-    /// The value of counter `name`, or 0 if it never fired.
+    /// The value of counter `name` summed across its label sets, or 0
+    /// if it never fired.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+        self.counters.iter().filter(|c| c.name == name).map(|c| c.value).sum()
     }
 
     /// Sum of `count` over spans whose path's last `/`-segment equals
@@ -229,22 +294,109 @@ impl TraceReport {
         out
     }
 
+    /// Renders the timeline ring in the Chrome Trace Event Format
+    /// (JSON object form), loadable in Perfetto / `chrome://tracing`.
+    ///
+    /// * Each [`ThreadInfo`] becomes a `ph:"M"` `thread_name` metadata
+    ///   event, so `edm-par` worker identities label the tracks.
+    /// * [`EventKind::B`]/[`EventKind::E`] map to duration events
+    ///   `ph:"B"`/`ph:"E"`; [`EventKind::C`] maps to `ph:"C"`
+    ///   with the cumulative value in `args.value`.
+    /// * Timestamps are microseconds (`ts_ns / 1000`, 3 decimals kept).
+    /// * Nesting is sanitized per thread: an `E` whose opening `B` was
+    ///   dropped from the ring is skipped, so begin/end pairing is
+    ///   always well-formed. Unclosed `B`s (spans still open at
+    ///   snapshot time) are legal in the format and kept.
+    ///
+    /// Output is deterministic for a given report.
+    pub fn to_chrome_trace(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut events: Vec<String> = Vec::with_capacity(self.threads.len() + self.timeline.len());
+        for t in &self.threads {
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                t.tid,
+                esc(&t.name)
+            ));
+        }
+        let mut depth: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for e in &self.timeline {
+            let ts_us = e.ts_ns as f64 / 1000.0;
+            match e.ph {
+                EventKind::B => {
+                    *depth.entry(e.tid).or_insert(0) += 1;
+                    events.push(format!(
+                        "{{\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":\"{}\"}}",
+                        e.tid,
+                        ts_us,
+                        esc(&e.name)
+                    ));
+                }
+                EventKind::E => {
+                    let d = depth.entry(e.tid).or_insert(0);
+                    if *d == 0 {
+                        // The matching B fell off the ring; emitting
+                        // this E would corrupt the track's nesting.
+                        continue;
+                    }
+                    *d -= 1;
+                    events.push(format!(
+                        "{{\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":\"{}\"}}",
+                        e.tid,
+                        ts_us,
+                        esc(&e.name)
+                    ));
+                }
+                EventKind::C => {
+                    events.push(format!(
+                        "{{\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":\"{}\",\
+                         \"args\":{{\"value\":{}}}}}",
+                        e.tid,
+                        ts_us,
+                        esc(&e.name),
+                        e.value
+                    ));
+                }
+            }
+        }
+        format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}", events.join(","))
+    }
+
     /// Renders the registry snapshot in the OpenMetrics text
-    /// exposition format for scrape-based monitoring.
+    /// exposition format, **without** the `# EOF` terminator — for
+    /// callers (like `edm-serve`) that append their own families
+    /// before closing the exposition. [`TraceReport::to_openmetrics`]
+    /// is the self-terminating form.
     ///
     /// * Counters map directly: probe `svm.smo.iterations` becomes the
-    ///   family `edm_svm_smo_iterations` with one `_total` sample.
+    ///   family `edm_svm_smo_iterations` with one `_total` sample per
+    ///   label set (`# TYPE` emitted once per family).
     /// * Power-of-two histograms map to cumulative `le` buckets: the
     ///   bucket with exponent `e` covers `[2^e, 2^(e+1))`, so its upper
     ///   bound is `le="2^(e+1)"`; `_sum`, `_count`, and the mandatory
-    ///   `le="+Inf"` bucket follow.
+    ///   `le="+Inf"` bucket follow. Probe labels precede `le`.
     /// * Span aggregates become two labeled counter families,
     ///   `edm_span_activations` and `edm_span_time_ns`, with the
     ///   hierarchical path as the `path` label.
     ///
-    /// Output ends with the `# EOF` terminator and is deterministic for
-    /// a given report (families in the report's sorted order).
-    pub fn to_openmetrics(&self) -> String {
+    /// Output is deterministic for a given report (families in the
+    /// report's sorted order).
+    pub fn openmetrics_body(&self) -> String {
         fn metric_name(probe: &str) -> String {
             let mut name = String::with_capacity(probe.len() + 4);
             name.push_str("edm_");
@@ -256,22 +408,49 @@ impl TraceReport {
         fn label_value(path: &str) -> String {
             path.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
         }
-        let mut out = String::new();
-        for c in &self.counters {
-            let name = metric_name(&c.name);
-            out.push_str(&format!("# TYPE {name} counter\n{name}_total {}\n", c.value));
+        fn label_set(labels: &[(String, String)]) -> String {
+            if labels.is_empty() {
+                return String::new();
+            }
+            let inner: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{}\"", label_value(v))).collect();
+            format!("{{{}}}", inner.join(","))
         }
-        for h in &self.histograms {
+        fn labels_with_le(labels: &[(String, String)], le: &str) -> String {
+            let mut inner: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{}\"", label_value(v))).collect();
+            inner.push(format!("le=\"{le}\""));
+            format!("{{{}}}", inner.join(","))
+        }
+        let mut out = String::new();
+        for (i, c) in self.counters.iter().enumerate() {
+            let name = metric_name(&c.name);
+            if i == 0 || self.counters[i - 1].name != c.name {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+            }
+            out.push_str(&format!("{name}_total{} {}\n", label_set(&c.labels), c.value));
+        }
+        for (i, h) in self.histograms.iter().enumerate() {
             let name = metric_name(&h.name);
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            if i == 0 || self.histograms[i - 1].name != h.name {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+            }
             let mut cumulative = 0u64;
             for &(exponent, count) in &h.buckets {
                 cumulative += count;
                 let le = 2f64.powi(exponent as i32 + 1);
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                out.push_str(&format!(
+                    "{name}_bucket{} {cumulative}\n",
+                    labels_with_le(&h.labels, &le.to_string())
+                ));
             }
-            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+            out.push_str(&format!(
+                "{name}_bucket{} {}\n",
+                labels_with_le(&h.labels, "+Inf"),
+                h.count
+            ));
+            let set = label_set(&h.labels);
+            out.push_str(&format!("{name}_sum{set} {}\n{name}_count{set} {}\n", h.sum, h.count));
         }
         if !self.spans.is_empty() {
             out.push_str("# TYPE edm_span_activations counter\n");
@@ -291,6 +470,15 @@ impl TraceReport {
                 ));
             }
         }
+        out
+    }
+
+    /// Renders the registry snapshot in the OpenMetrics text
+    /// exposition format for scrape-based monitoring, ending with the
+    /// mandatory `# EOF` terminator. See
+    /// [`TraceReport::openmetrics_body`] for the family mapping.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = self.openmetrics_body();
         out.push_str("# EOF\n");
         out
     }
@@ -308,9 +496,9 @@ pub const fn compiled() -> bool {
 mod imp {
     use super::*;
     use std::cell::RefCell;
-    use std::collections::HashMap;
-    use std::sync::atomic::{AtomicU8, Ordering};
-    use std::sync::{Mutex, Once, OnceLock};
+    use std::collections::{HashMap, VecDeque};
+    use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, Once, OnceLock};
     use std::time::Instant;
 
     const UNINIT: u8 = u8::MAX;
@@ -379,6 +567,37 @@ mod imp {
         level() == Level::Full
     }
 
+    const CAP_UNINIT: usize = usize::MAX;
+    static EVENT_CAPACITY: AtomicUsize = AtomicUsize::new(CAP_UNINIT);
+
+    /// Per-thread timeline ring capacity, initializing from
+    /// `EDM_TRACE_EVENTS` on first use ([`EVENT_CAP`] default).
+    pub fn event_capacity() -> usize {
+        let v = EVENT_CAPACITY.load(Ordering::Relaxed);
+        if v != CAP_UNINIT {
+            return v;
+        }
+        init_event_capacity()
+    }
+
+    #[cold]
+    fn init_event_capacity() -> usize {
+        let cap = std::env::var("EDM_TRACE_EVENTS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(EVENT_CAP)
+            .min(CAP_UNINIT - 1);
+        EVENT_CAPACITY.store(cap, Ordering::Relaxed);
+        cap
+    }
+
+    /// Sets the per-thread timeline ring capacity programmatically
+    /// (overrides `EDM_TRACE_EVENTS`; 0 drops every event). Applies to
+    /// subsequent pushes; existing rings shrink lazily.
+    pub fn set_event_capacity(cap: usize) {
+        EVENT_CAPACITY.store(cap.min(CAP_UNINIT - 1), Ordering::Relaxed);
+    }
+
     #[derive(Default)]
     struct SpanAgg {
         count: u64,
@@ -418,12 +637,43 @@ mod imp {
         }
     }
 
+    /// Canonical label key: owned pairs sorted by key so call-site
+    /// argument order never splits a series.
+    fn canonical_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut owned: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        owned.sort();
+        owned
+    }
+
+    #[derive(Clone, Copy)]
+    struct RingEvent {
+        ph: EventKind,
+        name: &'static str,
+        ts_ns: u64,
+        value: f64,
+    }
+
+    struct RingBuf {
+        buf: VecDeque<RingEvent>,
+        dropped: u64,
+    }
+
+    struct Shard {
+        tid: u64,
+        label: Mutex<String>,
+        ring: Mutex<RingBuf>,
+    }
+
+    type ProbeKey = (&'static str, Vec<(String, String)>);
+
     struct Registry {
         epoch: Instant,
         spans: Mutex<HashMap<String, SpanAgg>>,
-        counters: Mutex<HashMap<&'static str, u64>>,
-        hists: Mutex<HashMap<&'static str, Hist>>,
-        events: Mutex<(Vec<SpanEvent>, u64)>,
+        counters: Mutex<HashMap<ProbeKey, u64>>,
+        hists: Mutex<HashMap<ProbeKey, Hist>>,
+        shards: Mutex<Vec<Arc<Shard>>>,
+        next_tid: AtomicU64,
     }
 
     fn registry() -> &'static Registry {
@@ -433,16 +683,76 @@ mod imp {
             spans: Mutex::new(HashMap::new()),
             counters: Mutex::new(HashMap::new()),
             hists: Mutex::new(HashMap::new()),
-            events: Mutex::new((Vec::new(), 0)),
+            shards: Mutex::new(Vec::new()),
+            next_tid: AtomicU64::new(0),
         })
+    }
+
+    fn now_ns(reg: &Registry) -> u64 {
+        reg.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
     }
 
     thread_local! {
         static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        static SHARD: RefCell<Option<Arc<Shard>>> = const { RefCell::new(None) };
+        static PENDING_LABEL: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    /// The calling thread's ring shard, created (and registered
+    /// globally, so it outlives the thread) on first use.
+    fn shard_for_thread() -> Arc<Shard> {
+        SHARD.with(|s| {
+            let mut slot = s.borrow_mut();
+            if let Some(shard) = slot.as_ref() {
+                return shard.clone();
+            }
+            let reg = registry();
+            let tid = reg.next_tid.fetch_add(1, Ordering::Relaxed);
+            let label = PENDING_LABEL
+                .with(|p| p.borrow_mut().take())
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            let shard = Arc::new(Shard {
+                tid,
+                label: Mutex::new(label),
+                ring: Mutex::new(RingBuf { buf: VecDeque::new(), dropped: 0 }),
+            });
+            reg.shards.lock().expect("shard registry poisoned").push(shard.clone());
+            *slot = Some(shard.clone());
+            shard
+        })
+    }
+
+    /// Names the calling thread's timeline ring (shown as the track
+    /// name in Chrome-trace exports). `edm-par` workers call this at
+    /// spawn; harness mains may too. Cheap and safe at any level.
+    pub fn name_thread(label: &str) {
+        let existing = SHARD.with(|s| s.borrow().clone());
+        match existing {
+            Some(shard) => {
+                *shard.label.lock().expect("shard label poisoned") = label.to_string();
+            }
+            None => PENDING_LABEL.with(|p| *p.borrow_mut() = Some(label.to_string())),
+        }
+    }
+
+    fn push_event(ph: EventKind, name: &'static str, ts_ns: u64, value: f64) {
+        let cap = event_capacity();
+        let shard = shard_for_thread();
+        let mut ring = shard.ring.lock().expect("ring poisoned");
+        if cap == 0 {
+            ring.dropped += 1;
+            return;
+        }
+        while ring.buf.len() + 1 > cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(RingEvent { ph, name, ts_ns, value });
     }
 
     struct ActiveSpan {
         path: String,
+        name: &'static str,
         depth: usize,
         start: Instant,
     }
@@ -462,7 +772,7 @@ mod imp {
             let reg = registry();
             {
                 let mut spans = reg.spans.lock().expect("span registry poisoned");
-                let agg = spans.entry(active.path.clone()).or_default();
+                let agg = spans.entry(active.path).or_default();
                 if agg.count == 0 {
                     agg.min_ns = dur_ns;
                     agg.max_ns = dur_ns;
@@ -474,17 +784,7 @@ mod imp {
                 agg.total_ns += dur_ns;
             }
             if full_enabled() {
-                let start_ns = active
-                    .start
-                    .saturating_duration_since(reg.epoch)
-                    .as_nanos()
-                    .min(u64::MAX as u128) as u64;
-                let mut ev = reg.events.lock().expect("event log poisoned");
-                if ev.0.len() < EVENT_CAP {
-                    ev.0.push(SpanEvent { path: active.path, start_ns, dur_ns });
-                } else {
-                    ev.1 += 1;
-                }
+                push_event(EventKind::E, active.name, now_ns(reg), 0.0);
             }
         }
     }
@@ -500,17 +800,42 @@ mod imp {
             s.push(name);
             (s.join("/"), s.len())
         });
-        Span(Some(ActiveSpan { path, depth, start: Instant::now() }))
+        if full_enabled() {
+            push_event(EventKind::B, name, now_ns(registry()), 0.0);
+        }
+        Span(Some(ActiveSpan { path, name, depth, start: Instant::now() }))
     }
 
     /// Adds `delta` to counter `name`. Off-level cost: one relaxed
-    /// atomic load.
+    /// atomic load. At [`Level::Full`] also appends a timeline event
+    /// carrying the new cumulative value.
     pub fn counter_add(name: &'static str, delta: u64) {
         if !enabled() {
             return;
         }
+        let reg = registry();
+        let cumulative = {
+            let mut counters = reg.counters.lock().expect("counter registry poisoned");
+            let c = counters.entry((name, Vec::new())).or_insert(0);
+            *c += delta;
+            *c
+        };
+        if full_enabled() {
+            push_event(EventKind::C, name, now_ns(reg), cumulative as f64);
+        }
+    }
+
+    /// Adds `delta` to counter `name` under the given label set (e.g.
+    /// `&[("model", "svc"), ("endpoint", "predict")]`). Label order is
+    /// canonicalized, so call sites may list keys in any order.
+    /// Labeled counters do not emit timeline events.
+    pub fn counter_add_labeled(name: &'static str, labels: &[(&str, &str)], delta: u64) {
+        if !enabled() {
+            return;
+        }
+        let key = canonical_labels(labels);
         let mut counters = registry().counters.lock().expect("counter registry poisoned");
-        *counters.entry(name).or_insert(0) += delta;
+        *counters.entry((name, key)).or_insert(0) += delta;
     }
 
     /// Records `value` into histogram `name`. Off-level cost: one
@@ -519,7 +844,17 @@ mod imp {
         if !enabled() {
             return;
         }
-        record_unchecked(name, value);
+        record_inner(name, Vec::new(), value);
+    }
+
+    /// Records `value` into histogram `name` under the given label set.
+    /// Label order is canonicalized, so call sites may list keys in any
+    /// order.
+    pub fn record_labeled(name: &'static str, labels: &[(&str, &str)], value: f64) {
+        if !enabled() {
+            return;
+        }
+        record_inner(name, canonical_labels(labels), value);
     }
 
     /// Records `value` into histogram `name` only at [`Level::Full`] —
@@ -529,15 +864,15 @@ mod imp {
         if !full_enabled() {
             return;
         }
-        record_unchecked(name, value);
+        record_inner(name, Vec::new(), value);
     }
 
-    fn record_unchecked(name: &'static str, value: f64) {
+    fn record_inner(name: &'static str, labels: Vec<(String, String)>, value: f64) {
         if !value.is_finite() {
             return;
         }
         let mut hists = registry().hists.lock().expect("histogram registry poisoned");
-        let h = hists.entry(name).or_insert_with(Hist::new);
+        let h = hists.entry((name, labels)).or_insert_with(Hist::new);
         h.count += 1;
         h.sum += value;
         h.min = h.min.min(value);
@@ -545,19 +880,25 @@ mod imp {
         h.buckets[bucket_index(value)] += 1;
     }
 
-    /// Clears all spans, counters, histograms, and events (the level is
-    /// untouched). Harnesses call this between measured sections.
+    /// Clears all spans, counters, histograms, and timeline rings (the
+    /// level, ring capacity, and thread names are untouched). Harnesses
+    /// call this between measured sections.
     pub fn reset() {
         let reg = registry();
         reg.spans.lock().expect("span registry poisoned").clear();
         reg.counters.lock().expect("counter registry poisoned").clear();
         reg.hists.lock().expect("histogram registry poisoned").clear();
-        let mut ev = reg.events.lock().expect("event log poisoned");
-        ev.0.clear();
-        ev.1 = 0;
+        let shards = reg.shards.lock().expect("shard registry poisoned");
+        for shard in shards.iter() {
+            let mut ring = shard.ring.lock().expect("ring poisoned");
+            ring.buf.clear();
+            ring.dropped = 0;
+        }
     }
 
-    /// Snapshots the registry into a sorted, serializable report.
+    /// Snapshots the registry into a sorted, serializable report. When
+    /// any timeline events were dropped, a synthetic
+    /// `trace.ring.dropped` counter carries the total.
     pub fn collect() -> TraceReport {
         let reg = registry();
         let mut spans: Vec<SpanStat> = reg
@@ -579,16 +920,20 @@ mod imp {
             .lock()
             .expect("counter registry poisoned")
             .iter()
-            .map(|(&name, &value)| CounterStat { name: name.to_string(), value })
+            .map(|((name, labels), &value)| CounterStat {
+                name: name.to_string(),
+                labels: labels.clone(),
+                value,
+            })
             .collect();
-        counters.sort_by(|a, b| a.name.cmp(&b.name));
         let mut histograms: Vec<HistogramStat> = reg
             .hists
             .lock()
             .expect("histogram registry poisoned")
             .iter()
-            .map(|(&name, h)| HistogramStat {
+            .map(|((name, labels), h)| HistogramStat {
                 name: name.to_string(),
+                labels: labels.clone(),
                 count: h.count,
                 sum: h.sum,
                 min: if h.count == 0 { 0.0 } else { h.min },
@@ -602,18 +947,50 @@ mod imp {
                     .collect(),
             })
             .collect();
-        histograms.sort_by(|a, b| a.name.cmp(&b.name));
-        let (events, dropped_events) = {
-            let ev = reg.events.lock().expect("event log poisoned");
-            (ev.0.clone(), ev.1)
+        histograms.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        let (timeline, threads, dropped_events) = {
+            let mut shards: Vec<Arc<Shard>> =
+                reg.shards.lock().expect("shard registry poisoned").clone();
+            shards.sort_by_key(|s| s.tid);
+            let mut timeline = Vec::new();
+            let mut threads = Vec::new();
+            let mut dropped = 0u64;
+            for shard in &shards {
+                let ring = shard.ring.lock().expect("ring poisoned");
+                dropped += ring.dropped;
+                if ring.buf.is_empty() && ring.dropped == 0 {
+                    continue;
+                }
+                threads.push(ThreadInfo {
+                    tid: shard.tid,
+                    name: shard.label.lock().expect("shard label poisoned").clone(),
+                });
+                timeline.extend(ring.buf.iter().map(|e| TimelineEvent {
+                    tid: shard.tid,
+                    ph: e.ph,
+                    name: e.name.to_string(),
+                    ts_ns: e.ts_ns,
+                    value: e.value,
+                }));
+            }
+            (timeline, threads, dropped)
         };
+        if dropped_events > 0 {
+            counters.push(CounterStat {
+                name: "trace.ring.dropped".to_string(),
+                labels: Vec::new(),
+                value: dropped_events,
+            });
+        }
+        counters.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
         TraceReport {
             level: level().as_str().to_string(),
             compiled: true,
             spans,
             counters,
             histograms,
-            events,
+            timeline,
+            threads,
             dropped_events,
         }
     }
@@ -621,7 +998,7 @@ mod imp {
 
 #[cfg(not(feature = "trace"))]
 mod imp {
-    use super::{Level, TraceReport};
+    use super::{Level, TraceReport, EVENT_CAP};
 
     /// Compiled-out span guard: a zero-sized no-op.
     pub struct Span(());
@@ -664,11 +1041,33 @@ mod imp {
 
     /// No-op (probes compiled out).
     #[inline(always)]
+    pub fn counter_add_labeled(_name: &'static str, _labels: &[(&str, &str)], _delta: u64) {}
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
     pub fn record(_name: &'static str, _value: f64) {}
 
     /// No-op (probes compiled out).
     #[inline(always)]
+    pub fn record_labeled(_name: &'static str, _labels: &[(&str, &str)], _value: f64) {}
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
     pub fn record_full(_name: &'static str, _value: f64) {}
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn name_thread(_label: &str) {}
+
+    /// Always [`EVENT_CAP`] (probes compiled out).
+    #[inline(always)]
+    pub fn event_capacity() -> usize {
+        EVENT_CAP
+    }
+
+    /// No-op (probes compiled out).
+    #[inline(always)]
+    pub fn set_event_capacity(_cap: usize) {}
 
     /// No-op (probes compiled out).
     #[inline(always)]
@@ -682,8 +1081,9 @@ mod imp {
 }
 
 pub use imp::{
-    collect, counter_add, enabled, full_enabled, init_from_env_or, level, record, record_full,
-    reset, set_level, span, Span,
+    collect, counter_add, counter_add_labeled, enabled, event_capacity, full_enabled,
+    init_from_env_or, level, name_thread, record, record_full, record_labeled, reset,
+    set_event_capacity, set_level, span, Span,
 };
 
 #[cfg(test)]
@@ -722,6 +1122,73 @@ mod collapse_tests {
 }
 
 #[cfg(test)]
+mod chrome_trace_tests {
+    use super::*;
+
+    fn ev(tid: u64, ph: EventKind, name: &str, ts_ns: u64, value: f64) -> TimelineEvent {
+        TimelineEvent { tid, ph, name: name.to_string(), ts_ns, value }
+    }
+
+    /// Threads become `M` metadata rows; B/E/C events carry µs
+    /// timestamps; names are JSON-escaped.
+    #[test]
+    fn chrome_trace_formatting() {
+        let mut r = TraceReport::empty();
+        r.threads = vec![ThreadInfo { tid: 0, name: "main".to_string() }];
+        r.timeline = vec![
+            ev(0, EventKind::B, "solve", 1500, 0.0),
+            ev(0, EventKind::C, "iters", 2000, 42.0),
+            ev(0, EventKind::E, "solve", 2500, 0.0),
+        ];
+        assert_eq!(
+            r.to_chrome_trace(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\
+             \"args\":{\"name\":\"main\"}},\
+             {\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":1.500,\"name\":\"solve\"},\
+             {\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":2.000,\"name\":\"iters\",\
+             \"args\":{\"value\":42}},\
+             {\"ph\":\"E\",\"pid\":1,\"tid\":0,\"ts\":2.500,\"name\":\"solve\"}]}"
+        );
+    }
+
+    /// An `E` whose opening `B` fell off the ring is skipped so the
+    /// exported track nests cleanly; unclosed `B`s are kept.
+    #[test]
+    fn chrome_trace_sanitizes_dangling_ends() {
+        let mut r = TraceReport::empty();
+        r.timeline = vec![
+            ev(3, EventKind::E, "lost", 100, 0.0), // opener dropped
+            ev(3, EventKind::B, "kept", 200, 0.0),
+            ev(3, EventKind::E, "kept", 300, 0.0),
+            ev(3, EventKind::B, "open", 400, 0.0), // still open
+        ];
+        let out = r.to_chrome_trace();
+        assert!(!out.contains("lost"), "dangling E must be skipped: {out}");
+        assert!(out.contains("\"ph\":\"B\",\"pid\":1,\"tid\":3,\"ts\":0.200"));
+        assert!(out.contains("\"ph\":\"E\",\"pid\":1,\"tid\":3,\"ts\":0.300"));
+        assert!(out.contains("\"ts\":0.400,\"name\":\"open\""));
+    }
+
+    /// Empty reports export an empty-but-valid trace.
+    #[test]
+    fn chrome_trace_empty() {
+        assert_eq!(
+            TraceReport::empty().to_chrome_trace(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    /// Special characters in names survive as valid JSON escapes.
+    #[test]
+    fn chrome_trace_escapes_names() {
+        let mut r = TraceReport::empty();
+        r.threads = vec![ThreadInfo { tid: 0, name: "a\"b\\c\nd".to_string() }];
+        assert!(r.to_chrome_trace().contains("{\"name\":\"a\\\"b\\\\c\\nd\"}"));
+    }
+}
+
+#[cfg(test)]
 mod openmetrics_tests {
     use super::*;
 
@@ -731,8 +1198,8 @@ mod openmetrics_tests {
     fn counters_map_directly() {
         let mut r = TraceReport::empty();
         r.counters = vec![
-            CounterStat { name: "svm.smo.iterations".to_string(), value: 42 },
-            CounterStat { name: "svm.qcache.hits".to_string(), value: 7 },
+            CounterStat { name: "svm.smo.iterations".to_string(), labels: vec![], value: 42 },
+            CounterStat { name: "svm.qcache.hits".to_string(), labels: vec![], value: 7 },
         ];
         assert_eq!(
             r.to_openmetrics(),
@@ -744,14 +1211,44 @@ mod openmetrics_tests {
         );
     }
 
+    /// Label sets render as `{k="v",...}` selectors; rows of the same
+    /// family share one `# TYPE` header.
+    #[test]
+    fn labeled_counters_share_a_family() {
+        let mut r = TraceReport::empty();
+        let lbl = |m: &str, e: &str| {
+            vec![("endpoint".to_string(), e.to_string()), ("model".to_string(), m.to_string())]
+        };
+        r.counters = vec![
+            CounterStat {
+                name: "serve.request.count".to_string(),
+                labels: lbl("knn", "predict"),
+                value: 3,
+            },
+            CounterStat {
+                name: "serve.request.count".to_string(),
+                labels: lbl("svc", "predict"),
+                value: 9,
+            },
+        ];
+        assert_eq!(
+            r.to_openmetrics(),
+            "# TYPE edm_serve_request_count counter\n\
+             edm_serve_request_count_total{endpoint=\"predict\",model=\"knn\"} 3\n\
+             edm_serve_request_count_total{endpoint=\"predict\",model=\"svc\"} 9\n\
+             # EOF\n"
+        );
+    }
+
     /// Power-of-two buckets become cumulative `le` buckets at the
     /// bucket's upper bound `2^(e+1)`, closed by `+Inf`, `_sum`,
-    /// `_count`.
+    /// `_count`; probe labels precede `le`.
     #[test]
     fn histogram_buckets_are_cumulative_le() {
         let mut r = TraceReport::empty();
         r.histograms = vec![HistogramStat {
             name: "t.hist".to_string(),
+            labels: vec![],
             count: 4,
             sum: 1035.0,
             min: 0.25,
@@ -768,6 +1265,32 @@ mod openmetrics_tests {
              edm_t_hist_bucket{le=\"+Inf\"} 4\n\
              edm_t_hist_sum 1035\n\
              edm_t_hist_count 4\n\
+             # EOF\n"
+        );
+    }
+
+    /// Labeled histograms put probe labels before `le` and suffix
+    /// `_sum`/`_count` with the plain label set.
+    #[test]
+    fn labeled_histograms_interleave_le() {
+        let mut r = TraceReport::empty();
+        r.histograms = vec![HistogramStat {
+            name: "serve.request.handle_ns".to_string(),
+            labels: vec![("model".to_string(), "svc".to_string())],
+            count: 2,
+            sum: 6.0,
+            min: 2.0,
+            max: 4.0,
+            buckets: vec![(1, 1), (2, 1)],
+        }];
+        assert_eq!(
+            r.to_openmetrics(),
+            "# TYPE edm_serve_request_handle_ns histogram\n\
+             edm_serve_request_handle_ns_bucket{model=\"svc\",le=\"4\"} 1\n\
+             edm_serve_request_handle_ns_bucket{model=\"svc\",le=\"8\"} 2\n\
+             edm_serve_request_handle_ns_bucket{model=\"svc\",le=\"+Inf\"} 2\n\
+             edm_serve_request_handle_ns_sum{model=\"svc\"} 6\n\
+             edm_serve_request_handle_ns_count{model=\"svc\"} 2\n\
              # EOF\n"
         );
     }
@@ -799,6 +1322,17 @@ mod openmetrics_tests {
         );
     }
 
+    /// The body form omits `# EOF` so callers can append their own
+    /// families; the terminating form is body + `# EOF`.
+    #[test]
+    fn body_composes_with_eof() {
+        let mut r = TraceReport::empty();
+        r.counters = vec![CounterStat { name: "a.b".to_string(), labels: vec![], value: 1 }];
+        let body = r.openmetrics_body();
+        assert!(!body.contains("# EOF"));
+        assert_eq!(r.to_openmetrics(), format!("{body}# EOF\n"));
+    }
+
     /// An empty report is just the terminator.
     #[test]
     fn empty_report_is_only_eof() {
@@ -821,6 +1355,7 @@ mod tests {
         {
             let _s = span("off.span");
             counter_add("off.counter", 5);
+            counter_add_labeled("off.labeled", &[("k", "v")], 5);
             record("off.hist", 1.0);
         }
         let r = collect();
@@ -828,7 +1363,7 @@ mod tests {
         assert!(r.compiled);
         assert_eq!(r.level, "off");
 
-        // Summary: aggregates but no events.
+        // Summary: aggregates but no timeline events.
         set_level(Level::Summary);
         {
             let _outer = span("outer");
@@ -836,8 +1371,11 @@ mod tests {
                 let _inner = span("inner");
                 counter_add("t.count", 2);
                 counter_add("t.count", 3);
+                counter_add_labeled("t.labeled", &[("model", "svc"), ("endpoint", "p")], 4);
+                counter_add_labeled("t.labeled", &[("endpoint", "p"), ("model", "svc")], 1);
                 record("t.hist", 3.5); // exponent 1
                 record("t.hist", 1024.0); // exponent 10
+                record_labeled("t.lhist", &[("model", "svc")], 2.0);
                 record_full("t.hot", 1.0); // full-only: must not record
             }
             {
@@ -846,6 +1384,18 @@ mod tests {
         }
         let r = collect();
         assert_eq!(r.counter("t.count"), 5);
+        // Key order at the call site never splits a labeled series.
+        let labeled = r.counters.iter().find(|c| c.name == "t.labeled").expect("labeled counter");
+        assert_eq!(labeled.value, 5);
+        assert_eq!(
+            labeled.labels,
+            vec![
+                ("endpoint".to_string(), "p".to_string()),
+                ("model".to_string(), "svc".to_string())
+            ]
+        );
+        let lh = r.histograms.iter().find(|h| h.name == "t.lhist").expect("labeled histogram");
+        assert_eq!(lh.labels, vec![("model".to_string(), "svc".to_string())]);
         assert_eq!(r.span_count("inner"), 2);
         let outer = r.spans.iter().find(|s| s.path == "outer").expect("outer span");
         assert_eq!(outer.count, 1);
@@ -859,16 +1409,30 @@ mod tests {
         assert_eq!(h.max, 1024.0);
         assert_eq!(h.buckets, vec![(1, 1), (10, 1)]);
         assert!(r.histograms.iter().all(|h| h.name != "t.hot"), "record_full off at summary");
-        assert!(r.events.is_empty(), "no events at summary level");
+        assert!(r.timeline.is_empty(), "no timeline events at summary level");
 
-        // Full: events appear; record_full records.
+        // Full: timeline events appear; record_full records.
         set_level(Level::Full);
         {
             let _s = span("full.span");
+            counter_add("full.count", 7);
             record_full("t.hot", 2.0);
         }
         let r = collect();
-        assert!(r.events.iter().any(|e| e.path == "full.span"));
+        let begins: Vec<_> =
+            r.timeline.iter().filter(|e| e.ph == EventKind::B && e.name == "full.span").collect();
+        assert_eq!(begins.len(), 1, "one B event for full.span");
+        assert!(
+            r.timeline.iter().any(|e| e.ph == EventKind::E && e.name == "full.span"),
+            "E event for full.span"
+        );
+        let c_ev = r
+            .timeline
+            .iter()
+            .find(|e| e.ph == EventKind::C && e.name == "full.count")
+            .expect("counter timeline event");
+        assert_eq!(c_ev.value, 7.0, "C event carries cumulative value");
+        assert!(!r.threads.is_empty(), "recording thread listed");
         assert_eq!(r.histograms.iter().find(|h| h.name == "t.hot").map(|h| h.count), Some(1));
 
         // JSON round-trips through the workspace serde_json compat.
@@ -879,7 +1443,8 @@ mod tests {
         // Reset clears data but not the level.
         reset();
         let r = collect();
-        assert!(r.spans.is_empty() && r.counters.is_empty() && r.events.is_empty());
+        assert!(r.spans.is_empty() && r.counters.is_empty() && r.timeline.is_empty());
+        assert_eq!(r.dropped_events, 0);
         assert_eq!(r.level, "full");
         set_level(Level::Off);
         reset();
