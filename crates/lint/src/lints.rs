@@ -299,9 +299,9 @@ pub fn collect_probes(ws: &Workspace) -> Vec<(String, &'static str, String, u32)
 /// still a counter.
 fn probe_section(call: &str) -> Option<&'static str> {
     match call {
-        "span" => Some("spans"),
-        "counter_add" | "counter_add_labeled" => Some("counters"),
-        "record" | "record_full" | "record_labeled" => Some("histograms"),
+        "span" | "span_handle" => Some("spans"),
+        "counter_add" | "counter_add_labeled" | "counter_handle" => Some("counters"),
+        "record" | "record_full" | "record_labeled" | "hist_handle" => Some("histograms"),
         _ => None,
     }
 }

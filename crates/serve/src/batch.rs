@@ -1,0 +1,556 @@
+//! Micro-batch scheduler: coalesces concurrent predict requests for
+//! the same model into one `predict_batch` call.
+//!
+//! # Why
+//!
+//! A scoring service under a high-rate stream of small requests pays
+//! the per-call overhead of `predict_batch` (dispatch, fan-out, cache
+//! warm-up) once per request, and the kernels underneath (tiled Gram,
+//! batched Q fills, `edm-par` row fan-out) never see batches large
+//! enough to win. Coalescing concurrent requests converts that
+//! per-request fan-out into the large batches the compute layer is
+//! optimized for — without changing a single scored value, because
+//! every `Predictor` scores rows independently (batched output row `i`
+//! is bitwise identical to scoring row `i` alone; pinned by the
+//! `batch_props` proptests).
+//!
+//! # How
+//!
+//! Per model the scheduler keeps a tiny state machine: an `active`
+//! flag (someone is scoring right now) and a queue of waiting
+//! requests.
+//!
+//! * **Inline fast path.** A request that finds the model idle scores
+//!   immediately on its own thread — an idle server adds *zero*
+//!   latency (`flush_reason = "inline"`).
+//! * **Coalescing.** Requests arriving while a score is in flight
+//!   enqueue and park. When the in-flight call finishes, the whole
+//!   queue is handed to one waiter (the promoted *leader*), which
+//!   scores every queued request in one `predict_batch` call and
+//!   distributes the per-request slices back to the parked waiters in
+//!   order (`flush_reason = "drain"`). The natural coalescing window
+//!   is therefore one in-flight execution — bounded by the model's own
+//!   batch latency, not by a timer.
+//! * **Bounded hold.** With [`BatchConfig::max_wait`] > 0 the promoted
+//!   leader additionally holds the batch open for stragglers until the
+//!   deadline or the row cap, whichever comes first
+//!   (`flush_reason = "hold"` / `"size"`). The default is 0: flush the
+//!   moment a leader is promoted, so added latency stays at most one
+//!   execution even under adversarial arrival patterns.
+//! * **Caps.** Batches are chunked at request boundaries to
+//!   [`BatchConfig::max_rows`] rows per call; a single oversized
+//!   request bypasses the queue entirely (`flush_reason = "bypass"`).
+//!
+//! Env knobs (read once per [`BatchConfig::from_env`]):
+//! `EDM_SERVE_BATCH=off` disables coalescing,
+//! `EDM_SERVE_BATCH_MAX_ROWS` caps rows per flushed call, and
+//! `EDM_SERVE_BATCH_WAIT_US` sets the leader hold budget.
+//!
+//! Every flush feeds the trace probes `serve.batch.size`,
+//! `serve.batch.wait_ns`, and `serve.batch.flush_reason` plus the
+//! always-on [`ServeMetrics`] batch families rendered on `/metrics`.
+//!
+//! # Failure containment
+//!
+//! Shapes are validated *before* submission (the server rejects
+//! mismatched rows with 400 up front), so one malformed request can
+//! never poison a shared batch. If `predict_batch` still fails or
+//! panics mid-flush, every request in that flush gets the error while
+//! the model's state machine is released by RAII guards — a panicking
+//! predictor cannot wedge the queue or strand a parked waiter.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::ServeMetrics;
+use crate::registry::ServedModel;
+
+/// Tunables for the [`BatchScheduler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Master switch; `false` scores every request inline, unbatched.
+    pub enabled: bool,
+    /// Most rows per flushed `predict_batch` call; batches are chunked
+    /// at request boundaries to stay under this. Requests carrying
+    /// `max_rows` or more rows bypass the queue.
+    pub max_rows: usize,
+    /// How long a promoted leader may hold its batch open waiting for
+    /// more arrivals. Zero (the default) flushes immediately on
+    /// promotion, so coalescing never *adds* latency beyond one
+    /// in-flight execution.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { enabled: true, max_rows: 512, max_wait: Duration::ZERO }
+    }
+}
+
+impl BatchConfig {
+    /// The defaults with `EDM_SERVE_BATCH` / `EDM_SERVE_BATCH_MAX_ROWS`
+    /// / `EDM_SERVE_BATCH_WAIT_US` environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut cfg = BatchConfig::default();
+        if let Ok(v) = std::env::var("EDM_SERVE_BATCH") {
+            cfg.enabled =
+                !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"));
+        }
+        if let Some(rows) =
+            std::env::var("EDM_SERVE_BATCH_MAX_ROWS").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.max_rows = rows.max(1);
+        }
+        if let Some(us) =
+            std::env::var("EDM_SERVE_BATCH_WAIT_US").ok().and_then(|v| v.parse::<u64>().ok())
+        {
+            cfg.max_wait = Duration::from_micros(us);
+        }
+        cfg
+    }
+}
+
+/// Scoring outcome for one submitted request.
+type ScoreResult = Result<Vec<f64>, String>;
+
+/// What one parked request is waiting on.
+enum SlotState {
+    /// Still queued; the leader has not picked this request up yet.
+    Waiting,
+    /// This waiter was promoted to leader: it must score the contained
+    /// batch (its own request included) and distribute the results.
+    Lead(Vec<Pending>),
+    /// Scored; the result is ready to take.
+    Done(ScoreResult),
+    /// Result already taken (terminal; seen only by debug assertions).
+    Taken,
+}
+
+/// One parked request's rendezvous point.
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot { state: Mutex::new(SlotState::Waiting), ready: Condvar::new() })
+    }
+
+    fn fill(&self, result: ScoreResult) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *st = SlotState::Done(result);
+        self.ready.notify_one();
+    }
+}
+
+/// A queued request: its rows and where to deliver the result.
+struct Pending {
+    rows: Vec<Vec<f64>>,
+    enqueued: Instant,
+    slot: Arc<Slot>,
+}
+
+/// Per-model coalescing state.
+struct QState {
+    /// True while some thread is scoring this model (inline or as a
+    /// leader). Requests arriving meanwhile enqueue instead of racing.
+    active: bool,
+    queue: Vec<Pending>,
+}
+
+struct ModelQueue {
+    state: Mutex<QState>,
+    /// Signaled on every enqueue; a holding leader waits here.
+    arrivals: Condvar,
+}
+
+impl ModelQueue {
+    fn new() -> Arc<ModelQueue> {
+        Arc::new(ModelQueue {
+            state: Mutex::new(QState { active: false, queue: Vec::new() }),
+            arrivals: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Releases a model's `active` flag when scoring finishes — promoting
+/// a new leader if requests queued up meanwhile. Runs on drop so a
+/// panicking predictor cannot wedge the model.
+struct ActiveGuard<'a> {
+    mq: &'a ModelQueue,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.mq.lock();
+        if st.queue.is_empty() {
+            st.active = false;
+            return;
+        }
+        // Promote: hand the whole queue to the first waiter; `active`
+        // stays true until that leader's own guard runs.
+        let batch = std::mem::take(&mut st.queue);
+        let lead = Arc::clone(&batch[0].slot);
+        drop(st);
+        let mut slot = lead.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = SlotState::Lead(batch);
+        lead.ready.notify_one();
+    }
+}
+
+/// Fails every not-yet-delivered request in a flush if the scoring
+/// call panics, so parked waiters always wake.
+struct FlushGuard<'a> {
+    undelivered: &'a [Pending],
+    armed: bool,
+}
+
+impl Drop for FlushGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        for p in self.undelivered {
+            p.slot.fill(Err("batched scoring panicked".to_string()));
+        }
+    }
+}
+
+/// Pre-resolved flush telemetry (the flush reasons form a small closed
+/// vocabulary, so every handle is resolved once at scheduler
+/// construction — the per-flush cost is atomics and short per-series
+/// locks, never the global trace registry).
+struct BatchProbes {
+    size: edm_trace::HistHandle,
+    wait_ns: edm_trace::HistHandle,
+    inline_flush: edm_trace::CounterHandle,
+    drain: edm_trace::CounterHandle,
+    size_flush: edm_trace::CounterHandle,
+    hold: edm_trace::CounterHandle,
+    bypass: edm_trace::CounterHandle,
+}
+
+impl BatchProbes {
+    fn resolve() -> BatchProbes {
+        let reason =
+            |r: &str| edm_trace::counter_handle("serve.batch.flush_reason", &[("reason", r)]);
+        BatchProbes {
+            size: edm_trace::hist_handle("serve.batch.size", &[]),
+            wait_ns: edm_trace::hist_handle("serve.batch.wait_ns", &[]),
+            inline_flush: reason("inline"),
+            drain: reason("drain"),
+            size_flush: reason("size"),
+            hold: reason("hold"),
+            bypass: reason("bypass"),
+        }
+    }
+
+    fn for_reason(&self, reason: &str) -> &edm_trace::CounterHandle {
+        match reason {
+            "inline" => &self.inline_flush,
+            "drain" => &self.drain,
+            "size" => &self.size_flush,
+            "hold" => &self.hold,
+            _ => &self.bypass,
+        }
+    }
+}
+
+/// The per-server micro-batch scheduler. See the [module docs](self).
+pub struct BatchScheduler {
+    config: BatchConfig,
+    queues: Mutex<BTreeMap<String, Arc<ModelQueue>>>,
+    probes: BatchProbes,
+}
+
+impl BatchScheduler {
+    /// A scheduler with the given tunables.
+    pub fn new(config: BatchConfig) -> Self {
+        BatchScheduler {
+            config,
+            queues: Mutex::new(BTreeMap::new()),
+            probes: BatchProbes::resolve(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Scores `rows` against `model`, coalescing with any concurrent
+    /// submissions for the same `name`. Blocks until this request's
+    /// results are ready. Row `i` of the return value is bitwise
+    /// identical to what `model.predict_batch(&rows)` would have
+    /// produced for row `i`.
+    ///
+    /// # Errors
+    ///
+    /// The stringified predictor error; every request in a failing
+    /// flush observes the same error. Callers should validate shapes
+    /// against [`edm::Predictor::n_features`] *before* submitting so a
+    /// shape error cannot fail innocent co-batched requests.
+    pub fn submit(
+        &self,
+        name: &str,
+        model: &ServedModel,
+        rows: Vec<Vec<f64>>,
+        metrics: &ServeMetrics,
+    ) -> ScoreResult {
+        if !self.config.enabled {
+            return model.predict_batch(&rows).map_err(|e| e.to_string());
+        }
+        if rows.len() >= self.config.max_rows {
+            return self.score_chunk(model, &[], &rows, "bypass", Instant::now(), metrics);
+        }
+        let mq = self.model_queue(name);
+        let enqueued = Instant::now();
+        {
+            let mut st = mq.lock();
+            if st.active {
+                // Someone is scoring this model: park and coalesce.
+                let slot = Slot::new();
+                st.queue.push(Pending { rows, enqueued, slot: Arc::clone(&slot) });
+                drop(st);
+                mq.arrivals.notify_one();
+                return self.wait_or_lead(&mq, &slot, model, metrics);
+            }
+            st.active = true;
+        }
+        // Inline fast path: the model was idle, score immediately.
+        let _release = ActiveGuard { mq: &mq };
+        self.score_chunk(model, &[], &rows, "inline", enqueued, metrics)
+    }
+
+    /// Parks on `slot` until a result arrives — or until this waiter
+    /// is promoted to leader, in which case it scores the batch it was
+    /// handed and returns its own slice.
+    fn wait_or_lead(
+        &self,
+        mq: &ModelQueue,
+        slot: &Arc<Slot>,
+        model: &ServedModel,
+        metrics: &ServeMetrics,
+    ) -> ScoreResult {
+        let mut st = slot.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Taken) {
+                SlotState::Done(result) => return result,
+                SlotState::Lead(batch) => {
+                    drop(st);
+                    return self.lead(mq, slot, batch, model, metrics);
+                }
+                waiting @ SlotState::Waiting => {
+                    *st = waiting;
+                    st = slot.ready.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                SlotState::Taken => unreachable!("slot consumed twice"),
+            }
+        }
+    }
+
+    /// Leader duty: optionally hold for stragglers, then flush the
+    /// batch in `max_rows`-bounded chunks, delivering every request's
+    /// slice. Returns this leader's own result. The leader's
+    /// [`ActiveGuard`] promotes the next leader (or goes idle) on exit
+    /// — including on panic.
+    fn lead(
+        &self,
+        mq: &ModelQueue,
+        own: &Arc<Slot>,
+        mut batch: Vec<Pending>,
+        model: &ServedModel,
+        metrics: &ServeMetrics,
+    ) -> ScoreResult {
+        let _release = ActiveGuard { mq };
+        let mut reason = "drain";
+        if !self.config.max_wait.is_zero() {
+            reason = self.hold_for_stragglers(mq, &mut batch);
+        }
+        let mut own_result: ScoreResult = Err("leader lost its own result".to_string());
+        let mut start = 0;
+        while start < batch.len() {
+            // Chunk at request boundaries: extend while under the cap
+            // (always take at least one request).
+            let mut end = start + 1;
+            let mut chunk_rows = batch[start].rows.len();
+            while end < batch.len() && chunk_rows + batch[end].rows.len() <= self.config.max_rows {
+                chunk_rows += batch[end].rows.len();
+                end += 1;
+            }
+            let chunk = &batch[start..end];
+            let chunk_reason = if end < batch.len() { "size" } else { reason };
+            let all_rows: Vec<Vec<f64>> =
+                chunk.iter().flat_map(|p| p.rows.iter().cloned()).collect();
+            let oldest = chunk.iter().map(|p| p.enqueued).min().unwrap_or_else(Instant::now);
+            let _ = self.score_chunk(model, chunk, &all_rows, chunk_reason, oldest, metrics);
+            // `score_chunk` delivered every request's slice, our own
+            // included (the leader's pending is somewhere in `batch`);
+            // fish our slice back out of our slot when its chunk runs.
+            if chunk.iter().any(|p| Arc::ptr_eq(&p.slot, own)) {
+                let mut st = own.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let SlotState::Done(r) = std::mem::replace(&mut *st, SlotState::Taken) {
+                    own_result = r;
+                }
+            }
+            start = end;
+        }
+        own_result
+    }
+
+    /// Holds the freshly promoted leader's batch open until the row cap
+    /// or [`BatchConfig::max_wait`] elapses, absorbing new arrivals.
+    /// Returns the flush reason.
+    fn hold_for_stragglers(&self, mq: &ModelQueue, batch: &mut Vec<Pending>) -> &'static str {
+        let deadline = Instant::now() + self.config.max_wait;
+        let mut st = mq.lock();
+        loop {
+            batch.append(&mut st.queue);
+            let rows: usize = batch.iter().map(|p| p.rows.len()).sum();
+            if rows >= self.config.max_rows {
+                return "size";
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return "hold";
+            }
+            let (guard, _) = mq
+                .arrivals
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Scores one flushed chunk (`followers` may be empty for the
+    /// inline/bypass paths, where `rows` belong to the calling request
+    /// alone), records the flush telemetry, and delivers every
+    /// follower's slice. Returns the full chunk result.
+    fn score_chunk(
+        &self,
+        model: &ServedModel,
+        followers: &[Pending],
+        rows: &[Vec<f64>],
+        reason: &'static str,
+        oldest: Instant,
+        metrics: &ServeMetrics,
+    ) -> ScoreResult {
+        let mut guard = FlushGuard { undelivered: followers, armed: true };
+        let wait_ns = oldest.elapsed().as_nanos() as u64;
+        let n_requests = followers.len().max(1);
+        self.probes.size.record(rows.len() as f64);
+        self.probes.wait_ns.record(wait_ns as f64);
+        self.probes.for_reason(reason).add(1);
+        metrics.batch_flush(reason, n_requests, rows.len());
+        let result = model.predict_batch(rows).map_err(|e| e.to_string());
+        guard.armed = false;
+        match &result {
+            Ok(preds) => {
+                let mut offset = 0;
+                for p in followers {
+                    let take = p.rows.len();
+                    p.slot.fill(Ok(preds[offset..offset + take].to_vec()));
+                    offset += take;
+                }
+            }
+            Err(e) => {
+                for p in followers {
+                    p.slot.fill(Err(e.clone()));
+                }
+            }
+        }
+        result
+    }
+
+    /// Requests currently parked for `name`, waiting to be coalesced.
+    /// Point-in-time observability for tests and harnesses.
+    pub fn queued(&self, name: &str) -> usize {
+        let queues = self.queues.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        queues.get(name).map_or(0, |mq| mq.lock().queue.len())
+    }
+
+    /// The (lazily created) queue for `name`. The hit path is
+    /// allocation-free (no owned key is built for the lookup).
+    fn model_queue(&self, name: &str) -> Arc<ModelQueue> {
+        let mut queues = self.queues.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(mq) = queues.get(name) {
+            return Arc::clone(mq);
+        }
+        Arc::clone(queues.entry(name.to_string()).or_insert_with(ModelQueue::new))
+    }
+}
+
+impl std::fmt::Debug for BatchScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler").field("config", &self.config).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm::prelude::*;
+
+    fn plane() -> ServedModel {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        Arc::new(Ridge::fit(&x, &y, 1e-6).expect("plane fits"))
+    }
+
+    #[test]
+    fn inline_path_matches_direct_scoring_bitwise() {
+        let model = plane();
+        let sched = BatchScheduler::new(BatchConfig::default());
+        let metrics = ServeMetrics::new();
+        let rows = vec![vec![0.25, 0.5], vec![0.75, -0.25]];
+        let direct = model.predict_batch(&rows).expect("direct");
+        let batched =
+            sched.submit("plane", &model, rows, &metrics).expect("inline submit succeeds");
+        assert_eq!(batched.len(), direct.len());
+        for (b, d) in batched.iter().zip(&direct) {
+            assert_eq!(b.to_bits(), d.to_bits());
+        }
+        let snap = metrics.batch_snapshot();
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.batched_rows, 2);
+        assert_eq!(snap.coalesced_batches, 0, "a lone request is not a coalesced batch");
+    }
+
+    #[test]
+    fn oversized_requests_bypass_the_queue() {
+        let model = plane();
+        let sched = BatchScheduler::new(BatchConfig { max_rows: 2, ..BatchConfig::default() });
+        let metrics = ServeMetrics::new();
+        let rows = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5]];
+        let out = sched.submit("plane", &model, rows, &metrics).expect("bypass path");
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn disabled_scheduler_is_a_passthrough() {
+        let model = plane();
+        let sched = BatchScheduler::new(BatchConfig { enabled: false, ..BatchConfig::default() });
+        let metrics = ServeMetrics::new();
+        let out =
+            sched.submit("plane", &model, vec![vec![0.5, 0.5]], &metrics).expect("passthrough");
+        assert_eq!(out.len(), 1);
+        assert_eq!(metrics.batch_snapshot().flushes, 0, "no batch telemetry when disabled");
+    }
+
+    #[test]
+    fn shape_errors_surface_as_strings() {
+        let model = plane();
+        let sched = BatchScheduler::new(BatchConfig::default());
+        let metrics = ServeMetrics::new();
+        let err = sched
+            .submit("plane", &model, vec![vec![1.0, 2.0, 3.0]], &metrics)
+            .expect_err("shape mismatch");
+        assert!(err.contains("expects"), "got {err}");
+    }
+}

@@ -1,9 +1,14 @@
 //! Minimal HTTP/1.1 request reader and response writer.
 //!
-//! Implements just enough of RFC 9112 for a scoring service: one
-//! request per connection (`connection: close` on every response),
-//! `content-length` body framing, and hard caps on line length, header
-//! count, and body size so a misbehaving client cannot exhaust memory.
+//! Implements just enough of RFC 9112 for a scoring service:
+//! persistent (keep-alive) connections with `content-length` body
+//! framing on both sides, `connection: close` negotiation per RFC 9112
+//! §9.6 (HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close), and hard
+//! caps on line length, header count, and body size so a misbehaving
+//! client cannot exhaust memory. Each response declares an exact
+//! `content-length`, so a client can issue the next request on the
+//! same connection immediately — the request loop lives in
+//! `crate::server`.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -13,7 +18,8 @@ const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Most header lines accepted per request.
 const MAX_HEADERS: usize = 64;
 
-/// A parsed request: method, target, and raw body bytes.
+/// A parsed request: method, target, raw body bytes, and the
+/// connection persistence the client negotiated.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Request method (`GET`, `POST`, ...), as sent.
@@ -22,6 +28,10 @@ pub struct Request {
     pub target: String,
     /// Raw body (empty when no `content-length` was sent).
     pub body: Vec<u8>,
+    /// True when the connection must close after this exchange:
+    /// the client sent `connection: close`, or spoke HTTP/1.0 without
+    /// an explicit `connection: keep-alive`.
+    pub close: bool,
 }
 
 /// Why a request could not be read.
@@ -71,26 +81,39 @@ impl From<io::Error> for HttpError {
 /// stream ends mid-line.
 fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
     let mut buf = Vec::with_capacity(128);
-    let mut chunk = [0u8; 1];
     loop {
-        // Byte-at-a-time via the BufReader is fine: the underlying
-        // stream is buffered, and header sections are tiny.
-        match reader.read(&mut chunk) {
-            Ok(0) => return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into())),
-            Ok(_) => {
-                if chunk[0] == b'\n' {
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    return String::from_utf8(buf)
-                        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()));
+        // Scan the BufReader's buffer in bulk rather than pulling one
+        // byte per `read` call — header lines almost always sit in a
+        // single buffered chunk.
+        let (found_newline, used) = {
+            let available = match reader.fill_buf() {
+                Ok(a) => a,
+                Err(e) => return Err(HttpError::Io(e)),
+            };
+            if available.is_empty() {
+                return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..i]);
+                    (true, i + 1)
                 }
-                buf.push(chunk[0]);
-                if buf.len() > MAX_LINE_BYTES {
-                    return Err(HttpError::Malformed("header line too long".into()));
+                None => {
+                    buf.extend_from_slice(available);
+                    (false, available.len())
                 }
             }
-            Err(e) => return Err(HttpError::Io(e)),
+        };
+        reader.consume(used);
+        if found_newline {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return String::from_utf8(buf)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()));
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(HttpError::Malformed("header line too long".into()));
         }
     }
 }
@@ -112,6 +135,8 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported protocol version".into()));
     }
+    // HTTP/1.0 closes by default; 1.1 and later keep the connection.
+    let mut close = version == "HTTP/1.0";
 
     let mut content_length: usize = 0;
     for i in 0.. {
@@ -130,9 +155,20 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
                 .trim()
                 .parse()
                 .map_err(|_| HttpError::Malformed("unparseable content-length".into()))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            // `connection` is a comma-separated option list; only the
+            // persistence tokens matter to this server.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
         }
         // Every other header (host, accept, user-agent, ...) is noise
-        // for a close-per-request scoring endpoint.
+        // for a scoring endpoint.
     }
 
     if content_length > max_body {
@@ -140,7 +176,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method: method.to_string(), target: target.to_string(), body })
+    Ok(Request { method: method.to_string(), target: target.to_string(), body, close })
 }
 
 /// A response ready to be written to the socket.
@@ -157,18 +193,25 @@ pub struct Response {
     /// correlate its response with the server's access log and
     /// telemetry.
     pub request_id: Option<u64>,
+    /// When true, the response advertises `connection: close` and the
+    /// server closes the connection after writing it; otherwise the
+    /// response advertises `connection: keep-alive` and the connection
+    /// stays open for the next request.
+    pub close: bool,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
 
 impl Response {
-    /// A JSON response with the given status.
+    /// A JSON response with the given status (keep-alive by default;
+    /// the server's connection loop decides when to close).
     pub fn json(status: u16, body: String) -> Self {
         Response {
             status,
             content_type: "application/json",
             retry_after: None,
             request_id: None,
+            close: false,
             body: body.into_bytes(),
         }
     }
@@ -180,32 +223,47 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             retry_after: None,
             request_id: None,
+            close: false,
             body: body.as_bytes().to_vec(),
         }
     }
 
-    /// Serializes the status line, headers, and body to `w`.
+    /// Serializes the status line, headers, and body into one buffer.
+    /// Exact `content-length` framing is what lets a keep-alive client
+    /// find the response boundary without waiting for EOF.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 160);
+        use std::fmt::Write as _;
+        let mut head = String::with_capacity(160);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\nconnection: {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            reason(self.status),
+            if self.close { "close" } else { "keep-alive" },
+            self.content_type,
+            self.body.len(),
+        );
+        if let Some(secs) = self.retry_after {
+            let _ = write!(head, "retry-after: {secs}\r\n");
+        }
+        if let Some(id) = self.request_id {
+            let _ = write!(head, "x-request-id: {id}\r\n");
+        }
+        head.push_str("\r\n");
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the serialized response to `w` as a single write (one
+    /// syscall on an unbuffered socket — the keep-alive hot path).
     ///
     /// # Errors
     ///
     /// Propagates socket write failures (including write timeouts).
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\nconnection: close\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
-            self.status,
-            reason(self.status),
-            self.content_type,
-            self.body.len(),
-        );
-        if let Some(secs) = self.retry_after {
-            head.push_str(&format!("retry-after: {secs}\r\n"));
-        }
-        if let Some(id) = self.request_id {
-            head.push_str(&format!("x-request-id: {id}\r\n"));
-        }
-        head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        w.write_all(&self.to_bytes())?;
         w.flush()
     }
 }
@@ -239,6 +297,34 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.target, "/healthz");
         assert!(req.body.is_empty());
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_negotiation_follows_rfc9112() {
+        // HTTP/1.1: keep-alive unless told otherwise.
+        assert!(parse("GET /x HTTP/1.1\r\nconnection: close\r\n\r\n").expect("valid").close);
+        assert!(!parse("GET /x HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").expect("valid").close);
+        // Comma-separated option lists.
+        assert!(parse("GET /x HTTP/1.1\r\nconnection: foo, Close\r\n\r\n").expect("valid").close);
+        // HTTP/1.0: close unless the client opts in to keep-alive.
+        assert!(parse("GET /x HTTP/1.0\r\nhost: y\r\n\r\n").expect("valid").close);
+        assert!(!parse("GET /x HTTP/1.0\r\nconnection: keep-alive\r\n\r\n").expect("valid").close);
+    }
+
+    #[test]
+    fn keep_alive_requests_parse_back_to_back_from_one_stream() {
+        let raw = "POST /a HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi\
+                   GET /b HTTP/1.1\r\n\r\n\
+                   GET /c HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let a = read_request(&mut reader, 1024).expect("first");
+        assert_eq!((a.target.as_str(), a.body.as_slice(), a.close), ("/a", b"hi".as_ref(), false));
+        let b = read_request(&mut reader, 1024).expect("second");
+        assert_eq!((b.target.as_str(), b.close), ("/b", false));
+        let c = read_request(&mut reader, 1024).expect("third");
+        assert_eq!((c.target.as_str(), c.close), ("/c", true));
+        assert!(matches!(read_request(&mut reader, 1024), Err(HttpError::Io(_))), "stream ended");
     }
 
     #[test]
@@ -304,8 +390,12 @@ mod tests {
         let text = String::from_utf8(out).expect("utf8");
         assert_eq!(
             text,
-            "HTTP/1.1 200 OK\r\nconnection: close\r\ncontent-type: application/json\r\ncontent-length: 11\r\n\r\n{\"ok\":true}"
+            "HTTP/1.1 200 OK\r\nconnection: keep-alive\r\ncontent-type: application/json\r\ncontent-length: 11\r\n\r\n{\"ok\":true}"
         );
+        let mut resp = Response::json(200, "{}".into());
+        resp.close = true;
+        let text = String::from_utf8(resp.to_bytes()).expect("utf8");
+        assert!(text.contains("\r\nconnection: close\r\n"), "got {text:?}");
     }
 
     #[test]

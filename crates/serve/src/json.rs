@@ -125,7 +125,7 @@ impl fmt::Display for Value {
     }
 }
 
-fn write_escaped(s: &str, out: &mut String) {
+pub(crate) fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -141,6 +141,125 @@ fn write_escaped(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// Fast path for the predict wire format: parses exactly
+/// `{"inputs": [[<number>, ...], ...]}` (arbitrary whitespace, no other
+/// keys, no string escapes) straight into rows, skipping the [`Value`]
+/// tree — the hot scoring endpoint would otherwise allocate one node
+/// per cell. Numbers go through the same `str::parse::<f64>` as
+/// [`parse`], so accepted bodies produce bitwise-identical rows.
+/// Anything else — extra keys, non-numeric cells, malformed syntax,
+/// non-finite numbers — returns `None`; the caller falls back to the
+/// general parser for exact error reporting.
+pub fn parse_inputs_fast(input: &str) -> Option<Vec<Vec<f64>>> {
+    let mut c = Cursor { b: input.as_bytes(), pos: 0 };
+    c.ws();
+    if !c.eat(b'{') {
+        return None;
+    }
+    c.ws();
+    if !c.eat_slice(b"\"inputs\"") {
+        return None;
+    }
+    c.ws();
+    if !c.eat(b':') {
+        return None;
+    }
+    c.ws();
+    if !c.eat(b'[') {
+        return None;
+    }
+    let mut rows = Vec::new();
+    c.ws();
+    if !c.eat(b']') {
+        loop {
+            c.ws();
+            if !c.eat(b'[') {
+                return None;
+            }
+            let mut row = Vec::new();
+            c.ws();
+            if !c.eat(b']') {
+                loop {
+                    c.ws();
+                    row.push(c.number()?);
+                    c.ws();
+                    if c.eat(b',') {
+                        continue;
+                    }
+                    if c.eat(b']') {
+                        break;
+                    }
+                    return None;
+                }
+            }
+            rows.push(row);
+            c.ws();
+            if c.eat(b',') {
+                continue;
+            }
+            if c.eat(b']') {
+                break;
+            }
+            return None;
+        }
+    }
+    c.ws();
+    if !c.eat(b'}') {
+        return None;
+    }
+    c.ws();
+    if c.pos == c.b.len() {
+        Some(rows)
+    } else {
+        None
+    }
+}
+
+/// Byte cursor for [`parse_inputs_fast`].
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.b.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_slice(&mut self, expected: &[u8]) -> bool {
+        if self.b[self.pos..].starts_with(expected) {
+            self.pos += expected.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Same number grammar and `f64` conversion as [`Parser::number`].
+    fn number(&mut self) -> Option<f64> {
+        let start = self.pos;
+        while matches!(self.b.get(self.pos), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).ok()?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Some(n),
+            _ => None,
+        }
+    }
 }
 
 /// A parse failure, with the byte offset it occurred at.
@@ -454,6 +573,45 @@ mod tests {
         assert!(parse(&deep).is_err());
         let ok = "[".repeat(30) + &"]".repeat(30);
         assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn fast_inputs_path_matches_the_general_parser_bitwise() {
+        for body in [
+            "{\"inputs\": [[1, 2.5], [3e-2, -0.125]]}",
+            "{\"inputs\":[[0.1,0.2,0.3]]}",
+            "{ \"inputs\" : [ [ 1e10 ] ] } ",
+            "{\"inputs\": []}",
+            "{\"inputs\": [[]]}",
+        ] {
+            let fast = parse_inputs_fast(body).unwrap_or_else(|| panic!("fast rejects {body:?}"));
+            let doc = parse(body).expect(body);
+            let rows = doc.get("inputs").and_then(Value::as_array).expect("inputs");
+            assert_eq!(fast.len(), rows.len(), "{body}");
+            for (f_row, row) in fast.iter().zip(rows) {
+                let cells = row.as_array().expect("row");
+                assert_eq!(f_row.len(), cells.len());
+                for (f, c) in f_row.iter().zip(cells) {
+                    assert_eq!(f.to_bits(), c.as_f64().expect("number").to_bits(), "{body}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_inputs_path_defers_everything_else() {
+        for body in [
+            "{\"inputs\": [[1]], \"extra\": 1}", // extra key
+            "{\"rows\": [[1]]}",                 // wrong key
+            "{\"inputs\": [[true]]}",            // non-number cell
+            "{\"inputs\": [1]}",                 // non-array row
+            "{\"inputs\": [[1]]",                // truncated
+            "{\"inputs\": [[1]]} x",             // trailing garbage
+            "{\"inputs\": [[1e999]]}",           // overflows f64
+            "not json at all",
+        ] {
+            assert!(parse_inputs_fast(body).is_none(), "fast path must defer {body:?}");
+        }
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! when the queue is full the server answers `503` with `retry-after`
 //! instead of stalling the client or buffering without limit.
 //!
+//! Connections are **persistent** (HTTP/1.1 keep-alive): one worker
+//! serves a request loop per connection until `Connection: close`, the
+//! idle timeout, or the per-connection request cap. Concurrent predict
+//! requests for the same model **coalesce** through the
+//! [`batch::BatchScheduler`] into single `predict_batch` calls (bitwise
+//! identical to unbatched scoring), and per-model
+//! [`AdmissionTier`](registry::AdmissionTier) quotas keep one hot model
+//! from starving the rest of the registry.
+//!
 //! Endpoints:
 //!
 //! | Route | Method | Purpose |
@@ -16,7 +25,7 @@
 //! | `/v1/models` | GET | List registered models |
 //! | `/v1/trace` | GET | Live [`edm_trace::TraceReport`] JSON (debug) |
 //! | `/healthz` | GET | Liveness probe |
-//! | `/metrics` | GET | OpenMetrics exposition: trace registry + per-`endpoint × model` request series (lifetime + rolling-window latency) |
+//! | `/metrics` | GET | OpenMetrics exposition: trace registry + per-`endpoint × model` request series (lifetime + rolling-window latency) + micro-batch and admission-tier families |
 //!
 //! Every request is answered with an `x-request-id` header that
 //! matches the server's access log line (`EDM_SERVE_LOG=1`; slow
@@ -45,6 +54,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -52,7 +62,11 @@ pub mod registry;
 #[cfg(feature = "parallel")]
 pub mod server;
 
-pub use metrics::{LatencySnapshot, ServeMetrics};
-pub use registry::{ModelInfo, ModelRegistry, RegistryError, ServedModel};
+pub use batch::{BatchConfig, BatchScheduler};
+pub use metrics::{BatchSnapshot, LatencySnapshot, ServeMetrics};
+pub use registry::{
+    AdmissionTier, ModelEntry, ModelInfo, ModelRegistry, RegistryError, ServedModel, TierGate,
+    TierPermit,
+};
 #[cfg(feature = "parallel")]
 pub use server::{ServeError, Server, ServerConfig};

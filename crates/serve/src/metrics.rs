@@ -142,6 +142,26 @@ impl Series {
     }
 }
 
+/// Lifetime micro-batch scheduler counters, as exposed to tests and
+/// the `/metrics` exposition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchSnapshot {
+    /// Total flushed `predict_batch` calls through the scheduler
+    /// (inline, drain, hold, size, and bypass flushes alike).
+    pub flushes: u64,
+    /// Total rows scored across all flushes.
+    pub batched_rows: u64,
+    /// Flushes that coalesced ≥ 2 requests into one call.
+    pub coalesced_batches: u64,
+    /// Requests that rode a coalesced flush.
+    pub coalesced_requests: u64,
+    /// Largest single flush, in rows.
+    pub max_batch_rows: u64,
+    /// Flush counts keyed by reason (`inline`, `drain`, `hold`,
+    /// `size`, `bypass`).
+    pub flush_reasons: BTreeMap<String, u64>,
+}
+
 /// A point-in-time latency summary for one `endpoint × model` series,
 /// as exposed to tests and harnesses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,7 +180,12 @@ pub struct LatencySnapshot {
 pub struct ServeMetrics {
     start: Instant,
     next_id: AtomicU64,
-    series: Mutex<BTreeMap<(String, String), Series>>,
+    /// `endpoint -> model -> series`, nested so the per-request
+    /// `observe` hit path can look both levels up by `&str` without
+    /// building an owned key.
+    series: Mutex<BTreeMap<String, BTreeMap<String, Series>>>,
+    batch: Mutex<BatchSnapshot>,
+    tier_rejects: Mutex<BTreeMap<(String, String), u64>>,
 }
 
 impl Default for ServeMetrics {
@@ -176,6 +201,8 @@ impl ServeMetrics {
             start: Instant::now(),
             next_id: AtomicU64::new(1),
             series: Mutex::new(BTreeMap::new()),
+            batch: Mutex::new(BatchSnapshot::default()),
+            tier_rejects: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -189,22 +216,69 @@ impl ServeMetrics {
         self.start.elapsed().as_secs()
     }
 
-    /// Records one finished request.
+    /// Records one finished request. Allocation-free once the
+    /// `endpoint × model` series exists.
     pub fn observe(&self, endpoint: &str, model: &str, status: u16, latency_ns: u64) {
         let now_sec = self.now_sec();
         let mut series = self.series.lock().expect("metrics registry poisoned");
-        series
-            .entry((endpoint.to_string(), model.to_string()))
-            .or_insert_with(Series::new)
-            .record(status, latency_ns, now_sec);
+        let hit = series
+            .get_mut(endpoint)
+            .and_then(|models| models.get_mut(model))
+            .map(|s| s.record(status, latency_ns, now_sec));
+        if hit.is_none() {
+            series
+                .entry(endpoint.to_string())
+                .or_default()
+                .entry(model.to_string())
+                .or_insert_with(Series::new)
+                .record(status, latency_ns, now_sec);
+        }
     }
 
     /// Lifetime latency summary for one series, `None` when the pair
     /// never recorded.
     pub fn lifetime_snapshot(&self, endpoint: &str, model: &str) -> Option<LatencySnapshot> {
         let series = self.series.lock().expect("metrics registry poisoned");
-        let s = series.get(&(endpoint.to_string(), model.to_string()))?;
+        let s = series.get(endpoint).and_then(|models| models.get(model))?;
         Some(snapshot_of(&s.lifetime))
+    }
+
+    /// Records one flushed `predict_batch` call from the micro-batch
+    /// scheduler: its flush `reason`, how many coalesced `requests` it
+    /// carried, and the total `rows` scored.
+    pub fn batch_flush(&self, reason: &str, requests: usize, rows: usize) {
+        let mut b = self.batch.lock().expect("batch stats poisoned");
+        b.flushes += 1;
+        b.batched_rows += rows as u64;
+        if requests >= 2 {
+            b.coalesced_batches += 1;
+            b.coalesced_requests += requests as u64;
+        }
+        b.max_batch_rows = b.max_batch_rows.max(rows as u64);
+        // The reason vocabulary is tiny and closed; only the first
+        // flush per reason pays the owned-key allocation.
+        match b.flush_reasons.get_mut(reason) {
+            Some(n) => *n += 1,
+            None => {
+                b.flush_reasons.insert(reason.to_string(), 1);
+            }
+        }
+    }
+
+    /// Lifetime micro-batch counters.
+    pub fn batch_snapshot(&self) -> BatchSnapshot {
+        self.batch.lock().expect("batch stats poisoned").clone()
+    }
+
+    /// Records one request rejected by a per-model admission tier.
+    pub fn tier_reject(&self, model: &str, tier: &str) {
+        let mut rejects = self.tier_rejects.lock().expect("tier stats poisoned");
+        *rejects.entry((model.to_string(), tier.to_string())).or_insert(0) += 1;
+    }
+
+    /// Lifetime tier-rejection counts keyed by `(model, tier)`.
+    pub fn tier_reject_snapshot(&self) -> BTreeMap<(String, String), u64> {
+        self.tier_rejects.lock().expect("tier stats poisoned").clone()
     }
 
     /// Rolling-window latency summary for one series, `None` when the
@@ -212,7 +286,7 @@ impl ServeMetrics {
     pub fn window_snapshot(&self, endpoint: &str, model: &str) -> Option<LatencySnapshot> {
         let now_sec = self.now_sec();
         let series = self.series.lock().expect("metrics registry poisoned");
-        let s = series.get(&(endpoint.to_string(), model.to_string()))?;
+        let s = series.get(endpoint).and_then(|models| models.get(model))?;
         Some(snapshot_of(&s.window(now_sec)))
     }
 
@@ -227,22 +301,40 @@ impl ServeMetrics {
     ///   — gauge, `window` ∈ {`lifetime`, `60s`}, `quantile` ∈ {`0.5`,
     ///   `0.99`};
     /// * `edm_serve_window_requests{endpoint,model}` — gauge, requests
-    ///   inside the rolling window.
+    ///   inside the rolling window;
+    /// * `edm_serve_batches_total{reason}` — counter, micro-batch
+    ///   flushes by flush reason;
+    /// * `edm_serve_batch_rows_total` / `edm_serve_coalesced_batches_total`
+    ///   / `edm_serve_coalesced_requests_total` — counters, scheduler
+    ///   volume; `edm_serve_batch_rows_max` — gauge, largest flush;
+    /// * `edm_serve_tier_rejected_total{model,tier}` — counter,
+    ///   requests refused by per-model admission tiers.
     ///
-    /// Empty when no request was ever recorded. Deterministic for a
-    /// given state (series in key order).
+    /// Empty when nothing was ever recorded. Deterministic for a given
+    /// state (series in key order).
     pub fn render_openmetrics(&self) -> String {
         fn esc(v: &str) -> String {
             v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
         }
+        /// Flattens the nested `endpoint -> model` map back to
+        /// `(endpoint, model, series)` rows in key order.
+        fn flat(
+            series: &BTreeMap<String, BTreeMap<String, Series>>,
+        ) -> impl Iterator<Item = (&str, &str, &Series)> {
+            series.iter().flat_map(|(endpoint, models)| {
+                models.iter().map(move |(model, s)| (endpoint.as_str(), model.as_str(), s))
+            })
+        }
         let now_sec = self.now_sec();
         let series = self.series.lock().expect("metrics registry poisoned");
-        if series.is_empty() {
+        let batch = self.batch.lock().expect("batch stats poisoned").clone();
+        let tier_rejects = self.tier_rejects.lock().expect("tier stats poisoned").clone();
+        if series.is_empty() && batch.flushes == 0 && tier_rejects.is_empty() {
             return String::new();
         }
         let mut out = String::new();
         out.push_str("# TYPE edm_serve_requests counter\n");
-        for ((endpoint, model), s) in series.iter() {
+        for (endpoint, model, s) in flat(&series) {
             for (&status, &n) in &s.statuses {
                 out.push_str(&format!(
                     "edm_serve_requests_total{{endpoint=\"{}\",model=\"{}\",status=\"{status}\"}} {n}\n",
@@ -252,7 +344,7 @@ impl ServeMetrics {
             }
         }
         out.push_str("# TYPE edm_serve_request_latency_ns histogram\n");
-        for ((endpoint, model), s) in series.iter() {
+        for (endpoint, model, s) in flat(&series) {
             let labels = format!("endpoint=\"{}\",model=\"{}\"", esc(endpoint), esc(model));
             let mut cumulative = 0u64;
             for (i, &c) in s.lifetime.buckets.iter().enumerate() {
@@ -273,7 +365,7 @@ impl ServeMetrics {
             ));
         }
         out.push_str("# TYPE edm_serve_latency_quantile_ms gauge\n");
-        for ((endpoint, model), s) in series.iter() {
+        for (endpoint, model, s) in flat(&series) {
             let labels = format!("endpoint=\"{}\",model=\"{}\"", esc(endpoint), esc(model));
             let window = s.window(now_sec);
             for (window_label, hist) in [("lifetime", &s.lifetime), ("60s", &window)] {
@@ -288,13 +380,46 @@ impl ServeMetrics {
             }
         }
         out.push_str("# TYPE edm_serve_window_requests gauge\n");
-        for ((endpoint, model), s) in series.iter() {
+        for (endpoint, model, s) in flat(&series) {
             out.push_str(&format!(
                 "edm_serve_window_requests{{endpoint=\"{}\",model=\"{}\"}} {}\n",
                 esc(endpoint),
                 esc(model),
                 s.window(now_sec).count
             ));
+        }
+        if batch.flushes > 0 {
+            out.push_str("# TYPE edm_serve_batches counter\n");
+            for (reason, n) in &batch.flush_reasons {
+                out.push_str(&format!(
+                    "edm_serve_batches_total{{reason=\"{}\"}} {n}\n",
+                    esc(reason)
+                ));
+            }
+            out.push_str(&format!(
+                "# TYPE edm_serve_batch_rows counter\n\
+                 edm_serve_batch_rows_total {}\n\
+                 # TYPE edm_serve_coalesced_batches counter\n\
+                 edm_serve_coalesced_batches_total {}\n\
+                 # TYPE edm_serve_coalesced_requests counter\n\
+                 edm_serve_coalesced_requests_total {}\n\
+                 # TYPE edm_serve_batch_rows_max gauge\n\
+                 edm_serve_batch_rows_max {}\n",
+                batch.batched_rows,
+                batch.coalesced_batches,
+                batch.coalesced_requests,
+                batch.max_batch_rows
+            ));
+        }
+        if !tier_rejects.is_empty() {
+            out.push_str("# TYPE edm_serve_tier_rejected counter\n");
+            for ((model, tier), n) in &tier_rejects {
+                out.push_str(&format!(
+                    "edm_serve_tier_rejected_total{{model=\"{}\",tier=\"{}\"}} {n}\n",
+                    esc(model),
+                    esc(tier)
+                ));
+            }
         }
         out
     }
@@ -394,5 +519,34 @@ mod tests {
         assert!(text.contains(
             "edm_serve_request_latency_ns_bucket{endpoint=\"healthz\",model=\"-\",le=\"+Inf\"} 1"
         ));
+        // No batch flushed and no tier rejected -> those families stay out.
+        assert!(!text.contains("edm_serve_batches_total"));
+        assert!(!text.contains("edm_serve_tier_rejected_total"));
+    }
+
+    #[test]
+    fn batch_and_tier_families_render_once_recorded() {
+        let m = ServeMetrics::new();
+        m.batch_flush("inline", 1, 16);
+        m.batch_flush("drain", 3, 48);
+        m.batch_flush("drain", 2, 8);
+        m.tier_reject("svc", "bulk");
+        m.tier_reject("svc", "bulk");
+        let snap = m.batch_snapshot();
+        assert_eq!(snap.flushes, 3);
+        assert_eq!(snap.batched_rows, 72);
+        assert_eq!(snap.coalesced_batches, 2);
+        assert_eq!(snap.coalesced_requests, 5);
+        assert_eq!(snap.max_batch_rows, 48);
+        assert_eq!(snap.flush_reasons.get("drain"), Some(&2));
+        assert_eq!(m.tier_reject_snapshot().get(&("svc".into(), "bulk".into())), Some(&2));
+        let text = m.render_openmetrics();
+        assert!(text.contains("edm_serve_batches_total{reason=\"inline\"} 1"));
+        assert!(text.contains("edm_serve_batches_total{reason=\"drain\"} 2"));
+        assert!(text.contains("edm_serve_batch_rows_total 72"));
+        assert!(text.contains("edm_serve_coalesced_batches_total 2"));
+        assert!(text.contains("edm_serve_coalesced_requests_total 5"));
+        assert!(text.contains("edm_serve_batch_rows_max 48"));
+        assert!(text.contains("edm_serve_tier_rejected_total{model=\"svc\",tier=\"bulk\"} 2"));
     }
 }

@@ -1,13 +1,23 @@
 //! The model registry: a name → [`Predictor`] map shared by every
-//! worker thread.
+//! worker thread, plus per-model **admission tiers**.
 //!
 //! Backed by a `BTreeMap` so listings are deterministically ordered
 //! (the workspace bans `HashMap` iteration in lib code). The registry
 //! is built once at startup and then shared immutably behind an `Arc`,
 //! so no locking is needed on the request path.
+//!
+//! An [`AdmissionTier`] caps how many predict requests for one model
+//! may be in flight at once, layered *under* the worker pool's global
+//! `try_reserve()` admission: the pool bounds total concurrency, the
+//! tier bounds one model's share of it, so a hot model saturating its
+//! quota keeps returning 503 (with the tier's `Retry-After`) while
+//! other models' requests still find free workers. Quota accounting is
+//! a single atomic counter ([`TierGate`]) released by RAII
+//! ([`TierPermit`]), so a panicking request can never leak quota.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use edm::Predictor;
@@ -42,6 +52,102 @@ impl fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
+/// A per-model in-flight quota: at most `max_in_flight` predict
+/// requests for the model run concurrently; excess arrivals are
+/// rejected with 503 and this tier's `Retry-After`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionTier {
+    /// Tier label, shown in `serve.tier.rejected` probes and the
+    /// `edm_serve_tier_rejected_total{tier}` metric.
+    pub name: String,
+    /// Concurrent in-flight predict quota (≥ 1 enforced at
+    /// registration).
+    pub max_in_flight: usize,
+    /// `Retry-After` seconds advertised on quota rejections.
+    pub retry_after_secs: u64,
+}
+
+impl AdmissionTier {
+    /// A tier with a 1-second `Retry-After`.
+    pub fn new(name: &str, max_in_flight: usize) -> Self {
+        AdmissionTier { name: name.to_string(), max_in_flight, retry_after_secs: 1 }
+    }
+}
+
+/// Lock-free in-flight counter enforcing one model's [`AdmissionTier`].
+#[derive(Debug)]
+pub struct TierGate {
+    tier: AdmissionTier,
+    in_flight: AtomicUsize,
+}
+
+impl TierGate {
+    fn new(tier: AdmissionTier) -> Arc<TierGate> {
+        Arc::new(TierGate { tier, in_flight: AtomicUsize::new(0) })
+    }
+
+    /// The tier this gate enforces.
+    pub fn tier(&self) -> &AdmissionTier {
+        &self.tier
+    }
+
+    /// Requests currently holding a permit.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Claims one unit of quota, or `None` when the tier is saturated.
+    /// The permit returns the quota on drop (including on panic).
+    pub fn try_acquire(self: &Arc<Self>) -> Option<TierPermit> {
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.tier.max_in_flight {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(TierPermit { gate: Arc::clone(self) }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// One unit of tier quota; returned to the gate on drop.
+#[derive(Debug)]
+pub struct TierPermit {
+    gate: Arc<TierGate>,
+}
+
+impl Drop for TierPermit {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A registered model plus its (optional) admission gate.
+#[derive(Clone)]
+pub struct ModelEntry {
+    /// The shared predictor.
+    pub model: ServedModel,
+    /// In-flight quota gate; `None` means untiered (only the global
+    /// worker-pool admission applies).
+    pub gate: Option<Arc<TierGate>>,
+}
+
+impl fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelEntry")
+            .field("family", &self.model.name())
+            .field("gate", &self.gate)
+            .finish()
+    }
+}
+
 /// Summary of one registered model, as reported by `GET /v1/models`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelInfo {
@@ -56,7 +162,7 @@ pub struct ModelInfo {
 /// An ordered collection of named models.
 #[derive(Default)]
 pub struct ModelRegistry {
-    models: BTreeMap<String, ServedModel>,
+    models: BTreeMap<String, ModelEntry>,
 }
 
 impl fmt::Debug for ModelRegistry {
@@ -90,6 +196,32 @@ impl ModelRegistry {
     ///
     /// Same conditions as [`ModelRegistry::register`].
     pub fn register_arc(&mut self, name: &str, model: ServedModel) -> Result<(), RegistryError> {
+        self.insert_entry(name, ModelEntry { model, gate: None })
+    }
+
+    /// Registers `model` under `name` behind an [`AdmissionTier`]
+    /// in-flight quota (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelRegistry::register`].
+    pub fn register_tiered<P>(
+        &mut self,
+        name: &str,
+        model: P,
+        mut tier: AdmissionTier,
+    ) -> Result<(), RegistryError>
+    where
+        P: Predictor + Send + Sync + 'static,
+    {
+        tier.max_in_flight = tier.max_in_flight.max(1);
+        self.insert_entry(
+            name,
+            ModelEntry { model: Arc::new(model), gate: Some(TierGate::new(tier)) },
+        )
+    }
+
+    fn insert_entry(&mut self, name: &str, entry: ModelEntry) -> Result<(), RegistryError> {
         if name.is_empty()
             || !name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
         {
@@ -98,12 +230,17 @@ impl ModelRegistry {
         if self.models.contains_key(name) {
             return Err(RegistryError::Duplicate(name.to_string()));
         }
-        self.models.insert(name.to_string(), model);
+        self.models.insert(name.to_string(), entry);
         Ok(())
     }
 
     /// The model registered under `name`, if any.
     pub fn get(&self, name: &str) -> Option<ServedModel> {
+        self.models.get(name).map(|e| Arc::clone(&e.model))
+    }
+
+    /// The model *and* its admission gate registered under `name`.
+    pub fn get_entry(&self, name: &str) -> Option<ModelEntry> {
         self.models.get(name).cloned()
     }
 
@@ -116,10 +253,10 @@ impl ModelRegistry {
     pub fn list(&self) -> Vec<ModelInfo> {
         self.models
             .iter()
-            .map(|(name, model)| ModelInfo {
+            .map(|(name, entry)| ModelInfo {
                 name: name.clone(),
-                family: model.name(),
-                n_features: model.n_features(),
+                family: entry.model.name(),
+                n_features: entry.model.n_features(),
             })
             .collect()
     }
@@ -178,6 +315,35 @@ mod tests {
                 "{bad:?} should be invalid"
             );
         }
+    }
+
+    #[test]
+    fn tier_gate_enforces_and_returns_quota() {
+        let mut reg = ModelRegistry::new();
+        reg.register_tiered("svc", tiny_ridge(), AdmissionTier::new("bulk", 2))
+            .expect("tiered register");
+        reg.register("free", tiny_ridge()).expect("untiered register");
+        assert!(reg.get_entry("free").expect("entry").gate.is_none());
+        let gate = reg.get_entry("svc").expect("entry").gate.expect("tiered");
+        assert_eq!(gate.tier().name, "bulk");
+        assert_eq!(gate.tier().retry_after_secs, 1);
+        let a = gate.try_acquire().expect("first unit");
+        let b = gate.try_acquire().expect("second unit");
+        assert_eq!(gate.in_flight(), 2);
+        assert!(gate.try_acquire().is_none(), "quota saturated");
+        drop(a);
+        assert_eq!(gate.in_flight(), 1);
+        let _c = gate.try_acquire().expect("freed unit is reusable");
+        drop(b);
+    }
+
+    #[test]
+    fn zero_quota_tiers_are_clamped_to_one() {
+        let mut reg = ModelRegistry::new();
+        reg.register_tiered("svc", tiny_ridge(), AdmissionTier::new("tiny", 0)).expect("register");
+        let gate = reg.get_entry("svc").expect("entry").gate.expect("tiered");
+        assert_eq!(gate.tier().max_in_flight, 1, "a 0-quota tier would serve nothing");
+        assert!(gate.try_acquire().is_some());
     }
 
     #[test]

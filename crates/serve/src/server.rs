@@ -1,5 +1,5 @@
-//! The threaded HTTP server: accept loop, routing, backpressure, and
-//! graceful shutdown.
+//! The threaded HTTP server: accept loop, keep-alive connection
+//! handling, routing, backpressure, and graceful shutdown.
 //!
 //! # Threading model
 //!
@@ -9,20 +9,45 @@
 //! handles connections, behind a bounded queue of
 //! [`ServerConfig::queue_capacity`] slots.
 //!
+//! # Keep-alive
+//!
+//! Connections are persistent (HTTP/1.1 default): one worker runs a
+//! per-connection request loop until the client sends
+//! `Connection: close`, the idle window ([`ServerConfig::idle_timeout`])
+//! expires between requests, the per-connection request cap
+//! ([`ServerConfig::max_requests_per_conn`]) is reached, or the server
+//! shuts down. Each request re-arms the socket's read deadline
+//! ([`ServerConfig::read_timeout`]), so a slow second request cannot
+//! ride the first request's budget. Because a parked keep-alive
+//! connection pins its worker, size [`ServerConfig::workers`] to the
+//! number of concurrent connections, not concurrent requests.
+//!
 //! # Backpressure
 //!
 //! Admission is two-phase: the accept loop reserves a queue slot
 //! *before* handing the socket to a worker. When no slot is free it
 //! still owns the connection, so it answers
 //! `503 Service Unavailable` with a `retry-after` header instead of
-//! hanging the client or buffering unboundedly.
+//! hanging the client or buffering unboundedly. Per-model
+//! [`AdmissionTier`](crate::registry::AdmissionTier) quotas layer under
+//! that global gate: a hot model that saturates its own in-flight quota
+//! gets tier-specific 503s while other models keep scoring.
+//!
+//! # Micro-batching
+//!
+//! Predict requests score through the per-server
+//! [`BatchScheduler`](crate::batch::BatchScheduler): concurrent
+//! requests for the same model coalesce into one `predict_batch` call
+//! (see the [`batch`](crate::batch) module docs for the flush policy).
 //!
 //! # Shutdown
 //!
 //! [`Server::shutdown`] flips the shutdown flag, wakes the accept loop
-//! with a loopback connection, joins it, then drains the worker pool:
-//! every connection already admitted is answered before the threads
-//! exit.
+//! with a loopback connection, joins it, then drains the worker pool.
+//! Idle keep-alive workers poll the flag between reads (≤ ~100 ms
+//! ticks), so shutdown latency stays bounded even with parked
+//! connections; every request already admitted is answered before the
+//! threads exit.
 //!
 //! # Request-scoped telemetry
 //!
@@ -39,7 +64,7 @@
 //! `serve.request.slow`). `GET /v1/trace` returns the live
 //! [`edm_trace::TraceReport`] as JSON for interactive debugging.
 
-use std::io::{BufReader, Read};
+use std::io::{BufRead, BufReader, Read, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -48,6 +73,7 @@ use std::{fmt, io};
 
 use edm_par::pool::WorkerPool;
 
+use crate::batch::{BatchConfig, BatchScheduler};
 use crate::http::{self, HttpError, Request, Response};
 use crate::json::{self, Value};
 use crate::metrics::ServeMetrics;
@@ -61,10 +87,20 @@ pub struct ServerConfig {
     /// Bounded queue depth; connection number `queue_capacity + 1`
     /// while all workers are busy is refused with a 503.
     pub queue_capacity: usize,
-    /// Per-connection socket read timeout.
+    /// Per-request socket read timeout, re-armed for every request on
+    /// a keep-alive connection.
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`connection: close` on the final response).
+    pub max_requests_per_conn: usize,
+    /// Micro-batch scheduler tunables (see
+    /// [`BatchConfig::from_env`] for the env-driven variant).
+    pub batch: BatchConfig,
     /// Largest accepted request body, in bytes (413 beyond this).
     pub max_body_bytes: usize,
     /// Seconds advertised in the `retry-after` header of 503 responses.
@@ -85,6 +121,9 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 10_000,
+            batch: BatchConfig::default(),
             max_body_bytes: 1 << 20,
             retry_after_secs: 1,
             access_log: None,
@@ -118,11 +157,44 @@ impl LogConfig {
     }
 }
 
+/// Per-connection limits resolved from [`ServerConfig`].
+#[derive(Debug, Clone, Copy)]
+struct ConnConfig {
+    read_timeout: Duration,
+    idle_timeout: Duration,
+    max_requests: usize,
+    max_body: usize,
+}
+
+/// Hot-path trace probes, pre-resolved once at server start so the
+/// per-request cost is an atomic add (counters) or one short
+/// per-series lock (span), not a global-registry lock plus label
+/// allocations.
+struct HotProbes {
+    connections: edm_trace::CounterHandle,
+    requests: edm_trace::CounterHandle,
+    request_span: edm_trace::SpanHandle,
+}
+
+impl HotProbes {
+    fn resolve() -> HotProbes {
+        HotProbes {
+            connections: edm_trace::counter_handle("serve.http.connections", &[]),
+            requests: edm_trace::counter_handle("serve.http.requests", &[]),
+            request_span: edm_trace::span_handle("serve.request"),
+        }
+    }
+}
+
 /// Shared per-server state handed to every connection handler.
 struct ServeState {
     registry: ModelRegistry,
     metrics: ServeMetrics,
+    batcher: BatchScheduler,
     log: LogConfig,
+    conn: ConnConfig,
+    stop: Arc<AtomicBool>,
+    probes: HotProbes,
 }
 
 /// Why the server could not start.
@@ -189,7 +261,21 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let workers = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
         let log = LogConfig::resolve(&config);
-        let state = Arc::new(ServeState { registry, metrics: ServeMetrics::new(), log });
+        let conn = ConnConfig {
+            read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+            max_requests: config.max_requests_per_conn.max(1),
+            max_body: config.max_body_bytes,
+        };
+        let state = Arc::new(ServeState {
+            registry,
+            metrics: ServeMetrics::new(),
+            batcher: BatchScheduler::new(config.batch.clone()),
+            log,
+            conn,
+            stop: Arc::clone(&stop),
+            probes: HotProbes::resolve(),
+        });
 
         let acceptor = WorkerPool::new(1, 1);
         {
@@ -262,8 +348,14 @@ fn accept_loop(
             // between SYN and accept) are not fatal to the server.
             Err(_) => continue,
         };
-        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        // The read timeout stays pinned to IDLE_POLL for the whole
+        // connection; per-request read budgets are enforced by
+        // `DeadlineReader` without further setsockopt round trips.
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
         let _ = stream.set_write_timeout(Some(config.write_timeout));
+        // Request/response ping-pong over keep-alive: never hold small
+        // writes back for coalescing.
+        let _ = stream.set_nodelay(true);
         match workers.try_reserve() {
             None => {
                 // Queue full: the permit was never granted, so this
@@ -276,44 +368,266 @@ fn accept_loop(
             Some(permit) => {
                 edm_trace::record("serve.queue.depth", workers.queue_len() as f64);
                 let state = Arc::clone(state);
-                let max_body = config.max_body_bytes;
-                permit.execute(move || handle_connection(&stream, &state, max_body));
+                permit.execute(move || handle_connection(&stream, &state));
             }
         }
     }
 }
 
-fn handle_connection(stream: &TcpStream, state: &ServeState, max_body: usize) {
-    edm_trace::counter_add("serve.http.requests", 1);
-    let _span = edm_trace::span("serve.request");
-    let id = state.metrics.next_request_id();
-    let t0 = Instant::now();
-    let mut reader = BufReader::new(stream);
-    let (mut routed, drain) = match http::read_request(&mut reader, max_body) {
-        Ok(request) => (route(&request, &state.registry, &state.metrics), false),
-        // Requests that never parsed still count: they get the
-        // sentinel endpoint `unparsed` and the draining close (their
-        // bytes were not fully read).
-        Err(HttpError::Malformed(why)) => {
-            (Routed::plain(error_response(400, &why), "unparsed"), true)
+/// Poll tick for the keep-alive idle wait: parked workers observe the
+/// shutdown flag (and the idle deadline) at this granularity. The
+/// socket's OS read timeout is pinned to this value for the whole
+/// connection; [`DeadlineReader`] turns the ticks into per-request
+/// read budgets without per-request `setsockopt` calls.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// `Read` adapter enforcing a replaceable deadline over a socket whose
+/// OS timeout is pinned to [`IDLE_POLL`]: timeout ticks are retried
+/// until `deadline`, then surfaced as `TimedOut`. One read is always
+/// attempted, so an already-expired deadline still drains buffered
+/// bytes and acts as a single poll tick.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            let mut stream = self.stream;
+            match stream.read(buf) {
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if Instant::now() >= self.deadline {
+                        return Err(e);
+                    }
+                }
+                other => return other,
+            }
         }
-        Err(HttpError::TooLarge { limit }) => (
-            Routed::plain(
-                error_response(413, &format!("request body exceeds {limit} bytes")),
-                "unparsed",
-            ),
-            true,
-        ),
-        // Dead or stalled socket: nobody is left to answer.
-        Err(HttpError::Io(_)) => return,
-    };
-    routed.response.request_id = Some(id);
-    if drain {
-        respond_and_drain(stream, &routed.response, max_body);
-    } else {
-        respond(stream, &routed.response);
     }
-    finish_request(state, id, &routed, (t0.elapsed().as_secs_f64() * 1e9) as u64);
+}
+
+/// Blocks until the next request's first bytes are available. Returns
+/// `false` when the connection should close instead: client EOF, idle
+/// timeout, socket error, or server shutdown.
+///
+/// The wait polls: the reader's deadline is parked in the past so each
+/// `fill_buf` is one [`IDLE_POLL`] tick, checking the stop flag and
+/// the idle deadline between ticks. That keeps parked keep-alive
+/// workers responsive to shutdown without any cross-thread connection
+/// tracking.
+///
+/// `honor_stop` is `false` while waiting for a connection's *first*
+/// request: a connection admitted before shutdown is still owed one
+/// answer (graceful drain), so only subsequent requests are refused by
+/// closing.
+fn wait_for_request(
+    reader: &mut BufReader<DeadlineReader<'_>>,
+    state: &ServeState,
+    honor_stop: bool,
+) -> bool {
+    // Pipelined bytes already buffered: no need to touch the socket.
+    if !reader.buffer().is_empty() {
+        return true;
+    }
+    let deadline = Instant::now() + state.conn.idle_timeout;
+    reader.get_mut().deadline = Instant::now() - Duration::from_secs(1);
+    loop {
+        if honor_stop && state.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return false, // client closed
+            Ok(_) => return true,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Scans digits out of a header value estimate (blanks skipped, stops
+/// at the first non-digit) — only used by [`holds_complete_request`],
+/// whose answer merely decides write corking; the authoritative parse
+/// stays in `http::read_request`.
+fn sniff_uint(bytes: &[u8]) -> usize {
+    let mut v = 0usize;
+    let mut seen = false;
+    for &b in bytes {
+        match b {
+            b'0'..=b'9' => {
+                v = v.saturating_mul(10).saturating_add((b - b'0') as usize);
+                seen = true;
+            }
+            b' ' | b'\t' if !seen => {}
+            _ => break,
+        }
+    }
+    v
+}
+
+/// True when `buf` starts with one complete HTTP request: a terminated
+/// header section plus any declared `content-length` body. When this
+/// holds, the next loop iteration is guaranteed not to touch the
+/// socket, so the current response may stay corked (buffered) and ride
+/// the next write.
+fn holds_complete_request(buf: &[u8]) -> bool {
+    let mut line_start = 0usize;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let mut line_end = i;
+        if line_end > line_start && buf[line_end - 1] == b'\r' {
+            line_end -= 1;
+        }
+        let line = &buf[line_start..line_end];
+        if line.is_empty() {
+            // Header section ends after this blank line; the body (if
+            // any) must already be buffered in full. Later
+            // `content-length` duplicates are ignored here, but the
+            // authoritative parser rejects none of them either (last
+            // one wins there too, via overwrite).
+            let body_len = scan_content_length(&buf[..line_start]);
+            return buf.len() - (i + 1) >= body_len;
+        }
+        line_start = i + 1;
+    }
+    false
+}
+
+/// `content-length` value within a buffered header section (0 when
+/// absent), matching the authoritative parser's last-one-wins behavior.
+fn scan_content_length(head: &[u8]) -> usize {
+    let mut value = 0usize;
+    let mut line_start = 0usize;
+    for (i, &b) in head.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let line = &head[line_start..i];
+        if line.len() > 15 && line[..15].eq_ignore_ascii_case(b"content-length:") {
+            value = sniff_uint(&line[15..]);
+        }
+        line_start = i + 1;
+    }
+    let tail = &head[line_start..];
+    if tail.len() > 15 && tail[..15].eq_ignore_ascii_case(b"content-length:") {
+        value = sniff_uint(&tail[15..]);
+    }
+    value
+}
+
+/// Most response bytes held corked before forcing a flush.
+const MAX_CORKED_BYTES: usize = 64 * 1024;
+
+/// Serves one (keep-alive) connection: a request loop that re-arms the
+/// read deadline per request and closes on `connection: close`, idle
+/// timeout, the per-connection request cap, parse errors, or shutdown.
+///
+/// Responses are *corked* under pipelining: while the reader's buffer
+/// already holds the next complete request, response bytes accumulate
+/// and go out in one `write` once the pipeline drains (or the cork
+/// cap is hit) — one syscall for a whole burst instead of one per
+/// response. A response is never corked across a socket wait.
+fn handle_connection(stream: &TcpStream, state: &ServeState) {
+    state.probes.connections.add(1);
+    let mut reader = BufReader::with_capacity(
+        32 * 1024,
+        DeadlineReader { stream, deadline: Instant::now() + state.conn.read_timeout },
+    );
+    let mut served = 0usize;
+    let mut corked: Vec<u8> = Vec::new();
+    while wait_for_request(&mut reader, state, served > 0) {
+        // Fresh per-request read budget: a slow request N+1 cannot
+        // ride whatever deadline request N left on the socket.
+        reader.get_mut().deadline = Instant::now() + state.conn.read_timeout;
+        state.probes.requests.add(1);
+        let _span = state.probes.request_span.start();
+        let id = state.metrics.next_request_id();
+        let t0 = Instant::now();
+        let (mut routed, drain, client_close) =
+            match http::read_request(&mut reader, state.conn.max_body) {
+                Ok(request) => {
+                    let close = request.close;
+                    (route(&request, state), false, close)
+                }
+                // Requests that never parsed still count: they get the
+                // sentinel endpoint `unparsed` and the draining close
+                // (their bytes were not fully read, so the connection
+                // cannot be reused).
+                Err(HttpError::Malformed(why)) => {
+                    (Routed::plain(error_response(400, &why), "unparsed"), true, true)
+                }
+                Err(HttpError::TooLarge { limit }) => (
+                    Routed::plain(
+                        error_response(413, &format!("request body exceeds {limit} bytes")),
+                        "unparsed",
+                    ),
+                    true,
+                    true,
+                ),
+                // Dead or stalled socket: nobody is left to answer.
+                Err(HttpError::Io(_)) => return,
+            };
+        served += 1;
+        let close =
+            client_close || served >= state.conn.max_requests || state.stop.load(Ordering::SeqCst);
+        routed.response.request_id = Some(id);
+        routed.response.close = close;
+        if drain {
+            flush_corked(stream, &mut corked);
+            respond_and_drain(stream, &routed.response, state.conn.max_body);
+        } else if !close
+            && corked.len() < MAX_CORKED_BYTES
+            && holds_complete_request(reader.buffer())
+        {
+            corked.extend_from_slice(&routed.response.to_bytes());
+        } else if corked.is_empty() {
+            respond(stream, &routed.response);
+        } else {
+            corked.extend_from_slice(&routed.response.to_bytes());
+            flush_corked(stream, &mut corked);
+        }
+        finish_request(state, id, &routed, (t0.elapsed().as_secs_f64() * 1e9) as u64);
+        if close {
+            return;
+        }
+    }
+    flush_corked(stream, &mut corked);
+}
+
+/// Writes any corked response bytes, ignoring socket errors like
+/// [`respond`].
+fn flush_corked(stream: &TcpStream, corked: &mut Vec<u8>) {
+    if corked.is_empty() {
+        return;
+    }
+    let mut stream = stream;
+    let _ = stream.write_all(corked);
+    corked.clear();
+}
+
+/// Resolved labeled handles for one (endpoint, status, model) cell.
+type RequestHandles = (edm_trace::CounterHandle, edm_trace::HistHandle);
+/// Probe cache layout: `(endpoint, status) -> model -> handles`.
+type RequestProbeCache = std::collections::BTreeMap<
+    (&'static str, u16),
+    std::collections::BTreeMap<String, RequestHandles>,
+>;
+
+thread_local! {
+    /// Per-worker cache of resolved labeled request probes. Workers are
+    /// long-lived pool threads and the label space is small (endpoints
+    /// × models × statuses), so after warmup the per-request telemetry
+    /// cost is two alloc-free map hits — no global trace-registry lock.
+    static REQUEST_PROBES: std::cell::RefCell<RequestProbeCache> =
+        const { std::cell::RefCell::new(std::collections::BTreeMap::new()) };
 }
 
 /// Feeds one finished request to the serve-local metrics registry, the
@@ -322,17 +636,29 @@ fn handle_connection(stream: &TcpStream, state: &ServeState, max_body: usize) {
 fn finish_request(state: &ServeState, id: u64, routed: &Routed, latency_ns: u64) {
     let status = routed.response.status;
     state.metrics.observe(routed.endpoint, &routed.model, status, latency_ns);
-    let status_label = status.to_string();
-    edm_trace::counter_add_labeled(
-        "serve.request.count",
-        &[("endpoint", routed.endpoint), ("model", &routed.model), ("status", &status_label)],
-        1,
-    );
-    edm_trace::record_labeled(
-        "serve.request.handle_ns",
-        &[("endpoint", routed.endpoint), ("model", &routed.model)],
-        latency_ns as f64,
-    );
+    REQUEST_PROBES.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let by_model = cache.entry((routed.endpoint, status)).or_default();
+        let (count, handle_ns) = match by_model.get(routed.model.as_str()) {
+            Some(handles) => handles,
+            None => {
+                let status_label = status.to_string();
+                let labels = [
+                    ("endpoint", routed.endpoint),
+                    ("model", routed.model.as_str()),
+                    ("status", status_label.as_str()),
+                ];
+                let count = edm_trace::counter_handle("serve.request.count", &labels);
+                let handle_ns = edm_trace::hist_handle(
+                    "serve.request.handle_ns",
+                    &[("endpoint", routed.endpoint), ("model", routed.model.as_str())],
+                );
+                by_model.entry(routed.model.clone()).or_insert((count, handle_ns))
+            }
+        };
+        count.add(1);
+        handle_ns.record(latency_ns as f64);
+    });
     let slow = latency_ns >= state.log.slow_ns;
     if slow {
         edm_trace::counter_add("serve.request.slow", 1);
@@ -406,24 +732,26 @@ impl Routed {
     }
 }
 
-fn route(req: &Request, registry: &ModelRegistry, metrics: &ServeMetrics) -> Routed {
+fn route(req: &Request, state: &ServeState) -> Routed {
     match req.target.as_str() {
         "/healthz" => Routed::plain(
             require_get(req).unwrap_or_else(|| Response::text(200, "ok\n")),
             "healthz",
         ),
-        "/metrics" => {
-            Routed::plain(require_get(req).unwrap_or_else(|| metrics_response(metrics)), "metrics")
-        }
-        "/v1/models" => {
-            Routed::plain(require_get(req).unwrap_or_else(|| models_response(registry)), "models")
-        }
+        "/metrics" => Routed::plain(
+            require_get(req).unwrap_or_else(|| metrics_response(&state.metrics)),
+            "metrics",
+        ),
+        "/v1/models" => Routed::plain(
+            require_get(req).unwrap_or_else(|| models_response(&state.registry)),
+            "models",
+        ),
         "/v1/trace" => Routed::plain(require_get(req).unwrap_or_else(trace_response), "trace"),
         target if target.starts_with("/v1/models/") && target.ends_with(":predict") => {
             let name = &target["/v1/models/".len()..target.len() - ":predict".len()];
-            let model = if registry.get(name).is_some() { name } else { "unknown" };
+            let model = if state.registry.get(name).is_some() { name } else { "unknown" };
             let response = if req.method == "POST" {
-                predict_response(name, &req.body, registry)
+                predict_response(name, &req.body, state)
             } else {
                 error_response(405, ":predict requires POST")
             };
@@ -445,6 +773,7 @@ fn metrics_response(metrics: &ServeMetrics) -> Response {
         content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
         retry_after: None,
         request_id: None,
+        close: false,
         body: body.into_bytes(),
     }
 }
@@ -484,53 +813,113 @@ fn models_response(registry: &ModelRegistry) -> Response {
     Response::json(200, body.encode())
 }
 
-fn predict_response(name: &str, body: &[u8], registry: &ModelRegistry) -> Response {
-    let Some(model) = registry.get(name) else {
+/// The general-parser inputs path: builds the [`Value`] tree so
+/// malformed bodies get exact, offset-carrying 400s. The hot path
+/// ([`json::parse_inputs_fast`]) only handles well-formed canonical
+/// bodies and defers everything else here.
+fn parse_inputs_strict(text: &str) -> Result<Vec<Vec<f64>>, Response> {
+    let doc = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Err(error_response(400, &e.to_string())),
+    };
+    let Some(raw_rows) = doc.get("inputs").and_then(Value::as_array) else {
+        return Err(error_response(400, "body must be {\"inputs\": [[f64, ...], ...]}"));
+    };
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(raw_rows.len());
+    for (i, raw_row) in raw_rows.iter().enumerate() {
+        let Some(cells) = raw_row.as_array() else {
+            return Err(error_response(400, &format!("inputs[{i}] is not an array")));
+        };
+        let mut row = Vec::with_capacity(cells.len());
+        for (j, cell) in cells.iter().enumerate() {
+            let Some(v) = cell.as_f64() else {
+                return Err(error_response(400, &format!("inputs[{i}][{j}] is not a number")));
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn predict_response(name: &str, body: &[u8], state: &ServeState) -> Response {
+    let Some(entry) = state.registry.get_entry(name) else {
         return error_response(404, &format!("no model named {name:?}"));
     };
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
         Err(_) => return error_response(400, "request body is not UTF-8"),
     };
-    let doc = match json::parse(text) {
-        Ok(v) => v,
-        Err(e) => return error_response(400, &e.to_string()),
+    let rows = match json::parse_inputs_fast(text) {
+        Some(rows) => rows,
+        None => match parse_inputs_strict(text) {
+            Ok(rows) => rows,
+            Err(resp) => return resp,
+        },
     };
-    let Some(raw_rows) = doc.get("inputs").and_then(Value::as_array) else {
-        return error_response(400, "body must be {\"inputs\": [[f64, ...], ...]}");
-    };
-    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(raw_rows.len());
-    for (i, raw_row) in raw_rows.iter().enumerate() {
-        let Some(cells) = raw_row.as_array() else {
-            return error_response(400, &format!("inputs[{i}] is not an array"));
-        };
-        let mut row = Vec::with_capacity(cells.len());
-        for (j, cell) in cells.iter().enumerate() {
-            let Some(v) = cell.as_f64() else {
-                return error_response(400, &format!("inputs[{i}][{j}] is not a number"));
-            };
-            row.push(v);
+    // Shape pre-validation: a mismatched request must be rejected
+    // *before* it can join a coalesced batch, where its Shape error
+    // would fail every innocent co-batched request.
+    let expected = entry.model.n_features();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != expected {
+            let e = edm::Error::Shape { row: i, expected, found: row.len() };
+            return error_response(400, &e.to_string());
         }
-        rows.push(row);
     }
-    match model.predict_batch(&rows) {
+    // Per-model admission: claim a tier unit for the whole scoring
+    // call; saturated tiers refuse with their own Retry-After while
+    // other models' requests keep flowing.
+    let _permit = match &entry.gate {
+        None => None,
+        Some(gate) => match gate.try_acquire() {
+            Some(permit) => Some(permit),
+            None => {
+                let tier = gate.tier();
+                state.metrics.tier_reject(name, &tier.name);
+                edm_trace::counter_add_labeled(
+                    "serve.tier.rejected",
+                    &[("model", name), ("tier", &tier.name)],
+                    1,
+                );
+                let mut resp = error_response(
+                    503,
+                    &format!("model {name:?} is saturated (tier {:?})", tier.name),
+                );
+                resp.retry_after = Some(tier.retry_after_secs.min(u32::MAX as u64) as u32);
+                return resp;
+            }
+        },
+    };
+    // Shapes were validated above, so any scheduler error left is the
+    // server's fault (predictor failure/panic), not the client's.
+    match state.batcher.submit(name, &entry.model, rows, &state.metrics) {
         Ok(predictions) => {
-            let body = Value::Object(vec![
-                ("model".to_string(), Value::Str(name.to_string())),
-                ("family".to_string(), Value::Str(model.name().to_string())),
-                ("count".to_string(), Value::Number(predictions.len() as f64)),
-                (
-                    "predictions".to_string(),
-                    Value::Array(predictions.into_iter().map(Value::Number).collect()),
-                ),
-            ]);
-            Response::json(200, body.encode())
+            // Hand-rolled encoding of the success body: same bytes the
+            // `Value` tree would produce (numbers render via `{:?}`,
+            // strings via the shared escaper), without building one
+            // node per prediction.
+            use std::fmt::Write as _;
+            let mut body = String::with_capacity(96 + 24 * predictions.len());
+            body.push_str("{\"model\":");
+            json::write_escaped(name, &mut body);
+            body.push_str(",\"family\":");
+            json::write_escaped(entry.model.name(), &mut body);
+            let _ = write!(body, ",\"count\":{:?},\"predictions\":[", predictions.len() as f64);
+            for (i, p) in predictions.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                if p.is_finite() {
+                    let _ = write!(body, "{p:?}");
+                } else {
+                    body.push_str("null");
+                }
+            }
+            body.push_str("]}");
+            Response::json(200, body)
         }
-        // A shape mismatch is the client's fault; anything else
-        // (there is currently nothing else `predict_batch` can return)
-        // would be the server's.
-        Err(e @ edm::Error::Shape { .. }) => error_response(400, &e.to_string()),
-        Err(e) => error_response(500, &e.to_string()),
+        Err(e) => error_response(500, &e),
     }
 }
 
@@ -552,13 +941,45 @@ mod tests {
             method: method.to_string(),
             target: target.to_string(),
             body: body.as_bytes().to_vec(),
+            close: false,
         }
     }
 
-    /// Routes `r` against a throwaway metrics registry and returns the
-    /// response alone (most routing tests don't care about labels).
+    /// Wraps `reg` in a throwaway server state (default batching, no
+    /// logging) for socket-less routing tests.
+    fn test_state(reg: ModelRegistry) -> ServeState {
+        ServeState {
+            registry: reg,
+            metrics: ServeMetrics::new(),
+            batcher: BatchScheduler::new(BatchConfig::default()),
+            log: LogConfig { enabled: false, slow_ns: u64::MAX },
+            conn: ConnConfig {
+                read_timeout: Duration::from_secs(5),
+                idle_timeout: Duration::from_secs(5),
+                max_requests: 100,
+                max_body: 1 << 20,
+            },
+            stop: Arc::new(AtomicBool::new(false)),
+            probes: HotProbes::resolve(),
+        }
+    }
+
+    /// Routes `r` against a throwaway state and returns the response
+    /// alone (most routing tests don't care about labels).
     fn route_only(r: &Request, reg: &ModelRegistry) -> Response {
-        route(r, reg, &ServeMetrics::new()).response
+        let state = test_state(clone_registry(reg));
+        route(r, &state).response
+    }
+
+    /// Registries are immutable after build; tests clone by re-reading
+    /// entries.
+    fn clone_registry(reg: &ModelRegistry) -> ModelRegistry {
+        let mut out = ModelRegistry::new();
+        for name in reg.names() {
+            let entry = reg.get_entry(&name).expect("listed name resolves");
+            out.register_arc(&name, entry.model).expect("clone register");
+        }
+        out
     }
 
     #[test]
@@ -581,18 +1002,52 @@ mod tests {
 
     #[test]
     fn routes_classify_endpoint_and_model() {
-        let reg = registry_with_ridge();
-        let m = ServeMetrics::new();
-        let health = route(&req("GET", "/healthz", ""), &reg, &m);
+        let state = test_state(registry_with_ridge());
+        let health = route(&req("GET", "/healthz", ""), &state);
         assert_eq!((health.endpoint, health.model.as_str()), ("healthz", "-"));
-        let hit = route(&req("POST", "/v1/models/plane:predict", "{\"inputs\": []}"), &reg, &m);
+        let hit = route(&req("POST", "/v1/models/plane:predict", "{\"inputs\": []}"), &state);
         assert_eq!((hit.endpoint, hit.model.as_str()), ("predict", "plane"));
         // Unregistered names collapse to the bounded `unknown` label so
         // clients cannot mint unbounded metric series.
-        let miss = route(&req("POST", "/v1/models/ghost:predict", "{}"), &reg, &m);
+        let miss = route(&req("POST", "/v1/models/ghost:predict", "{}"), &state);
         assert_eq!((miss.endpoint, miss.model.as_str()), ("predict", "unknown"));
-        let lost = route(&req("GET", "/nope", ""), &reg, &m);
+        let lost = route(&req("GET", "/nope", ""), &state);
         assert_eq!(lost.endpoint, "other");
+    }
+
+    #[test]
+    fn saturated_tier_refuses_with_retry_after() {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        let mut reg = ModelRegistry::new();
+        reg.register_tiered(
+            "plane",
+            Ridge::fit(&x, &y, 1e-6).expect("plane fits"),
+            crate::registry::AdmissionTier {
+                name: "bulk".to_string(),
+                max_in_flight: 1,
+                retry_after_secs: 7,
+            },
+        )
+        .expect("tiered register");
+        let state = test_state(reg);
+        // Hold the model's only quota unit, as an in-flight request
+        // would, then route a second predict at it.
+        let gate = state.registry.get_entry("plane").expect("entry").gate.expect("tiered");
+        let held = gate.try_acquire().expect("first unit");
+        let refused =
+            route(&req("POST", "/v1/models/plane:predict", "{\"inputs\": [[1, 1]]}"), &state);
+        assert_eq!(refused.response.status, 503);
+        assert_eq!(refused.response.retry_after, Some(7), "tier-specific Retry-After");
+        assert_eq!(
+            state.metrics.tier_reject_snapshot().get(&("plane".into(), "bulk".into())),
+            Some(&1)
+        );
+        drop(held);
+        let admitted =
+            route(&req("POST", "/v1/models/plane:predict", "{\"inputs\": [[1, 1]]}"), &state);
+        assert_eq!(admitted.response.status, 200, "freed quota admits again");
+        assert_eq!(gate.in_flight(), 0, "permit returned after scoring");
     }
 
     #[test]
@@ -609,10 +1064,9 @@ mod tests {
 
     #[test]
     fn metrics_endpoint_composes_serve_families_and_eof() {
-        let reg = registry_with_ridge();
-        let m = ServeMetrics::new();
-        m.observe("predict", "plane", 200, 1_500_000);
-        let resp = route(&req("GET", "/metrics", ""), &reg, &m).response;
+        let state = test_state(registry_with_ridge());
+        state.metrics.observe("predict", "plane", 200, 1_500_000);
+        let resp = route(&req("GET", "/metrics", ""), &state).response;
         let text = String::from_utf8(resp.body).expect("utf8");
         assert!(
             text.contains(

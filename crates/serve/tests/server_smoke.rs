@@ -16,10 +16,14 @@ use std::time::{Duration, Instant};
 
 use edm::prelude::*;
 use edm_serve::json::{self, Value};
-use edm_serve::{ModelRegistry, Server, ServerConfig};
+use edm_serve::{AdmissionTier, ModelRegistry, Server, ServerConfig};
 
-/// Sends raw bytes, reads to EOF (the server closes after one
-/// response), and splits the response into (status, headers, body).
+/// Sends raw bytes, reads to EOF, and splits the response into
+/// (status, headers, body). The server keeps connections alive by
+/// default, so the request must carry `connection: close` (as `get` /
+/// `post` do) or be one the server answers with a close (malformed,
+/// 413, accept-time 503) — otherwise this read parks until the idle
+/// timeout.
 fn exchange(addr: SocketAddr, raw: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
@@ -36,14 +40,47 @@ fn exchange(addr: SocketAddr, raw: &str) -> (u16, String, String) {
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
-    exchange(addr, &format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n"))
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"))
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
     exchange(
         addr,
-        &format!("POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}", body.len()),
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
     )
+}
+
+/// Reads exactly one response off a keep-alive stream using its
+/// `content-length` framing (byte-at-a-time headers; fine for tests).
+fn read_framed(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut head_bytes = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head_bytes.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read header byte");
+        assert!(n > 0, "EOF mid-headers after {:?}", String::from_utf8_lossy(&head_bytes));
+        head_bytes.push(byte[0]);
+    }
+    let head =
+        String::from_utf8(head_bytes[..head_bytes.len() - 4].to_vec()).expect("utf8 headers");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            if k.eq_ignore_ascii_case("content-length") {
+                v.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or_else(|| panic!("no content-length in {head:?}"));
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    let status: u16 =
+        head.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("parseable status line");
+    (status, head, String::from_utf8(body).expect("utf8 body"))
 }
 
 fn training_data() -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -114,6 +151,90 @@ fn healthz_models_and_predict_round_trip() {
     for (s, e) in served.iter().zip(&expected) {
         assert_eq!(s.to_bits(), e.to_bits(), "HTTP round trip changed a prediction");
     }
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (server, ridge) = start_default();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+
+    // Three requests down the same socket, mixing GET and POST.
+    let expected = ridge.predict_batch(&[vec![0.15, 0.2]]);
+    for i in 0..3 {
+        let body = "{\"inputs\": [[0.15, 0.2]]}";
+        let raw = format!(
+            "POST /v1/models/ridge:predict HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("send request");
+        let (status, head, resp_body) = read_framed(&mut stream);
+        assert_eq!(status, 200, "request {i} on the shared connection: {resp_body}");
+        assert!(head.contains("connection: keep-alive"), "request {i} head: {head}");
+        let doc = json::parse(&resp_body).expect("predict response json");
+        let served = doc.get("predictions").and_then(Value::as_array).expect("predictions")[0]
+            .as_f64()
+            .expect("number");
+        assert_eq!(served.to_bits(), expected[0].to_bits(), "request {i} changed the score");
+    }
+
+    // `connection: close` is honored: final framed response, then EOF.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .expect("send final request");
+    let (status, head, body) = read_framed(&mut stream);
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    assert!(head.contains("connection: close"), "final head: {head}");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read to EOF");
+    assert!(rest.is_empty(), "server must close after connection: close");
+    server.shutdown();
+}
+
+#[test]
+fn request_cap_closes_the_connection() {
+    let (x, y) = training_data();
+    let mut reg = ModelRegistry::new();
+    reg.register("ridge", Ridge::fit(&x, &y, 0.05).expect("fits")).expect("register");
+    let config = ServerConfig { max_requests_per_conn: 2, ..ServerConfig::default() };
+    let server = Server::start("127.0.0.1:0", reg, config).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+    let raw = b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n";
+    stream.write_all(raw).expect("first request");
+    let (_, head1, _) = read_framed(&mut stream);
+    assert!(head1.contains("connection: keep-alive"), "head was {head1}");
+    stream.write_all(raw).expect("second request");
+    let (_, head2, _) = read_framed(&mut stream);
+    assert!(head2.contains("connection: close"), "cap reached, head was {head2}");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read to EOF");
+    assert!(rest.is_empty(), "server must close at the per-connection cap");
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    let (x, y) = training_data();
+    let mut reg = ModelRegistry::new();
+    reg.register("ridge", Ridge::fit(&x, &y, 0.05).expect("fits")).expect("register");
+    let config =
+        ServerConfig { idle_timeout: Duration::from_millis(300), ..ServerConfig::default() };
+    let server = Server::start("127.0.0.1:0", reg, config).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n").expect("request");
+    let (status, _, _) = read_framed(&mut stream);
+    assert_eq!(status, 200);
+    // Send nothing more: the server must close the idle connection on
+    // its own well before the client's 20 s read timeout.
+    let t0 = Instant::now();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read to EOF");
+    assert!(rest.is_empty(), "no bytes expected after the idle close");
+    assert!(t0.elapsed() < Duration::from_secs(10), "idle reap took {:?}", t0.elapsed());
     server.shutdown();
 }
 
@@ -263,6 +384,47 @@ fn queue_full_gets_503_with_retry_after() {
     let (status_a, _, _) = handle_a.join().expect("client A");
     let (status_b, _, _) = handle_b.join().expect("client B");
     assert_eq!((status_a, status_b), (200, 200), "queued work must complete after release");
+    server.shutdown();
+}
+
+#[test]
+fn tier_quota_isolates_a_hot_model() {
+    let (started_tx, started_rx) = mpsc::channel();
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let (x, y) = training_data();
+    let mut reg = ModelRegistry::new();
+    reg.register_tiered(
+        "slow",
+        GatedPredictor { started: Mutex::new(started_tx), gate: Arc::clone(&gate) },
+        AdmissionTier::new("hot", 1),
+    )
+    .expect("register tiered");
+    reg.register("ridge", Ridge::fit(&x, &y, 0.05).expect("fits")).expect("register ridge");
+    let guard = GateGuard(gate);
+    let config = ServerConfig { workers: 4, ..ServerConfig::default() };
+    let server = Server::start("127.0.0.1:0", reg, config).expect("bind");
+    let addr = server.local_addr();
+
+    // A occupies the hot model's single quota unit (parked inside
+    // predict, holding its TierPermit)...
+    let handle_a =
+        std::thread::spawn(move || post(addr, "/v1/models/slow:predict", "{\"inputs\": [[1]]}"));
+    started_rx.recv_timeout(Duration::from_secs(20)).expect("worker picked up A");
+
+    // ...so a second request at the hot model is refused by the tier
+    // even though workers are plainly free...
+    let (status_b, head_b, _) = post(addr, "/v1/models/slow:predict", "{\"inputs\": [[2]]}");
+    assert_eq!(status_b, 503, "saturated tier must refuse");
+    assert!(head_b.contains("\r\nretry-after: 1"), "tier Retry-After missing: {head_b}");
+
+    // ...while the *other* model keeps serving: the hot model cannot
+    // starve the registry.
+    let (status_c, _, body_c) =
+        post(addr, "/v1/models/ridge:predict", "{\"inputs\": [[0.1, 0.2]]}");
+    assert_eq!(status_c, 200, "untiered model must keep serving: {body_c}");
+
+    guard.open();
+    assert_eq!(handle_a.join().expect("client A").0, 200, "quota'd work completes");
     server.shutdown();
 }
 

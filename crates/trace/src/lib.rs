@@ -667,11 +667,15 @@ mod imp {
 
     type ProbeKey = (&'static str, Vec<(String, String)>);
 
+    // Registry cells are `Arc`'d so pre-resolved probe handles
+    // ([`counter_handle`] & co.) can update a series with one atomic or
+    // one short per-series lock instead of taking the global registry
+    // mutex (and re-hashing the name) on every hot-path event.
     struct Registry {
         epoch: Instant,
-        spans: Mutex<HashMap<String, SpanAgg>>,
-        counters: Mutex<HashMap<ProbeKey, u64>>,
-        hists: Mutex<HashMap<ProbeKey, Hist>>,
+        spans: Mutex<HashMap<String, Arc<Mutex<SpanAgg>>>>,
+        counters: Mutex<HashMap<ProbeKey, Arc<AtomicU64>>>,
+        hists: Mutex<HashMap<ProbeKey, Arc<Mutex<Hist>>>>,
         shards: Mutex<Vec<Arc<Shard>>>,
         next_tid: AtomicU64,
     }
@@ -761,6 +765,24 @@ mod imp {
     /// the hierarchical path current at creation. Obtain via [`span`].
     pub struct Span(Option<ActiveSpan>);
 
+    fn span_agg_update(agg: &Mutex<SpanAgg>, dur_ns: u64) {
+        let mut agg = agg.lock().expect("span series poisoned");
+        if agg.count == 0 {
+            agg.min_ns = dur_ns;
+            agg.max_ns = dur_ns;
+        } else {
+            agg.min_ns = agg.min_ns.min(dur_ns);
+            agg.max_ns = agg.max_ns.max(dur_ns);
+        }
+        agg.count += 1;
+        agg.total_ns += dur_ns;
+    }
+
+    fn span_cell(path: String) -> Arc<Mutex<SpanAgg>> {
+        let mut spans = registry().spans.lock().expect("span registry poisoned");
+        Arc::clone(spans.entry(path).or_default())
+    }
+
     impl Drop for Span {
         fn drop(&mut self) {
             let Some(active) = self.0.take() else { return };
@@ -769,22 +791,9 @@ mod imp {
                 let mut s = s.borrow_mut();
                 s.truncate(active.depth.saturating_sub(1));
             });
-            let reg = registry();
-            {
-                let mut spans = reg.spans.lock().expect("span registry poisoned");
-                let agg = spans.entry(active.path).or_default();
-                if agg.count == 0 {
-                    agg.min_ns = dur_ns;
-                    agg.max_ns = dur_ns;
-                } else {
-                    agg.min_ns = agg.min_ns.min(dur_ns);
-                    agg.max_ns = agg.max_ns.max(dur_ns);
-                }
-                agg.count += 1;
-                agg.total_ns += dur_ns;
-            }
+            span_agg_update(&span_cell(active.path), dur_ns);
             if full_enabled() {
-                push_event(EventKind::E, active.name, now_ns(reg), 0.0);
+                push_event(EventKind::E, active.name, now_ns(registry()), 0.0);
             }
         }
     }
@@ -814,12 +823,11 @@ mod imp {
             return;
         }
         let reg = registry();
-        let cumulative = {
+        let cell = {
             let mut counters = reg.counters.lock().expect("counter registry poisoned");
-            let c = counters.entry((name, Vec::new())).or_insert(0);
-            *c += delta;
-            *c
+            Arc::clone(counters.entry((name, Vec::new())).or_default())
         };
+        let cumulative = cell.fetch_add(delta, Ordering::Relaxed) + delta;
         if full_enabled() {
             push_event(EventKind::C, name, now_ns(reg), cumulative as f64);
         }
@@ -834,8 +842,11 @@ mod imp {
             return;
         }
         let key = canonical_labels(labels);
-        let mut counters = registry().counters.lock().expect("counter registry poisoned");
-        *counters.entry((name, key)).or_insert(0) += delta;
+        let cell = {
+            let mut counters = registry().counters.lock().expect("counter registry poisoned");
+            Arc::clone(counters.entry((name, key)).or_default())
+        };
+        cell.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Records `value` into histogram `name`. Off-level cost: one
@@ -867,12 +878,11 @@ mod imp {
         record_inner(name, Vec::new(), value);
     }
 
-    fn record_inner(name: &'static str, labels: Vec<(String, String)>, value: f64) {
+    fn hist_update(cell: &Mutex<Hist>, value: f64) {
         if !value.is_finite() {
             return;
         }
-        let mut hists = registry().hists.lock().expect("histogram registry poisoned");
-        let h = hists.entry((name, labels)).or_insert_with(Hist::new);
+        let mut h = cell.lock().expect("histogram series poisoned");
         h.count += 1;
         h.sum += value;
         h.min = h.min.min(value);
@@ -880,14 +890,159 @@ mod imp {
         h.buckets[bucket_index(value)] += 1;
     }
 
+    fn hist_cell(name: &'static str, labels: Vec<(String, String)>) -> Arc<Mutex<Hist>> {
+        let mut hists = registry().hists.lock().expect("histogram registry poisoned");
+        Arc::clone(hists.entry((name, labels)).or_insert_with(|| Arc::new(Mutex::new(Hist::new()))))
+    }
+
+    fn record_inner(name: &'static str, labels: Vec<(String, String)>, value: f64) {
+        hist_update(&hist_cell(name, labels), value);
+    }
+
+    /// Pre-resolved counter series: [`CounterHandle::add`] is one
+    /// relaxed atomic add — no registry lock, no label allocation. For
+    /// hot paths (per-request serving loops); resolve once, reuse.
+    ///
+    /// The handle stays wired to [`collect`] reports for its lifetime.
+    /// [`reset`] zeroes the series in place when a handle is live.
+    #[derive(Clone)]
+    pub struct CounterHandle(Arc<AtomicU64>);
+
+    impl CounterHandle {
+        /// Adds `delta` when tracing is enabled (one atomic add).
+        #[inline]
+        pub fn add(&self, delta: u64) {
+            if enabled() {
+                self.0.fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Resolves a [`CounterHandle`] for `name` + `labels` (one registry
+    /// lock, here, once).
+    pub fn counter_handle(name: &'static str, labels: &[(&str, &str)]) -> CounterHandle {
+        let key = canonical_labels(labels);
+        let mut counters = registry().counters.lock().expect("counter registry poisoned");
+        CounterHandle(Arc::clone(counters.entry((name, key)).or_default()))
+    }
+
+    /// Pre-resolved histogram series: [`HistHandle::record`] takes one
+    /// short per-series lock — no registry lock, no label allocation.
+    #[derive(Clone)]
+    pub struct HistHandle(Arc<Mutex<Hist>>);
+
+    impl HistHandle {
+        /// Records `value` when tracing is enabled.
+        #[inline]
+        pub fn record(&self, value: f64) {
+            if enabled() {
+                hist_update(&self.0, value);
+            }
+        }
+    }
+
+    /// Resolves a [`HistHandle`] for `name` + `labels` (one registry
+    /// lock, here, once).
+    pub fn hist_handle(name: &'static str, labels: &[(&str, &str)]) -> HistHandle {
+        HistHandle(hist_cell(name, canonical_labels(labels)))
+    }
+
+    /// Pre-resolved span series for a *top-level* hot-path span (the
+    /// recorded path is `name` alone, with no parent prefix — resolve
+    /// handles only for spans opened at the top of a thread's stack,
+    /// e.g. a server worker's per-request span). Children opened inside
+    /// a running [`HandleSpan`] still nest under `name` normally.
+    #[derive(Clone)]
+    pub struct SpanHandle {
+        name: &'static str,
+        agg: Arc<Mutex<SpanAgg>>,
+    }
+
+    impl SpanHandle {
+        /// Opens the span; timing stops when the guard drops.
+        pub fn start(&self) -> HandleSpan {
+            if !enabled() {
+                return HandleSpan(None);
+            }
+            let depth = SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                s.push(self.name);
+                s.len()
+            });
+            if full_enabled() {
+                push_event(EventKind::B, self.name, now_ns(registry()), 0.0);
+            }
+            HandleSpan(Some(ActiveHandleSpan {
+                agg: Arc::clone(&self.agg),
+                name: self.name,
+                depth,
+                start: Instant::now(),
+            }))
+        }
+    }
+
+    /// Resolves a [`SpanHandle`] for top-level span `name`.
+    pub fn span_handle(name: &'static str) -> SpanHandle {
+        SpanHandle { name, agg: span_cell(name.to_string()) }
+    }
+
+    struct ActiveHandleSpan {
+        agg: Arc<Mutex<SpanAgg>>,
+        name: &'static str,
+        depth: usize,
+        start: Instant,
+    }
+
+    /// RAII guard for a [`SpanHandle`] span.
+    pub struct HandleSpan(Option<ActiveHandleSpan>);
+
+    impl Drop for HandleSpan {
+        fn drop(&mut self) {
+            let Some(active) = self.0.take() else { return };
+            let dur_ns = active.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                s.truncate(active.depth.saturating_sub(1));
+            });
+            span_agg_update(&active.agg, dur_ns);
+            if full_enabled() {
+                push_event(EventKind::E, active.name, now_ns(registry()), 0.0);
+            }
+        }
+    }
+
     /// Clears all spans, counters, histograms, and timeline rings (the
     /// level, ring capacity, and thread names are untouched). Harnesses
     /// call this between measured sections.
     pub fn reset() {
         let reg = registry();
-        reg.spans.lock().expect("span registry poisoned").clear();
-        reg.counters.lock().expect("counter registry poisoned").clear();
-        reg.hists.lock().expect("histogram registry poisoned").clear();
+        // Series with live probe handles are zeroed in place (dropping
+        // them would silently detach the handle from future reports);
+        // everything else is removed.
+        reg.spans.lock().expect("span registry poisoned").retain(|_, cell| {
+            if Arc::strong_count(cell) > 1 {
+                *cell.lock().expect("span series poisoned") = SpanAgg::default();
+                true
+            } else {
+                false
+            }
+        });
+        reg.counters.lock().expect("counter registry poisoned").retain(|_, cell| {
+            if Arc::strong_count(cell) > 1 {
+                cell.store(0, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        });
+        reg.hists.lock().expect("histogram registry poisoned").retain(|_, cell| {
+            if Arc::strong_count(cell) > 1 {
+                *cell.lock().expect("histogram series poisoned") = Hist::new();
+                true
+            } else {
+                false
+            }
+        });
         let shards = reg.shards.lock().expect("shard registry poisoned");
         for shard in shards.iter() {
             let mut ring = shard.ring.lock().expect("ring poisoned");
@@ -901,18 +1056,26 @@ mod imp {
     /// `trace.ring.dropped` counter carries the total.
     pub fn collect() -> TraceReport {
         let reg = registry();
+        // Span/histogram series that have never recorded an event are
+        // skipped: resolving a handle merely *wires* a series, it
+        // should not make an all-zero row appear in reports. (Counters
+        // keep zero rows — a zero cumulative counter is meaningful.)
         let mut spans: Vec<SpanStat> = reg
             .spans
             .lock()
             .expect("span registry poisoned")
             .iter()
-            .map(|(path, a)| SpanStat {
-                path: path.clone(),
-                count: a.count,
-                total_ns: a.total_ns,
-                min_ns: a.min_ns,
-                max_ns: a.max_ns,
+            .map(|(path, cell)| {
+                let a = cell.lock().expect("span series poisoned");
+                SpanStat {
+                    path: path.clone(),
+                    count: a.count,
+                    total_ns: a.total_ns,
+                    min_ns: a.min_ns,
+                    max_ns: a.max_ns,
+                }
             })
+            .filter(|s| s.count > 0)
             .collect();
         spans.sort_by(|a, b| a.path.cmp(&b.path));
         let mut counters: Vec<CounterStat> = reg
@@ -920,10 +1083,10 @@ mod imp {
             .lock()
             .expect("counter registry poisoned")
             .iter()
-            .map(|((name, labels), &value)| CounterStat {
+            .map(|((name, labels), cell)| CounterStat {
                 name: name.to_string(),
                 labels: labels.clone(),
-                value,
+                value: cell.load(Ordering::Relaxed),
             })
             .collect();
         let mut histograms: Vec<HistogramStat> = reg
@@ -931,21 +1094,25 @@ mod imp {
             .lock()
             .expect("histogram registry poisoned")
             .iter()
-            .map(|((name, labels), h)| HistogramStat {
-                name: name.to_string(),
-                labels: labels.clone(),
-                count: h.count,
-                sum: h.sum,
-                min: if h.count == 0 { 0.0 } else { h.min },
-                max: if h.count == 0 { 0.0 } else { h.max },
-                buckets: h
-                    .buckets
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &c)| c > 0)
-                    .map(|(i, &c)| (i as i64 - 32, c))
-                    .collect(),
+            .map(|((name, labels), cell)| {
+                let h = cell.lock().expect("histogram series poisoned");
+                HistogramStat {
+                    name: name.to_string(),
+                    labels: labels.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count == 0 { 0.0 } else { h.min },
+                    max: if h.count == 0 { 0.0 } else { h.max },
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| (i as i64 - 32, c))
+                        .collect(),
+                }
             })
+            .filter(|h| h.count > 0)
             .collect();
         histograms.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
         let (timeline, threads, dropped_events) = {
@@ -1055,6 +1222,59 @@ mod imp {
     #[inline(always)]
     pub fn record_full(_name: &'static str, _value: f64) {}
 
+    /// Compiled-out counter handle: a zero-sized no-op.
+    #[derive(Clone)]
+    pub struct CounterHandle(());
+
+    impl CounterHandle {
+        /// No-op (probes compiled out).
+        #[inline(always)]
+        pub fn add(&self, _delta: u64) {}
+    }
+
+    /// No-op handle (probes compiled out).
+    #[inline(always)]
+    pub fn counter_handle(_name: &'static str, _labels: &[(&str, &str)]) -> CounterHandle {
+        CounterHandle(())
+    }
+
+    /// Compiled-out histogram handle: a zero-sized no-op.
+    #[derive(Clone)]
+    pub struct HistHandle(());
+
+    impl HistHandle {
+        /// No-op (probes compiled out).
+        #[inline(always)]
+        pub fn record(&self, _value: f64) {}
+    }
+
+    /// No-op handle (probes compiled out).
+    #[inline(always)]
+    pub fn hist_handle(_name: &'static str, _labels: &[(&str, &str)]) -> HistHandle {
+        HistHandle(())
+    }
+
+    /// Compiled-out span handle: a zero-sized no-op.
+    #[derive(Clone)]
+    pub struct SpanHandle(());
+
+    impl SpanHandle {
+        /// No-op (probes compiled out).
+        #[inline(always)]
+        pub fn start(&self) -> HandleSpan {
+            HandleSpan(())
+        }
+    }
+
+    /// No-op handle (probes compiled out).
+    #[inline(always)]
+    pub fn span_handle(_name: &'static str) -> SpanHandle {
+        SpanHandle(())
+    }
+
+    /// Compiled-out span guard: a zero-sized no-op.
+    pub struct HandleSpan(());
+
     /// No-op (probes compiled out).
     #[inline(always)]
     pub fn name_thread(_label: &str) {}
@@ -1081,9 +1301,10 @@ mod imp {
 }
 
 pub use imp::{
-    collect, counter_add, counter_add_labeled, enabled, event_capacity, full_enabled,
-    init_from_env_or, level, name_thread, record, record_full, record_labeled, reset,
-    set_event_capacity, set_level, span, Span,
+    collect, counter_add, counter_add_labeled, counter_handle, enabled, event_capacity,
+    full_enabled, hist_handle, init_from_env_or, level, name_thread, record, record_full,
+    record_labeled, reset, set_event_capacity, set_level, span, span_handle, CounterHandle,
+    HandleSpan, HistHandle, Span, SpanHandle,
 };
 
 #[cfg(test)]
@@ -1410,6 +1631,37 @@ mod tests {
         assert_eq!(h.buckets, vec![(1, 1), (10, 1)]);
         assert!(r.histograms.iter().all(|h| h.name != "t.hot"), "record_full off at summary");
         assert!(r.timeline.is_empty(), "no timeline events at summary level");
+
+        // Pre-resolved handles: same series as the by-name calls, and
+        // an unused handle never surfaces an all-zero span/histogram.
+        let hc = counter_handle("t.count", &[]);
+        hc.add(10);
+        let hl = counter_handle("t.labeled", &[("endpoint", "p"), ("model", "svc")]);
+        hl.add(5);
+        let hh = hist_handle("t.hist", &[]);
+        hh.record(3.5);
+        let hs = span_handle("h.span");
+        drop(hs.start());
+        let idle_hist = hist_handle("h.idle", &[]);
+        let idle_span = span_handle("h.idle.span");
+        let r = collect();
+        assert_eq!(r.counter("t.count"), 15, "handle adds join the by-name series");
+        let labeled = r.counters.iter().find(|c| c.name == "t.labeled").expect("labeled counter");
+        assert_eq!(labeled.value, 10, "labeled handle joins the canonicalized series");
+        assert_eq!(r.histograms.iter().find(|h| h.name == "t.hist").map(|h| h.count), Some(3));
+        assert_eq!(r.span_count("h.span"), 1);
+        assert!(r.histograms.iter().all(|h| h.name != "h.idle"), "idle hist handle hidden");
+        assert!(r.spans.iter().all(|s| s.path != "h.idle.span"), "idle span handle hidden");
+        // Reset keeps handle-held series wired (zeroed, not detached).
+        reset();
+        hc.add(2);
+        hh.record(1.0);
+        let r = collect();
+        assert_eq!(r.counter("t.count"), 2, "post-reset handle still reports");
+        assert_eq!(r.histograms.iter().find(|h| h.name == "t.hist").map(|h| h.count), Some(1));
+        assert!(r.spans.is_empty(), "unreferenced span series dropped by reset");
+        // Dropped handles release their series for the next reset.
+        drop((hc, hl, hh, hs, idle_hist, idle_span));
 
         // Full: timeline events appear; record_full records.
         set_level(Level::Full);
