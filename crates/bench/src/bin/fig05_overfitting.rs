@@ -43,15 +43,17 @@ fn main() {
         val_errs.push(vr);
     }
     // Shape checks.
-    let train_decreases = train_errs.first().unwrap() > train_errs.last().unwrap();
+    let train_decreases = train_errs.first().expect("degree sweep ran")
+        > train_errs.last().expect("degree sweep ran");
     let best = val_errs
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(i, _)| i)
-        .unwrap();
-    let val_u_shape =
-        best > 0 && best < val_errs.len() - 1 && *val_errs.last().unwrap() > 1.5 * val_errs[best];
+        .expect("degree sweep ran");
+    let val_u_shape = best > 0
+        && best < val_errs.len() - 1
+        && *val_errs.last().expect("degree sweep ran") > 1.5 * val_errs[best];
 
     // --- Sweep 2: RBF-SVC bandwidth, complexity = sum of alphas -----
     let mut rng = StdRng::seed_from_u64(55);
@@ -95,14 +97,15 @@ fn main() {
         svc_train.push(te);
         svc_val.push(ve);
     }
-    let svc_train_drops = svc_train.last().unwrap() < svc_train.first().unwrap();
+    let svc_train_drops =
+        svc_train.last().expect("gamma sweep ran") < svc_train.first().expect("gamma sweep ran");
     let svc_best = svc_val
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(i, _)| i)
-        .unwrap();
-    let svc_overfits = *svc_val.last().unwrap() > svc_val[svc_best] + 0.05;
+        .expect("gamma sweep ran");
+    let svc_overfits = *svc_val.last().expect("gamma sweep ran") > svc_val[svc_best] + 0.05;
 
     let claims = [
         claim("poly: training error decreases with degree", train_decreases),

@@ -81,12 +81,31 @@ pub struct Workspace {
     pub unwrap_baseline: Vec<(String, usize)>,
     /// Baseline path relative to the root.
     pub unwrap_baseline_rel: String,
+    /// Parsed `sync-orderings.toml` (empty doc when absent).
+    pub sync_orderings: TomlDoc,
+    /// `# edm-allow(...)` comments found in the ordering registry.
+    pub sync_orderings_sups: Vec<scanner::Suppression>,
+    /// Ordering-registry path relative to the root.
+    pub sync_orderings_rel: String,
+    /// Parsed `edm-env.toml` (empty doc when absent).
+    pub env_registry: TomlDoc,
+    /// `# edm-allow(...)` comments found in the env registry.
+    pub env_registry_sups: Vec<scanner::Suppression>,
+    /// Env-registry path relative to the root.
+    pub env_registry_rel: String,
+    /// `README.md` contents, when the workspace has one. Fixture
+    /// workspaces without a README skip the env-table drift check.
+    pub readme: Option<String>,
 }
 
 /// Path of the probe registry, relative to the workspace root.
 pub const PROBE_REGISTRY_REL: &str = "trace-probes.toml";
 /// Path of the unwrap ratchet baseline, relative to the root.
 pub const UNWRAP_BASELINE_REL: &str = "crates/lint/unwrap-baseline.toml";
+/// Path of the atomic-ordering justification registry.
+pub const SYNC_ORDERINGS_REL: &str = "sync-orderings.toml";
+/// Path of the env-knob registry.
+pub const ENV_REGISTRY_REL: &str = "edm-env.toml";
 
 /// Loads the workspace rooted at `root`.
 pub fn load(root: &Path) -> Result<Workspace, String> {
@@ -160,6 +179,17 @@ pub fn load(root: &Path) -> Result<Workspace, String> {
         Err(_) => Vec::new(),
     };
 
+    let (sync_orderings, sync_orderings_sups) =
+        match fs::read_to_string(root.join(SYNC_ORDERINGS_REL)) {
+            Ok(src) => (manifest::parse(&src), scanner::scan_toml_suppressions(&src)),
+            Err(_) => (TomlDoc::default(), Vec::new()),
+        };
+    let (env_registry, env_registry_sups) = match fs::read_to_string(root.join(ENV_REGISTRY_REL)) {
+        Ok(src) => (manifest::parse(&src), scanner::scan_toml_suppressions(&src)),
+        Err(_) => (TomlDoc::default(), Vec::new()),
+    };
+    let readme = fs::read_to_string(root.join("README.md")).ok();
+
     Ok(Workspace {
         root,
         crates,
@@ -169,6 +199,13 @@ pub fn load(root: &Path) -> Result<Workspace, String> {
         probe_registry_rel: PROBE_REGISTRY_REL.to_string(),
         unwrap_baseline,
         unwrap_baseline_rel: UNWRAP_BASELINE_REL.to_string(),
+        sync_orderings,
+        sync_orderings_sups,
+        sync_orderings_rel: SYNC_ORDERINGS_REL.to_string(),
+        env_registry,
+        env_registry_sups,
+        env_registry_rel: ENV_REGISTRY_REL.to_string(),
+        readme,
     })
 }
 
@@ -184,6 +221,8 @@ pub fn run(ws: &Workspace) -> Report {
         }
     }
     sup.insert(&ws.probe_registry_rel, ws.probe_registry_sups.clone());
+    sup.insert(&ws.sync_orderings_rel, ws.sync_orderings_sups.clone());
+    sup.insert(&ws.env_registry_rel, ws.env_registry_sups.clone());
 
     let mut findings = lints::run_all(ws, &mut sup);
     lints::finish_suppressions(sup, &mut findings);

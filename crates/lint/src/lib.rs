@@ -13,6 +13,11 @@
 //! | `feature-forwarding`   | `parallel`/`trace` forwarded through every dep edge |
 //! | `forbid-unsafe`        | every crate root forbids `unsafe_code` |
 //! | `unwrap-in-lib`        | `.unwrap()` ratcheted against a checked-in baseline |
+//! | `condvar-predicate-loop` | condvar waits sit inside a predicate-recheck loop |
+//! | `lock-across-blocking` | no lock guard lives across blocking I/O in its scope |
+//! | `atomic-ordering-audit` | atomic `Ordering` sites justified in `sync-orderings.toml` |
+//! | `lock-order-graph`     | static acquired-while-held graph stays acyclic |
+//! | `env-knob-registry`    | `EDM_*` knobs documented in `edm-env.toml` + README |
 //!
 //! Violations carry `file:line` positions; runs emit a human report
 //! plus machine-readable `results/lint.json`, and exit nonzero on any
@@ -44,6 +49,7 @@ pub mod lints;
 pub mod manifest;
 pub mod report;
 pub mod scanner;
+pub mod sync_lints;
 
 pub use driver::{lint_workspace, load, run, Workspace};
 pub use report::{Finding, Report, Severity};

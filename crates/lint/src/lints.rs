@@ -33,6 +33,26 @@ pub const LINTS: &[(&str, &str)] = &[
         "unwrap-in-lib",
         "unwrap() in library code, ratcheted against crates/lint/unwrap-baseline.toml",
     ),
+    (
+        "condvar-predicate-loop",
+        "Condvar wait/wait_timeout must sit inside a predicate-recheck loop",
+    ),
+    (
+        "lock-across-blocking",
+        "a lock guard must not live across blocking I/O calls in the same scope",
+    ),
+    (
+        "atomic-ordering-audit",
+        "every atomic Ordering::* site must carry a justification in sync-orderings.toml",
+    ),
+    (
+        "lock-order-graph",
+        "the static acquired-while-held lock graph (results/lock-graph.json) must stay acyclic",
+    ),
+    (
+        "env-knob-registry",
+        "every EDM_* env knob must be documented in edm-env.toml and the README table",
+    ),
     ("bad-suppression", "edm-allow comments must name a known lint and give a reason"),
 ];
 
@@ -90,6 +110,7 @@ pub fn run_all(ws: &Workspace, sup: &mut SuppressionTable) -> Vec<Finding> {
     feature_forwarding(ws, sup, &mut findings);
     forbid_unsafe(ws, sup, &mut findings);
     unwrap_in_lib(ws, sup, &mut findings);
+    crate::sync_lints::run_all(ws, sup, &mut findings);
     findings
 }
 
@@ -140,27 +161,27 @@ pub fn finish_suppressions(sup: SuppressionTable, findings: &mut Vec<Finding>) {
 
 /// Library-shaped, non-test source of non-compat crates: the scope
 /// shared by the determinism lints.
-fn lib_files(ws: &Workspace) -> impl Iterator<Item = (usize, &SourceFile)> {
+pub(crate) fn lib_files(ws: &Workspace) -> impl Iterator<Item = (usize, &SourceFile)> {
     ws.files.iter().enumerate().filter(|(_, f)| {
         matches!(f.kind, FileKind::Lib | FileKind::Example) && !ws.crates[f.crate_idx].is_compat
     })
 }
 
-fn ident(tokens: &[Token], i: usize) -> Option<&str> {
+pub(crate) fn ident(tokens: &[Token], i: usize) -> Option<&str> {
     match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Ident(id)) => Some(id.as_str()),
         _ => None,
     }
 }
 
-fn punct(tokens: &[Token], i: usize) -> Option<char> {
+pub(crate) fn punct(tokens: &[Token], i: usize) -> Option<char> {
     match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Punct(c)) => Some(*c),
         _ => None,
     }
 }
 
-fn string(tokens: &[Token], i: usize) -> Option<&str> {
+pub(crate) fn string(tokens: &[Token], i: usize) -> Option<&str> {
     match tokens.get(i).map(|t| &t.kind) {
         Some(TokenKind::Str(s)) => Some(s.as_str()),
         _ => None,

@@ -6,7 +6,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use edm_lint::{driver, lints};
+use edm_lint::{driver, lints, sync_lints};
 
 const USAGE: &str = "\
 edm-lint: static analysis for the edm workspace invariants
@@ -21,7 +21,11 @@ OPTIONS:
     --no-json           skip writing the JSON report
     --list              list the lints and exit
     --dump-probes       print discovered trace probes as registry TOML
+    --dump-orderings    print discovered atomic Ordering sites as
+                        sync-orderings.toml skeleton TOML
     --write-baseline    rewrite the unwrap-in-lib ratchet baseline
+    --write-env-table   regenerate the README env-var table from
+                        edm-env.toml (between the edm-env markers)
     -h, --help          show this help
 ";
 
@@ -31,7 +35,9 @@ struct Options {
     no_json: bool,
     list: bool,
     dump_probes: bool,
+    dump_orderings: bool,
     write_baseline: bool,
+    write_env_table: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -41,7 +47,9 @@ fn parse_args() -> Result<Options, String> {
         no_json: false,
         list: false,
         dump_probes: false,
+        dump_orderings: false,
         write_baseline: false,
+        write_env_table: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,7 +63,9 @@ fn parse_args() -> Result<Options, String> {
             "--no-json" => opts.no_json = true,
             "--list" => opts.list = true,
             "--dump-probes" => opts.dump_probes = true,
+            "--dump-orderings" => opts.dump_orderings = true,
             "--write-baseline" => opts.write_baseline = true,
+            "--write-env-table" => opts.write_env_table = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -99,6 +109,36 @@ fn run() -> Result<bool, String> {
         return Ok(true);
     }
 
+    if opts.dump_orderings {
+        print!("{}", sync_lints::render_ordering_dump(&ws));
+        return Ok(true);
+    }
+
+    if opts.write_env_table {
+        let readme_path = ws.root.join("README.md");
+        let readme = ws.readme.clone().ok_or("no README.md to update")?;
+        let (before, rest) = readme
+            .split_once(sync_lints::ENV_TABLE_BEGIN)
+            .ok_or_else(|| format!("README.md has no {} marker", sync_lints::ENV_TABLE_BEGIN))?;
+        let (_, after) = rest
+            .split_once(sync_lints::ENV_TABLE_END)
+            .ok_or_else(|| format!("README.md has no {} marker", sync_lints::ENV_TABLE_END))?;
+        let updated = format!(
+            "{before}{}\n{}{}{after}",
+            sync_lints::ENV_TABLE_BEGIN,
+            sync_lints::render_env_table(&ws),
+            sync_lints::ENV_TABLE_END
+        );
+        fs::write(&readme_path, updated)
+            .map_err(|e| format!("cannot write {}: {e}", readme_path.display()))?;
+        println!("edm-lint: wrote env table in {}", readme_path.display());
+        // Fall through and lint against the fresh table.
+        let ws = driver::load(&opts.root)?;
+        let report = driver::run(&ws);
+        print!("{}", report.render_human());
+        return Ok(report.is_clean());
+    }
+
     if opts.write_baseline {
         let path = ws.root.join(driver::UNWRAP_BASELINE_REL);
         fs::write(&path, driver::render_baseline(&ws))
@@ -123,6 +163,12 @@ fn run() -> Result<bool, String> {
         }
         fs::write(&json_path, report.render_json())
             .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+        // The static lock graph rides along with the JSON report so CI
+        // can schema-check it and archive the deadlock-freedom proof.
+        let graph_path = json_path.with_file_name("lock-graph.json");
+        let graph = sync_lints::build_lock_graph(&ws);
+        fs::write(&graph_path, sync_lints::render_lock_graph(&graph))
+            .map_err(|e| format!("cannot write {}: {e}", graph_path.display()))?;
     }
 
     Ok(report.is_clean())

@@ -430,6 +430,42 @@ mod tests {
     }
 
     #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        // '"' is a char literal; if the inner quote opened a string the
+        // rest of the file would lex as string contents.
+        let s = scan("let q = '\"'; let ident_after = 1; let s = \"real\";");
+        assert!(idents(&s).contains(&"ident_after"));
+        assert!(s.tokens.iter().any(|t| t.kind == TokenKind::Str("real".into())));
+        assert!(!s.tokens.iter().any(|t| t.kind == TokenKind::Str("; let ident_after".into())));
+    }
+
+    #[test]
+    fn lifetime_adjacent_to_string_open_lexes_both() {
+        // A turbofish lifetime butting up against a string literal: the
+        // lifetime must not swallow the opening quote.
+        let s = scan("f::<'a>(\"payload\"); let r: &'static str = \"x\";");
+        assert!(s.tokens.iter().any(|t| t.kind == TokenKind::Str("payload".into())));
+        assert!(s.tokens.iter().any(|t| t.kind == TokenKind::Str("x".into())));
+        assert!(!idents(&s).contains(&"a"));
+        // 'static is a lifetime (not a char literal) even though it
+        // ends right before the `str` identifier.
+        assert!(!idents(&s).contains(&"static"));
+        assert!(idents(&s).contains(&"str"));
+    }
+
+    #[test]
+    fn nested_raw_strings_close_on_matching_hashes() {
+        // The inner r#"..."# closer must not terminate the outer
+        // r##"..."## string.
+        let s = scan("let s = r##\"outer r#\"inner\"# tail\"##; fn after() {}");
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str("outer r#\"inner\"# tail".into())));
+        assert!(idents(&s).contains(&"after"));
+    }
+
+    #[test]
     fn suppressions_parse_with_and_without_reason() {
         let s = scan(
             "// edm-allow(unordered-iteration): sorted before use\nlet x = 1;\n// edm-allow(ambient-entropy)\n// edm-allow-file(unwrap-in-lib): demo\n",

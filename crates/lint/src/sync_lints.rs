@@ -1,0 +1,1016 @@
+//! The concurrency-correctness lints.
+//!
+//! Four lints built on a shared block-scope walker over the token
+//! stream, plus the env-knob registry check:
+//!
+//! * `condvar-predicate-loop` — a `.wait(guard)` / `.wait_timeout(...)`
+//!   call with no enclosing `loop`/`while`/`for` scope cannot be
+//!   rechecking its predicate; spurious wakeups make it a bug.
+//! * `lock-across-blocking` — a lock guard bound in the current block
+//!   is still live when a blocking I/O call (`read`/`write` with
+//!   payload args, `write_all`, `flush`, `accept`, `recv`, `join()`,
+//!   ...) runs: the lock's critical section now includes socket/disk
+//!   latency.
+//! * `atomic-ordering-audit` — every `Ordering::{Relaxed,Acquire,
+//!   Release,AcqRel,SeqCst}` argument site is diffed against the
+//!   checked-in `sync-orderings.toml`, which carries a one-line
+//!   justification per `op.Ordering` pair per file (mirroring
+//!   `trace-probes.toml`): undocumented sites, stale entries, and
+//!   empty justifications all fail.
+//! * `lock-order-graph` — nested guard scopes yield a static
+//!   acquired-while-held graph (nodes are `crate/receiver` names);
+//!   the graph is emitted to `results/lock-graph.json` and any cycle
+//!   is a finding, because a cycle is a latent deadlock.
+//! * `env-knob-registry` — every `EDM_*` env read/write in lib code
+//!   must appear in `edm-env.toml` (default + description), and the
+//!   README's generated env-var table must match the registry.
+//!
+//! The walker is a heuristic, not a compiler: guards threaded through
+//! function calls or held by temporaries chained into closure-taking
+//! adapters (`x.lock().expect(..).retain(..)`) are invisible to it.
+//! The runtime checker in `edm-sync` covers those shapes; the static
+//! lints catch the lexically-nested majority at review time.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::driver::{SourceFile, Workspace};
+use crate::lints::{ident, lib_files, punct, string, SuppressionTable};
+use crate::manifest::TomlValue;
+use crate::report::{Finding, Severity};
+use crate::scanner::TokenKind;
+
+/// Runs the five concurrency/registry lints, appending findings.
+pub fn run_all(ws: &Workspace, sup: &mut SuppressionTable, findings: &mut Vec<Finding>) {
+    let scans: Vec<(usize, FileScan)> = lib_files(ws)
+        .map(|(idx, file)| (idx, walk_file(&ws.crates[file.crate_idx].name, file)))
+        .collect();
+    condvar_predicate_loop(ws, &scans, sup, findings);
+    lock_across_blocking(ws, &scans, sup, findings);
+    atomic_ordering_audit(ws, sup, findings);
+    lock_order_graph(ws, &scans, sup, findings);
+    env_knob_registry(ws, sup, findings);
+}
+
+// ---------------------------------------------------------------------
+// The block-scope walker
+// ---------------------------------------------------------------------
+
+/// A lock guard the walker believes is live in some block scope.
+struct GuardInfo {
+    /// The `let` binding holding the guard (guards bound to a name can
+    /// be killed early by `drop(name)`).
+    binding: String,
+    /// Graph node: `<crate>/<receiver-tail-ident>`.
+    node: String,
+}
+
+struct Scope {
+    /// True for `loop`/`while`/`for` bodies.
+    is_loop: bool,
+    guards: Vec<GuardInfo>,
+}
+
+/// One `.lock()`/`.read()`/`.write()` acquisition site.
+struct Acquisition {
+    node: String,
+    line: u32,
+    /// Nodes of every guard live when this acquisition ran.
+    held: Vec<String>,
+}
+
+/// One blocking call that ran while a guard was live.
+struct BlockingHit {
+    call: String,
+    line: u32,
+    guard_node: String,
+}
+
+/// One condvar wait with no enclosing loop scope.
+struct CondvarHit {
+    call: String,
+    line: u32,
+}
+
+/// Everything one walker pass extracts from a file.
+struct FileScan {
+    acquisitions: Vec<Acquisition>,
+    blocking: Vec<BlockingHit>,
+    condvars: Vec<CondvarHit>,
+}
+
+/// Post-guard adapters that still yield the guard itself.
+const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Methods that block on I/O or another thread. `read`/`write` count
+/// only with payload args (empty parens are `RwLock` acquisitions) and
+/// `join` only with empty parens (`Path::join(part)` takes an arg).
+const BLOCKING_ANY_ARGS: &[&str] = &[
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "accept",
+    "connect",
+    "recv",
+    "recv_timeout",
+];
+
+fn walk_file(crate_name: &str, file: &SourceFile) -> FileScan {
+    let toks = &file.scanned.tokens;
+    let mut scan =
+        FileScan { acquisitions: Vec::new(), blocking: Vec::new(), condvars: Vec::new() };
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending_loop = false;
+    let mut pending_impl = false;
+    let mut pending_let: Option<String> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokenKind::Ident(id) => match id.as_str() {
+                "impl" => pending_impl = true,
+                "loop" | "while" => pending_loop = true,
+                // `impl Trait for Type` is not a loop head; real `for`
+                // loops never follow a pending `impl`.
+                "for" if !pending_impl => pending_loop = true,
+                "let" => {
+                    let mut j = i + 1;
+                    if ident(toks, j) == Some("mut") {
+                        j += 1;
+                    }
+                    pending_let = ident(toks, j).map(str::to_string);
+                }
+                "drop"
+                    if punct(toks, i + 1) == Some('(')
+                        && ident(toks, i + 2).is_some()
+                        && punct(toks, i + 3) == Some(')') =>
+                {
+                    let name = ident(toks, i + 2).unwrap_or_default();
+                    for scope in scopes.iter_mut().rev() {
+                        if let Some(pos) = scope.guards.iter().position(|g| g.binding == name) {
+                            scope.guards.remove(pos);
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            },
+            TokenKind::Punct('{') => {
+                scopes.push(Scope { is_loop: pending_loop, guards: Vec::new() });
+                pending_loop = false;
+                pending_impl = false;
+            }
+            TokenKind::Punct('}') => {
+                scopes.pop();
+            }
+            TokenKind::Punct(';') => pending_let = None,
+            TokenKind::Punct('.') => {
+                if let Some(next) = walk_method_call(
+                    crate_name,
+                    file,
+                    toks,
+                    i,
+                    &mut scopes,
+                    &mut pending_let,
+                    &mut scan,
+                ) {
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    scan
+}
+
+/// Handles one `.method(` site at `toks[i] == '.'`. Returns the index
+/// to resume from when the site was consumed as a guard acquisition.
+#[allow(clippy::too_many_arguments)]
+fn walk_method_call(
+    crate_name: &str,
+    file: &SourceFile,
+    toks: &[crate::scanner::Token],
+    i: usize,
+    scopes: &mut [Scope],
+    pending_let: &mut Option<String>,
+    scan: &mut FileScan,
+) -> Option<usize> {
+    let method = ident(toks, i + 1)?;
+    if punct(toks, i + 2) != Some('(') {
+        return None;
+    }
+    let line = toks[i + 1].line;
+    let empty_args = punct(toks, i + 3) == Some(')');
+    let in_test = file.scanned.in_test_region(line);
+
+    // Guard acquisition: `.lock()` / `.read()` / `.write()`, no args.
+    if matches!(method, "lock" | "read" | "write") && empty_args {
+        if in_test {
+            return None;
+        }
+        let receiver = if i > 0 { ident(toks, i - 1) } else { None };
+        let node = format!("{crate_name}/{}", receiver.unwrap_or("anon"));
+        let held: Vec<String> =
+            scopes.iter().flat_map(|s| s.guards.iter()).map(|g| g.node.clone()).collect();
+        scan.acquisitions.push(Acquisition { node: node.clone(), line, held });
+        // Skip the poisoning adapters; anything else chained after
+        // means the guard is a temporary (no block-scope liveness).
+        let mut j = i + 4;
+        while punct(toks, j) == Some('.')
+            && ident(toks, j + 1).is_some_and(|m| GUARD_ADAPTERS.contains(&m))
+            && punct(toks, j + 2) == Some('(')
+        {
+            j = skip_parens(toks, j + 2);
+        }
+        let is_temp = punct(toks, j) == Some('.');
+        if !is_temp {
+            if let Some(binding) = pending_let.take() {
+                if let Some(scope) = scopes.last_mut() {
+                    scope.guards.push(GuardInfo { binding, node });
+                }
+            }
+        }
+        return Some(j);
+    }
+
+    // Condvar wait: `.wait(guard)` / `.wait_timeout(guard, dur)` with
+    // args (`Child::wait()` and `Barrier::wait()` take none);
+    // `wait_while` carries its own predicate recheck.
+    if matches!(method, "wait" | "wait_timeout") && !empty_args && !in_test {
+        if !scopes.iter().any(|s| s.is_loop) {
+            scan.condvars.push(CondvarHit { call: method.to_string(), line });
+        }
+        return None;
+    }
+
+    // Blocking I/O while a guard is live in this function's scopes.
+    let blocking = (matches!(method, "read" | "write") && !empty_args)
+        || (method == "join" && empty_args)
+        || BLOCKING_ANY_ARGS.contains(&method);
+    if blocking && !in_test {
+        if let Some(guard) = scopes.iter().flat_map(|s| s.guards.iter()).next_back() {
+            scan.blocking.push(BlockingHit {
+                call: method.to_string(),
+                line,
+                guard_node: guard.node.clone(),
+            });
+        }
+    }
+    None
+}
+
+/// Given `toks[open] == '('`, returns the index just past the matching
+/// close paren.
+fn skip_parens(toks: &[crate::scanner::Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+// ---------------------------------------------------------------------
+// condvar-predicate-loop
+// ---------------------------------------------------------------------
+
+fn condvar_predicate_loop(
+    ws: &Workspace,
+    scans: &[(usize, FileScan)],
+    sup: &mut SuppressionTable,
+    findings: &mut Vec<Finding>,
+) {
+    const LINT: &str = "condvar-predicate-loop";
+    for (idx, scan) in scans {
+        let file = &ws.files[*idx];
+        for hit in &scan.condvars {
+            if sup.allows(&file.rel_path, LINT, hit.line) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                file: file.rel_path.clone(),
+                line: hit.line,
+                message: format!(
+                    ".{}(..) outside any loop: condvar wakeups are spurious-prone; recheck the predicate in a while/loop",
+                    hit.call
+                ),
+                grandfathered: false,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lock-across-blocking
+// ---------------------------------------------------------------------
+
+fn lock_across_blocking(
+    ws: &Workspace,
+    scans: &[(usize, FileScan)],
+    sup: &mut SuppressionTable,
+    findings: &mut Vec<Finding>,
+) {
+    const LINT: &str = "lock-across-blocking";
+    for (idx, scan) in scans {
+        let file = &ws.files[*idx];
+        for hit in &scan.blocking {
+            if sup.allows(&file.rel_path, LINT, hit.line) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                file: file.rel_path.clone(),
+                line: hit.line,
+                message: format!(
+                    "blocking .{}(..) while the {} guard is held: the critical section now includes I/O latency; drop the guard first",
+                    hit.call, hit.guard_node
+                ),
+                grandfathered: false,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// atomic-ordering-audit
+// ---------------------------------------------------------------------
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+/// How far back (in tokens) to look for the atomic op an `Ordering::*`
+/// argument belongs to. `compare_exchange(cur, next, AcqRel, Relaxed)`
+/// puts the second ordering ~14 tokens after the op ident; 24 leaves
+/// slack for closure arguments in `fetch_update`.
+const OP_SCAN_WINDOW: usize = 24;
+
+/// Every audited `Ordering::*` site in linted library code:
+/// `(rel_path, "op.Ordering", line)`. Also drives `--dump-orderings`.
+pub fn collect_ordering_sites(ws: &Workspace) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    for (_, file) in lib_files(ws) {
+        let toks = &file.scanned.tokens;
+        for i in 0..toks.len() {
+            if ident(toks, i) != Some("Ordering")
+                || punct(toks, i + 1) != Some(':')
+                || punct(toks, i + 2) != Some(':')
+            {
+                continue;
+            }
+            let Some(ordering) = ident(toks, i + 3).filter(|o| ORDERINGS.contains(o)) else {
+                continue;
+            };
+            let line = toks[i].line;
+            if file.scanned.in_test_region(line) {
+                continue;
+            }
+            // Nearest atomic op ident looking backwards. Sites with no
+            // op in the window (use statements, match arms on a stored
+            // Ordering) are not argument positions and are skipped.
+            let start = i.saturating_sub(OP_SCAN_WINDOW);
+            let op = (start..i).rev().find_map(|j| {
+                ident(toks, j).filter(|id| ATOMIC_OPS.contains(id)).map(str::to_string)
+            });
+            let Some(op) = op else { continue };
+            out.push((file.rel_path.clone(), format!("{op}.{ordering}"), line));
+        }
+    }
+    out
+}
+
+fn atomic_ordering_audit(ws: &Workspace, sup: &mut SuppressionTable, findings: &mut Vec<Finding>) {
+    const LINT: &str = "atomic-ordering-audit";
+
+    // 1. The registry itself: duplicates and empty justifications.
+    // `registered[file][key] = line`.
+    let mut registered: BTreeMap<&str, BTreeMap<String, u32>> = BTreeMap::new();
+    for section in &ws.sync_orderings.sections {
+        if section.name.is_empty() {
+            continue;
+        }
+        let per_file = registered.entry(section.name.as_str()).or_default();
+        for entry in &section.entries {
+            let key = entry.key.join(".");
+            if entry.value.as_str().is_none_or(str::is_empty) {
+                findings.push(Finding {
+                    lint: LINT,
+                    severity: Severity::Error,
+                    file: ws.sync_orderings_rel.clone(),
+                    line: entry.line,
+                    message: format!(
+                        "\"{key}\" in [\"{}\"] has no justification: say why this ordering is sufficient",
+                        section.name
+                    ),
+                    grandfathered: false,
+                });
+            }
+            if let Some(prev) = per_file.get(&key) {
+                findings.push(Finding {
+                    lint: LINT,
+                    severity: Severity::Error,
+                    file: ws.sync_orderings_rel.clone(),
+                    line: entry.line,
+                    message: format!(
+                        "duplicate entry \"{key}\" in [\"{}\"] (already at line {prev})",
+                        section.name
+                    ),
+                    grandfathered: false,
+                });
+            } else {
+                per_file.insert(key, entry.line);
+            }
+        }
+    }
+
+    // 2. Code sites: every op.Ordering pair per file must be justified.
+    let sites = collect_ordering_sites(ws);
+    let mut used: BTreeSet<(String, String)> = BTreeSet::new();
+    for (rel_path, key, line) in &sites {
+        used.insert((rel_path.clone(), key.clone()));
+        let documented =
+            registered.get(rel_path.as_str()).is_some_and(|keys| keys.contains_key(key));
+        if documented || sup.allows(rel_path, LINT, *line) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: LINT,
+            severity: Severity::Error,
+            file: rel_path.clone(),
+            line: *line,
+            message: format!(
+                "atomic {key} is not justified in {}: add a \"{key}\" entry under [\"{rel_path}\"]",
+                ws.sync_orderings_rel
+            ),
+            grandfathered: false,
+        });
+    }
+
+    // 3. Stale registry entries and whole stale file sections.
+    let scanned: BTreeSet<&str> = ws.files.iter().map(|f| f.rel_path.as_str()).collect();
+    for (file, keys) in &registered {
+        if !scanned.contains(file) {
+            let line = keys.values().min().copied().unwrap_or(0);
+            if !sup.allows(&ws.sync_orderings_rel, LINT, line) {
+                findings.push(Finding {
+                    lint: LINT,
+                    severity: Severity::Error,
+                    file: ws.sync_orderings_rel.clone(),
+                    line,
+                    message: format!(
+                        "stale section [\"{file}\"]: that file is not in the workspace"
+                    ),
+                    grandfathered: false,
+                });
+            }
+            continue;
+        }
+        for (key, line) in keys {
+            if used.contains(&(file.to_string(), key.clone())) {
+                continue;
+            }
+            if sup.allows(&ws.sync_orderings_rel, LINT, *line) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                file: ws.sync_orderings_rel.clone(),
+                line: *line,
+                message: format!(
+                    "stale entry \"{key}\" in [\"{file}\"]: no such atomic site remains"
+                ),
+                grandfathered: false,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lock-order-graph
+// ---------------------------------------------------------------------
+
+/// One acquired-while-held edge with the sites that witnessed it.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Node held at acquisition time.
+    pub from: String,
+    /// Node being acquired.
+    pub to: String,
+    /// `rel_path:line` witnesses, sorted and deduplicated.
+    pub sites: Vec<String>,
+}
+
+/// The static acquired-while-held graph for a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Every lock node observed (acquired anywhere), sorted.
+    pub nodes: Vec<String>,
+    /// Edges in `(from, to)` order.
+    pub edges: Vec<LockEdge>,
+    /// Every cycle found, as a node path (first node repeated last).
+    pub cycles: Vec<Vec<String>>,
+}
+
+/// Builds the static lock graph from nested guard scopes.
+pub fn build_lock_graph(ws: &Workspace) -> LockGraph {
+    let scans: Vec<(usize, FileScan)> = lib_files(ws)
+        .map(|(idx, file)| (idx, walk_file(&ws.crates[file.crate_idx].name, file)))
+        .collect();
+    build_graph_from_scans(ws, &scans)
+}
+
+fn build_graph_from_scans(ws: &Workspace, scans: &[(usize, FileScan)]) -> LockGraph {
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    let mut edges: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    for (idx, scan) in scans {
+        let file = &ws.files[*idx];
+        for acq in &scan.acquisitions {
+            nodes.insert(acq.node.clone());
+            for held in &acq.held {
+                // Same-node nesting is instance-level, not class-level:
+                // the graph cannot tell two slots apart, so no self-edges.
+                if held != &acq.node {
+                    edges
+                        .entry((held.clone(), acq.node.clone()))
+                        .or_default()
+                        .insert(format!("{}:{}", file.rel_path, acq.line));
+                }
+            }
+        }
+    }
+    let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adjacency.entry(from).or_default().insert(to);
+    }
+    let cycles = find_cycles(&adjacency);
+    LockGraph {
+        nodes: nodes.into_iter().collect(),
+        edges: edges
+            .into_iter()
+            .map(|((from, to), sites)| LockEdge { from, to, sites: sites.into_iter().collect() })
+            .collect(),
+        cycles,
+    }
+}
+
+/// Depth-first search for cycles; each back edge yields one cycle path
+/// (`a -> b -> a` reported as `[a, b, a]`).
+fn find_cycles(adjacency: &BTreeMap<&str, BTreeSet<&str>>) -> Vec<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<&str, Color> = adjacency
+        .iter()
+        .flat_map(|(from, tos)| std::iter::once(*from).chain(tos.iter().copied()))
+        .map(|n| (n, Color::White))
+        .collect();
+    let mut cycles = Vec::new();
+    let keys: Vec<&str> = color.keys().copied().collect();
+    for start in keys {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Iterative DFS keeping the gray path for cycle extraction.
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(
+            start,
+            adjacency.get(start).map(|s| s.iter().copied().collect()).unwrap_or_default(),
+        )];
+        color.insert(start, Color::Gray);
+        let mut path = vec![start];
+        while let Some((node, pending)) = stack.last_mut() {
+            let Some(next) = pending.pop() else {
+                color.insert(node, Color::Black);
+                path.pop();
+                stack.pop();
+                continue;
+            };
+            match color.get(next).copied().unwrap_or(Color::White) {
+                Color::Gray => {
+                    let pos = path.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        path[pos..].iter().map(|n| n.to_string()).collect();
+                    cycle.push(next.to_string());
+                    cycles.push(cycle);
+                }
+                Color::White => {
+                    color.insert(next, Color::Gray);
+                    path.push(next);
+                    stack.push((
+                        next,
+                        adjacency
+                            .get(next)
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default(),
+                    ));
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    cycles
+}
+
+/// Renders a [`LockGraph`] as the `results/lock-graph.json` document.
+pub fn render_lock_graph(graph: &LockGraph) -> String {
+    use crate::report::json_str;
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"nodes\": [");
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(n));
+    }
+    out.push_str("],\n  \"edges\": [\n");
+    for (i, e) in graph.edges.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"from\": {}, \"to\": {}, \"sites\": [{}]}}",
+            json_str(&e.from),
+            json_str(&e.to),
+            e.sites.iter().map(|s| json_str(s)).collect::<Vec<_>>().join(", ")
+        );
+        out.push_str(if i + 1 < graph.edges.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"cycles\": [");
+    for (i, cycle) in graph.cycles.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ =
+            write!(out, "[{}]", cycle.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(", "));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn lock_order_graph(
+    ws: &Workspace,
+    scans: &[(usize, FileScan)],
+    sup: &mut SuppressionTable,
+    findings: &mut Vec<Finding>,
+) {
+    const LINT: &str = "lock-order-graph";
+    let graph = build_graph_from_scans(ws, scans);
+    for cycle in &graph.cycles {
+        // Anchor the finding at a witness site of the cycle-closing
+        // edge so the suppression (if ever justified) sits in code.
+        let (file, line) = cycle
+            .windows(2)
+            .find_map(|pair| {
+                graph
+                    .edges
+                    .iter()
+                    .find(|e| e.from == pair[0] && e.to == pair[1])
+                    .and_then(|e| e.sites.first())
+                    .and_then(|site| {
+                        let (f, l) = site.rsplit_once(':')?;
+                        Some((f.to_string(), l.parse::<u32>().ok()?))
+                    })
+            })
+            .unwrap_or_else(|| (ws.sync_orderings_rel.clone(), 0));
+        if sup.allows(&file, LINT, line) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: LINT,
+            severity: Severity::Error,
+            file,
+            line,
+            message: format!(
+                "lock-order cycle (latent deadlock): {}; break the cycle or always acquire in one order",
+                cycle.join(" -> ")
+            ),
+            grandfathered: false,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// env-knob-registry
+// ---------------------------------------------------------------------
+
+/// Markers bracketing the generated env-var table in the README.
+pub const ENV_TABLE_BEGIN: &str = "<!-- edm-env:begin -->";
+/// Closing marker; everything between the two is generated.
+pub const ENV_TABLE_END: &str = "<!-- edm-env:end -->";
+
+const ENV_CALLS: &[&str] = &["var", "var_os", "set_var", "remove_var"];
+
+/// Every `EDM_*` env access in linted library code:
+/// `(knob, rel_path, line)`.
+pub fn collect_env_sites(ws: &Workspace) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    for (_, file) in lib_files(ws) {
+        let toks = &file.scanned.tokens;
+        for i in 0..toks.len() {
+            if !ident(toks, i).is_some_and(|id| ENV_CALLS.contains(&id)) {
+                continue;
+            }
+            // Require the `env::` path so a local `var(..)` helper
+            // cannot trip the lint.
+            if i < 3
+                || ident(toks, i - 3) != Some("env")
+                || punct(toks, i - 2) != Some(':')
+                || punct(toks, i - 1) != Some(':')
+            {
+                continue;
+            }
+            if punct(toks, i + 1) != Some('(') {
+                continue;
+            }
+            let Some(name) = string(toks, i + 2).filter(|s| s.starts_with("EDM_")) else {
+                continue;
+            };
+            let line = toks[i].line;
+            if file.scanned.in_test_region(line) {
+                continue;
+            }
+            out.push((name.to_string(), file.rel_path.clone(), line));
+        }
+    }
+    out
+}
+
+/// Renders the registry as the README's markdown env-var table (the
+/// content between the markers, markers not included).
+pub fn render_env_table(ws: &Workspace) -> String {
+    let mut rows: BTreeMap<String, (String, String)> = BTreeMap::new();
+    if let Some(sec) = ws.env_registry.section("knobs") {
+        for entry in &sec.entries {
+            let name = entry.key.join(".");
+            let default =
+                entry.value.get("default").and_then(TomlValue::as_str).unwrap_or("").to_string();
+            let doc = entry.value.get("doc").and_then(TomlValue::as_str).unwrap_or("").to_string();
+            rows.entry(name).or_insert((default, doc));
+        }
+    }
+    let mut out = String::from("| Variable | Default | Description |\n|---|---|---|\n");
+    for (name, (default, doc)) in rows {
+        out.push_str(&format!("| `{name}` | `{default}` | {doc} |\n"));
+    }
+    out
+}
+
+fn env_knob_registry(ws: &Workspace, sup: &mut SuppressionTable, findings: &mut Vec<Finding>) {
+    const LINT: &str = "env-knob-registry";
+
+    // 1. The registry: duplicates and missing default/doc.
+    let mut registered: BTreeMap<String, u32> = BTreeMap::new();
+    if let Some(sec) = ws.env_registry.section("knobs") {
+        for entry in &sec.entries {
+            let name = entry.key.join(".");
+            let default = entry.value.get("default").and_then(TomlValue::as_str);
+            let doc = entry.value.get("doc").and_then(TomlValue::as_str);
+            if default.is_none() || doc.is_none_or(str::is_empty) {
+                findings.push(Finding {
+                    lint: LINT,
+                    severity: Severity::Error,
+                    file: ws.env_registry_rel.clone(),
+                    line: entry.line,
+                    message: format!(
+                        "knob \"{name}\" must carry both a default and a non-empty doc string"
+                    ),
+                    grandfathered: false,
+                });
+            }
+            if let Some(prev) = registered.get(&name) {
+                findings.push(Finding {
+                    lint: LINT,
+                    severity: Severity::Error,
+                    file: ws.env_registry_rel.clone(),
+                    line: entry.line,
+                    message: format!("duplicate knob \"{name}\" (already at line {prev})"),
+                    grandfathered: false,
+                });
+            } else {
+                registered.insert(name, entry.line);
+            }
+        }
+    }
+
+    // 2. Code sites: every EDM_* access must be documented.
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for (name, rel_path, line) in collect_env_sites(ws) {
+        used.insert(name.clone());
+        if registered.contains_key(&name) || sup.allows(&rel_path, LINT, line) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: LINT,
+            severity: Severity::Error,
+            file: rel_path,
+            line,
+            message: format!(
+                "env knob \"{name}\" is not documented in {}: add name, default, and doc",
+                ws.env_registry_rel
+            ),
+            grandfathered: false,
+        });
+    }
+
+    // 3. Stale registry entries.
+    for (name, line) in &registered {
+        if used.contains(name) || sup.allows(&ws.env_registry_rel, LINT, *line) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: LINT,
+            severity: Severity::Error,
+            file: ws.env_registry_rel.clone(),
+            line: *line,
+            message: format!("stale knob \"{name}\": nothing in the workspace reads it"),
+            grandfathered: false,
+        });
+    }
+
+    // 4. README drift: the generated table must match the registry.
+    // Workspaces without a README (fixtures) skip this check.
+    let Some(readme) = &ws.readme else { return };
+    let rendered = render_env_table(ws);
+    let block = readme.split_once(ENV_TABLE_BEGIN).and_then(|(_, rest)| {
+        rest.split_once(ENV_TABLE_END).map(|(inner, _)| inner.trim().to_string())
+    });
+    let message = match block {
+        None => Some(format!(
+            "README.md has no {ENV_TABLE_BEGIN}/{ENV_TABLE_END} block; add one and run edm-lint --write-env-table"
+        )),
+        Some(inner) if inner != rendered.trim() => Some(
+            "README env-var table is out of date with edm-env.toml; run edm-lint --write-env-table"
+                .to_string(),
+        ),
+        Some(_) => None,
+    };
+    if let Some(message) = message {
+        findings.push(Finding {
+            lint: LINT,
+            severity: Severity::Error,
+            file: "README.md".to_string(),
+            line: 0,
+            message,
+            grandfathered: false,
+        });
+    }
+}
+
+/// Renders the discovered ordering inventory as a registry skeleton
+/// (`edm-lint --dump-orderings`).
+pub fn render_ordering_dump(ws: &Workspace) -> String {
+    use std::fmt::Write as _;
+    let mut by_file: BTreeMap<String, BTreeMap<String, u32>> = BTreeMap::new();
+    for (rel_path, key, line) in collect_ordering_sites(ws) {
+        by_file.entry(rel_path).or_default().entry(key).or_insert(line);
+    }
+    let mut out = String::from("# Discovered atomic Ordering sites (edm-lint --dump-orderings).\n");
+    for (file, keys) in by_file {
+        let _ = writeln!(out, "\n[\"{file}\"]");
+        for (key, line) in keys {
+            let _ = writeln!(out, "\"{key}\" = \"TODO: justify\" # line {line}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner;
+
+    fn scan_src(src: &str) -> FileScan {
+        let file = SourceFile {
+            rel_path: "crates/x/src/lib.rs".into(),
+            crate_idx: 0,
+            kind: crate::driver::FileKind::Lib,
+            scanned: scanner::scan(src),
+        };
+        walk_file("x", &file)
+    }
+
+    #[test]
+    fn wait_in_loop_is_clean_and_bare_wait_is_not() {
+        let scan = scan_src(
+            "fn ok(cv: &Condvar, m: &Mutex<bool>) {\n\
+             let mut g = m.lock().unwrap();\n\
+             while !*g { g = cv.wait(g).unwrap(); }\n\
+             }\n\
+             fn bad(cv: &Condvar, m: &Mutex<bool>) {\n\
+             let g = m.lock().unwrap();\n\
+             let _g = cv.wait(g).unwrap();\n\
+             }\n",
+        );
+        assert_eq!(scan.condvars.len(), 1);
+        assert_eq!(scan.condvars[0].line, 7);
+    }
+
+    #[test]
+    fn empty_arg_waits_are_not_condvar_waits() {
+        let scan = scan_src("fn f(c: std::process::Child) { c.wait(); }");
+        assert!(scan.condvars.is_empty(), "Child::wait() takes no guard");
+    }
+
+    #[test]
+    fn guard_live_across_write_all_is_flagged() {
+        let scan = scan_src(
+            "fn bad(m: &Mutex<u32>, s: &mut TcpStream) {\n\
+             let g = m.lock().unwrap();\n\
+             s.write_all(b\"x\").unwrap();\n\
+             }\n\
+             fn ok(m: &Mutex<u32>, s: &mut TcpStream) {\n\
+             let g = m.lock().unwrap();\n\
+             drop(g);\n\
+             s.write_all(b\"x\").unwrap();\n\
+             }\n",
+        );
+        assert_eq!(scan.blocking.len(), 1);
+        assert_eq!(scan.blocking[0].line, 3);
+        assert_eq!(scan.blocking[0].guard_node, "x/m");
+    }
+
+    #[test]
+    fn temp_guards_do_not_stay_live() {
+        let scan = scan_src(
+            "fn f(m: &Mutex<Vec<u32>>, s: &mut TcpStream) {\n\
+             m.lock().unwrap().clear();\n\
+             s.flush().unwrap();\n\
+             }",
+        );
+        assert!(scan.blocking.is_empty(), "chained temp guard died at the semicolon");
+    }
+
+    #[test]
+    fn rwlock_read_write_empty_args_are_acquisitions_not_io() {
+        let scan = scan_src(
+            "fn f(l: &RwLock<u32>) {\n\
+             let r = l.read().unwrap();\n\
+             }\n\
+             fn g(s: &mut TcpStream, buf: &mut [u8]) { s.read(buf).unwrap(); }",
+        );
+        assert_eq!(scan.acquisitions.len(), 1);
+        assert!(scan.blocking.is_empty(), "no guard live when s.read ran");
+    }
+
+    #[test]
+    fn nested_guards_record_edges_and_impl_for_is_not_a_loop() {
+        let scan = scan_src(
+            "impl Trait for Thing {\n\
+             fn f(&self) {\n\
+             let a = self.alpha.lock().unwrap();\n\
+             let b = self.beta.lock().unwrap();\n\
+             }\n\
+             }",
+        );
+        assert_eq!(scan.acquisitions.len(), 2);
+        assert_eq!(scan.acquisitions[1].held, vec!["x/alpha".to_string()]);
+    }
+
+    #[test]
+    fn cycles_are_found_and_acyclic_graphs_pass() {
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        adj.entry("a").or_default().insert("b");
+        adj.entry("b").or_default().insert("c");
+        assert!(find_cycles(&adj).is_empty());
+        adj.entry("c").or_default().insert("a");
+        let cycles = find_cycles(&adj);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].first(), cycles[0].last());
+        assert_eq!(cycles[0].len(), 4, "a -> b -> c -> a");
+    }
+}

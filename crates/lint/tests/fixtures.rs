@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 
 use edm_lint::report::Severity;
-use edm_lint::{driver, Finding, Report};
+use edm_lint::{driver, sync_lints, Finding, Report};
 
 fn fixture_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad-ws")
@@ -141,6 +141,92 @@ fn suppressions_are_reason_checked_and_usage_tracked() {
 }
 
 #[test]
+fn condvar_predicate_loop_catches_bare_waits_only() {
+    let r = fixture_report();
+    let hits: Vec<_> = r.findings.iter().filter(|f| f.lint == "condvar-predicate-loop").collect();
+    // wait_once and wait_timeout_once; the looped wait and the
+    // suppressed forwarding wait stay silent.
+    assert_eq!(hits.len(), 2, "{}", r.render_human());
+    assert!(hits.iter().all(|f| f.file.ends_with("crates/delta/src/lib.rs")));
+    assert_eq!(find(&r, "condvar-predicate-loop", ".wait(").len(), 1);
+    assert_eq!(find(&r, "condvar-predicate-loop", ".wait_timeout(").len(), 1);
+    // The suppression was used — no unused-suppression warning for it.
+    assert!(!r
+        .findings
+        .iter()
+        .any(|f| f.message.contains("unused edm-allow(condvar-predicate-loop)")));
+}
+
+#[test]
+fn lock_across_blocking_flags_the_live_guard_only() {
+    let r = fixture_report();
+    let hits: Vec<_> = r.findings.iter().filter(|f| f.lint == "lock-across-blocking").collect();
+    // locked_write only; unlocked_write dropped the guard first.
+    assert_eq!(hits.len(), 1, "{}", r.render_human());
+    assert!(hits[0].file.ends_with("crates/delta/src/lib.rs"));
+    assert!(hits[0].message.contains("write_all"));
+    assert!(hits[0].message.contains("delta/m"));
+}
+
+#[test]
+fn atomic_ordering_audit_catches_every_rot_mode() {
+    let r = fixture_report();
+    // Undocumented code site, at the site.
+    let undoc = find(&r, "atomic-ordering-audit", "store.SeqCst");
+    assert_eq!(undoc.len(), 1, "{}", r.render_human());
+    assert!(undoc[0].file.ends_with("crates/delta/src/lib.rs"));
+    // Registry rot, all flagged in the registry file.
+    assert_eq!(find(&r, "atomic-ordering-audit", "no justification").len(), 1);
+    assert_eq!(find(&r, "atomic-ordering-audit", "duplicate entry").len(), 1);
+    assert_eq!(find(&r, "atomic-ordering-audit", "stale entry \"fetch_add.Acquire\"").len(), 1);
+    assert_eq!(find(&r, "atomic-ordering-audit", "stale section").len(), 1);
+    // The justified load.Relaxed site generates nothing.
+    assert!(r
+        .findings
+        .iter()
+        .filter(|f| f.lint == "atomic-ordering-audit")
+        .all(|f| !f.message.starts_with("atomic load.Relaxed")));
+}
+
+#[test]
+fn lock_order_graph_reports_the_seeded_cycle() {
+    let r = fixture_report();
+    let hits: Vec<_> = r.findings.iter().filter(|f| f.lint == "lock-order-graph").collect();
+    assert!(!hits.is_empty(), "{}", r.render_human());
+    assert!(hits[0].message.contains("delta/a"));
+    assert!(hits[0].message.contains("delta/b"));
+    assert!(hits[0].file.ends_with("crates/delta/src/lib.rs"));
+
+    // The graph itself: both edges present, cycle listed, JSON sane.
+    let ws = driver::load(&fixture_root()).expect("fixture loads");
+    let graph = sync_lints::build_lock_graph(&ws);
+    assert!(graph.nodes.iter().any(|n| n == "delta/a"));
+    assert!(graph.edges.iter().any(|e| e.from == "delta/a" && e.to == "delta/b"));
+    assert!(graph.edges.iter().any(|e| e.from == "delta/b" && e.to == "delta/a"));
+    assert!(!graph.cycles.is_empty());
+    let json = sync_lints::render_lock_graph(&graph);
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}
+
+#[test]
+fn env_knob_registry_catches_every_rot_mode() {
+    let r = fixture_report();
+    // Undocumented read, at the site.
+    let undoc = find(&r, "env-knob-registry", "EDM_DELTA_SECRET");
+    assert_eq!(undoc.len(), 1, "{}", r.render_human());
+    assert!(undoc[0].file.ends_with("crates/delta/src/lib.rs"));
+    // Registry rot, flagged in the registry file.
+    assert_eq!(find(&r, "env-knob-registry", "\"EDM_DELTA_NODOC\" must carry").len(), 1);
+    assert_eq!(find(&r, "env-knob-registry", "duplicate knob").len(), 1);
+    assert_eq!(find(&r, "env-knob-registry", "stale knob \"EDM_DELTA_STALE\"").len(), 1);
+    // The documented knob's read site generates nothing.
+    assert!(find(&r, "env-knob-registry", "\"EDM_DELTA_DOCUMENTED\" is not documented").is_empty());
+    // No README in the fixture → the drift check is skipped.
+    assert!(!r.findings.iter().any(|f| f.lint == "env-knob-registry" && f.file == "README.md"));
+}
+
+#[test]
 fn fixture_report_blocks_and_serializes() {
     let r = fixture_report();
     assert!(!r.is_clean());
@@ -157,6 +243,26 @@ fn real_workspace_is_clean() {
     let report = driver::lint_workspace(&root).expect("workspace loads");
     assert!(report.is_clean(), "the real workspace must lint clean:\n{}", report.render_human());
     // And the run actually covered the tree: all lints, many files.
-    assert_eq!(report.lints_run.len(), 8);
+    assert_eq!(report.lints_run.len(), 13);
     assert!(report.files_scanned > 100, "only {} files", report.files_scanned);
+}
+
+#[test]
+fn real_workspace_lock_graph_is_acyclic_and_nonempty() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = driver::load(&root).expect("workspace loads");
+    let graph = sync_lints::build_lock_graph(&ws);
+    assert!(
+        graph.cycles.is_empty(),
+        "the real workspace lock graph must be acyclic: {:?}",
+        graph.cycles
+    );
+    // The migrated DbgMutex sites must be visible to the walker.
+    assert!(!graph.nodes.is_empty());
+    assert!(
+        graph.nodes.iter().any(|n| n.starts_with("edm-par/"))
+            && graph.nodes.iter().any(|n| n.starts_with("edm-serve/")),
+        "expected pool and serve lock nodes, got {:?}",
+        graph.nodes
+    );
 }

@@ -1,0 +1,114 @@
+//! Fixture crate for the concurrency lints: one violation per mode
+//! of `condvar-predicate-loop`, `lock-across-blocking`,
+//! `atomic-ordering-audit`, `lock-order-graph`, and
+//! `env-knob-registry`, next to clean twins proving the lints do not
+//! overfire. Clean for every older lint. Never compiled — only
+//! scanned.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// A condvar-paired flag.
+pub struct Gate {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// VIOLATION: `.wait` with no enclosing loop cannot recheck its
+    /// predicate after a spurious wakeup.
+    pub fn wait_once(&self) {
+        let g = self.ready.lock().expect("fixture");
+        let _g = self.cv.wait(g).expect("fixture");
+    }
+
+    /// VIOLATION: `.wait_timeout` outside a loop, same bug.
+    pub fn wait_timeout_once(&self) {
+        let g = self.ready.lock().expect("fixture");
+        let _r = self.cv.wait_timeout(g, std::time::Duration::from_millis(1)).expect("fixture");
+    }
+
+    /// Clean: the wait sits inside a predicate-recheck loop.
+    pub fn wait_in_loop(&self) {
+        let mut g = self.ready.lock().expect("fixture");
+        while !*g {
+            g = self.cv.wait(g).expect("fixture");
+        }
+    }
+
+    /// Clean: a suppressed forwarding wait, mirroring a wrapper whose
+    /// caller owns the recheck loop.
+    pub fn forward_wait<'a>(&'a self, g: MutexGuard<'a, bool>) -> MutexGuard<'a, bool> {
+        // edm-allow(condvar-predicate-loop): forwarding wrapper; the caller rechecks the predicate
+        self.cv.wait(g).expect("fixture")
+    }
+}
+
+/// A mutex-protected sink.
+pub struct Sink {
+    m: Mutex<u64>,
+}
+
+impl Sink {
+    /// VIOLATION: the `m` guard is still live when `write_all` blocks
+    /// on the stream, so the critical section includes socket latency.
+    pub fn locked_write(&self, out: &mut std::net::TcpStream) {
+        let g = self.m.lock().expect("fixture");
+        out.write_all(b"payload").expect("fixture");
+        drop(g);
+    }
+
+    /// Clean: the guard is dropped before the blocking call.
+    pub fn unlocked_write(&self, out: &mut std::net::TcpStream) {
+        let g = self.m.lock().expect("fixture");
+        let snapshot = *g;
+        drop(g);
+        out.write_all(&snapshot.to_le_bytes()).expect("fixture");
+    }
+}
+
+/// Two locks acquired in both orders across these methods.
+pub struct TwoLocks {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl TwoLocks {
+    /// Half of the VIOLATION: `a` held while acquiring `b`.
+    pub fn a_then_b(&self) -> u32 {
+        let ga = self.a.lock().expect("fixture");
+        let gb = self.b.lock().expect("fixture");
+        *ga + *gb
+    }
+
+    /// The other half: `b` held while acquiring `a` — together with
+    /// `a_then_b` this closes a lock-order cycle (latent deadlock).
+    pub fn b_then_a(&self) -> u32 {
+        let gb = self.b.lock().expect("fixture");
+        let ga = self.a.lock().expect("fixture");
+        *ga + *gb
+    }
+}
+
+/// An atomic with one site per audit mode.
+pub static FLAG: AtomicU64 = AtomicU64::new(0);
+
+/// Atomic ordering sites: one undocumented, one registered with an
+/// empty justification, one properly justified.
+pub fn atomics() -> u64 {
+    FLAG.store(1, Ordering::SeqCst);
+    let _ = FLAG.fetch_sub(1, Ordering::AcqRel);
+    FLAG.load(Ordering::Relaxed)
+}
+
+/// Env knob reads: one undocumented, one doc-less in the registry,
+/// one fully documented.
+pub fn knobs() -> bool {
+    let secret = std::env::var("EDM_DELTA_SECRET").is_ok();
+    let nodoc = std::env::var("EDM_DELTA_NODOC").is_ok();
+    let documented = std::env::var("EDM_DELTA_DOCUMENTED").is_ok();
+    secret && nodoc && documented
+}

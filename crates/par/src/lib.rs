@@ -31,6 +31,17 @@
 #[cfg(feature = "parallel")]
 pub mod pool;
 
+/// Debug-checked synchronization wrappers (re-export of [`edm_sync`]).
+///
+/// `edm-par` is the workspace's sanctioned concurrency surface, so
+/// library code takes its locks from here: [`sync::DbgMutex`],
+/// [`sync::DbgRwLock`], and [`sync::DbgCondvar`] behave exactly like
+/// their `std::sync` counterparts in release builds (one relaxed
+/// atomic load of overhead) but run lock-order and held-too-long
+/// checks in debug builds or under `EDM_SYNC_CHECK=1`. See the
+/// `edm-sync` crate docs for the checker's semantics and knobs.
+pub use edm_sync as sync;
+
 #[cfg(feature = "parallel")]
 use std::sync::Mutex;
 

@@ -26,8 +26,10 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use crate::sync::{DbgCondvar, DbgMutex, DbgMutexGuard};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -39,8 +41,8 @@ struct State {
 }
 
 struct Inner {
-    state: Mutex<State>,
-    not_empty: Condvar,
+    state: DbgMutex<State>,
+    not_empty: DbgCondvar,
     capacity: usize,
     panics: AtomicU64,
 }
@@ -49,7 +51,7 @@ impl Inner {
     /// Locks the state, recovering from poisoning (a panic can only
     /// poison the lock from a caller's `try_reserve`/`execute` path;
     /// the queue itself is always consistent between operations).
-    fn lock(&self) -> MutexGuard<'_, State> {
+    fn lock(&self) -> DbgMutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
@@ -77,8 +79,11 @@ impl WorkerPool {
     /// most `queue_capacity` pending jobs. Both are clamped to ≥ 1.
     pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
         let inner = Arc::new(Inner {
-            state: Mutex::new(State { queue: VecDeque::new(), reserved: 0, shutdown: false }),
-            not_empty: Condvar::new(),
+            state: DbgMutex::new(
+                "par.pool.state",
+                State { queue: VecDeque::new(), reserved: 0, shutdown: false },
+            ),
+            not_empty: DbgCondvar::new(),
             capacity: queue_capacity.max(1),
             panics: AtomicU64::new(0),
         });

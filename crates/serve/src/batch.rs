@@ -60,8 +60,10 @@
 //! predictor cannot wedge the queue or strand a parked waiter.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use edm_par::sync::{DbgCondvar, DbgMutex, DbgMutexGuard};
 
 use crate::metrics::ServeMetrics;
 use crate::registry::ServedModel;
@@ -129,13 +131,16 @@ enum SlotState {
 
 /// One parked request's rendezvous point.
 struct Slot {
-    state: Mutex<SlotState>,
-    ready: Condvar,
+    state: DbgMutex<SlotState>,
+    ready: DbgCondvar,
 }
 
 impl Slot {
     fn new() -> Arc<Slot> {
-        Arc::new(Slot { state: Mutex::new(SlotState::Waiting), ready: Condvar::new() })
+        Arc::new(Slot {
+            state: DbgMutex::new("serve.batch.slot", SlotState::Waiting),
+            ready: DbgCondvar::new(),
+        })
     }
 
     fn fill(&self, result: ScoreResult) {
@@ -161,20 +166,20 @@ struct QState {
 }
 
 struct ModelQueue {
-    state: Mutex<QState>,
+    state: DbgMutex<QState>,
     /// Signaled on every enqueue; a holding leader waits here.
-    arrivals: Condvar,
+    arrivals: DbgCondvar,
 }
 
 impl ModelQueue {
     fn new() -> Arc<ModelQueue> {
         Arc::new(ModelQueue {
-            state: Mutex::new(QState { active: false, queue: Vec::new() }),
-            arrivals: Condvar::new(),
+            state: DbgMutex::new("serve.batch.queue", QState { active: false, queue: Vec::new() }),
+            arrivals: DbgCondvar::new(),
         })
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, QState> {
+    fn lock(&self) -> DbgMutexGuard<'_, QState> {
         self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
@@ -265,7 +270,7 @@ impl BatchProbes {
 /// The per-server micro-batch scheduler. See the [module docs](self).
 pub struct BatchScheduler {
     config: BatchConfig,
-    queues: Mutex<BTreeMap<String, Arc<ModelQueue>>>,
+    queues: DbgMutex<BTreeMap<String, Arc<ModelQueue>>>,
     probes: BatchProbes,
 }
 
@@ -274,7 +279,7 @@ impl BatchScheduler {
     pub fn new(config: BatchConfig) -> Self {
         BatchScheduler {
             config,
-            queues: Mutex::new(BTreeMap::new()),
+            queues: DbgMutex::new("serve.batch.queues", BTreeMap::new()),
             probes: BatchProbes::resolve(),
         }
     }

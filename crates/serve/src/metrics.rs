@@ -19,8 +19,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
+
+use edm_par::sync::DbgMutex;
 
 /// Width of the rolling latency window, in seconds.
 pub const WINDOW_SECS: u64 = 60;
@@ -183,9 +184,9 @@ pub struct ServeMetrics {
     /// `endpoint -> model -> series`, nested so the per-request
     /// `observe` hit path can look both levels up by `&str` without
     /// building an owned key.
-    series: Mutex<BTreeMap<String, BTreeMap<String, Series>>>,
-    batch: Mutex<BatchSnapshot>,
-    tier_rejects: Mutex<BTreeMap<(String, String), u64>>,
+    series: DbgMutex<BTreeMap<String, BTreeMap<String, Series>>>,
+    batch: DbgMutex<BatchSnapshot>,
+    tier_rejects: DbgMutex<BTreeMap<(String, String), u64>>,
 }
 
 impl Default for ServeMetrics {
@@ -200,9 +201,9 @@ impl ServeMetrics {
         ServeMetrics {
             start: Instant::now(),
             next_id: AtomicU64::new(1),
-            series: Mutex::new(BTreeMap::new()),
-            batch: Mutex::new(BatchSnapshot::default()),
-            tier_rejects: Mutex::new(BTreeMap::new()),
+            series: DbgMutex::new("serve.metrics.series", BTreeMap::new()),
+            batch: DbgMutex::new("serve.metrics.batch", BatchSnapshot::default()),
+            tier_rejects: DbgMutex::new("serve.metrics.tiers", BTreeMap::new()),
         }
     }
 

@@ -1,0 +1,859 @@
+//! # edm-sync — debug-checked synchronization primitives
+//!
+//! Drop-in wrappers around [`std::sync::Mutex`], [`std::sync::RwLock`],
+//! and [`std::sync::Condvar`] that cost one relaxed atomic load per
+//! operation in release builds, but — under `cfg(debug_assertions)` or
+//! the `EDM_SYNC_CHECK` env knob — turn every existing test run into a
+//! concurrency audit:
+//!
+//! * **Lock-order checking.** Each lock carries a `&'static str`
+//!   *class* name. The checker records an `acquired-while-held` edge
+//!   graph across all threads and, the moment an acquisition would
+//!   close a cycle (thread 1 takes A then B, thread 2 takes B then A),
+//!   panics with both classes and the established path — at the
+//!   acquisition site, before the process can actually deadlock.
+//!   `EDM_SYNC_ORDER=warn` downgrades the panic to a reported event.
+//! * **Held-too-long warnings.** A guard that lives longer than
+//!   `EDM_SYNC_HELD_MS` (default 100 ms; `0` disables) reports a
+//!   [`SyncEvent::HeldTooLong`] on release, so a lock held across a
+//!   slow predictor call or a blocking socket write shows up in tests
+//!   long before it shows up as tail latency.
+//! * **Reporting hook.** Events go to stderr and, when a hook is
+//!   installed via [`set_report_hook`], to that hook — `edm-trace`
+//!   installs one that feeds the `sync.lock.*` trace counters, so the
+//!   warnings surface in trace manifests and `/metrics`.
+//!
+//! The wrappers mirror the std poisoning API ([`LockResult`]), so a
+//! call site migrates mechanically:
+//!
+//! ```
+//! use edm_sync::{DbgCondvar, DbgMutex};
+//!
+//! static QUEUE: DbgMutex<Vec<u32>> = DbgMutex::new("doc.queue", Vec::new());
+//!
+//! let mut q = QUEUE.lock().expect("queue poisoned");
+//! q.push(7);
+//! ```
+//!
+//! Class names are *classes*, not instances (lockdep-style): every
+//! `Slot` in a pool shares one class, and same-class nesting is
+//! deliberately not an error — two distinct slots may legitimately be
+//! held together. The checker therefore finds order inversions
+//! *between* subsystems, which is where real deadlocks live.
+//!
+//! This crate is dependency-free and sits at the bottom of the
+//! workspace graph so `edm-trace` itself can run on checked locks.
+//! Library code reaches it as `edm_par::sync` (a re-export), keeping
+//! `edm-par` the single sanctioned concurrency surface.
+
+#![forbid(unsafe_code)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{
+    Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, WaitTimeoutResult,
+};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Global switches
+// ---------------------------------------------------------------------
+
+const STATE_UNKNOWN: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Tri-state caches for the env knobs: resolved once, overridable
+/// programmatically at any time.
+static CHECK: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
+static ORDER_MODE: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
+/// Held-warn threshold in ns; `u64::MAX` = unresolved, `0` = disabled.
+static HELD_WARN_NS: AtomicU64 = AtomicU64::new(u64::MAX);
+/// Monotonic token ids so out-of-order guard drops pop the right entry.
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+/// True when the debug checks are active. Resolved from
+/// `EDM_SYNC_CHECK` on first call (`1`/`on` forces on, `0`/`off`
+/// forces off); defaults to on under `cfg(debug_assertions)` and off
+/// in release builds. This is the entire release-mode cost of every
+/// wrapper: one relaxed load and a branch.
+pub fn checking_enabled() -> bool {
+    match CHECK.load(Ordering::Relaxed) {
+        STATE_OFF => false,
+        STATE_ON => true,
+        _ => init_checking(),
+    }
+}
+
+#[cold]
+fn init_checking() -> bool {
+    let on = match std::env::var("EDM_SYNC_CHECK") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")),
+        Err(_) => cfg!(debug_assertions),
+    };
+    CHECK.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Forces checking on or off, overriding `EDM_SYNC_CHECK` (tests and
+/// harnesses that must not depend on ambient env state).
+pub fn set_checking(on: bool) {
+    CHECK.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// What to do when an acquisition would invert the established lock
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderMode {
+    /// Report a [`SyncEvent::OrderInversion`] and continue (the edge is
+    /// *not* added, so the report fires again on recurrence).
+    Warn,
+    /// Panic at the acquisition site (the default): the inversion is a
+    /// latent deadlock and the backtrace points at it.
+    Panic,
+}
+
+fn order_mode() -> OrderMode {
+    match ORDER_MODE.load(Ordering::Relaxed) {
+        STATE_OFF => OrderMode::Warn,
+        STATE_ON => OrderMode::Panic,
+        _ => init_order_mode(),
+    }
+}
+
+#[cold]
+fn init_order_mode() -> OrderMode {
+    let warn = std::env::var("EDM_SYNC_ORDER").is_ok_and(|v| v.eq_ignore_ascii_case("warn"));
+    ORDER_MODE.store(if warn { STATE_OFF } else { STATE_ON }, Ordering::Relaxed);
+    if warn {
+        OrderMode::Warn
+    } else {
+        OrderMode::Panic
+    }
+}
+
+/// Overrides the inversion response, superseding `EDM_SYNC_ORDER`.
+pub fn set_order_mode(mode: OrderMode) {
+    let v = if mode == OrderMode::Warn { STATE_OFF } else { STATE_ON };
+    ORDER_MODE.store(v, Ordering::Relaxed);
+}
+
+fn held_warn_ns() -> u64 {
+    let v = HELD_WARN_NS.load(Ordering::Relaxed);
+    if v != u64::MAX {
+        return v;
+    }
+    init_held_warn()
+}
+
+#[cold]
+fn init_held_warn() -> u64 {
+    let ms = std::env::var("EDM_SYNC_HELD_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(100);
+    let ns = ms.saturating_mul(1_000_000);
+    HELD_WARN_NS.store(ns, Ordering::Relaxed);
+    ns
+}
+
+/// Overrides the held-too-long threshold (`None` disables the check),
+/// superseding `EDM_SYNC_HELD_MS`.
+pub fn set_held_warn(threshold: Option<Duration>) {
+    let ns = threshold.map_or(0, |d| d.as_nanos().min(u64::MAX as u128 - 1) as u64);
+    HELD_WARN_NS.store(ns, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Events and the report hook
+// ---------------------------------------------------------------------
+
+/// A diagnostic event from the debug sync layer.
+#[derive(Debug, Clone)]
+pub enum SyncEvent {
+    /// A guard outlived the held-too-long threshold.
+    HeldTooLong {
+        /// Lock class of the long-held guard.
+        name: &'static str,
+        /// How long the guard was held.
+        held: Duration,
+    },
+    /// An acquisition contradicted the established lock order
+    /// (reported instead of panicking under [`OrderMode::Warn`]).
+    OrderInversion {
+        /// Class already held by the acquiring thread.
+        holding: &'static str,
+        /// Class whose acquisition would close the cycle.
+        acquiring: &'static str,
+        /// The established `acquiring → … → holding` path, rendered.
+        path: String,
+    },
+}
+
+type Hook = Box<dyn Fn(&SyncEvent) + Send + Sync>;
+
+fn hook_slot() -> &'static Mutex<Option<Hook>> {
+    static HOOK: OnceLock<Mutex<Option<Hook>>> = OnceLock::new();
+    HOOK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or replaces) the global event hook. `edm-trace` installs
+/// one that feeds the `sync.lock.*` counters; tests install capturing
+/// hooks. Events are rare (warnings only), so the hook is not a hot
+/// path.
+pub fn set_report_hook(hook: Hook) {
+    *hook_slot().lock().unwrap_or_else(PoisonError::into_inner) = Some(hook);
+}
+
+thread_local! {
+    /// Per-thread stack of held lock classes (`(class, token id)`).
+    static HELD: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Reentrancy latch: while reporting, the wrappers stop tracking so
+    /// a hook that itself takes checked locks cannot recurse.
+    static IN_REPORT: Cell<bool> = const { Cell::new(false) };
+}
+
+struct ReportLatch;
+
+impl Drop for ReportLatch {
+    fn drop(&mut self) {
+        IN_REPORT.with(|c| c.set(false));
+    }
+}
+
+fn report(event: &SyncEvent) {
+    IN_REPORT.with(|c| c.set(true));
+    let _latch = ReportLatch;
+    match event {
+        SyncEvent::HeldTooLong { name, held } => {
+            eprintln!(
+                "edm-sync: lock \"{name}\" held {:.1} ms (held-too-long)",
+                held.as_secs_f64() * 1e3
+            );
+        }
+        SyncEvent::OrderInversion { holding, acquiring, path } => {
+            eprintln!(
+                "edm-sync: lock order inversion: acquiring \"{acquiring}\" while holding \"{holding}\" (established order: {path})"
+            );
+        }
+    }
+    let hook = hook_slot().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(h) = hook.as_ref() {
+        h(event);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The order graph
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct OrderGraph {
+    /// `from → {to}`: `to` was acquired while `from` was held.
+    edges: BTreeMap<&'static str, BTreeSet<&'static str>>,
+}
+
+fn graph() -> &'static Mutex<OrderGraph> {
+    static GRAPH: OnceLock<Mutex<OrderGraph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(OrderGraph::default()))
+}
+
+/// Shortest established path `from → … → to`, if any (BFS).
+fn find_path(
+    edges: &BTreeMap<&'static str, BTreeSet<&'static str>>,
+    from: &'static str,
+    to: &'static str,
+) -> Option<Vec<&'static str>> {
+    let mut parents: BTreeMap<&'static str, &'static str> = BTreeMap::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = parents[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in edges.get(node).into_iter().flatten() {
+            if next != from && !parents.contains_key(next) {
+                parents.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Records `holding → acquiring`; on a would-be cycle the edge is not
+/// added and the inversion is reported (panic or warn by mode).
+fn record_edge(holding: &'static str, acquiring: &'static str) {
+    let rendered = {
+        let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        if g.edges.get(holding).is_some_and(|tos| tos.contains(acquiring)) {
+            return; // known-good edge, O(log n) fast path
+        }
+        match find_path(&g.edges, acquiring, holding) {
+            None => {
+                g.edges.entry(holding).or_default().insert(acquiring);
+                return;
+            }
+            Some(path) => path.join(" -> "),
+        }
+        // Graph lock released here, before any reporting or panic.
+    };
+    let event = SyncEvent::OrderInversion { holding, acquiring, path: rendered.clone() };
+    if order_mode() == OrderMode::Panic {
+        panic!(
+            "edm-sync: lock order inversion: acquiring \"{acquiring}\" while holding \"{holding}\" (established order: {rendered})"
+        );
+    }
+    report(&event);
+}
+
+/// Every `from → to` edge the runtime checker has recorded so far
+/// (diagnostic snapshot; used by tests and harness dumps).
+pub fn order_edges() -> Vec<(String, String)> {
+    let g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+    g.edges
+        .iter()
+        .flat_map(|(from, tos)| tos.iter().map(move |to| (from.to_string(), to.to_string())))
+        .collect()
+}
+
+/// The calling thread's currently held lock classes, outermost first
+/// (diagnostic snapshot; empty when checking is off).
+pub fn held_stack() -> Vec<&'static str> {
+    HELD.with(|h| h.borrow().iter().map(|&(name, _)| name).collect())
+}
+
+// ---------------------------------------------------------------------
+// Acquisition bookkeeping
+// ---------------------------------------------------------------------
+
+/// Checker-side state carried by a live guard.
+struct HeldToken {
+    name: &'static str,
+    id: u64,
+    since: Instant,
+}
+
+/// Called before blocking on the underlying lock so a true deadlock
+/// still reports: the edge (and any inversion panic) lands first.
+fn on_acquire(name: &'static str) -> Option<HeldToken> {
+    if !checking_enabled() || IN_REPORT.with(Cell::get) {
+        return None;
+    }
+    let prev = HELD.with(|h| h.borrow().last().map(|&(n, _)| n));
+    if let Some(holding) = prev {
+        // Same-class nesting is legal (two slots of one pool); the
+        // class graph cannot distinguish instances, so no self-edges.
+        if holding != name {
+            record_edge(holding, name);
+        }
+    }
+    let id = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+    HELD.with(|h| h.borrow_mut().push((name, id)));
+    Some(HeldToken { name, id, since: Instant::now() })
+}
+
+/// Called after the underlying guard is released.
+fn on_release(token: HeldToken) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        // Guards may drop out of order; pop by token id from the top.
+        if let Some(pos) = held.iter().rposition(|&(_, id)| id == token.id) {
+            held.remove(pos);
+        }
+    });
+    let threshold = held_warn_ns();
+    if threshold > 0 && !IN_REPORT.with(Cell::get) {
+        let held_for = token.since.elapsed();
+        if held_for.as_nanos() as u64 >= threshold {
+            report(&SyncEvent::HeldTooLong { name: token.name, held: held_for });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DbgMutex
+// ---------------------------------------------------------------------
+
+/// A [`Mutex`] with a lock-class name and debug-mode order checking.
+/// See the [crate docs](self) for semantics and knobs.
+#[derive(Debug, Default)]
+pub struct DbgMutex<T> {
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> DbgMutex<T> {
+    /// A new checked mutex under lock class `name`. `const`, so checked
+    /// locks can live in statics just like [`Mutex`].
+    pub const fn new(name: &'static str, value: T) -> Self {
+        DbgMutex { name, inner: Mutex::new(value) }
+    }
+
+    /// The lock class this mutex was constructed under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the lock, mirroring [`Mutex::lock`]'s poisoning
+    /// contract: a poisoned lock still hands back a usable guard inside
+    /// the error, so `unwrap_or_else(PoisonError::into_inner)` recovery
+    /// migrates unchanged.
+    pub fn lock(&self) -> LockResult<DbgMutexGuard<'_, T>> {
+        let held = on_acquire(self.name);
+        match self.inner.lock() {
+            Ok(g) => Ok(DbgMutexGuard { name: self.name, inner: Some(g), held }),
+            Err(p) => Err(PoisonError::new(DbgMutexGuard {
+                name: self.name,
+                inner: Some(p.into_inner()),
+                held,
+            })),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value (poisoning
+    /// mirrored from [`Mutex::into_inner`]).
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+/// RAII guard for [`DbgMutex`]; releases the lock, then runs the
+/// checker's release bookkeeping (so reporting never happens while the
+/// lock is still held).
+#[must_use = "dropping a guard immediately releases the lock"]
+#[derive(Debug)]
+pub struct DbgMutexGuard<'a, T> {
+    name: &'static str,
+    inner: Option<MutexGuard<'a, T>>,
+    held: Option<HeldToken>,
+}
+
+impl<T> Deref for DbgMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard surrendered to a condvar wait")
+    }
+}
+
+impl<T> DerefMut for DbgMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard surrendered to a condvar wait")
+    }
+}
+
+impl<T> Drop for DbgMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take()); // release the lock first
+        if let Some(token) = self.held.take() {
+            on_release(token);
+        }
+    }
+}
+
+impl std::fmt::Debug for HeldToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeldToken").field("name", &self.name).field("id", &self.id).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// DbgCondvar
+// ---------------------------------------------------------------------
+
+/// A [`Condvar`] that waits on [`DbgMutexGuard`]s, keeping the
+/// checker's held-stack consistent across the wait (the lock is
+/// released while parked, re-tracked on wakeup).
+#[derive(Debug, Default)]
+pub struct DbgCondvar {
+    inner: Condvar,
+}
+
+impl DbgCondvar {
+    /// A new condition variable (`const`, like [`Condvar::new`]).
+    pub const fn new() -> Self {
+        DbgCondvar { inner: Condvar::new() }
+    }
+
+    /// Blocks until notified, releasing `guard` while parked. Callers
+    /// must recheck their predicate in a loop, exactly as with
+    /// [`Condvar::wait`].
+    pub fn wait<'a, T>(&self, mut guard: DbgMutexGuard<'a, T>) -> LockResult<DbgMutexGuard<'a, T>> {
+        let name = guard.name;
+        if let Some(token) = guard.held.take() {
+            on_release(token);
+        }
+        let inner = guard.inner.take().expect("guard surrendered to a condvar wait");
+        // edm-allow(condvar-predicate-loop): wrapper forwards the wait; the predicate recheck loop is the caller's duty
+        match self.inner.wait(inner) {
+            Ok(g) => Ok(reguard(name, g)),
+            Err(p) => Err(PoisonError::new(reguard(name, p.into_inner()))),
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses; see
+    /// [`Condvar::wait_timeout`].
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: DbgMutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> LockResult<(DbgMutexGuard<'a, T>, WaitTimeoutResult)> {
+        let name = guard.name;
+        if let Some(token) = guard.held.take() {
+            on_release(token);
+        }
+        let inner = guard.inner.take().expect("guard surrendered to a condvar wait");
+        // edm-allow(condvar-predicate-loop): wrapper forwards the wait; the predicate recheck loop is the caller's duty
+        match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, res)) => Ok((reguard(name, g), res)),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                Err(PoisonError::new((reguard(name, g), res)))
+            }
+        }
+    }
+
+    /// Wakes one parked waiter; see [`Condvar::notify_one`].
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter; see [`Condvar::notify_all`].
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+fn reguard<'a, T>(name: &'static str, inner: MutexGuard<'a, T>) -> DbgMutexGuard<'a, T> {
+    DbgMutexGuard { name, inner: Some(inner), held: on_acquire(name) }
+}
+
+// ---------------------------------------------------------------------
+// DbgRwLock
+// ---------------------------------------------------------------------
+
+/// An [`RwLock`] with a lock-class name; readers and writers share one
+/// class in the order graph (a read-lock can deadlock against a
+/// writer exactly like a mutex can).
+#[derive(Debug, Default)]
+pub struct DbgRwLock<T> {
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+impl<T> DbgRwLock<T> {
+    /// A new checked rwlock under lock class `name`.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        DbgRwLock { name, inner: RwLock::new(value) }
+    }
+
+    /// The lock class this rwlock was constructed under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires shared read access; see [`RwLock::read`].
+    pub fn read(&self) -> LockResult<DbgRwLockReadGuard<'_, T>> {
+        let held = on_acquire(self.name);
+        match self.inner.read() {
+            Ok(g) => Ok(DbgRwLockReadGuard { inner: Some(g), held }),
+            Err(p) => {
+                Err(PoisonError::new(DbgRwLockReadGuard { inner: Some(p.into_inner()), held }))
+            }
+        }
+    }
+
+    /// Acquires exclusive write access; see [`RwLock::write`].
+    pub fn write(&self) -> LockResult<DbgRwLockWriteGuard<'_, T>> {
+        let held = on_acquire(self.name);
+        match self.inner.write() {
+            Ok(g) => Ok(DbgRwLockWriteGuard { inner: Some(g), held }),
+            Err(p) => {
+                Err(PoisonError::new(DbgRwLockWriteGuard { inner: Some(p.into_inner()), held }))
+            }
+        }
+    }
+
+    /// Consumes the rwlock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+/// Shared-read RAII guard for [`DbgRwLock`].
+#[must_use = "dropping a guard immediately releases the lock"]
+#[derive(Debug)]
+pub struct DbgRwLockReadGuard<'a, T> {
+    inner: Option<RwLockReadGuard<'a, T>>,
+    held: Option<HeldToken>,
+}
+
+impl<T> Deref for DbgRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("read guard always present")
+    }
+}
+
+impl<T> Drop for DbgRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(token) = self.held.take() {
+            on_release(token);
+        }
+    }
+}
+
+/// Exclusive-write RAII guard for [`DbgRwLock`].
+#[must_use = "dropping a guard immediately releases the lock"]
+#[derive(Debug)]
+pub struct DbgRwLockWriteGuard<'a, T> {
+    inner: Option<RwLockWriteGuard<'a, T>>,
+    held: Option<HeldToken>,
+}
+
+impl<T> Deref for DbgRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("write guard always present")
+    }
+}
+
+impl<T> DerefMut for DbgRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("write guard always present")
+    }
+}
+
+impl<T> Drop for DbgRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(token) = self.held.take() {
+            on_release(token);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    /// Serializes tests that flip process-global switches (order mode,
+    /// held threshold, the hook).
+    fn switch_guard() -> MutexGuard<'static, ()> {
+        static SWITCHES: Mutex<()> = Mutex::new(());
+        set_checking(true);
+        SWITCHES.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn captured_events() -> &'static Mutex<Vec<SyncEvent>> {
+        static EVENTS: OnceLock<Mutex<Vec<SyncEvent>>> = OnceLock::new();
+        EVENTS.get_or_init(|| {
+            set_report_hook(Box::new(|ev| {
+                events_cell().lock().expect("events").push(ev.clone());
+            }));
+            Mutex::new(Vec::new())
+        })
+    }
+
+    fn events_cell() -> &'static Mutex<Vec<SyncEvent>> {
+        static CELL: OnceLock<Mutex<Vec<SyncEvent>>> = OnceLock::new();
+        CELL.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    #[test]
+    fn lock_roundtrip_and_stack_hygiene() {
+        set_checking(true);
+        let m = DbgMutex::new("test.basic", 41u32);
+        {
+            let mut g = m.lock().expect("lock");
+            *g += 1;
+            assert!(held_stack().contains(&"test.basic"));
+        }
+        assert!(!held_stack().contains(&"test.basic"));
+        assert_eq!(*m.lock().expect("lock"), 42);
+    }
+
+    #[test]
+    fn consistent_order_across_threads_is_silent() {
+        set_checking(true);
+        let a = Arc::new(DbgMutex::new("test.ord.outer", ()));
+        let b = Arc::new(DbgMutex::new("test.ord.inner", ()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = std::thread::spawn(move || {
+            for _ in 0..50 {
+                let _ga = a2.lock().expect("a");
+                let _gb = b2.lock().expect("b");
+            }
+        });
+        for _ in 0..50 {
+            let _ga = a.lock().expect("a");
+            let _gb = b.lock().expect("b");
+        }
+        t.join().expect("join");
+        assert!(
+            order_edges().contains(&("test.ord.outer".to_string(), "test.ord.inner".to_string()))
+        );
+    }
+
+    #[test]
+    fn seeded_inversion_panics_at_the_acquisition_site() {
+        let _switches = switch_guard();
+        set_order_mode(OrderMode::Panic);
+        let a = DbgMutex::new("test.inv.a", ());
+        let b = DbgMutex::new("test.inv.b", ());
+        {
+            let _ga = a.lock().expect("a");
+            let _gb = b.lock().expect("b");
+        }
+        let err = std::panic::catch_unwind(|| {
+            let _gb = b.lock().expect("b");
+            let _ga = a.lock().expect("a"); // inverts a → b
+        })
+        .expect_err("the inverted acquisition must panic");
+        let msg =
+            err.downcast_ref::<String>().cloned().unwrap_or_else(|| "non-string panic".to_string());
+        assert!(msg.contains("test.inv.a") && msg.contains("test.inv.b"), "{msg}");
+        assert!(msg.contains("inversion"), "{msg}");
+        // The failed acquisition never touched the std mutex: not poisoned.
+        assert!(a.lock().is_ok());
+        // The thread's held stack unwound cleanly.
+        assert!(held_stack().is_empty(), "{:?}", held_stack());
+    }
+
+    #[test]
+    fn warn_mode_reports_instead_of_panicking() {
+        let _switches = switch_guard();
+        captured_events();
+        set_order_mode(OrderMode::Warn);
+        {
+            let a = DbgMutex::new("test.warn.a", ());
+            let b = DbgMutex::new("test.warn.b", ());
+            {
+                let _ga = a.lock().expect("a");
+                let _gb = b.lock().expect("b");
+            }
+            let _gb = b.lock().expect("b");
+            let _ga = a.lock().expect("a"); // inversion, but warn mode
+        }
+        set_order_mode(OrderMode::Panic);
+        let events = events_cell().lock().expect("events");
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                SyncEvent::OrderInversion { holding: "test.warn.b", acquiring: "test.warn.a", .. }
+            )),
+            "no inversion event captured: {events:?}"
+        );
+    }
+
+    #[test]
+    fn held_too_long_reports_on_release() {
+        let _switches = switch_guard();
+        captured_events();
+        set_held_warn(Some(Duration::from_millis(1)));
+        {
+            let m = DbgMutex::new("test.slow", ());
+            let _g = m.lock().expect("lock");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        set_held_warn(Some(Duration::from_millis(100)));
+        let events = events_cell().lock().expect("events");
+        assert!(
+            events.iter().any(|e| matches!(e, SyncEvent::HeldTooLong { name: "test.slow", .. })),
+            "no held-too-long event captured: {events:?}"
+        );
+    }
+
+    #[test]
+    fn condvar_wait_keeps_the_checker_consistent() {
+        set_checking(true);
+        let gate = Arc::new((DbgMutex::new("test.cv.gate", false), DbgCondvar::new()));
+        let gate2 = Arc::clone(&gate);
+        let (tx, rx) = mpsc::channel::<()>();
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*gate2;
+            let mut ready = lock.lock().expect("gate");
+            tx.send(()).expect("signal");
+            while !*ready {
+                ready = cv.wait(ready).expect("wait");
+            }
+            assert!(held_stack().contains(&"test.cv.gate"));
+        });
+        rx.recv().expect("waiter started");
+        let (lock, cv) = &*gate;
+        *lock.lock().expect("gate") = true;
+        cv.notify_all();
+        t.join().expect("join");
+        assert!(!held_stack().contains(&"test.cv.gate"));
+    }
+
+    #[test]
+    fn wait_timeout_roundtrips_the_guard() {
+        set_checking(true);
+        let lock = DbgMutex::new("test.cv.timeout", 7u32);
+        let cv = DbgCondvar::new();
+        let g = lock.lock().expect("lock");
+        let (g, res) = cv.wait_timeout(g, Duration::from_millis(1)).expect("wait_timeout");
+        assert!(res.timed_out());
+        assert_eq!(*g, 7);
+        drop(g);
+        assert!(!held_stack().contains(&"test.cv.timeout"));
+    }
+
+    #[test]
+    fn rwlock_read_write_roundtrip() {
+        set_checking(true);
+        let l = DbgRwLock::new("test.rw", 5u32);
+        {
+            let r = l.read().expect("read");
+            assert_eq!(*r, 5);
+        }
+        {
+            let mut w = l.write().expect("write");
+            *w = 6;
+        }
+        assert_eq!(*l.read().expect("read"), 6);
+        assert!(!held_stack().contains(&"test.rw"));
+    }
+
+    #[test]
+    fn disabled_checking_tracks_nothing() {
+        let _switches = switch_guard();
+        set_checking(false);
+        let m = DbgMutex::new("test.off", ());
+        let g = m.lock().expect("lock");
+        assert!(held_stack().is_empty());
+        drop(g);
+        set_checking(true);
+    }
+
+    #[test]
+    fn poison_recovery_matches_std() {
+        set_checking(true);
+        let m = Arc::new(DbgMutex::new("test.poison", 1u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().expect("lock");
+            panic!("poison it");
+        })
+        .join();
+        let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(*g, 1);
+    }
+}

@@ -495,6 +495,7 @@ pub const fn compiled() -> bool {
 #[cfg(feature = "trace")]
 mod imp {
     use super::*;
+    use edm_sync::{DbgMutex, SyncEvent};
     use std::cell::RefCell;
     use std::collections::{HashMap, VecDeque};
     use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -673,22 +674,33 @@ mod imp {
     // mutex (and re-hashing the name) on every hot-path event.
     struct Registry {
         epoch: Instant,
-        spans: Mutex<HashMap<String, Arc<Mutex<SpanAgg>>>>,
-        counters: Mutex<HashMap<ProbeKey, Arc<AtomicU64>>>,
-        hists: Mutex<HashMap<ProbeKey, Arc<Mutex<Hist>>>>,
-        shards: Mutex<Vec<Arc<Shard>>>,
+        spans: DbgMutex<HashMap<String, Arc<Mutex<SpanAgg>>>>,
+        counters: DbgMutex<HashMap<ProbeKey, Arc<AtomicU64>>>,
+        hists: DbgMutex<HashMap<ProbeKey, Arc<Mutex<Hist>>>>,
+        shards: DbgMutex<Vec<Arc<Shard>>>,
         next_tid: AtomicU64,
     }
 
     fn registry() -> &'static Registry {
         static REGISTRY: OnceLock<Registry> = OnceLock::new();
-        REGISTRY.get_or_init(|| Registry {
-            epoch: Instant::now(),
-            spans: Mutex::new(HashMap::new()),
-            counters: Mutex::new(HashMap::new()),
-            hists: Mutex::new(HashMap::new()),
-            shards: Mutex::new(Vec::new()),
-            next_tid: AtomicU64::new(0),
+        REGISTRY.get_or_init(|| {
+            // The debug sync layer's warnings become trace counters, so
+            // held-too-long locks and order inversions show up in run
+            // manifests and the `/metrics` exposition (the hook runs
+            // under edm-sync's reentrancy latch, so its own registry
+            // locks are never re-checked).
+            edm_sync::set_report_hook(Box::new(|event| match event {
+                SyncEvent::HeldTooLong { .. } => counter_add("sync.lock.held_too_long", 1),
+                SyncEvent::OrderInversion { .. } => counter_add("sync.lock.order_warnings", 1),
+            }));
+            Registry {
+                epoch: Instant::now(),
+                spans: DbgMutex::new("trace.registry.spans", HashMap::new()),
+                counters: DbgMutex::new("trace.registry.counters", HashMap::new()),
+                hists: DbgMutex::new("trace.registry.hists", HashMap::new()),
+                shards: DbgMutex::new("trace.registry.shards", Vec::new()),
+                next_tid: AtomicU64::new(0),
+            }
         })
     }
 
