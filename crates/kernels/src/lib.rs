@@ -41,11 +41,13 @@
 
 #![forbid(unsafe_code)]
 
+mod any;
 mod composite;
 mod gram;
 mod sequence;
 mod vector_kernels;
 
+pub use any::AnyKernel;
 pub use composite::{NormalizedKernel, ProductKernel, ScaledKernel, SumKernel};
 #[allow(deprecated)]
 pub use gram::gram_matrix_rows;

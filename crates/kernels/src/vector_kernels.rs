@@ -54,6 +54,16 @@ impl PolyKernel {
     pub fn degree(&self) -> u32 {
         self.degree
     }
+
+    /// The scale `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The offset `c`.
+    pub fn coef0(&self) -> f64 {
+        self.coef0
+    }
 }
 
 impl Kernel<[f64]> for PolyKernel {
@@ -115,6 +125,16 @@ impl SigmoidKernel {
         assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
         SigmoidKernel { gamma, coef0 }
     }
+
+    /// The scale `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The offset `c`.
+    pub fn coef0(&self) -> f64 {
+        self.coef0
+    }
 }
 
 impl Kernel<[f64]> for SigmoidKernel {
@@ -165,6 +185,11 @@ impl Chi2Kernel {
     pub fn new(gamma: f64) -> Self {
         assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
         Chi2Kernel { gamma }
+    }
+
+    /// The scale `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
     }
 }
 

@@ -98,6 +98,18 @@ impl RandomForestClassifier {
         Ok(RandomForestClassifier { trees, n_features: d })
     }
 
+    /// Reassembles a forest from persisted trees — the inverse of
+    /// [`RandomForestClassifier::trees`], used by `edm::persist`.
+    pub fn from_parts(trees: Vec<DecisionTreeClassifier>, n_features: usize) -> Self {
+        assert!(!trees.is_empty(), "a forest needs at least one tree");
+        RandomForestClassifier { trees, n_features }
+    }
+
+    /// The fitted trees, in training order.
+    pub fn trees(&self) -> &[DecisionTreeClassifier] {
+        &self.trees
+    }
+
     /// Number of trees in the ensemble.
     pub fn n_trees(&self) -> usize {
         self.trees.len()

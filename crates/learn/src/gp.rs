@@ -121,6 +121,50 @@ impl<K: Kernel<[f64]> + Clone> GpRegressor<K> {
     }
 }
 
+impl<K> GpRegressor<K> {
+    /// Reassembles a regressor from its persisted parts — the inverse
+    /// of the accessors below, used by `edm::persist`. The Cholesky
+    /// factor is stored verbatim, so the rebuilt posterior is bitwise
+    /// identical to the fitted one.
+    pub fn from_parts(
+        kernel: K,
+        x: Vec<Vec<f64>>,
+        alpha: Vec<f64>,
+        chol: Cholesky,
+        y_mean: f64,
+        noise: f64,
+    ) -> Self {
+        assert_eq!(x.len(), alpha.len(), "one alpha per training sample");
+        assert_eq!(chol.dim(), x.len(), "Cholesky factor must match the training set");
+        GpRegressor { kernel, x, alpha, chol, y_mean, noise }
+    }
+
+    /// The kernel the posterior was conditioned with.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The training samples conditioned on.
+    pub fn training_x(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The precomputed weights `(K + σ²I)⁻¹ (y − ȳ)`.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The Cholesky factor of `K + σ²I`.
+    pub fn cholesky(&self) -> &Cholesky {
+        &self.chol
+    }
+
+    /// The constant mean subtracted from the targets at fit time.
+    pub fn y_mean(&self) -> f64 {
+        self.y_mean
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

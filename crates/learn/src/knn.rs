@@ -64,9 +64,38 @@ impl KnnClassifier {
     /// # Errors
     ///
     /// As for [`KnnClassifier::fit`].
+    #[doc(hidden)]
     #[deprecated(since = "0.1.0", note = "use `fit(k, &x, &y)`, which borrows its input")]
     pub fn fit_owned(k: usize, x: Vec<Vec<f64>>, y: Vec<i32>) -> Result<Self, LearnError> {
         Self::fit(k, &x, &y)
+    }
+
+    /// Reassembles a classifier from persisted parts — the inverse of
+    /// the accessors below, used by `edm::persist`.
+    pub fn from_parts(k: usize, x: Vec<Vec<f64>>, y: Vec<i32>, weighted: bool) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert_eq!(x.len(), y.len(), "one label per sample");
+        KnnClassifier { k, x, y, weighted }
+    }
+
+    /// The neighbor count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The memorized training samples.
+    pub fn training_x(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The memorized training labels.
+    pub fn training_y(&self) -> &[i32] {
+        &self.y
+    }
+
+    /// Whether inverse-distance weighting is enabled.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
     }
 
     /// Switches to inverse-distance-weighted voting — one way of
@@ -137,9 +166,33 @@ impl KnnRegressor {
     /// # Errors
     ///
     /// As for [`KnnRegressor::fit`].
+    #[doc(hidden)]
     #[deprecated(since = "0.1.0", note = "use `fit(k, &x, &y)`, which borrows its input")]
     pub fn fit_owned(k: usize, x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, LearnError> {
         Self::fit(k, &x, &y)
+    }
+
+    /// Reassembles a regressor from persisted parts — the inverse of
+    /// the accessors below, used by `edm::persist`.
+    pub fn from_parts(k: usize, x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert_eq!(x.len(), y.len(), "one target per sample");
+        KnnRegressor { k, x, y }
+    }
+
+    /// The neighbor count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The memorized training samples.
+    pub fn training_x(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The memorized training targets.
+    pub fn training_y(&self) -> &[f64] {
+        &self.y
     }
 
     /// Predicts the mean target of the k nearest neighbors.

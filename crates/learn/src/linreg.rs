@@ -41,6 +41,12 @@ impl LeastSquares {
         Ok(LeastSquares { intercept: w[0], coef: w[1..].to_vec() })
     }
 
+    /// Reassembles a model from persisted weights — the inverse of the
+    /// accessors below, used by `edm::persist`.
+    pub fn from_parts(coef: Vec<f64>, intercept: f64) -> Self {
+        LeastSquares { coef, intercept }
+    }
+
     /// The learned weights (one per feature).
     pub fn coefficients(&self) -> &[f64] {
         &self.coef
@@ -122,6 +128,12 @@ impl Ridge {
         let coef = chol.solve(&rhs);
         let intercept = y_mean - edm_linalg::dot(&coef, &means);
         Ok(Ridge { coef, intercept, lambda })
+    }
+
+    /// Reassembles a model from persisted weights — the inverse of the
+    /// accessors below, used by `edm::persist`.
+    pub fn from_parts(coef: Vec<f64>, intercept: f64, lambda: f64) -> Self {
+        Ridge { coef, intercept, lambda }
     }
 
     /// The learned weights.

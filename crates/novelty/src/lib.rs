@@ -240,6 +240,7 @@ impl KnnDistanceDetector {
     /// # Errors
     ///
     /// As for [`KnnDistanceDetector::fit`].
+    #[doc(hidden)]
     #[deprecated(since = "0.1.0", note = "use `fit(&x, k, quantile)`, which borrows its input")]
     pub fn fit_owned(x: Vec<Vec<f64>>, k: usize, quantile: f64) -> Result<Self, NoveltyError> {
         Self::fit(&x, k, quantile)
@@ -348,6 +349,7 @@ impl LofDetector {
     /// # Errors
     ///
     /// As for [`LofDetector::fit`].
+    #[doc(hidden)]
     #[deprecated(since = "0.1.0", note = "use `fit(&x, k, quantile)`, which borrows its input")]
     pub fn fit_owned(x: Vec<Vec<f64>>, k: usize, quantile: f64) -> Result<Self, NoveltyError> {
         Self::fit(&x, k, quantile)

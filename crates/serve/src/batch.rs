@@ -268,9 +268,15 @@ impl BatchProbes {
 }
 
 /// The per-server micro-batch scheduler. See the [module docs](self).
+///
+/// Queues are keyed per **(model name, registry generation)**: after a
+/// hot reload, requests routed against the new generation coalesce in
+/// a fresh queue while any in-flight leader finishes draining the old
+/// one — a batch can therefore never mix rows scored by two different
+/// generations of a model.
 pub struct BatchScheduler {
     config: BatchConfig,
-    queues: DbgMutex<BTreeMap<String, Arc<ModelQueue>>>,
+    queues: DbgMutex<BTreeMap<String, (u64, Arc<ModelQueue>)>>,
     probes: BatchProbes,
 }
 
@@ -290,10 +296,13 @@ impl BatchScheduler {
     }
 
     /// Scores `rows` against `model`, coalescing with any concurrent
-    /// submissions for the same `name`. Blocks until this request's
-    /// results are ready. Row `i` of the return value is bitwise
-    /// identical to what `model.predict_batch(&rows)` would have
-    /// produced for row `i`.
+    /// submissions for the same `name` *and* `generation`. Blocks
+    /// until this request's results are ready. Row `i` of the return
+    /// value is bitwise identical to what `model.predict_batch(&rows)`
+    /// would have produced for row `i`.
+    ///
+    /// `generation` is the registry generation `model` came from;
+    /// requests from different generations never share a batch.
     ///
     /// # Errors
     ///
@@ -304,6 +313,7 @@ impl BatchScheduler {
     pub fn submit(
         &self,
         name: &str,
+        generation: u64,
         model: &ServedModel,
         rows: Vec<Vec<f64>>,
         metrics: &ServeMetrics,
@@ -314,7 +324,7 @@ impl BatchScheduler {
         if rows.len() >= self.config.max_rows {
             return self.score_chunk(model, &[], &rows, "bypass", Instant::now(), metrics);
         }
-        let mq = self.model_queue(name);
+        let mq = self.model_queue(name, generation);
         let enqueued = Instant::now();
         {
             let mut st = mq.lock();
@@ -473,21 +483,34 @@ impl BatchScheduler {
         result
     }
 
-    /// Requests currently parked for `name`, waiting to be coalesced.
-    /// Point-in-time observability for tests and harnesses.
+    /// Requests currently parked for `name` (any generation), waiting
+    /// to be coalesced. Point-in-time observability for tests and
+    /// harnesses.
     pub fn queued(&self, name: &str) -> usize {
         let queues = self.queues.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        queues.get(name).map_or(0, |mq| mq.lock().queue.len())
+        queues.get(name).map_or(0, |(_, mq)| mq.lock().queue.len())
     }
 
-    /// The (lazily created) queue for `name`. The hit path is
-    /// allocation-free (no owned key is built for the lookup).
-    fn model_queue(&self, name: &str) -> Arc<ModelQueue> {
+    /// The (lazily created) queue for `name` at `generation`. A stale
+    /// entry from an older generation is replaced with a fresh queue:
+    /// its in-flight leader keeps draining the waiters it already owns
+    /// (they hold their own `Arc`), while new arrivals coalesce under
+    /// the new generation. The hit path is allocation-free (no owned
+    /// key is built for the lookup).
+    fn model_queue(&self, name: &str, generation: u64) -> Arc<ModelQueue> {
         let mut queues = self.queues.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(mq) = queues.get(name) {
-            return Arc::clone(mq);
+        match queues.get_mut(name) {
+            Some((gen, mq)) if *gen == generation => Arc::clone(mq),
+            Some(slot) => {
+                *slot = (generation, ModelQueue::new());
+                Arc::clone(&slot.1)
+            }
+            None => {
+                let (_, mq) =
+                    queues.entry(name.to_string()).or_insert_with(|| (generation, ModelQueue::new()));
+                Arc::clone(mq)
+            }
         }
-        Arc::clone(queues.entry(name.to_string()).or_insert_with(ModelQueue::new))
     }
 }
 
@@ -516,7 +539,7 @@ mod tests {
         let rows = vec![vec![0.25, 0.5], vec![0.75, -0.25]];
         let direct = model.predict_batch(&rows).expect("direct");
         let batched =
-            sched.submit("plane", &model, rows, &metrics).expect("inline submit succeeds");
+            sched.submit("plane", 1, &model, rows, &metrics).expect("inline submit succeeds");
         assert_eq!(batched.len(), direct.len());
         for (b, d) in batched.iter().zip(&direct) {
             assert_eq!(b.to_bits(), d.to_bits());
@@ -533,7 +556,7 @@ mod tests {
         let sched = BatchScheduler::new(BatchConfig { max_rows: 2, ..BatchConfig::default() });
         let metrics = ServeMetrics::new();
         let rows = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.5, 0.5]];
-        let out = sched.submit("plane", &model, rows, &metrics).expect("bypass path");
+        let out = sched.submit("plane", 1, &model, rows, &metrics).expect("bypass path");
         assert_eq!(out.len(), 3);
     }
 
@@ -543,7 +566,7 @@ mod tests {
         let sched = BatchScheduler::new(BatchConfig { enabled: false, ..BatchConfig::default() });
         let metrics = ServeMetrics::new();
         let out =
-            sched.submit("plane", &model, vec![vec![0.5, 0.5]], &metrics).expect("passthrough");
+            sched.submit("plane", 1, &model, vec![vec![0.5, 0.5]], &metrics).expect("passthrough");
         assert_eq!(out.len(), 1);
         assert_eq!(metrics.batch_snapshot().flushes, 0, "no batch telemetry when disabled");
     }
@@ -554,7 +577,7 @@ mod tests {
         let sched = BatchScheduler::new(BatchConfig::default());
         let metrics = ServeMetrics::new();
         let err = sched
-            .submit("plane", &model, vec![vec![1.0, 2.0, 3.0]], &metrics)
+            .submit("plane", 1, &model, vec![vec![1.0, 2.0, 3.0]], &metrics)
             .expect_err("shape mismatch");
         assert!(err.contains("expects"), "got {err}");
     }

@@ -3,15 +3,23 @@
 //!
 //! ```text
 //! cargo run --release -p edm-serve --bin edm_serve [addr]
+//! cargo run --release -p edm-serve --bin edm_serve -- --save-demo DIR
 //! ```
 //!
 //! `addr` defaults to `127.0.0.1:8080`. Set `EDM_TRACE=summary` (or
-//! `full`) to populate `/metrics`.
+//! `full`) to populate `/metrics`. When `EDM_SERVE_MODEL_DIR` is set,
+//! persisted `*.edm` containers in that directory are served alongside
+//! the demo models and `POST /v1/admin/reload` rescans it without a
+//! restart.
+//!
+//! `--save-demo DIR` skips serving entirely: it persists the demo
+//! models into `DIR` as `*.edm` containers (handy for seeding a model
+//! directory to exercise the reload path) and exits.
 
 use std::time::Duration;
 
 use edm::prelude::*;
-use edm_serve::{ModelRegistry, Server, ServerConfig};
+use edm_serve::{ModelRegistry, ModelStore, Server, ServerConfig};
 
 /// Deterministic SplitMix64 stream (the workspace bans ambient
 /// entropy; a fixed seed also makes the demo responses reproducible).
@@ -42,43 +50,101 @@ fn blobs(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     (x, y)
 }
 
-fn registry() -> ModelRegistry {
+/// The demo models, trained fresh: name → persistable predictor.
+fn demo_models() -> Vec<(&'static str, Box<dyn edm::PersistentPredictor + Send + Sync>)> {
     let (x, y) = blobs(120);
     let labels: Vec<i32> = y.iter().map(|&v| v as i32).collect();
     // A smooth synthetic "fmax" response over the same features.
     let fmax: Vec<f64> = x.iter().map(|r| 3.1 + 0.8 * r[0] - 0.4 * r[1]).collect();
+    vec![
+        (
+            "passfail-svc",
+            Box::new(
+                SvcTrainer::new(SvcParams::default())
+                    .kernel(RbfKernel::new(0.5))
+                    .fit(&x, &y)
+                    .expect("separable blobs train"),
+            ),
+        ),
+        ("fmax-ridge", Box::new(Ridge::fit(&x, &fmax, 0.1).expect("ridge fits"))),
+        (
+            "outlier-oneclass",
+            Box::new(
+                OneClassSvm::new(OneClassParams::default().with_nu(0.1))
+                    .kernel(RbfKernel::new(0.5))
+                    .fit(&x)
+                    .expect("one-class fits"),
+            ),
+        ),
+        ("passfail-knn", Box::new(KnnClassifier::fit(5, &x, &labels).expect("knn fits"))),
+    ]
+}
 
+/// Serves each demo model through a thin adapter (the registry wants
+/// `Arc<dyn Predictor>`, the persistence API hands out
+/// `Box<dyn PersistentPredictor>`).
+struct Demo(Box<dyn edm::PersistentPredictor + Send + Sync>);
+
+impl edm::Predictor for Demo {
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>, edm::Error> {
+        self.0.predict_batch(xs)
+    }
+
+    fn n_features(&self) -> usize {
+        self.0.n_features()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+fn registry() -> ModelRegistry {
     let mut reg = ModelRegistry::new();
-    reg.register(
-        "passfail-svc",
-        SvcTrainer::new(SvcParams::default())
-            .kernel(RbfKernel::new(0.5))
-            .fit(&x, &y)
-            .expect("separable blobs train"),
-    )
-    .expect("register passfail-svc");
-    reg.register("fmax-ridge", Ridge::fit(&x, &fmax, 0.1).expect("ridge fits"))
-        .expect("register fmax-ridge");
-    reg.register(
-        "outlier-oneclass",
-        OneClassSvm::new(OneClassParams::default().with_nu(0.1))
-            .kernel(RbfKernel::new(0.5))
-            .fit(&x)
-            .expect("one-class fits"),
-    )
-    .expect("register outlier-oneclass");
-    reg.register("passfail-knn", KnnClassifier::fit(5, &x, &labels).expect("knn fits"))
-        .expect("register passfail-knn");
+    for (name, model) in demo_models() {
+        reg.register_arc(name, std::sync::Arc::new(Demo(model)))
+            .unwrap_or_else(|e| panic!("register {name}: {e}"));
+    }
     reg
+}
+
+/// Persists the demo models into `dir` as `*.edm` containers and
+/// exits. Seeds a model directory for the reload path.
+fn save_demo(dir: &str) {
+    let store = ModelStore::new(dir);
+    for (name, model) in demo_models() {
+        let (path, checksum) = store
+            .save(name, model.as_ref())
+            .unwrap_or_else(|e| panic!("persist {name}: {e}"));
+        println!("saved {} (crc32 {checksum:#010x})", path.display());
+    }
 }
 
 fn main() {
     edm_trace::init_from_env_or(edm_trace::Level::Summary);
-    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:8080".to_string());
-    let server = Server::start(&addr, registry(), ServerConfig::default())
-        .expect("bind the requested address");
+    let mut args = std::env::args().skip(1);
+    let first = args.next();
+    if first.as_deref() == Some("--save-demo") {
+        let dir = args.next().unwrap_or_else(|| {
+            eprintln!("usage: edm_serve --save-demo DIR");
+            std::process::exit(2);
+        });
+        save_demo(&dir);
+        return;
+    }
+    let addr = first.unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let store = ModelStore::from_env();
+    let config = ServerConfig {
+        model_dir: store.as_ref().map(|s| s.dir().to_path_buf()),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(&addr, registry(), config).expect("bind the requested address");
     let bound = server.local_addr();
     println!("edm-serve listening on http://{bound}");
+    if let Some(store) = &store {
+        println!("model directory: {} (POST /v1/admin/reload to rescan)", store.dir().display());
+    }
     println!();
     println!("try:");
     println!("  curl http://{bound}/healthz");
@@ -86,6 +152,7 @@ fn main() {
     println!(
         "  curl -d '{{\"inputs\": [[1.4, 1.6], [-1.5, -1.4]]}}' \\\n       http://{bound}/v1/models/passfail-svc:predict"
     );
+    println!("  curl -X POST http://{bound}/v1/admin/reload");
     println!("  curl http://{bound}/metrics");
     loop {
         std::thread::sleep(Duration::from_secs(3600));

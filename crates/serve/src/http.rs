@@ -193,6 +193,10 @@ pub struct Response {
     /// correlate its response with the server's access log and
     /// telemetry.
     pub request_id: Option<u64>,
+    /// When set, emitted as an `x-model-generation` header: the
+    /// registry generation the request was scored against, so clients
+    /// can observe hot-reload swaps.
+    pub model_generation: Option<u64>,
     /// When true, the response advertises `connection: close` and the
     /// server closes the connection after writing it; otherwise the
     /// response advertises `connection: keep-alive` and the connection
@@ -211,6 +215,7 @@ impl Response {
             content_type: "application/json",
             retry_after: None,
             request_id: None,
+            model_generation: None,
             close: false,
             body: body.into_bytes(),
         }
@@ -223,6 +228,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             retry_after: None,
             request_id: None,
+            model_generation: None,
             close: false,
             body: body.as_bytes().to_vec(),
         }
@@ -250,6 +256,9 @@ impl Response {
         if let Some(id) = self.request_id {
             let _ = write!(head, "x-request-id: {id}\r\n");
         }
+        if let Some(generation) = self.model_generation {
+            let _ = write!(head, "x-model-generation: {generation}\r\n");
+        }
         head.push_str("\r\n");
         out.extend_from_slice(head.as_bytes());
         out.extend_from_slice(&self.body);
@@ -275,6 +284,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -406,6 +416,16 @@ mod tests {
         resp.write_to(&mut out).expect("write");
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.contains("\r\nx-request-id: 42\r\n"), "got {text:?}");
+    }
+
+    #[test]
+    fn model_generation_header_rides_along_when_set() {
+        let mut resp = Response::json(200, "{}".into());
+        resp.model_generation = Some(3);
+        let text = String::from_utf8(resp.to_bytes()).expect("utf8");
+        assert!(text.contains("\r\nx-model-generation: 3\r\n"), "got {text:?}");
+        let plain = String::from_utf8(Response::json(200, "{}".into()).to_bytes()).expect("utf8");
+        assert!(!plain.contains("x-model-generation"), "absent unless set");
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! | Route | Method | Purpose |
 //! |---|---|---|
 //! | `/v1/models/{name}:predict` | POST | Score a JSON batch (`{"inputs": [[...], ...]}`) |
-//! | `/v1/models` | GET | List registered models |
+//! | `/v1/models/{name}:train` | POST | Fit a fresh model (`{"family", "inputs", "targets"}`), persist it to the model directory, publish it as the next generation |
+//! | `/v1/models` | GET | List registered models with `{family, n_features, generation, loaded_from, checksum}` |
+//! | `/v1/admin/reload` | POST | Rescan the model directory and swap in the next registry generation |
 //! | `/v1/trace` | GET | Live [`edm_trace::TraceReport`] JSON (debug) |
 //! | `/healthz` | GET | Liveness probe |
 //! | `/metrics` | GET | OpenMetrics exposition: trace registry + per-`endpoint × model` request series (lifetime + rolling-window latency) + micro-batch and admission-tier families |
@@ -30,6 +32,20 @@
 //! Every request is answered with an `x-request-id` header that
 //! matches the server's access log line (`EDM_SERVE_LOG=1`; slow
 //! requests past `EDM_SERVE_SLOW_MS` are always logged).
+//!
+//! ## Train once, serve many
+//!
+//! Models persisted with the facade's [`edm::PersistentPredictor`]
+//! API (`*.edm` containers, see `edm-model-io`) are served straight
+//! from a **model directory** ([`ModelStore`], configured with
+//! [`ServerConfig::model_dir`] or `EDM_SERVE_MODEL_DIR`): the
+//! directory is scanned at startup and again on every
+//! `POST /v1/admin/reload`, and each scan is published atomically as a
+//! new registry **generation** ([`SharedRegistry`]). In-flight
+//! requests keep scoring against the snapshot they started with —
+//! a reload never fails or reroutes admitted work — and every predict
+//! response reports the generation it was scored against in an
+//! `x-model-generation` header.
 //!
 //! Scoring fans through the same `predict_batch` paths the library
 //! exposes directly, so a prediction served over HTTP is bitwise
@@ -61,12 +77,14 @@ pub mod metrics;
 pub mod registry;
 #[cfg(feature = "parallel")]
 pub mod server;
+pub mod store;
 
 pub use batch::{BatchConfig, BatchScheduler};
 pub use metrics::{BatchSnapshot, LatencySnapshot, ServeMetrics};
 pub use registry::{
-    AdmissionTier, ModelEntry, ModelInfo, ModelRegistry, RegistryError, ServedModel, TierGate,
-    TierPermit,
+    AdmissionTier, ModelEntry, ModelInfo, ModelRegistry, RegistryError, RegistrySnapshot,
+    ServedModel, SharedRegistry, TierGate, TierPermit,
 };
 #[cfg(feature = "parallel")]
 pub use server::{ServeError, Server, ServerConfig};
+pub use store::{ModelStore, ScanReport, StoredModel};

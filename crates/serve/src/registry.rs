@@ -1,10 +1,17 @@
 //! The model registry: a name → [`Predictor`] map shared by every
-//! worker thread, plus per-model **admission tiers**.
+//! worker thread, plus per-model **admission tiers** and the
+//! **generation-swapped** [`SharedRegistry`] behind hot reload.
 //!
 //! Backed by a `BTreeMap` so listings are deterministically ordered
-//! (the workspace bans `HashMap` iteration in lib code). The registry
-//! is built once at startup and then shared immutably behind an `Arc`,
-//! so no locking is needed on the request path.
+//! (the workspace bans `HashMap` iteration in lib code). A registry is
+//! built immutably and then published as one **generation**: the
+//! server holds a [`SharedRegistry`], requests take an
+//! [`RegistrySnapshot`] `Arc` at routing time (one brief read lock,
+//! no allocation), and `POST /v1/admin/reload` / `:train` build a
+//! *fresh* registry offline and [`SharedRegistry::swap`] it in
+//! atomically. In-flight requests keep scoring against the snapshot
+//! they started with, so a reload can never fail a request that was
+//! already admitted.
 //!
 //! An [`AdmissionTier`] caps how many predict requests for one model
 //! may be in flight at once, layered *under* the worker pool's global
@@ -19,6 +26,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use edm_par::sync::DbgRwLock;
 
 use edm::Predictor;
 
@@ -129,7 +138,8 @@ impl Drop for TierPermit {
     }
 }
 
-/// A registered model plus its (optional) admission gate.
+/// A registered model plus its (optional) admission gate and
+/// persistence provenance.
 #[derive(Clone)]
 pub struct ModelEntry {
     /// The shared predictor.
@@ -137,6 +147,12 @@ pub struct ModelEntry {
     /// In-flight quota gate; `None` means untiered (only the global
     /// worker-pool admission applies).
     pub gate: Option<Arc<TierGate>>,
+    /// Path of the container file this model was loaded from (or last
+    /// persisted to); `None` for models registered in-process.
+    pub loaded_from: Option<String>,
+    /// The container's whole-file CRC-32 fingerprint; `None` for
+    /// models registered in-process.
+    pub checksum: Option<u32>,
 }
 
 impl fmt::Debug for ModelEntry {
@@ -144,6 +160,8 @@ impl fmt::Debug for ModelEntry {
         f.debug_struct("ModelEntry")
             .field("family", &self.model.name())
             .field("gate", &self.gate)
+            .field("loaded_from", &self.loaded_from)
+            .field("checksum", &self.checksum)
             .finish()
     }
 }
@@ -157,10 +175,14 @@ pub struct ModelInfo {
     pub family: &'static str,
     /// Expected feature count per input row.
     pub n_features: usize,
+    /// Container path the model was loaded from, when persisted.
+    pub loaded_from: Option<String>,
+    /// Container CRC-32 fingerprint, when persisted.
+    pub checksum: Option<u32>,
 }
 
 /// An ordered collection of named models.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct ModelRegistry {
     models: BTreeMap<String, ModelEntry>,
 }
@@ -196,7 +218,26 @@ impl ModelRegistry {
     ///
     /// Same conditions as [`ModelRegistry::register`].
     pub fn register_arc(&mut self, name: &str, model: ServedModel) -> Result<(), RegistryError> {
-        self.insert_entry(name, ModelEntry { model, gate: None })
+        self.insert_entry(name, ModelEntry { model, gate: None, loaded_from: None, checksum: None })
+    }
+
+    /// Registers a model reloaded from a persisted container, recording
+    /// where it came from and its file CRC (reported by `/v1/models`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelRegistry::register`].
+    pub fn register_loaded(
+        &mut self,
+        name: &str,
+        model: ServedModel,
+        loaded_from: String,
+        checksum: u32,
+    ) -> Result<(), RegistryError> {
+        self.insert_entry(
+            name,
+            ModelEntry { model, gate: None, loaded_from: Some(loaded_from), checksum: Some(checksum) },
+        )
     }
 
     /// Registers `model` under `name` behind an [`AdmissionTier`]
@@ -217,18 +258,43 @@ impl ModelRegistry {
         tier.max_in_flight = tier.max_in_flight.max(1);
         self.insert_entry(
             name,
-            ModelEntry { model: Arc::new(model), gate: Some(TierGate::new(tier)) },
+            ModelEntry {
+                model: Arc::new(model),
+                gate: Some(TierGate::new(tier)),
+                loaded_from: None,
+                checksum: None,
+            },
         )
     }
 
+    /// Whether `name` fits the URL-safe registry alphabet.
+    pub fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+    }
+
     fn insert_entry(&mut self, name: &str, entry: ModelEntry) -> Result<(), RegistryError> {
-        if name.is_empty()
-            || !name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
-        {
+        if !Self::valid_name(name) {
             return Err(RegistryError::InvalidName(name.to_string()));
         }
         if self.models.contains_key(name) {
             return Err(RegistryError::Duplicate(name.to_string()));
+        }
+        self.models.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// Inserts `entry` under `name`, replacing any existing entry —
+    /// the rebuild primitive behind hot reload and `:train` (both
+    /// construct the next generation from a clone of a previous one).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidName`] for names outside the URL-safe
+    /// alphabet.
+    pub fn upsert_entry(&mut self, name: &str, entry: ModelEntry) -> Result<(), RegistryError> {
+        if !Self::valid_name(name) {
+            return Err(RegistryError::InvalidName(name.to_string()));
         }
         self.models.insert(name.to_string(), entry);
         Ok(())
@@ -257,6 +323,8 @@ impl ModelRegistry {
                 name: name.clone(),
                 family: entry.model.name(),
                 n_features: entry.model.n_features(),
+                loaded_from: entry.loaded_from.clone(),
+                checksum: entry.checksum,
             })
             .collect()
     }
@@ -269,6 +337,63 @@ impl ModelRegistry {
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
         self.models.is_empty()
+    }
+}
+
+/// One published registry generation. Immutable once published:
+/// requests that hold a snapshot keep scoring against it even while a
+/// newer generation is being swapped in.
+#[derive(Debug)]
+pub struct RegistrySnapshot {
+    /// The models of this generation.
+    pub registry: ModelRegistry,
+    /// Monotonic generation counter, starting at 1 and bumped by every
+    /// [`SharedRegistry::swap`]. Echoed as the `x-model-generation`
+    /// header on predict responses and in `/v1/models`.
+    pub generation: u64,
+}
+
+/// The server's handle to the current registry generation: readers
+/// clone an `Arc` under a brief read lock (arc-swap semantics on
+/// [`DbgRwLock`]), writers publish a whole replacement registry. The
+/// write lock is only held for the pointer swap itself — building the
+/// next generation (directory scan, model loads, training) happens
+/// before [`SharedRegistry::swap`] is called, with no lock held.
+#[derive(Debug)]
+pub struct SharedRegistry {
+    current: DbgRwLock<Arc<RegistrySnapshot>>,
+}
+
+impl SharedRegistry {
+    /// Publishes `registry` as generation 1.
+    pub fn new(registry: ModelRegistry) -> Self {
+        SharedRegistry {
+            current: DbgRwLock::new(
+                "serve.registry.current",
+                Arc::new(RegistrySnapshot { registry, generation: 1 }),
+            ),
+        }
+    }
+
+    /// The current generation's snapshot. Cheap: one short read lock
+    /// and an `Arc` clone.
+    pub fn snapshot(&self) -> Arc<RegistrySnapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Atomically publishes `registry` as the next generation and
+    /// returns its generation number. In-flight requests holding the
+    /// previous snapshot are unaffected.
+    pub fn swap(&self, registry: ModelRegistry) -> u64 {
+        let mut current = self.current.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let generation = current.generation + 1;
+        *current = Arc::new(RegistrySnapshot { registry, generation });
+        generation
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().generation
     }
 }
 
@@ -354,5 +479,64 @@ mod tests {
             reg.register("svc", tiny_ridge()),
             Err(RegistryError::Duplicate("svc".to_string()))
         );
+    }
+
+    #[test]
+    fn loaded_models_carry_provenance() {
+        let mut reg = ModelRegistry::new();
+        reg.register_loaded("r", Arc::new(tiny_ridge()), "/models/r.edm".to_string(), 0xDEAD)
+            .expect("register loaded");
+        reg.register("plain", tiny_ridge()).expect("register plain");
+        let infos = reg.list();
+        assert_eq!(infos[1].loaded_from.as_deref(), Some("/models/r.edm"));
+        assert_eq!(infos[1].checksum, Some(0xDEAD));
+        assert_eq!(infos[0].loaded_from, None, "in-process models have no provenance");
+        assert_eq!(infos[0].checksum, None);
+    }
+
+    #[test]
+    fn shared_registry_swaps_generations_without_touching_held_snapshots() {
+        let mut gen1 = ModelRegistry::new();
+        gen1.register("a", tiny_ridge()).expect("register a");
+        let shared = SharedRegistry::new(gen1);
+        assert_eq!(shared.generation(), 1);
+        let held = shared.snapshot();
+
+        let mut gen2 = held.registry.clone();
+        gen2.upsert_entry(
+            "b",
+            ModelEntry {
+                model: Arc::new(tiny_ridge()),
+                gate: None,
+                loaded_from: None,
+                checksum: None,
+            },
+        )
+        .expect("upsert b");
+        assert_eq!(shared.swap(gen2), 2);
+
+        // The held snapshot still sees generation 1's world...
+        assert_eq!(held.generation, 1);
+        assert_eq!(held.registry.names(), vec!["a"]);
+        // ...while fresh snapshots see generation 2.
+        let fresh = shared.snapshot();
+        assert_eq!(fresh.generation, 2);
+        assert_eq!(fresh.registry.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn upsert_replaces_in_place() {
+        let mut reg = ModelRegistry::new();
+        reg.register("m", tiny_ridge()).expect("register");
+        let replacement = ModelEntry {
+            model: Arc::new(tiny_ridge()),
+            gate: None,
+            loaded_from: Some("m.edm".to_string()),
+            checksum: Some(7),
+        };
+        reg.upsert_entry("m", replacement).expect("upsert over existing");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get_entry("m").expect("entry").loaded_from.as_deref(), Some("m.edm"));
+        assert!(reg.upsert_entry("bad name", reg.get_entry("m").expect("entry")).is_err());
     }
 }

@@ -66,6 +66,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -77,7 +78,8 @@ use crate::batch::{BatchConfig, BatchScheduler};
 use crate::http::{self, HttpError, Request, Response};
 use crate::json::{self, Value};
 use crate::metrics::ServeMetrics;
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelEntry, ModelRegistry, RegistrySnapshot, SharedRegistry};
+use crate::store::ModelStore;
 
 /// Tunables for a [`Server`].
 #[derive(Debug, Clone)]
@@ -112,6 +114,12 @@ pub struct ServerConfig {
     /// Slow-request threshold in milliseconds. `None` defers to
     /// `EDM_SERVE_SLOW_MS`, defaulting to 500 ms.
     pub slow_ms: Option<f64>,
+    /// Model directory for persisted `*.edm` containers. When set, the
+    /// directory is scanned at startup (disk models overlay same-named
+    /// registry entries), rescanned by `POST /v1/admin/reload`, and
+    /// written by `POST /v1/models/{name}:train`. `None` disables the
+    /// reload endpoint and makes `:train` register in-memory only.
+    pub model_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -128,6 +136,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             access_log: None,
             slow_ms: None,
+            model_dir: None,
         }
     }
 }
@@ -188,7 +197,17 @@ impl HotProbes {
 
 /// Shared per-server state handed to every connection handler.
 struct ServeState {
-    registry: ModelRegistry,
+    /// The generation-swapped registry. Requests take one snapshot at
+    /// routing time and score entirely against it, so reloads never
+    /// disturb in-flight work.
+    registry: SharedRegistry,
+    /// The registry the server was started with, before any disk
+    /// overlay — the rebuild base for `POST /v1/admin/reload` (models
+    /// deleted from the directory fall back to, or disappear from,
+    /// this baseline).
+    base: ModelRegistry,
+    /// Model directory, when configured.
+    store: Option<ModelStore>,
     metrics: ServeMetrics,
     batcher: BatchScheduler,
     log: LogConfig,
@@ -267,8 +286,32 @@ impl Server {
             max_requests: config.max_requests_per_conn.max(1),
             max_body: config.max_body_bytes,
         };
+        let store = config.model_dir.clone().map(ModelStore::new);
+        // Startup scan: disk models overlay the programmatic registry
+        // as generation 1. Per-file load failures are reported and
+        // skipped — a corrupt container must not stop the server from
+        // serving everything else.
+        let mut generation_one = registry.clone();
+        if let Some(store) = &store {
+            match store.scan() {
+                Ok(report) => {
+                    for (file, why) in &report.errors {
+                        eprintln!("edm-serve: skipping model file {file}: {why}");
+                    }
+                    report.apply(&mut generation_one);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "edm-serve: model dir {} is unreadable: {e}",
+                        store.dir().display()
+                    );
+                }
+            }
+        }
         let state = Arc::new(ServeState {
-            registry,
+            registry: SharedRegistry::new(generation_one),
+            base: registry,
+            store,
             metrics: ServeMetrics::new(),
             batcher: BatchScheduler::new(config.batch.clone()),
             log,
@@ -717,7 +760,7 @@ fn respond_and_drain(mut stream: &TcpStream, resp: &Response, cap: usize) {
 struct Routed {
     response: Response,
     /// Static endpoint label: `healthz`, `metrics`, `models`,
-    /// `predict`, `trace`, `other`, or `unparsed`.
+    /// `predict`, `train`, `reload`, `trace`, `other`, or `unparsed`.
     endpoint: &'static str,
     /// Model label: the registered name for predict requests, the
     /// bounded sentinel `unknown` for unregistered names, `-` for
@@ -743,19 +786,47 @@ fn route(req: &Request, state: &ServeState) -> Routed {
             "metrics",
         ),
         "/v1/models" => Routed::plain(
-            require_get(req).unwrap_or_else(|| models_response(&state.registry)),
+            require_get(req).unwrap_or_else(|| models_response(&state.registry.snapshot())),
             "models",
         ),
         "/v1/trace" => Routed::plain(require_get(req).unwrap_or_else(trace_response), "trace"),
+        "/v1/admin/reload" => {
+            let response = if req.method == "POST" {
+                reload_response(state)
+            } else {
+                error_response(405, "reload requires POST")
+            };
+            Routed::plain(response, "reload")
+        }
         target if target.starts_with("/v1/models/") && target.ends_with(":predict") => {
             let name = &target["/v1/models/".len()..target.len() - ":predict".len()];
-            let model = if state.registry.get(name).is_some() { name } else { "unknown" };
-            let response = if req.method == "POST" {
-                predict_response(name, &req.body, state)
+            // One snapshot for the whole request: lookup, telemetry
+            // labels, scoring, and the generation header all agree even
+            // if a reload swaps the registry mid-request.
+            let snapshot = state.registry.snapshot();
+            let model = if snapshot.registry.get(name).is_some() { name } else { "unknown" };
+            let mut response = if req.method == "POST" {
+                predict_response(name, &req.body, &snapshot, state)
             } else {
                 error_response(405, ":predict requires POST")
             };
+            response.model_generation = Some(snapshot.generation);
             Routed { response, endpoint: "predict", model: model.to_string() }
+        }
+        target if target.starts_with("/v1/models/") && target.ends_with(":train") => {
+            let name = &target["/v1/models/".len()..target.len() - ":train".len()];
+            let known = state.registry.snapshot().registry.get(name).is_some();
+            let response = if req.method == "POST" {
+                train_response(name, &req.body, state)
+            } else {
+                error_response(405, ":train requires POST")
+            };
+            // Bounded label cardinality: a name only becomes a metric
+            // label once it actually names a model (pre-existing or
+            // just trained) — failed requests at arbitrary names
+            // collapse to `unknown`.
+            let model = if known || response.status == 200 { name } else { "unknown" };
+            Routed { response, endpoint: "train", model: model.to_string() }
         }
         _ => Routed::plain(error_response(404, "no such endpoint"), "other"),
     }
@@ -773,6 +844,7 @@ fn metrics_response(metrics: &ServeMetrics) -> Response {
         content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8",
         retry_after: None,
         request_id: None,
+        model_generation: None,
         close: false,
         body: body.into_bytes(),
     }
@@ -797,8 +869,9 @@ fn error_response(status: u16, msg: &str) -> Response {
     Response::json(status, body.encode())
 }
 
-fn models_response(registry: &ModelRegistry) -> Response {
-    let models: Vec<Value> = registry
+fn models_response(snapshot: &RegistrySnapshot) -> Response {
+    let models: Vec<Value> = snapshot
+        .registry
         .list()
         .into_iter()
         .map(|m| {
@@ -806,11 +879,204 @@ fn models_response(registry: &ModelRegistry) -> Response {
                 ("name".to_string(), Value::Str(m.name)),
                 ("family".to_string(), Value::Str(m.family.to_string())),
                 ("n_features".to_string(), Value::Number(m.n_features as f64)),
+                ("generation".to_string(), Value::Number(snapshot.generation as f64)),
+                (
+                    "loaded_from".to_string(),
+                    m.loaded_from.map_or(Value::Null, Value::Str),
+                ),
+                (
+                    "checksum".to_string(),
+                    m.checksum.map_or(Value::Null, |c| Value::Number(c as f64)),
+                ),
             ])
         })
         .collect();
-    let body = Value::Object(vec![("models".to_string(), Value::Array(models))]);
+    let body = Value::Object(vec![
+        ("generation".to_string(), Value::Number(snapshot.generation as f64)),
+        ("models".to_string(), Value::Array(models)),
+    ]);
     Response::json(200, body.encode())
+}
+
+/// `POST /v1/admin/reload`: rescans the model directory, overlays the
+/// result onto the startup baseline, and publishes the new registry as
+/// the next generation. In-flight requests finish on the generation
+/// they started with.
+fn reload_response(state: &ServeState) -> Response {
+    let Some(store) = &state.store else {
+        return error_response(409, "no model directory configured (set model_dir or EDM_SERVE_MODEL_DIR)");
+    };
+    let _span = edm_trace::span("serve.reload");
+    let report = match store.scan() {
+        Ok(report) => report,
+        Err(e) => {
+            return error_response(
+                500,
+                &format!("model dir {} is unreadable: {e}", store.dir().display()),
+            );
+        }
+    };
+    if !report.errors.is_empty() {
+        edm_trace::counter_add("serve.reload.errors", report.errors.len() as u64);
+    }
+    // Build the whole next generation offline, then swap: the write
+    // lock is held only for the pointer exchange.
+    let mut next = state.base.clone();
+    report.apply(&mut next);
+    let loaded: Vec<Value> =
+        report.models.iter().map(|m| Value::Str(m.name.clone())).collect();
+    let errors: Vec<(String, Value)> =
+        report.errors.iter().map(|(f, why)| (f.clone(), Value::Str(why.clone()))).collect();
+    let generation = state.registry.swap(next);
+    let body = Value::Object(vec![
+        ("generation".to_string(), Value::Number(generation as f64)),
+        ("loaded".to_string(), Value::Array(loaded)),
+        ("errors".to_string(), Value::Object(errors)),
+    ]);
+    Response::json(200, body.encode())
+}
+
+/// Parses the `:train` body:
+/// `{"family": "...", "inputs": [[...], ...], "targets": [...]}`
+/// (`targets` optional — the one-class family ignores labels).
+fn parse_train_strict(text: &str) -> Result<(String, Vec<Vec<f64>>, Vec<f64>), Response> {
+    let doc = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Err(error_response(400, &e.to_string())),
+    };
+    let Some(family) = doc.get("family").and_then(Value::as_str) else {
+        return Err(error_response(
+            400,
+            "body must be {\"family\": str, \"inputs\": [[f64, ...], ...], \"targets\": [f64, ...]}",
+        ));
+    };
+    let Some(raw_rows) = doc.get("inputs").and_then(Value::as_array) else {
+        return Err(error_response(400, "missing \"inputs\" array"));
+    };
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(raw_rows.len());
+    for (i, raw_row) in raw_rows.iter().enumerate() {
+        let Some(cells) = raw_row.as_array() else {
+            return Err(error_response(400, &format!("inputs[{i}] is not an array")));
+        };
+        let mut row = Vec::with_capacity(cells.len());
+        for (j, cell) in cells.iter().enumerate() {
+            let Some(v) = cell.as_f64() else {
+                return Err(error_response(400, &format!("inputs[{i}][{j}] is not a number")));
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    let targets: Vec<f64> = match doc.get("targets") {
+        None | Some(Value::Null) => Vec::new(),
+        Some(Value::Array(raw)) => {
+            let mut ys = Vec::with_capacity(raw.len());
+            for (i, cell) in raw.iter().enumerate() {
+                let Some(v) = cell.as_f64() else {
+                    return Err(error_response(400, &format!("targets[{i}] is not a number")));
+                };
+                ys.push(v);
+            }
+            ys
+        }
+        Some(_) => return Err(error_response(400, "\"targets\" is not an array")),
+    };
+    Ok((family.to_string(), rows, targets))
+}
+
+/// `POST /v1/models/{name}:train`: trains a fresh model of the
+/// requested family on the supplied data (default hyperparameters via
+/// [`edm::fit_family`]), persists it to the model directory when one
+/// is configured, and publishes it as the next registry generation.
+fn train_response(name: &str, body: &[u8], state: &ServeState) -> Response {
+    if !ModelRegistry::valid_name(name) {
+        return error_response(
+            400,
+            &format!("invalid model name {name:?}: use 1+ characters from [A-Za-z0-9_.-]"),
+        );
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return error_response(400, "request body is not UTF-8"),
+    };
+    let (family, rows, targets) = match parse_train_strict(text) {
+        Ok(parsed) => parsed,
+        Err(resp) => return resp,
+    };
+    if rows.is_empty() {
+        return error_response(400, "training needs at least one input row");
+    }
+    if family != "one_class_svm" && targets.len() != rows.len() {
+        return error_response(
+            400,
+            &format!("targets has {} entries for {} input rows", targets.len(), rows.len()),
+        );
+    }
+    let _span = edm_trace::span("serve.train");
+    let model = match edm::fit_family(&family, &rows, &targets) {
+        Ok(model) => model,
+        Err(e) => return error_response(400, &format!("training failed: {e}")),
+    };
+    // Persist before publishing: a model the client was told is live
+    // must survive the next reload.
+    let mut saved: Option<(String, u32)> = None;
+    if let Some(store) = &state.store {
+        match store.save(name, model.as_ref()) {
+            Ok((path, checksum)) => saved = Some((path.display().to_string(), checksum)),
+            Err(e) => return error_response(500, &format!("could not persist the model: {e}")),
+        }
+    }
+    let n_features = model.n_features();
+    let family_tag = model.name();
+    let served: crate::registry::ServedModel = Arc::new(TrainedPredictor(model));
+    // Next generation = the current one plus (or replacing) this
+    // model; a replaced entry keeps its admission gate.
+    let snapshot = state.registry.snapshot();
+    let mut next = snapshot.registry.clone();
+    let gate = next.get_entry(name).and_then(|e| e.gate);
+    let entry = ModelEntry {
+        model: served,
+        gate,
+        loaded_from: saved.as_ref().map(|(path, _)| path.clone()),
+        checksum: saved.as_ref().map(|&(_, checksum)| checksum),
+    };
+    if let Err(e) = next.upsert_entry(name, entry) {
+        return error_response(400, &e.to_string());
+    }
+    let generation = state.registry.swap(next);
+    let body = Value::Object(vec![
+        ("model".to_string(), Value::Str(name.to_string())),
+        ("family".to_string(), Value::Str(family_tag.to_string())),
+        ("n_features".to_string(), Value::Number(n_features as f64)),
+        ("generation".to_string(), Value::Number(generation as f64)),
+        (
+            "saved_to".to_string(),
+            saved.as_ref().map_or(Value::Null, |(path, _)| Value::Str(path.clone())),
+        ),
+        (
+            "checksum".to_string(),
+            saved.as_ref().map_or(Value::Null, |&(_, checksum)| Value::Number(checksum as f64)),
+        ),
+    ]);
+    Response::json(200, body.encode())
+}
+
+/// Adapter serving a freshly trained
+/// `Box<dyn edm::PersistentPredictor>` as a registry model.
+struct TrainedPredictor(Box<dyn edm::PersistentPredictor + Send + Sync>);
+
+impl edm::Predictor for TrainedPredictor {
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>, edm::Error> {
+        self.0.predict_batch(xs)
+    }
+
+    fn n_features(&self) -> usize {
+        self.0.n_features()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
 }
 
 /// The general-parser inputs path: builds the [`Value`] tree so
@@ -842,8 +1108,13 @@ fn parse_inputs_strict(text: &str) -> Result<Vec<Vec<f64>>, Response> {
     Ok(rows)
 }
 
-fn predict_response(name: &str, body: &[u8], state: &ServeState) -> Response {
-    let Some(entry) = state.registry.get_entry(name) else {
+fn predict_response(
+    name: &str,
+    body: &[u8],
+    snapshot: &RegistrySnapshot,
+    state: &ServeState,
+) -> Response {
+    let Some(entry) = snapshot.registry.get_entry(name) else {
         return error_response(404, &format!("no model named {name:?}"));
     };
     let text = match std::str::from_utf8(body) {
@@ -893,7 +1164,7 @@ fn predict_response(name: &str, body: &[u8], state: &ServeState) -> Response {
     };
     // Shapes were validated above, so any scheduler error left is the
     // server's fault (predictor failure/panic), not the client's.
-    match state.batcher.submit(name, &entry.model, rows, &state.metrics) {
+    match state.batcher.submit(name, snapshot.generation, &entry.model, rows, &state.metrics) {
         Ok(predictions) => {
             // Hand-rolled encoding of the success body: same bytes the
             // `Value` tree would produce (numbers render via `{:?}`,
@@ -948,8 +1219,14 @@ mod tests {
     /// Wraps `reg` in a throwaway server state (default batching, no
     /// logging) for socket-less routing tests.
     fn test_state(reg: ModelRegistry) -> ServeState {
+        test_state_with_store(reg, None)
+    }
+
+    fn test_state_with_store(reg: ModelRegistry, store: Option<ModelStore>) -> ServeState {
         ServeState {
-            registry: reg,
+            registry: SharedRegistry::new(reg.clone()),
+            base: reg,
+            store,
             metrics: ServeMetrics::new(),
             batcher: BatchScheduler::new(BatchConfig::default()),
             log: LogConfig { enabled: false, slow_ns: u64::MAX },
@@ -967,19 +1244,8 @@ mod tests {
     /// Routes `r` against a throwaway state and returns the response
     /// alone (most routing tests don't care about labels).
     fn route_only(r: &Request, reg: &ModelRegistry) -> Response {
-        let state = test_state(clone_registry(reg));
+        let state = test_state(reg.clone());
         route(r, &state).response
-    }
-
-    /// Registries are immutable after build; tests clone by re-reading
-    /// entries.
-    fn clone_registry(reg: &ModelRegistry) -> ModelRegistry {
-        let mut out = ModelRegistry::new();
-        for name in reg.names() {
-            let entry = reg.get_entry(&name).expect("listed name resolves");
-            out.register_arc(&name, entry.model).expect("clone register");
-        }
-        out
     }
 
     #[test]
@@ -1033,7 +1299,14 @@ mod tests {
         let state = test_state(reg);
         // Hold the model's only quota unit, as an in-flight request
         // would, then route a second predict at it.
-        let gate = state.registry.get_entry("plane").expect("entry").gate.expect("tiered");
+        let gate = state
+            .registry
+            .snapshot()
+            .registry
+            .get_entry("plane")
+            .expect("entry")
+            .gate
+            .expect("tiered");
         let held = gate.try_acquire().expect("first unit");
         let refused =
             route(&req("POST", "/v1/models/plane:predict", "{\"inputs\": [[1, 1]]}"), &state);
@@ -1120,5 +1393,134 @@ mod tests {
         for (s, d) in served.iter().zip(&direct) {
             assert_eq!(s.to_bits(), d.to_bits(), "wire round trip changed a prediction");
         }
+    }
+
+    #[test]
+    fn predict_responses_carry_the_generation_header() {
+        let state = test_state(registry_with_ridge());
+        let hit =
+            route(&req("POST", "/v1/models/plane:predict", r#"{"inputs": [[1, 1]]}"#), &state);
+        assert_eq!(hit.response.model_generation, Some(1));
+        // Misses stamp the generation too: the header describes the
+        // registry consulted, not the model found.
+        let miss = route(&req("POST", "/v1/models/ghost:predict", "{}"), &state);
+        assert_eq!(miss.response.model_generation, Some(1));
+        let health = route(&req("GET", "/healthz", ""), &state);
+        assert_eq!(health.response.model_generation, None);
+    }
+
+    #[test]
+    fn models_endpoint_reports_generation_and_provenance() {
+        let state = test_state(registry_with_ridge());
+        let resp = route(&req("GET", "/v1/models", ""), &state).response;
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).expect("utf8")).expect("json");
+        assert_eq!(doc.get("generation").and_then(Value::as_f64), Some(1.0));
+        let models = doc.get("models").and_then(Value::as_array).expect("models array");
+        assert_eq!(models.len(), 1);
+        let plane = &models[0];
+        assert_eq!(plane.get("name").and_then(Value::as_str), Some("plane"));
+        assert_eq!(plane.get("family").and_then(Value::as_str), Some("ridge"));
+        assert_eq!(plane.get("generation").and_then(Value::as_f64), Some(1.0));
+        assert!(
+            matches!(plane.get("loaded_from"), Some(Value::Null)),
+            "programmatic models have no provenance"
+        );
+        assert!(matches!(plane.get("checksum"), Some(Value::Null)));
+    }
+
+    #[test]
+    fn reload_without_a_store_conflicts() {
+        let state = test_state(registry_with_ridge());
+        let resp = route(&req("POST", "/v1/admin/reload", ""), &state);
+        assert_eq!((resp.response.status, resp.endpoint), (409, "reload"));
+        assert_eq!(route(&req("GET", "/v1/admin/reload", ""), &state).response.status, 405);
+    }
+
+    #[test]
+    fn reload_swaps_in_disk_models_and_bumps_the_generation() {
+        let dir =
+            std::env::temp_dir().join(format!("edm-server-reload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ModelStore::new(&dir);
+        let state = test_state_with_store(registry_with_ridge(), Some(store.clone()));
+
+        // Nothing on disk yet: reload succeeds, keeps the baseline.
+        let empty = route(&req("POST", "/v1/admin/reload", ""), &state).response;
+        assert_eq!(empty.status, 200);
+        assert_eq!(state.registry.generation(), 2);
+
+        // Drop a new model into the directory and reload again.
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![0.0, 2.0, 4.0];
+        let line = Ridge::fit(&x, &y, 1e-9).expect("line fits");
+        store.save("line", &line).expect("save");
+        let resp = route(&req("POST", "/v1/admin/reload", ""), &state).response;
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).expect("utf8")).expect("json");
+        assert_eq!(doc.get("generation").and_then(Value::as_f64), Some(3.0));
+        let snapshot = state.registry.snapshot();
+        assert_eq!(snapshot.generation, 3);
+        assert!(snapshot.registry.get("plane").is_some(), "baseline survives reloads");
+        let entry = snapshot.registry.get_entry("line").expect("disk model registered");
+        assert!(entry.loaded_from.is_some() && entry.checksum.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_fits_persists_and_publishes() {
+        let dir = std::env::temp_dir().join(format!("edm-server-train-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state =
+            test_state_with_store(registry_with_ridge(), Some(ModelStore::new(&dir)));
+        let body = r#"{"family": "ridge", "inputs": [[0], [1], [2], [3]], "targets": [0, 3, 6, 9]}"#;
+        let routed = route(&req("POST", "/v1/models/steep:train", body), &state);
+        assert_eq!((routed.response.status, routed.model.as_str()), (200, "steep"));
+        let doc =
+            json::parse(std::str::from_utf8(&routed.response.body).expect("utf8")).expect("json");
+        assert_eq!(doc.get("family").and_then(Value::as_str), Some("ridge"));
+        assert_eq!(doc.get("generation").and_then(Value::as_f64), Some(2.0));
+        assert!(doc.get("saved_to").and_then(Value::as_str).is_some(), "persisted to the store");
+        assert!(doc.get("checksum").and_then(Value::as_f64).is_some());
+
+        // The new model scores immediately, against the new generation.
+        let hit =
+            route(&req("POST", "/v1/models/steep:predict", r#"{"inputs": [[2]]}"#, ), &state);
+        assert_eq!(hit.response.status, 200);
+        assert_eq!(hit.response.model_generation, Some(2));
+        // And it survives a reload, now loaded from disk.
+        let reload = route(&req("POST", "/v1/admin/reload", ""), &state).response;
+        assert_eq!(reload.status, 200);
+        let entry =
+            state.registry.snapshot().registry.get_entry("steep").expect("reloaded from disk");
+        assert!(entry.loaded_from.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_error_statuses_and_label_bounding() {
+        let state = test_state(registry_with_ridge());
+        // Invalid name → 400, label collapses to `unknown`.
+        let routed = route(&req("POST", "/v1/models/bad%20name:train", "{}"), &state);
+        assert_eq!((routed.response.status, routed.model.as_str()), (400, "unknown"));
+        // Unknown family → 400.
+        let body = r#"{"family": "nope", "inputs": [[1]], "targets": [1]}"#;
+        assert_eq!(route_only(&req("POST", "/v1/models/m:train", body), &registry_with_ridge()).status, 400);
+        // Row/target mismatch → 400.
+        let body = r#"{"family": "ridge", "inputs": [[1], [2]], "targets": [1]}"#;
+        assert_eq!(route_only(&req("POST", "/v1/models/m:train", body), &registry_with_ridge()).status, 400);
+        // No rows → 400.
+        let body = r#"{"family": "ridge", "inputs": [], "targets": []}"#;
+        assert_eq!(route_only(&req("POST", "/v1/models/m:train", body), &registry_with_ridge()).status, 400);
+        // GET → 405.
+        assert_eq!(route_only(&req("GET", "/v1/models/m:train", ""), &registry_with_ridge()).status, 405);
+        // Training without a store still publishes (in-memory only).
+        let body = r#"{"family": "ridge", "inputs": [[0], [1]], "targets": [0, 1]}"#;
+        let trained = route(&req("POST", "/v1/models/mem:train", body), &state);
+        assert_eq!(trained.response.status, 200);
+        let doc = json::parse(std::str::from_utf8(&trained.response.body).expect("utf8"))
+            .expect("json");
+        assert!(matches!(doc.get("saved_to"), Some(Value::Null)), "no store, no file");
+        assert!(state.registry.snapshot().registry.get("mem").is_some());
     }
 }

@@ -124,7 +124,7 @@ proptest! {
             let rows = request_rows(seed, 100 + m, 1);
             let name = name.to_string();
             handles.push((100 + m, m, rows.clone(), std::thread::spawn(move || {
-                sched.submit(&name, &model, rows, &metrics)
+                sched.submit(&name, 1, &model, rows, &metrics)
             })));
         }
         // Wait until both openers are inside predict (queue still 0,
@@ -147,7 +147,7 @@ proptest! {
             let rows = rows.clone();
             let name = models[*m].0.to_string();
             handles.push((*i, *m, rows.clone(), std::thread::spawn(move || {
-                sched.submit(&name, &model, rows, &metrics)
+                sched.submit(&name, 1, &model, rows, &metrics)
             })));
         }
         // Wait for every follower to park (or for the deadline — the
@@ -206,7 +206,7 @@ proptest! {
                 let metrics = Arc::clone(&metrics);
                 let rows = request_rows(seed, i, 1 + i % 4);
                 (i, rows.clone(), std::thread::spawn(move || {
-                    sched.submit("solo", &model, rows, &metrics)
+                    sched.submit("solo", 1, &model, rows, &metrics)
                 }))
             })
             .collect();

@@ -272,6 +272,36 @@ impl<K: Kernel<[f64]>> SvcModel<K> {
 }
 
 impl<K> SvcModel<K> {
+    /// Reassembles a model from its persisted parts — the inverse of
+    /// the accessors below, used by `edm::persist` to reload saved
+    /// models. The parts are stored verbatim, so a model rebuilt from
+    /// its own accessors scores bitwise identically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        kernel: K,
+        n_features: usize,
+        support: Vec<Vec<f64>>,
+        coef: Vec<f64>,
+        rho: f64,
+        complexity: f64,
+        iterations: usize,
+        cache: CacheStats,
+    ) -> Self {
+        assert_eq!(support.len(), coef.len(), "one coefficient per support vector");
+        SvcModel { kernel, n_features, support, coef, rho, complexity, iterations, cache }
+    }
+
+    /// The kernel the model scores with.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The dual coefficients `yᵢ αᵢ`, aligned with
+    /// [`SvcModel::support_vectors`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
     /// Number of support vectors retained.
     pub fn n_support(&self) -> usize {
         self.support.len()

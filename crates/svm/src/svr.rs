@@ -255,6 +255,45 @@ impl<K: Kernel<[f64]>> SvrModel<K> {
 }
 
 impl<K> SvrModel<K> {
+    /// Reassembles a model from its persisted parts — the inverse of
+    /// the accessors below, used by `edm::persist` to reload saved
+    /// models.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        kernel: K,
+        n_features: usize,
+        support: Vec<Vec<f64>>,
+        coef: Vec<f64>,
+        rho: f64,
+        complexity: f64,
+        iterations: usize,
+        cache: CacheStats,
+    ) -> Self {
+        assert_eq!(support.len(), coef.len(), "one coefficient per support vector");
+        SvrModel { kernel, n_features, support, coef, rho, complexity, iterations, cache }
+    }
+
+    /// The kernel the model scores with.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The support vectors.
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support
+    }
+
+    /// The dual coefficients `βᵢ`, aligned with
+    /// [`SvrModel::support_vectors`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// The offset `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
     /// Number of support vectors retained.
     pub fn n_support(&self) -> usize {
         self.support.len()

@@ -64,12 +64,20 @@ pub use edm_learn as learn;
 pub use edm_linalg as linalg;
 pub use edm_litho as litho;
 pub use edm_mfgtest as mfgtest;
+pub use edm_model_io as model_io;
 pub use edm_novelty as novelty;
 pub use edm_svm as svm;
 pub use edm_timing as timing;
 pub use edm_trace as trace;
 pub use edm_transform as transform;
 pub use edm_verif as verif;
+
+pub mod persist;
+
+pub use persist::{
+    fit_family, load_predictor, load_predictor_from_bytes, LoadedModel, PersistentPredictor,
+    FAMILIES,
+};
 
 /// The workspace-wide error sum type.
 ///
@@ -97,6 +105,10 @@ pub enum Error {
     Csv(data::csv::CsvError),
     /// Dataset assembly failed ([`data::DatasetError`]).
     Dataset(data::DatasetError),
+    /// Model persistence failed ([`model_io::IoError`]): bad magic,
+    /// unsupported schema version, checksum mismatch, truncation, a
+    /// missing section, or a malformed payload.
+    ModelIo(model_io::IoError),
     /// A scoring batch did not match the model's feature count — the
     /// shape contract [`Predictor::predict_batch`] enforces before
     /// touching the underlying model.
@@ -121,6 +133,7 @@ impl fmt::Display for Error {
             Error::Linalg(e) => write!(f, "linalg: {e}"),
             Error::Csv(e) => write!(f, "csv: {e}"),
             Error::Dataset(e) => write!(f, "dataset: {e}"),
+            Error::ModelIo(e) => write!(f, "model-io: {e}"),
             Error::Shape { row, expected, found } => {
                 write!(f, "batch row {row} has {found} features, model expects {expected}")
             }
@@ -139,6 +152,7 @@ impl std::error::Error for Error {
             Error::Linalg(e) => Some(e),
             Error::Csv(e) => Some(e),
             Error::Dataset(e) => Some(e),
+            Error::ModelIo(e) => Some(e),
             Error::Shape { .. } => None,
         }
     }
@@ -189,6 +203,12 @@ impl From<data::csv::CsvError> for Error {
 impl From<data::DatasetError> for Error {
     fn from(e: data::DatasetError) -> Self {
         Error::Dataset(e)
+    }
+}
+
+impl From<model_io::IoError> for Error {
+    fn from(e: model_io::IoError) -> Self {
+        Error::ModelIo(e)
     }
 }
 
@@ -388,6 +408,8 @@ impl Predictor for learn::forest::RandomForestClassifier {
 /// ```
 pub mod prelude {
     pub use crate::{Error, Predictor};
+
+    pub use crate::persist::{fit_family, load_predictor, LoadedModel, PersistentPredictor};
 
     pub use crate::kernels::{Kernel, LinearKernel, PolyKernel, RbfKernel};
 
